@@ -1,0 +1,44 @@
+// E9 — Theorem 3 algorithm: per-node work depends on the ball size
+// (constant on bounded-growth graphs), so total time is linear in n for
+// fixed R and grows with the R-ball volume.
+#include <benchmark/benchmark.h>
+
+#include "mmlp/core/local_averaging.hpp"
+#include "mmlp/gen/grid.hpp"
+
+namespace {
+
+void BM_AveragingGridByN(benchmark::State& state) {
+  const auto side = static_cast<std::int32_t>(state.range(0));
+  const auto instance =
+      mmlp::make_grid_instance({.dims = {side, side}, .torus = true});
+  for (auto _ : state) {
+    const auto result = mmlp::local_averaging(instance, {.R = 1});
+    benchmark::DoNotOptimize(result.x.data());
+  }
+  state.counters["agents"] = static_cast<double>(side) * side;
+}
+BENCHMARK(BM_AveragingGridByN)
+    ->Arg(8)
+    ->Arg(12)
+    ->Arg(16)
+    ->Arg(24)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AveragingGridByRadius(benchmark::State& state) {
+  const auto instance =
+      mmlp::make_grid_instance({.dims = {12, 12}, .torus = true});
+  const auto radius = static_cast<std::int32_t>(state.range(0));
+  for (auto _ : state) {
+    const auto result = mmlp::local_averaging(instance, {.R = radius});
+    benchmark::DoNotOptimize(result.x.data());
+  }
+  state.counters["R"] = static_cast<double>(radius);
+}
+BENCHMARK(BM_AveragingGridByRadius)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,60 @@
+// E10 — ball enumeration: the inner loop of every local algorithm.
+#include <benchmark/benchmark.h>
+
+#include "mmlp/gen/grid.hpp"
+#include "mmlp/graph/bfs.hpp"
+
+namespace {
+
+void BM_AllBalls(benchmark::State& state) {
+  const auto side = static_cast<std::int32_t>(state.range(0));
+  const auto radius = static_cast<std::int32_t>(state.range(1));
+  const auto instance =
+      mmlp::make_grid_instance({.dims = {side, side}, .torus = true});
+  const auto h = instance.communication_graph();
+  for (auto _ : state) {
+    const auto balls = mmlp::all_balls(h, radius);
+    benchmark::DoNotOptimize(balls.size());
+  }
+  state.counters["nodes"] = static_cast<double>(side) * side;
+  state.counters["radius"] = static_cast<double>(radius);
+}
+BENCHMARK(BM_AllBalls)
+    ->Args({16, 1})
+    ->Args({16, 2})
+    ->Args({16, 3})
+    ->Args({32, 1})
+    ->Args({32, 2})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BallCollectorReuse(benchmark::State& state) {
+  // Collector reuse vs per-call allocation.
+  const auto instance =
+      mmlp::make_grid_instance({.dims = {24, 24}, .torus = true});
+  const auto h = instance.communication_graph();
+  mmlp::BallCollector collector(h);
+  std::size_t total = 0;
+  for (auto _ : state) {
+    for (mmlp::NodeId v = 0; v < h.num_nodes(); ++v) {
+      total += collector.collect(v, 2).size();
+    }
+  }
+  benchmark::DoNotOptimize(total);
+}
+BENCHMARK(BM_BallCollectorReuse)->Unit(benchmark::kMillisecond);
+
+void BM_BallFreshPerCall(benchmark::State& state) {
+  const auto instance =
+      mmlp::make_grid_instance({.dims = {24, 24}, .torus = true});
+  const auto h = instance.communication_graph();
+  std::size_t total = 0;
+  for (auto _ : state) {
+    for (mmlp::NodeId v = 0; v < h.num_nodes(); ++v) {
+      total += mmlp::ball(h, v, 2).size();
+    }
+  }
+  benchmark::DoNotOptimize(total);
+}
+BENCHMARK(BM_BallFreshPerCall)->Unit(benchmark::kMillisecond);
+
+}  // namespace

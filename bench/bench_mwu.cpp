@@ -1,0 +1,52 @@
+// E10 — MWU approximate solver: scaling past the simplex range.
+#include <benchmark/benchmark.h>
+
+#include "mmlp/gen/random_instance.hpp"
+#include "mmlp/lp/mwu.hpp"
+
+namespace {
+
+void BM_MwuRandomInstance(benchmark::State& state) {
+  const auto instance = mmlp::make_random_instance({
+      .num_agents = static_cast<mmlp::AgentId>(state.range(0)),
+      .resources_per_agent = 2,
+      .parties_per_agent = 1,
+      .max_support = 3,
+      .seed = 9,
+  });
+  mmlp::MwuOptions options;
+  options.epsilon = 0.1;
+  double omega = 0.0;
+  for (auto _ : state) {
+    const auto result = mmlp::solve_maxmin_mwu(instance, options);
+    benchmark::DoNotOptimize(result.omega);
+    omega = result.omega;
+  }
+  state.counters["agents"] = static_cast<double>(state.range(0));
+  state.counters["omega"] = omega;
+}
+BENCHMARK(BM_MwuRandomInstance)
+    ->Arg(100)
+    ->Arg(500)
+    ->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MwuEpsilonSweep(benchmark::State& state) {
+  const auto instance = mmlp::make_random_instance({
+      .num_agents = 300,
+      .resources_per_agent = 2,
+      .parties_per_agent = 1,
+      .max_support = 3,
+      .seed = 9,
+  });
+  mmlp::MwuOptions options;
+  options.epsilon = 1.0 / static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    const auto result = mmlp::solve_maxmin_mwu(instance, options);
+    benchmark::DoNotOptimize(result.omega);
+  }
+  state.counters["inv_eps"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_MwuEpsilonSweep)->Arg(5)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
+
+}  // namespace

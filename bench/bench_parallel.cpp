@@ -1,0 +1,54 @@
+// E10 — shared-memory scaling of the per-agent loops (1 vs N workers).
+#include <benchmark/benchmark.h>
+
+#include "mmlp/gen/grid.hpp"
+#include "mmlp/graph/bfs.hpp"
+#include "mmlp/util/parallel.hpp"
+
+namespace {
+
+void BM_ParallelForThreads(benchmark::State& state) {
+  mmlp::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  // A compute-bound per-index body (synthetic per-agent work).
+  std::vector<double> out(4096);
+  for (auto _ : state) {
+    mmlp::parallel_for(out.size(), [&](std::size_t i) {
+      double acc = 0.0;
+      for (int rep = 0; rep < 2000; ++rep) {
+        acc += static_cast<double>((i * 2654435761u + rep) % 1000) * 1e-3;
+      }
+      out[i] = acc;
+    }, &pool);
+  }
+  benchmark::DoNotOptimize(out.data());
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ParallelForThreads)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_AllBallsThreads(benchmark::State& state) {
+  const auto instance =
+      mmlp::make_grid_instance({.dims = {40, 40}, .torus = true});
+  const auto h = instance.communication_graph();
+  // all_balls uses the global pool; emulate the thread sweep by chunking
+  // through a local pool-driven loop.
+  mmlp::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  const auto n = static_cast<std::size_t>(h.num_nodes());
+  std::vector<std::size_t> sizes(n);
+  for (auto _ : state) {
+    const std::size_t chunks = pool.size() * 8;
+    const std::size_t chunk = (n + chunks - 1) / chunks;
+    mmlp::parallel_for(chunks, [&](std::size_t c) {
+      mmlp::BallCollector collector(h);
+      const std::size_t begin = c * chunk;
+      const std::size_t end = std::min(n, begin + chunk);
+      for (std::size_t v = begin; v < end; ++v) {
+        sizes[v] = collector.collect(static_cast<mmlp::NodeId>(v), 3).size();
+      }
+    }, &pool);
+  }
+  benchmark::DoNotOptimize(sizes.data());
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_AllBallsThreads)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+}  // namespace

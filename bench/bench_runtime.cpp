@@ -1,0 +1,38 @@
+// E10 — LOCAL-model simulator: flooding rounds and per-agent world
+// materialisation.
+#include <benchmark/benchmark.h>
+
+#include "mmlp/dist/runtime.hpp"
+#include "mmlp/gen/grid.hpp"
+
+namespace {
+
+void BM_FloodRounds(benchmark::State& state) {
+  const auto instance =
+      mmlp::make_grid_instance({.dims = {20, 20}, .torus = true});
+  const mmlp::LocalRuntime runtime(instance);
+  const auto rounds = static_cast<std::int32_t>(state.range(0));
+  for (auto _ : state) {
+    const auto knowledge = runtime.flood(rounds);
+    benchmark::DoNotOptimize(knowledge.size());
+  }
+  state.counters["rounds"] = static_cast<double>(rounds);
+  state.counters["messages"] =
+      static_cast<double>(runtime.message_count(rounds));
+}
+BENCHMARK(BM_FloodRounds)->Arg(1)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
+
+void BM_MaterializeWorld(benchmark::State& state) {
+  const auto instance =
+      mmlp::make_grid_instance({.dims = {16, 16}, .torus = true});
+  const mmlp::LocalRuntime runtime(instance);
+  const auto knowledge = runtime.flood(3);
+  for (auto _ : state) {
+    const mmlp::AgentContext ctx(instance, 0, knowledge[0]);
+    const auto world = ctx.materialize();
+    benchmark::DoNotOptimize(world.instance.num_agents());
+  }
+}
+BENCHMARK(BM_MaterializeWorld)->Unit(benchmark::kMillisecond);
+
+}  // namespace

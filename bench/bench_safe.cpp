@@ -1,0 +1,51 @@
+// E9 — the scalability claim of Section 1.1: per-node work of the safe
+// algorithm is constant, so total time is linear in n.
+#include <benchmark/benchmark.h>
+
+#include "mmlp/core/safe.hpp"
+#include "mmlp/gen/grid.hpp"
+#include "mmlp/gen/random_instance.hpp"
+
+namespace {
+
+void BM_SafeGrid(benchmark::State& state) {
+  const auto side = static_cast<std::int32_t>(state.range(0));
+  const auto instance =
+      mmlp::make_grid_instance({.dims = {side, side}, .torus = true});
+  for (auto _ : state) {
+    const auto x = mmlp::safe_solution(instance);
+    benchmark::DoNotOptimize(x.data());
+  }
+  const double n = static_cast<double>(side) * side;
+  state.counters["agents"] = n;
+  state.counters["ns_per_agent"] = benchmark::Counter(
+      n, benchmark::Counter::kIsIterationInvariantRate |
+             benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_SafeGrid)
+    ->Arg(32)    // 1k agents
+    ->Arg(100)   // 10k
+    ->Arg(316)   // ~100k
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SafeRandom(benchmark::State& state) {
+  const auto instance = mmlp::make_random_instance({
+      .num_agents = static_cast<mmlp::AgentId>(state.range(0)),
+      .resources_per_agent = 3,
+      .parties_per_agent = 2,
+      .max_support = 4,
+      .seed = 5,
+  });
+  for (auto _ : state) {
+    const auto x = mmlp::safe_solution(instance);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.counters["agents"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_SafeRandom)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

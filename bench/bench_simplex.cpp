@@ -1,0 +1,46 @@
+// E10 — simplex substrate performance: global max-min LP solves vs n.
+#include <benchmark/benchmark.h>
+
+#include "mmlp/gen/grid.hpp"
+#include "mmlp/gen/random_instance.hpp"
+#include "mmlp/lp/maxmin_reduction.hpp"
+
+namespace {
+
+void BM_SimplexRandomInstance(benchmark::State& state) {
+  const auto instance = mmlp::make_random_instance({
+      .num_agents = static_cast<mmlp::AgentId>(state.range(0)),
+      .resources_per_agent = 2,
+      .parties_per_agent = 1,
+      .max_support = 3,
+      .seed = 42,
+  });
+  std::int64_t iterations = 0;
+  for (auto _ : state) {
+    const auto result = mmlp::solve_maxmin_simplex(instance);
+    benchmark::DoNotOptimize(result.omega);
+    iterations = result.iterations;
+  }
+  state.counters["pivots"] = static_cast<double>(iterations);
+  state.counters["agents"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_SimplexRandomInstance)
+    ->Arg(20)
+    ->Arg(50)
+    ->Arg(100)
+    ->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SimplexGrid(benchmark::State& state) {
+  const auto side = static_cast<std::int32_t>(state.range(0));
+  const auto instance = mmlp::make_grid_instance(
+      {.dims = {side, side}, .torus = true, .randomize = true, .seed = 3});
+  for (auto _ : state) {
+    const auto result = mmlp::solve_maxmin_simplex(instance);
+    benchmark::DoNotOptimize(result.omega);
+  }
+  state.counters["agents"] = static_cast<double>(side) * side;
+}
+BENCHMARK(BM_SimplexGrid)->Arg(6)->Arg(8)->Arg(10)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,63 @@
+// Ablation — the β damping of eq. (10).
+//
+// DESIGN.md calls out the damping rule as the load-bearing design choice
+// of the Theorem 3 algorithm. This harness compares, across instance
+// families: the paper's per-agent β_j, the global β = min_j β_j, the
+// undamped average (infeasible — its violation is reported), and the
+// non-local reference that rescales the undamped average globally.
+#include <cstdio>
+
+#include "mmlp/core/local_averaging.hpp"
+#include "mmlp/core/optimal.hpp"
+#include "mmlp/core/solution.hpp"
+#include "mmlp/gen/geometric.hpp"
+#include "mmlp/gen/grid.hpp"
+#include "mmlp/gen/random_instance.hpp"
+#include "mmlp/util/table.hpp"
+
+namespace {
+
+void sweep(const char* name, const mmlp::Instance& instance,
+           std::int32_t R, mmlp::TableWriter& table) {
+  using namespace mmlp;
+  const auto exact = solve_optimal(instance);
+  auto run = [&](AveragingDamping damping) {
+    return local_averaging(instance, {.R = R, .damping = damping});
+  };
+  const auto paper = run(AveragingDamping::kBetaPerAgent);
+  const auto global = run(AveragingDamping::kBetaGlobal);
+  const auto raw = run(AveragingDamping::kNone);
+  const auto scaled = run(AveragingDamping::kNoneThenScale);
+  const double raw_violation = evaluate(instance, raw.x).worst_violation;
+  table.add_row({std::string(name), static_cast<std::int64_t>(R),
+                 objective_omega(instance, paper.x) / exact.omega,
+                 objective_omega(instance, global.x) / exact.omega,
+                 objective_omega(instance, scaled.x) / exact.omega,
+                 raw_violation});
+}
+
+}  // namespace
+
+int main() {
+  using namespace mmlp;
+  std::printf("=== Ablation: damping rule of eq. (10) ===\n\n");
+  TableWriter table({"instance", "R", "beta_j/opt", "beta_min/opt",
+                     "scaled(non-local)/opt", "raw violation"},
+                    4);
+  const auto grid = make_grid_instance(
+      {.dims = {10, 10}, .torus = true, .randomize = true, .seed = 5});
+  sweep("random torus 10x10", grid, 1, table);
+  sweep("random torus 10x10", grid, 2, table);
+  const auto geo =
+      make_geometric_instance({.num_agents = 150, .radius = 0.12, .seed = 7});
+  sweep("geometric n=150", geo.instance, 1, table);
+  sweep("geometric n=150", geo.instance, 2, table);
+  const auto random = make_random_instance({.num_agents = 80, .seed = 9});
+  sweep("random n=80", random, 1, table);
+  table.print("Fraction of the optimum recovered per damping rule "
+              "(raw = no damping; its violation shows why beta exists)");
+  std::printf("\nreading: beta_j (the paper) dominates beta_min; the global\n"
+              "rescale shows how much of the gap is the price of locality\n"
+              "rather than of averaging itself.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Section 5 motivation: physically deployed networks have polynomially
+// growing neighbourhoods, so the averaging algorithm behaves as a scheme
+// there too — not only on exact lattices. Measures γ(r) and algorithm
+// ratios on random geometric deployments of increasing density.
+#include <cstdio>
+
+#include "mmlp/core/local_averaging.hpp"
+#include "mmlp/core/optimal.hpp"
+#include "mmlp/core/safe.hpp"
+#include "mmlp/core/solution.hpp"
+#include "mmlp/gen/geometric.hpp"
+#include "mmlp/graph/growth.hpp"
+#include "mmlp/util/table.hpp"
+
+int main() {
+  using namespace mmlp;
+  std::printf("=== Geometric deployments: growth and algorithm quality "
+              "(Section 5 motivation) ===\n\n");
+  TableWriter table({"dim", "agents", "radius", "gamma(1)", "gamma(2)",
+                     "gamma(3)", "R", "avg ratio", "set bound", "safe ratio"},
+                    3);
+  struct Config {
+    std::int32_t dim;
+    std::int32_t agents;
+    double radius;
+  };
+  for (const Config& config :
+       {Config{1, 200, 0.02}, Config{2, 250, 0.10}, Config{3, 300, 0.22}}) {
+    const auto geo = make_geometric_instance({
+        .num_agents = config.agents,
+        .dim = config.dim,
+        .radius = config.radius,
+        .max_support = 4,
+        .seed = 17,
+    });
+    const auto h = geo.instance.communication_graph();
+    const auto profile = growth_profile(h, 3);
+    const auto exact = solve_optimal(geo.instance);
+    const double safe_ratio = approximation_ratio(
+        exact.omega,
+        objective_omega(geo.instance, safe_solution(geo.instance)));
+    for (const std::int32_t R : {1, 2}) {
+      const auto result = local_averaging(geo.instance, {.R = R});
+      const double achieved = objective_omega(geo.instance, result.x);
+      table.add_row({static_cast<std::int64_t>(config.dim),
+                     static_cast<std::int64_t>(config.agents), config.radius,
+                     profile[1], profile[2], profile[3],
+                     static_cast<std::int64_t>(R),
+                     approximation_ratio(exact.omega, achieved),
+                     result.ratio_bound, safe_ratio});
+    }
+  }
+  table.print("Random geometric instances: gamma falls with r and the "
+              "averaging bound follows");
+  return 0;
+}

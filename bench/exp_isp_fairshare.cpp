@@ -1,0 +1,61 @@
+// E8 — Section 2 application: ISP fair-share bandwidth allocation.
+//
+// Customers are beneficiary parties, last-mile links and access routers
+// are resources, and (link, router) paths are agents. ω is the
+// worst-served customer's throughput.
+#include <cstdio>
+
+#include "mmlp/core/local_averaging.hpp"
+#include "mmlp/core/optimal.hpp"
+#include "mmlp/core/safe.hpp"
+#include "mmlp/core/solution.hpp"
+#include "mmlp/gen/isp.hpp"
+#include "mmlp/util/stats.hpp"
+#include "mmlp/util/table.hpp"
+
+int main() {
+  using namespace mmlp;
+  std::printf("=== E8: ISP fair share (Section 2) ===\n\n");
+  TableWriter table({"customers", "routers", "agents", "omega* (mean)",
+                     "safe/opt", "avgR1/opt", "avgR2/opt"},
+                    4);
+  struct Config {
+    std::int32_t customers, routers;
+  };
+  for (const Config& config :
+       {Config{8, 5}, Config{16, 8}, Config{32, 12}, Config{64, 20}}) {
+    OnlineStats omega_star;
+    OnlineStats safe_frac;
+    OnlineStats avg1_frac;
+    OnlineStats avg2_frac;
+    std::int64_t agents = 0;
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      IspOptions options;
+      options.num_customers = config.customers;
+      options.num_routers = config.routers;
+      options.links_per_customer = 2;
+      options.routers_per_link = 2;
+      options.seed = seed * 7;
+      const auto net = make_isp_network(options);
+      agents = net.instance.num_agents();
+
+      const auto exact = solve_optimal(net.instance);
+      omega_star.add(exact.omega);
+      safe_frac.add(objective_omega(net.instance, safe_solution(net.instance)) /
+                    exact.omega);
+      avg1_frac.add(
+          objective_omega(net.instance, local_averaging(net.instance, {.R = 1}).x) /
+          exact.omega);
+      avg2_frac.add(
+          objective_omega(net.instance, local_averaging(net.instance, {.R = 2}).x) /
+          exact.omega);
+    }
+    table.add_row({static_cast<std::int64_t>(config.customers),
+                   static_cast<std::int64_t>(config.routers), agents,
+                   omega_star.mean(), safe_frac.mean(), avg1_frac.mean(),
+                   avg2_frac.mean()});
+  }
+  table.print("Fair share achieved as a fraction of the optimum "
+              "(mean over 3 topologies; 1.0 = optimal)");
+  return 0;
+}

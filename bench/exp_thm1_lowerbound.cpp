@@ -1,0 +1,91 @@
+// E4 — Theorem 1: the inapproximability pipeline, executed.
+//
+// For each parameter set (d, D, R) with r = 1: build S, run the safe
+// algorithm (a deterministic horizon-1 algorithm) on S, select p with
+// δ(p) ≥ 0, restrict to S′, and measure the algorithm's ratio on S′
+// against ω*(S′) (exact LP). The measured ratio must exceed the finite-R
+// bound  d/2 + 1 − 1/(2D) + (d+2−2dD−1/D)/(2 d^R D^R − 2)  and approach
+// the asymptotic bound Δ_I^V/2 + 1/2 − 1/(2Δ_K^V−2) as R grows.
+#include <cstdio>
+
+#include "mmlp/core/local_averaging.hpp"
+#include "mmlp/core/safe.hpp"
+#include "mmlp/core/solution.hpp"
+#include "mmlp/gen/lowerbound.hpp"
+#include "mmlp/lp/maxmin_reduction.hpp"
+#include "mmlp/util/table.hpp"
+#include "mmlp/util/timer.hpp"
+
+int main() {
+  using namespace mmlp;
+  std::printf("=== E4: Theorem 1 — no local algorithm beats "
+              "Delta_V^I/2 + 1/2 - 1/(2 Delta_V^K - 2) ===\n\n");
+
+  TableWriter table({"d", "D", "R", "degree", "agents(S)", "agents(S')",
+                     "omega*(S')", "omega_safe(S')", "safe ratio",
+                     "avgR1 ratio", "finite-R bound", "asympt bound", "sec"},
+                    4);
+  struct Config {
+    std::int32_t d, D, R;
+  };
+  const Config configs[] = {
+      {2, 2, 2},  // Δ = 8
+      {2, 3, 2},  // Δ = 12
+      {3, 2, 2},  // Δ = 18
+      {2, 2, 3},  // Δ = 32: tighter finite-R bound
+  };
+  for (const auto& config : configs) {
+    WallTimer timer;
+    LowerBoundParams params;
+    params.d = config.d;
+    params.D = config.D;
+    params.r = 1;
+    params.R = config.R;
+    params.seed = 7;
+    const auto lb = build_lower_bound_instance(params);
+
+    const auto x_s = safe_solution(lb.instance);
+    const std::int32_t p = select_p(compute_delta(lb, x_s));
+    const auto sub = build_s_prime(lb, p);
+
+    // ω*(S′): exact LP when S′ is small enough, else the alternating
+    // solution's certified lower bound of 1 (the proof only needs >= 1).
+    double omega_star = 1.0;
+    const char* star_note = ">=1 (x-hat)";
+    if (sub.instance.num_agents() <= 900) {
+      const auto exact = solve_maxmin_simplex(sub.instance);
+      if (exact.status == LpStatus::kOptimal) {
+        omega_star = exact.omega;
+        star_note = "exact";
+      }
+    }
+    (void)star_note;
+
+    const auto x_sub = safe_solution(sub.instance);
+    const double omega_safe = objective_omega(sub.instance, x_sub);
+    const double ratio = omega_star / omega_safe;
+    // The averaging algorithm (horizon 3 > r) is not covered by the
+    // r = 1 indistinguishability argument; its ratio on S' is reported
+    // as an empirical companion.
+    const auto avg = local_averaging(sub.instance, {.R = 1});
+    const double avg_ratio =
+        omega_star / objective_omega(sub.instance, avg.x);
+
+    table.add_row({static_cast<std::int64_t>(config.d),
+                   static_cast<std::int64_t>(config.D),
+                   static_cast<std::int64_t>(config.R),
+                   static_cast<std::int64_t>(lb.degree),
+                   static_cast<std::int64_t>(lb.instance.num_agents()),
+                   static_cast<std::int64_t>(sub.instance.num_agents()),
+                   omega_star, omega_safe, ratio, avg_ratio,
+                   theorem1_bound_finite(config.d, config.D, config.R),
+                   theorem1_bound(config.d, config.D), timer.seconds()});
+  }
+  table.print("Safe algorithm forced onto S' (measured ratio must exceed the "
+              "finite-R bound; Delta_V^I = d+1, Delta_V^K = D+1)");
+  std::printf(
+      "\nNote: r = 1 throughout — girth-10 template graphs (r = 2) exceed\n"
+      "laptop scale; see DESIGN.md. The R-sweep exercises the same\n"
+      "asymptotics via the finite-R correction term.\n");
+  return 0;
+}

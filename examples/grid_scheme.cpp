@@ -1,0 +1,56 @@
+// The positive side (Theorem 3): on bounded-growth graphs the averaging
+// algorithm is a local approximation *scheme* — pick the radius, get the
+// ratio. Demonstrated on a 2D torus with randomised coefficients.
+#include <cstdio>
+
+#include "mmlp/core/local_averaging.hpp"
+#include "mmlp/core/optimal.hpp"
+#include "mmlp/core/solution.hpp"
+#include "mmlp/gen/grid.hpp"
+#include "mmlp/graph/growth.hpp"
+#include "mmlp/util/cli.hpp"
+#include "mmlp/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mmlp;
+  ArgParser args("Local approximation scheme on grids (paper §5).");
+  args.add_flag("side", "torus side length", "10");
+  args.add_flag("rmax", "largest view radius R to try", "3");
+  args.add_flag("seed", "coefficient seed", "1");
+  if (!args.parse(argc, argv)) {
+    return 1;
+  }
+  const auto side = static_cast<std::int32_t>(args.get_int("side"));
+  const auto rmax = static_cast<std::int32_t>(args.get_int("rmax"));
+
+  const auto instance = make_grid_instance({
+      .dims = {side, side},
+      .torus = true,
+      .randomize = true,
+      .seed = static_cast<std::uint64_t>(args.get_int("seed")),
+  });
+  const auto h = instance.communication_graph();
+  const auto exact = solve_optimal(instance);
+  std::printf("torus %dx%d, randomised coefficients; omega* = %.4f\n\n", side,
+              side, exact.omega);
+
+  const auto gamma = growth_profile(h, rmax);
+  TableWriter table({"R", "horizon", "gamma(R-1)*gamma(R)", "set bound",
+                     "achieved omega", "measured ratio"},
+                    4);
+  for (std::int32_t R = 1; R <= rmax; ++R) {
+    const auto result = local_averaging(instance, {.R = R});
+    const double achieved = objective_omega(instance, result.x);
+    table.add_row({static_cast<std::int64_t>(R),
+                   static_cast<std::int64_t>(2 * R + 1),
+                   gamma[static_cast<std::size_t>(R - 1)] *
+                       gamma[static_cast<std::size_t>(R)],
+                   result.ratio_bound, achieved, exact.omega / achieved});
+  }
+  table.print("Averaging algorithm as the radius grows "
+              "(bounds and measured ratio fall toward 1)");
+  std::printf("\ngrids have gamma(r) = 1 + Theta(1/r), so any target ratio "
+              "alpha > 1 is reached\nby some constant radius R — a local "
+              "approximation scheme (Theorem 3).\n");
+  return 0;
+}

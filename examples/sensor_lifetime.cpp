@@ -1,0 +1,66 @@
+// Section 2 application: maximise the lifetime of a two-tier sensor
+// network. Builds a random geometric deployment, prints its structure,
+// then compares the local algorithms against the optimum and reports
+// per-area data rates and the bottleneck device.
+#include <cstdio>
+
+#include "mmlp/core/local_averaging.hpp"
+#include "mmlp/core/optimal.hpp"
+#include "mmlp/core/safe.hpp"
+#include "mmlp/core/solution.hpp"
+#include "mmlp/gen/sensor.hpp"
+#include "mmlp/util/cli.hpp"
+#include "mmlp/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mmlp;
+  ArgParser args("Two-tier sensor network lifetime maximisation (paper §2).");
+  args.add_flag("sensors", "number of sensor devices", "60");
+  args.add_flag("relays", "number of relay nodes", "16");
+  args.add_flag("areas", "number of monitored areas", "9");
+  args.add_flag("radio", "sensor-relay radio range", "0.3");
+  args.add_flag("seed", "placement seed", "1");
+  if (!args.parse(argc, argv)) {
+    return 1;
+  }
+
+  SensorNetworkOptions options;
+  options.num_sensors = static_cast<std::int32_t>(args.get_int("sensors"));
+  options.num_relays = static_cast<std::int32_t>(args.get_int("relays"));
+  options.num_areas = static_cast<std::int32_t>(args.get_int("areas"));
+  options.radio_range = args.get_double("radio");
+  options.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  const auto net = make_sensor_network(options);
+
+  std::printf("deployment: %zu wireless links (agents), %d resources "
+              "(device batteries), %d covered areas\n\n",
+              net.links.size(), net.instance.num_resources(),
+              net.instance.num_parties());
+
+  const auto x_safe = safe_solution(net.instance);
+  const auto averaging = local_averaging(net.instance, {.R = 1});
+  const auto exact = solve_optimal(net.instance);
+
+  TableWriter table({"algorithm", "horizon", "lifetime omega", "vs optimal"},
+                    4);
+  const double safe_omega = objective_omega(net.instance, x_safe);
+  const double avg_omega = objective_omega(net.instance, averaging.x);
+  table.add_row({std::string("safe"), std::string("1"), safe_omega,
+                 safe_omega / exact.omega});
+  table.add_row({std::string("averaging R=1"), std::string("3"), avg_omega,
+                 avg_omega / exact.omega});
+  table.add_row({std::string("optimal (global)"), std::string("-"),
+                 exact.omega, 1.0});
+  table.print("Guaranteed per-area data volume per battery unit");
+
+  // Bottleneck analysis under the optimal schedule.
+  const Evaluation eval = evaluate(net.instance, exact.x);
+  std::printf("\nbottleneck: area/party %d limits the lifetime; resource %d "
+              "is fully drained\n",
+              eval.argmin_party, eval.argmax_resource);
+  std::printf("interpretation: with these flows the network delivers %.4f "
+              "units of data\nfrom every monitored area before the first "
+              "battery dies.\n",
+              exact.omega);
+  return 0;
+}

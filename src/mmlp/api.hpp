@@ -1,0 +1,40 @@
+// Umbrella header: the whole public API of the mmlp library.
+//
+// Fine-grained headers remain the preferred includes for library users;
+// this header exists for quick experiments and the examples.
+#pragma once
+
+#include "mmlp/core/baselines.hpp"       // IWYU pragma: export
+#include "mmlp/core/instance.hpp"        // IWYU pragma: export
+#include "mmlp/core/local_averaging.hpp" // IWYU pragma: export
+#include "mmlp/core/optimal.hpp"         // IWYU pragma: export
+#include "mmlp/core/safe.hpp"            // IWYU pragma: export
+#include "mmlp/core/solution.hpp"        // IWYU pragma: export
+#include "mmlp/core/sublinear.hpp"       // IWYU pragma: export
+#include "mmlp/core/transform.hpp"       // IWYU pragma: export
+#include "mmlp/core/view.hpp"            // IWYU pragma: export
+#include "mmlp/dist/algorithms.hpp"      // IWYU pragma: export
+#include "mmlp/dist/runtime.hpp"         // IWYU pragma: export
+#include "mmlp/dist/self_stabilize.hpp"  // IWYU pragma: export
+#include "mmlp/gen/geometric.hpp"        // IWYU pragma: export
+#include "mmlp/gen/grid.hpp"             // IWYU pragma: export
+#include "mmlp/gen/isp.hpp"              // IWYU pragma: export
+#include "mmlp/gen/lowerbound.hpp"       // IWYU pragma: export
+#include "mmlp/gen/random_instance.hpp"  // IWYU pragma: export
+#include "mmlp/gen/sensor.hpp"           // IWYU pragma: export
+#include "mmlp/graph/bfs.hpp"            // IWYU pragma: export
+#include "mmlp/graph/growth.hpp"         // IWYU pragma: export
+#include "mmlp/graph/hypergraph.hpp"     // IWYU pragma: export
+#include "mmlp/graph/hypertree.hpp"      // IWYU pragma: export
+#include "mmlp/graph/regular_bipartite.hpp" // IWYU pragma: export
+#include "mmlp/graph/simple_graph.hpp"   // IWYU pragma: export
+#include "mmlp/lp/duality.hpp"           // IWYU pragma: export
+#include "mmlp/lp/maxmin_reduction.hpp"  // IWYU pragma: export
+#include "mmlp/lp/mwu.hpp"               // IWYU pragma: export
+#include "mmlp/lp/simplex.hpp"           // IWYU pragma: export
+#include "mmlp/util/cli.hpp"             // IWYU pragma: export
+#include "mmlp/util/parallel.hpp"        // IWYU pragma: export
+#include "mmlp/util/rng.hpp"             // IWYU pragma: export
+#include "mmlp/util/stats.hpp"           // IWYU pragma: export
+#include "mmlp/util/table.hpp"           // IWYU pragma: export
+#include "mmlp/util/timer.hpp"           // IWYU pragma: export

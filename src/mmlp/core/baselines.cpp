@@ -1,0 +1,95 @@
+#include "mmlp/core/baselines.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "mmlp/core/solution.hpp"
+#include "mmlp/util/check.hpp"
+
+namespace mmlp {
+
+std::vector<double> uniform_solution(const Instance& instance) {
+  double max_row_sum = 0.0;
+  for (ResourceId i = 0; i < instance.num_resources(); ++i) {
+    double row = 0.0;
+    for (const Coef& entry : instance.resource_support(i)) {
+      row += entry.value;
+    }
+    max_row_sum = std::max(max_row_sum, row);
+  }
+  MMLP_CHECK_GT(max_row_sum, 0.0);
+  return std::vector<double>(static_cast<std::size_t>(instance.num_agents()),
+                             1.0 / max_row_sum);
+}
+
+GreedyResult greedy_waterfill(const Instance& instance,
+                              const GreedyOptions& options) {
+  MMLP_CHECK_GT(instance.num_parties(), 0);
+  MMLP_CHECK_GT(options.step_fraction, 0.0);
+  MMLP_CHECK_LE(options.step_fraction, 1.0);
+
+  GreedyResult result;
+  const auto n = static_cast<std::size_t>(instance.num_agents());
+  result.x.assign(n, 0.0);
+
+  std::vector<double> load(static_cast<std::size_t>(instance.num_resources()), 0.0);
+  std::vector<double> benefit(static_cast<std::size_t>(instance.num_parties()), 0.0);
+
+  for (; result.steps < options.max_steps; ++result.steps) {
+    // Worst party.
+    PartyId worst = 0;
+    for (PartyId k = 1; k < instance.num_parties(); ++k) {
+      if (benefit[static_cast<std::size_t>(k)] <
+          benefit[static_cast<std::size_t>(worst)]) {
+        worst = k;
+      }
+    }
+    // Best agent for it: maximise c_kv / (congestion cost), where the
+    // cost is the inverse headroom min_i (1 − load_i)/a_iv.
+    AgentId best_agent = -1;
+    double best_score = 0.0;
+    double best_headroom = 0.0;
+    for (const Coef& entry : instance.party_support(worst)) {
+      const AgentId v = entry.id;
+      double headroom = std::numeric_limits<double>::infinity();
+      for (const Coef& usage : instance.agent_resources(v)) {
+        headroom = std::min(headroom,
+                            (1.0 - load[static_cast<std::size_t>(usage.id)]) /
+                                usage.value);
+      }
+      if (headroom <= 0.0) {
+        continue;  // this agent is walled in
+      }
+      const double score = entry.value * std::min(headroom, 1.0);
+      if (score > best_score) {
+        best_score = score;
+        best_agent = v;
+        best_headroom = headroom;
+      }
+    }
+    if (best_agent < 0) {
+      break;  // the worst party cannot be helped any further
+    }
+    const double delta = best_headroom * options.step_fraction;
+    const double gain = instance.benefit(worst, best_agent) * delta;
+    if (gain < options.min_gain) {
+      break;
+    }
+    result.x[static_cast<std::size_t>(best_agent)] += delta;
+    for (const Coef& usage : instance.agent_resources(best_agent)) {
+      load[static_cast<std::size_t>(usage.id)] += usage.value * delta;
+    }
+    for (const Coef& gain_entry : instance.agent_parties(best_agent)) {
+      benefit[static_cast<std::size_t>(gain_entry.id)] +=
+          gain_entry.value * delta;
+    }
+  }
+
+  // Numerical safety: the loads were tracked incrementally; rescale if
+  // drift pushed anything over the wall.
+  scale_to_feasible(instance, result.x);
+  result.omega = objective_omega(instance, result.x);
+  return result;
+}
+
+}  // namespace mmlp

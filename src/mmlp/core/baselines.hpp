@@ -1,0 +1,42 @@
+// Centralised comparison baselines.
+//
+// Neither of these is a local algorithm; they bracket the local
+// algorithms in the experiment tables. `uniform_solution` is the
+// weakest sensible feasible point (one global activity level);
+// `greedy_waterfill` is a natural centralised heuristic (repeatedly help
+// the currently worst-off party along its least congested agent) that is
+// much stronger than safe in practice yet still short of the LP optimum.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mmlp/core/instance.hpp"
+
+namespace mmlp {
+
+/// x_v = t for all v with the largest feasible t = 1 / max_i Σ_v a_iv.
+std::vector<double> uniform_solution(const Instance& instance);
+
+struct GreedyOptions {
+  std::int64_t max_steps = 100000;
+  /// Per step, raise the chosen agent until the binding resource reaches
+  /// this fraction of its remaining slack (1 = jump to the wall; smaller
+  /// values give smoother water-filling).
+  double step_fraction = 0.5;
+  /// Stop once the worst party improves by less than this per step.
+  double min_gain = 1e-9;
+};
+
+struct GreedyResult {
+  std::vector<double> x;
+  double omega = 0.0;
+  std::int64_t steps = 0;
+};
+
+/// Water-filling: while some agent serving the worst party has resource
+/// slack, raise the one with the best benefit-per-congestion ratio.
+GreedyResult greedy_waterfill(const Instance& instance,
+                              const GreedyOptions& options = {});
+
+}  // namespace mmlp

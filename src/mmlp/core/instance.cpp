@@ -1,0 +1,259 @@
+#include "mmlp/core/instance.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <tuple>
+
+#include "mmlp/util/check.hpp"
+
+namespace mmlp {
+
+namespace {
+
+const std::vector<Coef>& at(const std::vector<std::vector<Coef>>& lists,
+                            std::int32_t index, const char* what) {
+  MMLP_CHECK_MSG(index >= 0 && static_cast<std::size_t>(index) < lists.size(),
+                 what << " index out of range: " << index);
+  return lists[static_cast<std::size_t>(index)];
+}
+
+double lookup(const std::vector<Coef>& support, std::int32_t id) {
+  const auto it = std::lower_bound(
+      support.begin(), support.end(), id,
+      [](const Coef& entry, std::int32_t target) { return entry.id < target; });
+  if (it != support.end() && it->id == id) {
+    return it->value;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+const std::vector<Coef>& Instance::resource_support(ResourceId i) const {
+  return at(resource_support_, i, "resource");
+}
+
+const std::vector<Coef>& Instance::party_support(PartyId k) const {
+  return at(party_support_, k, "party");
+}
+
+const std::vector<Coef>& Instance::agent_resources(AgentId v) const {
+  return at(agent_resources_, v, "agent");
+}
+
+const std::vector<Coef>& Instance::agent_parties(AgentId v) const {
+  return at(agent_parties_, v, "agent");
+}
+
+double Instance::usage(ResourceId i, AgentId v) const {
+  return lookup(resource_support(i), v);
+}
+
+double Instance::benefit(PartyId k, AgentId v) const {
+  return lookup(party_support(k), v);
+}
+
+DegreeBounds Instance::degree_bounds() const {
+  DegreeBounds bounds;
+  for (const auto& list : agent_resources_) {
+    bounds.delta_I_of_V = std::max(bounds.delta_I_of_V, list.size());
+  }
+  for (const auto& list : agent_parties_) {
+    bounds.delta_K_of_V = std::max(bounds.delta_K_of_V, list.size());
+  }
+  for (const auto& list : resource_support_) {
+    bounds.delta_V_of_I = std::max(bounds.delta_V_of_I, list.size());
+  }
+  for (const auto& list : party_support_) {
+    bounds.delta_V_of_K = std::max(bounds.delta_V_of_K, list.size());
+  }
+  return bounds;
+}
+
+Hypergraph Instance::communication_graph(bool collaboration_oblivious) const {
+  std::vector<std::vector<NodeId>> edges;
+  edges.reserve(resource_support_.size() +
+                (collaboration_oblivious ? 0 : party_support_.size()));
+  for (const auto& support : resource_support_) {
+    std::vector<NodeId> members;
+    members.reserve(support.size());
+    for (const Coef& entry : support) {
+      members.push_back(entry.id);
+    }
+    edges.push_back(std::move(members));
+  }
+  if (!collaboration_oblivious) {
+    for (const auto& support : party_support_) {
+      std::vector<NodeId> members;
+      members.reserve(support.size());
+      for (const Coef& entry : support) {
+        members.push_back(entry.id);
+      }
+      edges.push_back(std::move(members));
+    }
+  }
+  return Hypergraph::from_edges(num_agents(), edges);
+}
+
+void Instance::validate() const {
+  // Standing assumptions (Section 1.2): I_v, V_i and V_k nonempty; all
+  // stored coefficients strictly positive; cross-index consistency.
+  for (AgentId v = 0; v < num_agents(); ++v) {
+    MMLP_CHECK_MSG(!agent_resources(v).empty(),
+                   "agent " << v << " has empty I_v");
+  }
+  for (ResourceId i = 0; i < num_resources(); ++i) {
+    MMLP_CHECK_MSG(!resource_support(i).empty(),
+                   "resource " << i << " has empty V_i");
+    for (const Coef& entry : resource_support(i)) {
+      MMLP_CHECK_GT(entry.value, 0.0);
+      MMLP_CHECK_EQ(usage(i, entry.id),
+                    lookup(agent_resources(entry.id), i));
+    }
+  }
+  for (PartyId k = 0; k < num_parties(); ++k) {
+    MMLP_CHECK_MSG(!party_support(k).empty(),
+                   "party " << k << " has empty V_k");
+    for (const Coef& entry : party_support(k)) {
+      MMLP_CHECK_GT(entry.value, 0.0);
+      MMLP_CHECK_EQ(benefit(k, entry.id),
+                    lookup(agent_parties(entry.id), k));
+    }
+  }
+}
+
+std::size_t Instance::num_nonzeros() const {
+  std::size_t total = 0;
+  for (const auto& list : resource_support_) {
+    total += list.size();
+  }
+  for (const auto& list : party_support_) {
+    total += list.size();
+  }
+  return total;
+}
+
+std::string Instance::serialize() const {
+  std::ostringstream oss;
+  oss.precision(17);
+  oss << "mmlp " << num_agents() << ' ' << num_resources() << ' '
+      << num_parties() << '\n';
+  for (ResourceId i = 0; i < num_resources(); ++i) {
+    for (const Coef& entry : resource_support(i)) {
+      oss << "a " << i << ' ' << entry.id << ' ' << entry.value << '\n';
+    }
+  }
+  for (PartyId k = 0; k < num_parties(); ++k) {
+    for (const Coef& entry : party_support(k)) {
+      oss << "c " << k << ' ' << entry.id << ' ' << entry.value << '\n';
+    }
+  }
+  return oss.str();
+}
+
+Instance Instance::deserialize(const std::string& text) {
+  std::istringstream iss(text);
+  std::string magic;
+  AgentId agents = 0;
+  ResourceId resources = 0;
+  PartyId parties = 0;
+  iss >> magic >> agents >> resources >> parties;
+  MMLP_CHECK_MSG(magic == "mmlp", "bad instance header");
+  Builder builder;
+  builder.reserve(agents, resources, parties);
+  std::string kind;
+  while (iss >> kind) {
+    std::int32_t row = 0;
+    AgentId v = 0;
+    double value = 0.0;
+    iss >> row >> v >> value;
+    MMLP_CHECK(static_cast<bool>(iss));
+    if (kind == "a") {
+      builder.set_usage(row, v, value);
+    } else if (kind == "c") {
+      builder.set_benefit(row, v, value);
+    } else {
+      MMLP_CHECK_MSG(false, "bad record kind: " << kind);
+    }
+  }
+  return std::move(builder).build();
+}
+
+bool operator==(const Instance& lhs, const Instance& rhs) {
+  return lhs.resource_support_ == rhs.resource_support_ &&
+         lhs.party_support_ == rhs.party_support_;
+}
+
+Instance::Builder& Instance::Builder::reserve(AgentId agents,
+                                              ResourceId resources,
+                                              PartyId parties) {
+  MMLP_CHECK_GE(agents, 0);
+  MMLP_CHECK_GE(resources, 0);
+  MMLP_CHECK_GE(parties, 0);
+  num_agents_ = std::max(num_agents_, agents);
+  num_resources_ = std::max(num_resources_, resources);
+  num_parties_ = std::max(num_parties_, parties);
+  return *this;
+}
+
+AgentId Instance::Builder::add_agent() { return num_agents_++; }
+ResourceId Instance::Builder::add_resource() { return num_resources_++; }
+PartyId Instance::Builder::add_party() { return num_parties_++; }
+
+Instance::Builder& Instance::Builder::set_usage(ResourceId i, AgentId v,
+                                                double a) {
+  MMLP_CHECK_GE(i, 0);
+  MMLP_CHECK_GE(v, 0);
+  MMLP_CHECK_MSG(a > 0.0, "a_iv must be positive, got " << a);
+  reserve(v + 1, i + 1, 0);
+  usages_.emplace_back(i, v, a);
+  return *this;
+}
+
+Instance::Builder& Instance::Builder::set_benefit(PartyId k, AgentId v,
+                                                  double c) {
+  MMLP_CHECK_GE(k, 0);
+  MMLP_CHECK_GE(v, 0);
+  MMLP_CHECK_MSG(c > 0.0, "c_kv must be positive, got " << c);
+  reserve(v + 1, 0, k + 1);
+  benefits_.emplace_back(k, v, c);
+  return *this;
+}
+
+Instance Instance::Builder::build() && {
+  Instance instance;
+  instance.resource_support_.resize(static_cast<std::size_t>(num_resources_));
+  instance.party_support_.resize(static_cast<std::size_t>(num_parties_));
+  instance.agent_resources_.resize(static_cast<std::size_t>(num_agents_));
+  instance.agent_parties_.resize(static_cast<std::size_t>(num_agents_));
+
+  for (const auto& [i, v, a] : usages_) {
+    instance.resource_support_[static_cast<std::size_t>(i)].push_back({v, a});
+    instance.agent_resources_[static_cast<std::size_t>(v)].push_back({i, a});
+  }
+  for (const auto& [k, v, c] : benefits_) {
+    instance.party_support_[static_cast<std::size_t>(k)].push_back({v, c});
+    instance.agent_parties_[static_cast<std::size_t>(v)].push_back({k, c});
+  }
+
+  auto sort_and_reject_duplicates = [](std::vector<std::vector<Coef>>& lists,
+                                       const char* what) {
+    for (auto& list : lists) {
+      std::sort(list.begin(), list.end(),
+                [](const Coef& x, const Coef& y) { return x.id < y.id; });
+      const auto dup = std::adjacent_find(
+          list.begin(), list.end(),
+          [](const Coef& x, const Coef& y) { return x.id == y.id; });
+      MMLP_CHECK_MSG(dup == list.end(), "duplicate coefficient in " << what);
+    }
+  };
+  sort_and_reject_duplicates(instance.resource_support_, "resource support");
+  sort_and_reject_duplicates(instance.party_support_, "party support");
+  sort_and_reject_duplicates(instance.agent_resources_, "agent resources");
+  sort_and_reject_duplicates(instance.agent_parties_, "agent parties");
+
+  instance.validate();
+  return instance;
+}
+
+}  // namespace mmlp

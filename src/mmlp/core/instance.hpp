@@ -1,0 +1,119 @@
+// The max-min LP instance of Section 1.2, eq. (1):
+//
+//   maximise  ω = min_{k∈K} Σ_{v∈V} c_kv x_v
+//   s.t.      Σ_{v∈V} a_iv x_v ≤ 1  for each i ∈ I,   x_v ≥ 0.
+//
+// V are agents, I resources, K beneficiary parties. All coefficients are
+// nonnegative and the support sets V_i = {v : a_iv > 0},
+// V_k = {v : c_kv > 0}, I_v = {i : a_iv > 0}, K_v = {k : c_kv > 0} are
+// stored explicitly in both directions (sparse row/column views). The
+// standing assumptions of the paper — I_v, V_i, V_k nonempty — are
+// enforced by validate()/Builder::build().
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "mmlp/graph/hypergraph.hpp"
+
+namespace mmlp {
+
+using AgentId = std::int32_t;
+using ResourceId = std::int32_t;
+using PartyId = std::int32_t;
+
+/// One sparse coefficient: the id is an agent, resource, or party index
+/// depending on which support list holds it.
+struct Coef {
+  std::int32_t id = 0;
+  double value = 0.0;
+
+  friend bool operator==(const Coef&, const Coef&) = default;
+};
+
+/// Support-set size bounds of Section 1.2.
+struct DegreeBounds {
+  std::size_t delta_I_of_V = 0;  ///< Δ_V^I = max_v |I_v|
+  std::size_t delta_K_of_V = 0;  ///< Δ_V^K = max_v |K_v|
+  std::size_t delta_V_of_I = 0;  ///< Δ_I^V = max_i |V_i|
+  std::size_t delta_V_of_K = 0;  ///< Δ_K^V = max_k |V_k|
+};
+
+class Instance {
+ public:
+  class Builder;
+
+  AgentId num_agents() const { return static_cast<AgentId>(agent_resources_.size()); }
+  ResourceId num_resources() const { return static_cast<ResourceId>(resource_support_.size()); }
+  PartyId num_parties() const { return static_cast<PartyId>(party_support_.size()); }
+
+  /// V_i with coefficients a_iv (sorted by agent id).
+  const std::vector<Coef>& resource_support(ResourceId i) const;
+  /// V_k with coefficients c_kv (sorted by agent id).
+  const std::vector<Coef>& party_support(PartyId k) const;
+  /// I_v with coefficients a_iv (sorted by resource id).
+  const std::vector<Coef>& agent_resources(AgentId v) const;
+  /// K_v with coefficients c_kv (sorted by party id).
+  const std::vector<Coef>& agent_parties(AgentId v) const;
+
+  /// a_iv (0 when v is not in V_i).
+  double usage(ResourceId i, AgentId v) const;
+  /// c_kv (0 when v is not in V_k).
+  double benefit(PartyId k, AgentId v) const;
+
+  DegreeBounds degree_bounds() const;
+
+  /// Communication hypergraph H of Section 1.4: one hyperedge per V_i and
+  /// (unless collaboration_oblivious) one per V_k. Nodes are agents.
+  Hypergraph communication_graph(bool collaboration_oblivious = false) const;
+
+  /// Enforce the standing assumptions; throws CheckError on violation.
+  void validate() const;
+
+  /// Total number of nonzero coefficients (|A| + |C| sparsity).
+  std::size_t num_nonzeros() const;
+
+  /// Plain-text round-trip format (one header line, then one line per
+  /// nonzero). Used by tests and the examples.
+  std::string serialize() const;
+  static Instance deserialize(const std::string& text);
+
+  friend bool operator==(const Instance&, const Instance&);
+
+ private:
+  std::vector<std::vector<Coef>> resource_support_;  // i -> (v, a_iv)
+  std::vector<std::vector<Coef>> party_support_;     // k -> (v, c_kv)
+  std::vector<std::vector<Coef>> agent_resources_;   // v -> (i, a_iv)
+  std::vector<std::vector<Coef>> agent_parties_;     // v -> (k, c_kv)
+};
+
+/// Incremental construction with validation at build().
+class Instance::Builder {
+ public:
+  /// Pre-declare entity counts (further adds extend them).
+  Builder& reserve(AgentId agents, ResourceId resources, PartyId parties);
+
+  AgentId add_agent();
+  ResourceId add_resource();
+  PartyId add_party();
+
+  /// Set a_iv > 0. Duplicate (i, v) pairs are rejected at build().
+  Builder& set_usage(ResourceId i, AgentId v, double a);
+  /// Set c_kv > 0.
+  Builder& set_benefit(PartyId k, AgentId v, double c);
+
+  /// Validate and produce the instance.
+  Instance build() &&;
+
+ private:
+  AgentId num_agents_ = 0;
+  ResourceId num_resources_ = 0;
+  PartyId num_parties_ = 0;
+  std::vector<std::tuple<ResourceId, AgentId, double>> usages_;
+  std::vector<std::tuple<PartyId, AgentId, double>> benefits_;
+};
+
+}  // namespace mmlp

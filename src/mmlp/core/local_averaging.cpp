@@ -1,0 +1,83 @@
+#include "mmlp/core/local_averaging.hpp"
+
+#include <algorithm>
+
+#include "mmlp/core/solution.hpp"
+#include "mmlp/graph/bfs.hpp"
+#include "mmlp/util/check.hpp"
+#include "mmlp/util/parallel.hpp"
+
+namespace mmlp {
+
+LocalAveragingResult local_averaging(const Instance& instance,
+                                     const LocalAveragingOptions& options) {
+  MMLP_CHECK_GE(options.R, 1);
+  const auto n = static_cast<std::size_t>(instance.num_agents());
+  LocalAveragingResult result;
+  result.x.assign(n, 0.0);
+  if (n == 0) {
+    return result;
+  }
+
+  const Hypergraph h =
+      instance.communication_graph(options.collaboration_oblivious);
+  const auto balls = all_balls(h, options.R);
+
+  // Solve the local LP (9) of every agent, in parallel.
+  std::vector<std::vector<double>> view_x(n);
+  result.view_omega.assign(n, 0.0);
+  parallel_for(n, [&](std::size_t u) {
+    const LocalView view = extract_view(
+        instance, static_cast<AgentId>(u), options.R, balls[u]);
+    ViewLpSolution solution = solve_view_lp(view, options.lp);
+    result.view_omega[u] = solution.omega;
+    view_x[u] = std::move(solution.x);
+  });
+
+  // β_j from the growth sets (Figure 2 machinery).
+  const GrowthSets sets = compute_growth_sets(instance, balls);
+  result.beta = sets.beta;
+  result.ball_size = sets.ball_size;
+  result.ratio_bound = sets.ratio_bound();
+
+  // x̃_j = (β_j / |V^j|) Σ_{u∈V^j} x^u_j. Accumulate over views: each
+  // view u contributes x^u_j to every member j. u ∈ V^j ⇔ j ∈ V^u
+  // (balls are symmetric), so iterating members of V^u covers exactly
+  // the sums of eq. (10).
+  std::vector<double> accumulated(n, 0.0);
+  for (std::size_t u = 0; u < n; ++u) {
+    const auto& members = balls[u];
+    const auto& x_u = view_x[u];
+    MMLP_CHECK_EQ(members.size(), x_u.size());
+    for (std::size_t local = 0; local < members.size(); ++local) {
+      accumulated[static_cast<std::size_t>(members[local])] += x_u[local];
+    }
+  }
+  double beta_global = 1.0;
+  for (const double beta : result.beta) {
+    beta_global = std::min(beta_global, beta);
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    MMLP_CHECK_GT(result.ball_size[j], 0u);
+    const double average =
+        accumulated[j] / static_cast<double>(result.ball_size[j]);
+    switch (options.damping) {
+      case AveragingDamping::kBetaPerAgent:
+        result.x[j] = result.beta[j] * average;
+        break;
+      case AveragingDamping::kBetaGlobal:
+        result.x[j] = beta_global * average;
+        break;
+      case AveragingDamping::kNone:
+      case AveragingDamping::kNoneThenScale:
+        result.x[j] = average;
+        break;
+    }
+  }
+  if (options.damping == AveragingDamping::kNoneThenScale) {
+    scale_to_feasible(instance, result.x);
+  }
+  return result;
+}
+
+}  // namespace mmlp

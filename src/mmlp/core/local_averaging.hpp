@@ -1,0 +1,59 @@
+// The local approximation algorithm of Theorem 3 (Section 5).
+//
+// Fix a radius R. Every agent u solves the local LP (9) on its view
+// V^u = B_H(u, R) optimally; agent j then averages the opinions of the
+// views it belongs to, damped by the growth factor β_j (eq. (10)):
+//
+//   β_j = min_{i∈I_j} n_i / N_i,     x̃_j = (β_j / |V^j|) Σ_{u∈V^j} x^u_j.
+//
+// Section 5.2 shows x̃ is feasible; Section 5.3 shows
+// ω(x̃) ≥ ω* / (max_k M_k/m_k · max_i N_i/n_i) ≥ ω* / (γ(R−1)·γ(R)).
+//
+// The per-agent LPs are independent and solved in parallel. The
+// distributed interpretation (each j recomputing x^u for u ∈ V^j from its
+// radius-(2R+1) view with the same deterministic solver) is implemented
+// in mmlp/dist/algorithms and tested to produce identical output.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mmlp/core/instance.hpp"
+#include "mmlp/core/view.hpp"
+#include "mmlp/lp/simplex.hpp"
+
+namespace mmlp {
+
+/// Damping rule applied to the averaged view solutions (ablations of the
+/// paper's eq. (10); see bench/exp_ablation_damping).
+enum class AveragingDamping : std::uint8_t {
+  kBetaPerAgent,   ///< the paper's β_j = min_{i∈I_j} n_i/N_i (local, proven feasible)
+  kBetaGlobal,     ///< β = min_j β_j everywhere (local with one more round; more conservative)
+  kNone,           ///< undamped average — NOT feasible in general (ablation only)
+  kNoneThenScale,  ///< undamped average, then global scale-to-feasible (non-local upper reference)
+};
+
+struct LocalAveragingOptions {
+  std::int32_t R = 1;  ///< view radius; the local horizon is Θ(R) (2R+1)
+  bool collaboration_oblivious = false;  ///< drop party hyperedges from H
+  AveragingDamping damping = AveragingDamping::kBetaPerAgent;
+  SimplexOptions lp;   ///< solver settings for the local LPs
+};
+
+struct LocalAveragingResult {
+  std::vector<double> x;            ///< x̃, feasible for (1)
+  std::vector<double> beta;         ///< β_j per agent
+  std::vector<std::size_t> ball_size;  ///< |V^j| per agent
+  double ratio_bound = 0.0;         ///< max_k M_k/m_k · max_i N_i/n_i (≤ γ(R−1)γ(R))
+  std::vector<double> view_omega;   ///< ω^u of each local LP (diagnostics)
+};
+
+/// Run the algorithm. Requires the full hypergraph mode for the
+/// Theorem 3 guarantee (S_k ⊇ V_k needs party hyperedges); in
+/// collaboration-oblivious mode the solution is still feasible but the
+/// benefit bound may not hold (m_k can be 0, in which case ratio_bound is
+/// reported as +inf).
+LocalAveragingResult local_averaging(const Instance& instance,
+                                     const LocalAveragingOptions& options = {});
+
+}  // namespace mmlp

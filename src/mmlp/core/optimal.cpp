@@ -1,0 +1,39 @@
+#include "mmlp/core/optimal.hpp"
+
+#include "mmlp/core/solution.hpp"
+#include "mmlp/lp/maxmin_reduction.hpp"
+#include "mmlp/util/check.hpp"
+
+namespace mmlp {
+
+OptimalResult solve_optimal(const Instance& instance,
+                            const OptimalOptions& options) {
+  MMLP_CHECK_GT(instance.num_parties(), 0);
+  OptimalMethod method = options.method;
+  if (method == OptimalMethod::kAuto) {
+    method = instance.num_agents() <= options.simplex_agent_limit
+                 ? OptimalMethod::kSimplex
+                 : OptimalMethod::kMwu;
+  }
+
+  OptimalResult result;
+  if (method == OptimalMethod::kSimplex) {
+    const MaxMinLpResult lp = solve_maxmin_simplex(instance, options.simplex);
+    MMLP_CHECK_MSG(lp.status == LpStatus::kOptimal,
+                   "global max-min LP solve failed: " << to_string(lp.status));
+    result.omega = lp.omega;
+    result.x = lp.x;
+    result.method_used = OptimalMethod::kSimplex;
+    result.exact = true;
+    return result;
+  }
+
+  const MwuResult mwu = solve_maxmin_mwu(instance, options.mwu);
+  result.omega = mwu.omega;
+  result.x = mwu.x;
+  result.method_used = OptimalMethod::kMwu;
+  result.exact = false;
+  return result;
+}
+
+}  // namespace mmlp

@@ -1,0 +1,40 @@
+// Global optimum ω* of (1): solver facade.
+//
+// Experiments need the global optimum as the denominator of every
+// approximation ratio. Small and medium instances are solved exactly via
+// the LP formulation (Section 1.3) and the dense simplex; large instances
+// fall back to the MWU scheme with a reported (validated) objective.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mmlp/core/instance.hpp"
+#include "mmlp/lp/mwu.hpp"
+#include "mmlp/lp/simplex.hpp"
+
+namespace mmlp {
+
+enum class OptimalMethod : std::uint8_t { kAuto, kSimplex, kMwu };
+
+struct OptimalOptions {
+  OptimalMethod method = OptimalMethod::kAuto;
+  /// kAuto uses the simplex up to this many agents (tableau cost grows as
+  /// roughly (|I|+|K|)^2 · |V| per pivot).
+  AgentId simplex_agent_limit = 800;
+  SimplexOptions simplex;
+  MwuOptions mwu;
+};
+
+struct OptimalResult {
+  double omega = 0.0;
+  std::vector<double> x;
+  OptimalMethod method_used = OptimalMethod::kSimplex;
+  bool exact = false;  ///< true when the simplex proved optimality
+};
+
+/// Compute (or tightly lower-bound, for MWU) the optimum of (1).
+OptimalResult solve_optimal(const Instance& instance,
+                            const OptimalOptions& options = {});
+
+}  // namespace mmlp

@@ -1,0 +1,40 @@
+#include "mmlp/core/safe.hpp"
+
+#include <limits>
+
+#include "mmlp/util/check.hpp"
+#include "mmlp/util/parallel.hpp"
+
+namespace mmlp {
+
+double safe_choice(const std::vector<Coef>& agent_resources,
+                   const std::vector<std::size_t>& support_sizes) {
+  MMLP_CHECK(!agent_resources.empty());
+  MMLP_CHECK_EQ(agent_resources.size(), support_sizes.size());
+  double choice = std::numeric_limits<double>::infinity();
+  for (std::size_t idx = 0; idx < agent_resources.size(); ++idx) {
+    const double a = agent_resources[idx].value;
+    const auto size = static_cast<double>(support_sizes[idx]);
+    MMLP_CHECK_GT(a, 0.0);
+    MMLP_CHECK_GT(size, 0.0);
+    choice = std::min(choice, 1.0 / (a * size));
+  }
+  return choice;
+}
+
+std::vector<double> safe_solution(const Instance& instance) {
+  const auto n = static_cast<std::size_t>(instance.num_agents());
+  std::vector<double> x(n, 0.0);
+  parallel_for(n, [&](std::size_t v) {
+    const auto& resources = instance.agent_resources(static_cast<AgentId>(v));
+    std::vector<std::size_t> sizes;
+    sizes.reserve(resources.size());
+    for (const Coef& entry : resources) {
+      sizes.push_back(instance.resource_support(entry.id).size());
+    }
+    x[v] = safe_choice(resources, sizes);
+  });
+  return x;
+}
+
+}  // namespace mmlp

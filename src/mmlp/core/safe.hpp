@@ -1,0 +1,25 @@
+// The safe algorithm (Papadimitriou–Yannakakis; Section 3/4, eq. (2)).
+//
+//   x_v = min_{i ∈ I_v} 1 / (a_iv · |V_i|)
+//
+// Horizon r = 1: agent v needs only its own resources, their coefficients
+// and their support sizes. The solution is always feasible (each resource
+// i receives ≤ |V_i| · a_iv · 1/(a_iv|V_i|) = 1 in total) and is a
+// Δ_I^V-approximation of (1) (Section 4, first display).
+#pragma once
+
+#include <vector>
+
+#include "mmlp/core/instance.hpp"
+
+namespace mmlp {
+
+/// The safe solution for the whole instance.
+std::vector<double> safe_solution(const Instance& instance);
+
+/// The single-agent rule, usable from per-agent (distributed) code:
+/// needs I_v with coefficients and |V_i| for each i ∈ I_v.
+double safe_choice(const std::vector<Coef>& agent_resources,
+                   const std::vector<std::size_t>& support_sizes);
+
+}  // namespace mmlp

@@ -1,0 +1,97 @@
+#include "mmlp/core/solution.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "mmlp/util/check.hpp"
+
+namespace mmlp {
+
+double party_benefit(const Instance& instance, const std::vector<double>& x,
+                     PartyId k) {
+  MMLP_CHECK_EQ(x.size(), static_cast<std::size_t>(instance.num_agents()));
+  double benefit = 0.0;
+  for (const Coef& entry : instance.party_support(k)) {
+    benefit += entry.value * x[static_cast<std::size_t>(entry.id)];
+  }
+  return benefit;
+}
+
+double resource_load(const Instance& instance, const std::vector<double>& x,
+                     ResourceId i) {
+  MMLP_CHECK_EQ(x.size(), static_cast<std::size_t>(instance.num_agents()));
+  double load = 0.0;
+  for (const Coef& entry : instance.resource_support(i)) {
+    load += entry.value * x[static_cast<std::size_t>(entry.id)];
+  }
+  return load;
+}
+
+double objective_omega(const Instance& instance, const std::vector<double>& x) {
+  double omega = std::numeric_limits<double>::infinity();
+  for (PartyId k = 0; k < instance.num_parties(); ++k) {
+    omega = std::min(omega, party_benefit(instance, x, k));
+  }
+  return omega;
+}
+
+Evaluation evaluate(const Instance& instance, const std::vector<double>& x) {
+  MMLP_CHECK_EQ(x.size(), static_cast<std::size_t>(instance.num_agents()));
+  Evaluation eval;
+  eval.omega = std::numeric_limits<double>::infinity();
+  for (PartyId k = 0; k < instance.num_parties(); ++k) {
+    const double benefit = party_benefit(instance, x, k);
+    if (benefit < eval.omega) {
+      eval.omega = benefit;
+      eval.argmin_party = k;
+    }
+  }
+  if (instance.num_parties() == 0) {
+    eval.omega = std::numeric_limits<double>::infinity();
+  }
+  double max_load = -std::numeric_limits<double>::infinity();
+  for (ResourceId i = 0; i < instance.num_resources(); ++i) {
+    const double load = resource_load(instance, x, i);
+    if (load > max_load) {
+      max_load = load;
+      eval.argmax_resource = i;
+    }
+    eval.worst_violation = std::max(eval.worst_violation, load - 1.0);
+  }
+  for (const double value : x) {
+    eval.worst_violation = std::max(eval.worst_violation, -value);
+  }
+  return eval;
+}
+
+double scale_to_feasible(const Instance& instance, std::vector<double>& x) {
+  for (double& value : x) {
+    value = std::max(0.0, value);
+  }
+  double max_load = 0.0;
+  for (ResourceId i = 0; i < instance.num_resources(); ++i) {
+    max_load = std::max(max_load, resource_load(instance, x, i));
+  }
+  if (max_load <= 1.0) {
+    return 1.0;
+  }
+  const double scale = 1.0 / max_load;
+  for (double& value : x) {
+    value *= scale;
+  }
+  return scale;
+}
+
+double approximation_ratio(double optimal_omega, double achieved_omega) {
+  MMLP_CHECK_GE(optimal_omega, 0.0);
+  MMLP_CHECK_GE(achieved_omega, -kFeasTol);
+  if (optimal_omega <= 0.0) {
+    return 1.0;
+  }
+  if (achieved_omega <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return optimal_omega / achieved_omega;
+}
+
+}  // namespace mmlp

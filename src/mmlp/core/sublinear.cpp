@@ -1,0 +1,135 @@
+#include "mmlp/core/sublinear.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "mmlp/core/safe.hpp"
+#include "mmlp/core/view.hpp"
+#include "mmlp/graph/bfs.hpp"
+#include "mmlp/util/check.hpp"
+#include "mmlp/util/rng.hpp"
+
+namespace mmlp {
+
+double local_output_safe(const Instance& instance, AgentId v) {
+  const auto& resources = instance.agent_resources(v);
+  std::vector<std::size_t> sizes;
+  sizes.reserve(resources.size());
+  for (const Coef& entry : resources) {
+    sizes.push_back(instance.resource_support(entry.id).size());
+  }
+  return safe_choice(resources, sizes);
+}
+
+double local_output_averaging(const Instance& instance, const Hypergraph& h,
+                              AgentId v, const LocalAveragingOptions& options) {
+  MMLP_CHECK_GE(options.R, 1);
+  MMLP_CHECK(options.damping == AveragingDamping::kBetaPerAgent);
+  BallCollector collector(h);
+  const std::vector<AgentId> my_ball = collector.collect(v, options.R);
+
+  // Σ_{u∈V^j} x^u_j via per-view LPs.
+  double accumulated = 0.0;
+  for (const AgentId u : my_ball) {
+    const LocalView view =
+        extract_view(instance, u, options.R, collector.collect(u, options.R));
+    const ViewLpSolution solution = solve_view_lp(view, options.lp);
+    const std::int32_t mine = view.local_index(v);
+    MMLP_CHECK_GE(mine, 0);
+    accumulated += solution.x[static_cast<std::size_t>(mine)];
+  }
+
+  // β_j = min over this agent's resources of n_i / N_i.
+  double beta = std::numeric_limits<double>::infinity();
+  for (const Coef& entry : instance.agent_resources(v)) {
+    const auto& support = instance.resource_support(entry.id);
+    std::vector<AgentId> union_set;
+    std::size_t min_ball = std::numeric_limits<std::size_t>::max();
+    for (const Coef& member : support) {
+      const auto& ball_m = collector.collect(member.id, options.R);
+      min_ball = std::min(min_ball, ball_m.size());
+      std::vector<AgentId> merged;
+      merged.reserve(union_set.size() + ball_m.size());
+      std::set_union(union_set.begin(), union_set.end(), ball_m.begin(),
+                     ball_m.end(), std::back_inserter(merged));
+      union_set.swap(merged);
+    }
+    beta = std::min(beta, static_cast<double>(min_ball) /
+                              static_cast<double>(union_set.size()));
+  }
+  return beta * accumulated / static_cast<double>(my_ball.size());
+}
+
+SublinearEstimate estimate_mean_party_benefit(const Instance& instance,
+                                              const SublinearOptions& options) {
+  MMLP_CHECK_GT(instance.num_parties(), 0);
+  MMLP_CHECK_GT(options.samples, 0);
+  MMLP_CHECK_GT(options.confidence, 0.0);
+  MMLP_CHECK_LT(options.confidence, 1.0);
+
+  // A-priori per-party benefit bound for Hoeffding: any feasible output
+  // has x_v <= min_{i in I_v} 1/a_iv, so
+  //   benefit_k <= Σ_{v in V_k} c_kv / max_{i} a_iv.
+  // One linear pass over the coefficient data (not over balls).
+  std::vector<double> x_cap(static_cast<std::size_t>(instance.num_agents()),
+                            std::numeric_limits<double>::infinity());
+  for (AgentId v = 0; v < instance.num_agents(); ++v) {
+    for (const Coef& entry : instance.agent_resources(v)) {
+      x_cap[static_cast<std::size_t>(v)] =
+          std::min(x_cap[static_cast<std::size_t>(v)], 1.0 / entry.value);
+    }
+  }
+  double value_bound = 0.0;
+  for (PartyId k = 0; k < instance.num_parties(); ++k) {
+    double bound = 0.0;
+    for (const Coef& entry : instance.party_support(k)) {
+      bound += entry.value * x_cap[static_cast<std::size_t>(entry.id)];
+    }
+    value_bound = std::max(value_bound, bound);
+  }
+
+  const Hypergraph h = instance.communication_graph();
+  LocalAveragingOptions averaging;
+  averaging.R = options.R;
+
+  Rng rng(options.seed);
+  SublinearEstimate estimate;
+  estimate.samples = options.samples;
+  estimate.value_bound = value_bound;
+
+  // Memoise agent outputs across samples: repeated parties share agents.
+  std::vector<double> cache(static_cast<std::size_t>(instance.num_agents()),
+                            -1.0);
+  auto output_of = [&](AgentId v) {
+    double& slot = cache[static_cast<std::size_t>(v)];
+    if (slot < 0.0) {
+      ++estimate.agents_evaluated;
+      slot = options.algorithm == LocalAlgorithmKind::kSafe
+                 ? local_output_safe(instance, v)
+                 : local_output_averaging(instance, h, v, averaging);
+    }
+    return slot;
+  };
+
+  double total = 0.0;
+  for (std::int32_t s = 0; s < options.samples; ++s) {
+    const auto k = static_cast<PartyId>(
+        rng.next_below(static_cast<std::uint64_t>(instance.num_parties())));
+    double benefit = 0.0;
+    for (const Coef& entry : instance.party_support(k)) {
+      benefit += entry.value * output_of(entry.id);
+    }
+    total += benefit;
+  }
+  estimate.mean_benefit = total / static_cast<double>(options.samples);
+
+  // Two-sided Hoeffding: P(|est − mean| >= t) <= 2 exp(−2 m t² / B²).
+  const double failure = 1.0 - options.confidence;
+  estimate.half_width =
+      value_bound * std::sqrt(std::log(2.0 / failure) /
+                              (2.0 * static_cast<double>(options.samples)));
+  return estimate;
+}
+
+}  // namespace mmlp

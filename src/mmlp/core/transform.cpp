@@ -1,0 +1,165 @@
+#include "mmlp/core/transform.hpp"
+
+#include <algorithm>
+
+#include "mmlp/util/check.hpp"
+
+namespace mmlp {
+
+namespace {
+
+void check_permutation(const std::vector<AgentId>& permutation, AgentId n) {
+  MMLP_CHECK_EQ(permutation.size(), static_cast<std::size_t>(n));
+  std::vector<std::uint8_t> seen(static_cast<std::size_t>(n), 0);
+  for (const AgentId target : permutation) {
+    MMLP_CHECK_GE(target, 0);
+    MMLP_CHECK_LT(target, n);
+    MMLP_CHECK_EQ(seen[static_cast<std::size_t>(target)], 0);
+    seen[static_cast<std::size_t>(target)] = 1;
+  }
+}
+
+}  // namespace
+
+Instance relabel_agents(const Instance& instance,
+                        const std::vector<AgentId>& permutation) {
+  check_permutation(permutation, instance.num_agents());
+  Instance::Builder builder;
+  builder.reserve(instance.num_agents(), 0, 0);
+  for (ResourceId i = 0; i < instance.num_resources(); ++i) {
+    const ResourceId id = builder.add_resource();
+    for (const Coef& entry : instance.resource_support(i)) {
+      builder.set_usage(id, permutation[static_cast<std::size_t>(entry.id)],
+                        entry.value);
+    }
+  }
+  for (PartyId k = 0; k < instance.num_parties(); ++k) {
+    const PartyId id = builder.add_party();
+    for (const Coef& entry : instance.party_support(k)) {
+      builder.set_benefit(id, permutation[static_cast<std::size_t>(entry.id)],
+                          entry.value);
+    }
+  }
+  return std::move(builder).build();
+}
+
+std::vector<double> relabel_solution(const std::vector<double>& x,
+                                     const std::vector<AgentId>& permutation) {
+  MMLP_CHECK_EQ(x.size(), permutation.size());
+  std::vector<double> out(x.size(), 0.0);
+  for (std::size_t v = 0; v < x.size(); ++v) {
+    out[static_cast<std::size_t>(permutation[v])] = x[v];
+  }
+  return out;
+}
+
+namespace {
+
+Instance scale_coefficients(const Instance& instance, double usage_factor,
+                            double benefit_factor) {
+  MMLP_CHECK_GT(usage_factor, 0.0);
+  MMLP_CHECK_GT(benefit_factor, 0.0);
+  Instance::Builder builder;
+  builder.reserve(instance.num_agents(), 0, 0);
+  for (ResourceId i = 0; i < instance.num_resources(); ++i) {
+    const ResourceId id = builder.add_resource();
+    for (const Coef& entry : instance.resource_support(i)) {
+      builder.set_usage(id, entry.id, entry.value * usage_factor);
+    }
+  }
+  for (PartyId k = 0; k < instance.num_parties(); ++k) {
+    const PartyId id = builder.add_party();
+    for (const Coef& entry : instance.party_support(k)) {
+      builder.set_benefit(id, entry.id, entry.value * benefit_factor);
+    }
+  }
+  return std::move(builder).build();
+}
+
+}  // namespace
+
+Instance scale_usages(const Instance& instance, double factor) {
+  return scale_coefficients(instance, factor, 1.0);
+}
+
+Instance scale_benefits(const Instance& instance, double factor) {
+  return scale_coefficients(instance, 1.0, factor);
+}
+
+Instance disjoint_union(const Instance& a, const Instance& b) {
+  Instance::Builder builder;
+  builder.reserve(a.num_agents() + b.num_agents(), 0, 0);
+  for (ResourceId i = 0; i < a.num_resources(); ++i) {
+    const ResourceId id = builder.add_resource();
+    for (const Coef& entry : a.resource_support(i)) {
+      builder.set_usage(id, entry.id, entry.value);
+    }
+  }
+  for (ResourceId i = 0; i < b.num_resources(); ++i) {
+    const ResourceId id = builder.add_resource();
+    for (const Coef& entry : b.resource_support(i)) {
+      builder.set_usage(id, a.num_agents() + entry.id, entry.value);
+    }
+  }
+  for (PartyId k = 0; k < a.num_parties(); ++k) {
+    const PartyId id = builder.add_party();
+    for (const Coef& entry : a.party_support(k)) {
+      builder.set_benefit(id, entry.id, entry.value);
+    }
+  }
+  for (PartyId k = 0; k < b.num_parties(); ++k) {
+    const PartyId id = builder.add_party();
+    for (const Coef& entry : b.party_support(k)) {
+      builder.set_benefit(id, a.num_agents() + entry.id, entry.value);
+    }
+  }
+  return std::move(builder).build();
+}
+
+InducedSubinstance induce(const Instance& instance,
+                          const std::vector<AgentId>& sorted_agents) {
+  MMLP_CHECK(std::is_sorted(sorted_agents.begin(), sorted_agents.end()));
+  MMLP_CHECK(std::adjacent_find(sorted_agents.begin(), sorted_agents.end()) ==
+             sorted_agents.end());
+  auto contains = [&](AgentId v) {
+    return std::binary_search(sorted_agents.begin(), sorted_agents.end(), v);
+  };
+  auto local_of = [&](AgentId v) {
+    return static_cast<AgentId>(
+        std::lower_bound(sorted_agents.begin(), sorted_agents.end(), v) -
+        sorted_agents.begin());
+  };
+
+  InducedSubinstance sub;
+  sub.global_agents = sorted_agents;
+  Instance::Builder builder;
+  builder.reserve(static_cast<AgentId>(sorted_agents.size()), 0, 0);
+  for (ResourceId i = 0; i < instance.num_resources(); ++i) {
+    const auto& support = instance.resource_support(i);
+    if (!std::all_of(support.begin(), support.end(),
+                     [&](const Coef& entry) { return contains(entry.id); })) {
+      continue;
+    }
+    const ResourceId id = builder.add_resource();
+    sub.global_resources.push_back(i);
+    for (const Coef& entry : support) {
+      builder.set_usage(id, local_of(entry.id), entry.value);
+    }
+  }
+  for (PartyId k = 0; k < instance.num_parties(); ++k) {
+    const auto& support = instance.party_support(k);
+    if (!std::all_of(support.begin(), support.end(),
+                     [&](const Coef& entry) { return contains(entry.id); })) {
+      continue;
+    }
+    const PartyId id = builder.add_party();
+    sub.global_parties.push_back(k);
+    for (const Coef& entry : support) {
+      builder.set_benefit(id, local_of(entry.id), entry.value);
+    }
+  }
+  sub.instance = std::move(builder).build();
+  return sub;
+}
+
+}  // namespace mmlp

@@ -1,0 +1,51 @@
+// Instance transformations and the solution laws they obey.
+//
+// These are the algebraic tools the paper's arguments use implicitly:
+// Section 4 restricts S to an induced subinstance S′; the identifier
+// model (Section 1.5) implies algorithm outputs are equivariant under
+// agent relabelling; and the LP structure gives exact scaling laws
+// (halving all a_iv doubles ω*, scaling all c_kv scales ω* likewise).
+// Tests assert each law against the solvers.
+#pragma once
+
+#include <vector>
+
+#include "mmlp/core/instance.hpp"
+#include "mmlp/util/rng.hpp"
+
+namespace mmlp {
+
+/// Relabel agents: new id of agent v is permutation[v]. Resources and
+/// parties keep their indices; support lists are re-sorted.
+Instance relabel_agents(const Instance& instance,
+                        const std::vector<AgentId>& permutation);
+
+/// Push a solution vector through the same relabelling (x'[perm[v]] = x[v]).
+std::vector<double> relabel_solution(const std::vector<double>& x,
+                                     const std::vector<AgentId>& permutation);
+
+/// Multiply every a_iv by `factor` (> 0): resources become tighter
+/// (factor > 1) or looser. ω* scales by exactly 1/factor.
+Instance scale_usages(const Instance& instance, double factor);
+
+/// Multiply every c_kv by `factor` (> 0). ω* scales by exactly factor.
+Instance scale_benefits(const Instance& instance, double factor);
+
+/// Disjoint union: agents/resources/parties of `b` are appended after
+/// those of `a`. ω*(union) = min(ω*(a), ω*(b)).
+Instance disjoint_union(const Instance& a, const Instance& b);
+
+/// Induced subinstance on a sorted agent subset: keeps the resources and
+/// parties whose support is fully inside the subset (the S′ operation of
+/// Section 4.3 in general form). Every kept agent must retain at least
+/// one resource; callers choose closed subsets (e.g. unions of balls).
+struct InducedSubinstance {
+  Instance instance;
+  std::vector<AgentId> global_agents;      ///< local -> original agent id
+  std::vector<ResourceId> global_resources;
+  std::vector<PartyId> global_parties;
+};
+InducedSubinstance induce(const Instance& instance,
+                          const std::vector<AgentId>& sorted_agents);
+
+}  // namespace mmlp

@@ -1,0 +1,235 @@
+#include "mmlp/core/view.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "mmlp/graph/bfs.hpp"
+#include "mmlp/util/check.hpp"
+
+namespace mmlp {
+
+namespace {
+
+bool contains_sorted(const std::vector<AgentId>& sorted, AgentId value) {
+  return std::binary_search(sorted.begin(), sorted.end(), value);
+}
+
+/// Is every member of `support` inside the sorted agent list?
+bool support_subset(const std::vector<Coef>& support,
+                    const std::vector<AgentId>& sorted_agents) {
+  for (const Coef& entry : support) {
+    if (!contains_sorted(sorted_agents, entry.id)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::int32_t LocalView::local_index(AgentId global) const {
+  const auto it = std::lower_bound(agents.begin(), agents.end(), global);
+  if (it != agents.end() && *it == global) {
+    return static_cast<std::int32_t>(it - agents.begin());
+  }
+  return -1;
+}
+
+LocalView extract_view(const Instance& instance, AgentId u, std::int32_t radius,
+                       const std::vector<AgentId>& ball_of_u) {
+  MMLP_CHECK(std::is_sorted(ball_of_u.begin(), ball_of_u.end()));
+  MMLP_CHECK(contains_sorted(ball_of_u, u));
+  LocalView view;
+  view.center = u;
+  view.radius = radius;
+  view.agents = ball_of_u;
+
+  // I^u: resources touching the view. Collect via the agents' I_v lists
+  // (each resource appears once; dedupe with sort+unique on ids).
+  std::vector<ResourceId> resource_ids;
+  std::vector<PartyId> party_ids;
+  for (const AgentId v : view.agents) {
+    for (const Coef& entry : instance.agent_resources(v)) {
+      resource_ids.push_back(entry.id);
+    }
+    for (const Coef& entry : instance.agent_parties(v)) {
+      party_ids.push_back(entry.id);
+    }
+  }
+  std::sort(resource_ids.begin(), resource_ids.end());
+  resource_ids.erase(std::unique(resource_ids.begin(), resource_ids.end()),
+                     resource_ids.end());
+  std::sort(party_ids.begin(), party_ids.end());
+  party_ids.erase(std::unique(party_ids.begin(), party_ids.end()),
+                  party_ids.end());
+
+  for (const ResourceId i : resource_ids) {
+    std::vector<Coef> local_entries;
+    for (const Coef& entry : instance.resource_support(i)) {
+      const std::int32_t local = view.local_index(entry.id);
+      if (local >= 0) {
+        local_entries.push_back({local, entry.value});
+      }
+    }
+    MMLP_CHECK(!local_entries.empty());  // i came from some view agent
+    view.resources.push_back(i);
+    view.resource_entries.push_back(std::move(local_entries));
+  }
+
+  // K^u keeps only fully visible parties.
+  for (const PartyId k : party_ids) {
+    const auto& support = instance.party_support(k);
+    if (!support_subset(support, view.agents)) {
+      continue;
+    }
+    std::vector<Coef> local_entries;
+    local_entries.reserve(support.size());
+    for (const Coef& entry : support) {
+      local_entries.push_back({view.local_index(entry.id), entry.value});
+    }
+    view.parties.push_back(k);
+    view.party_entries.push_back(std::move(local_entries));
+  }
+  return view;
+}
+
+LocalView extract_view(const Instance& instance, const Hypergraph& h, AgentId u,
+                       std::int32_t radius) {
+  return extract_view(instance, u, radius, ball(h, u, radius));
+}
+
+LpProblem view_lp(const LocalView& view) {
+  LpProblem problem;
+  const auto num_agents = static_cast<std::int32_t>(view.agents.size());
+  problem.num_vars = num_agents + 1;  // x^u plus ω^u
+  problem.objective.assign(static_cast<std::size_t>(problem.num_vars), 0.0);
+  problem.objective.back() = 1.0;
+
+  for (const auto& entries : view.resource_entries) {
+    LpRow& row = problem.add_row(ConstraintSense::kLe, 1.0);
+    for (const Coef& entry : entries) {
+      row.vars.push_back(entry.id);
+      row.coeffs.push_back(entry.value);
+    }
+  }
+  for (const auto& entries : view.party_entries) {
+    LpRow& row = problem.add_row(ConstraintSense::kGe, 0.0);
+    for (const Coef& entry : entries) {
+      row.vars.push_back(entry.id);
+      row.coeffs.push_back(entry.value);
+    }
+    row.vars.push_back(num_agents);
+    row.coeffs.push_back(-1.0);
+  }
+  return problem;
+}
+
+ViewLpSolution solve_view_lp(const LocalView& view,
+                             const SimplexOptions& options) {
+  ViewLpSolution solution;
+  if (view.parties.empty()) {
+    solution.x.assign(view.agents.size(), 0.0);
+    return solution;
+  }
+  const LpResult lp = solve_lp(view_lp(view), options);
+  MMLP_CHECK_MSG(lp.status == LpStatus::kOptimal,
+                 "view LP for agent " << view.center << " returned "
+                                      << to_string(lp.status));
+  solution.status = lp.status;
+  solution.omega = lp.objective;
+  solution.x.assign(lp.x.begin(), lp.x.begin() + view.agents.size());
+  return solution;
+}
+
+double GrowthSets::max_party_ratio() const {
+  double worst = 1.0;
+  for (std::size_t k = 0; k < m_k.size(); ++k) {
+    if (m_k[k] == 0) {
+      // Possible only in collaboration-oblivious mode (V_k need not be a
+      // clique of H there); the benefit bound degenerates.
+      return std::numeric_limits<double>::infinity();
+    }
+    worst = std::max(worst, static_cast<double>(M_k[k]) /
+                                static_cast<double>(m_k[k]));
+  }
+  return worst;
+}
+
+double GrowthSets::max_resource_ratio() const {
+  double worst = 1.0;
+  for (std::size_t i = 0; i < N_i.size(); ++i) {
+    MMLP_CHECK_GT(n_i[i], 0u);
+    worst = std::max(worst, static_cast<double>(N_i[i]) /
+                                static_cast<double>(n_i[i]));
+  }
+  return worst;
+}
+
+GrowthSets compute_growth_sets(const Instance& instance,
+                               const std::vector<std::vector<AgentId>>& balls) {
+  MMLP_CHECK_EQ(balls.size(), static_cast<std::size_t>(instance.num_agents()));
+  GrowthSets sets;
+  sets.ball_size.resize(balls.size());
+  for (std::size_t j = 0; j < balls.size(); ++j) {
+    sets.ball_size[j] = balls[j].size();
+  }
+
+  // Parties: S_k = ∩_{j∈V_k} V^j (sorted-list intersection), M_k = max |V^j|.
+  const auto num_parties = static_cast<std::size_t>(instance.num_parties());
+  sets.m_k.resize(num_parties);
+  sets.M_k.resize(num_parties);
+  for (PartyId k = 0; k < instance.num_parties(); ++k) {
+    const auto& support = instance.party_support(k);
+    std::vector<AgentId> intersection =
+        balls[static_cast<std::size_t>(support.front().id)];
+    std::size_t max_ball = 0;
+    for (const Coef& entry : support) {
+      const auto& ball_j = balls[static_cast<std::size_t>(entry.id)];
+      max_ball = std::max(max_ball, ball_j.size());
+      std::vector<AgentId> next;
+      next.reserve(std::min(intersection.size(), ball_j.size()));
+      std::set_intersection(intersection.begin(), intersection.end(),
+                            ball_j.begin(), ball_j.end(),
+                            std::back_inserter(next));
+      intersection.swap(next);
+    }
+    sets.m_k[static_cast<std::size_t>(k)] = intersection.size();
+    sets.M_k[static_cast<std::size_t>(k)] = max_ball;
+  }
+
+  // Resources: U_i = ∪_{j∈V_i} V^j, n_i = min |V^j|.
+  const auto num_resources = static_cast<std::size_t>(instance.num_resources());
+  sets.N_i.resize(num_resources);
+  sets.n_i.resize(num_resources);
+  for (ResourceId i = 0; i < instance.num_resources(); ++i) {
+    const auto& support = instance.resource_support(i);
+    std::vector<AgentId> union_set;
+    std::size_t min_ball = std::numeric_limits<std::size_t>::max();
+    for (const Coef& entry : support) {
+      const auto& ball_j = balls[static_cast<std::size_t>(entry.id)];
+      min_ball = std::min(min_ball, ball_j.size());
+      std::vector<AgentId> next;
+      next.reserve(union_set.size() + ball_j.size());
+      std::set_union(union_set.begin(), union_set.end(), ball_j.begin(),
+                     ball_j.end(), std::back_inserter(next));
+      union_set.swap(next);
+    }
+    sets.N_i[static_cast<std::size_t>(i)] = union_set.size();
+    sets.n_i[static_cast<std::size_t>(i)] = min_ball;
+  }
+
+  // β_j = min_{i∈I_j} n_i / N_i.
+  sets.beta.assign(balls.size(), 1.0);
+  for (AgentId j = 0; j < instance.num_agents(); ++j) {
+    double beta = std::numeric_limits<double>::infinity();
+    for (const Coef& entry : instance.agent_resources(j)) {
+      const auto i = static_cast<std::size_t>(entry.id);
+      beta = std::min(beta, static_cast<double>(sets.n_i[i]) /
+                                static_cast<double>(sets.N_i[i]));
+    }
+    sets.beta[static_cast<std::size_t>(j)] = beta;
+  }
+  return sets;
+}
+
+}  // namespace mmlp

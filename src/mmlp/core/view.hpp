@@ -1,0 +1,93 @@
+// Local views and the set machinery of Section 5 (Figure 2).
+//
+// For an agent u with horizon parameter R:
+//   V^u   = B_H(u, R)                       (the agents u can see)
+//   K^u   = {k ∈ K : V_k ⊆ V^u}             (parties fully visible to u)
+//   V^u_i = V_i ∩ V^u
+//   I^u   = {i ∈ I : V^u_i ≠ ∅}             (resources touching the view)
+// and the local LP (9):
+//   maximise ω^u = min_{k∈K^u} Σ_{v∈V_k} c_kv x^u_v
+//   s.t. Σ_{v∈V^u_i} a_iv x^u_v ≤ 1  ∀ i ∈ I^u,  x^u ≥ 0.
+//
+// For the feasibility/benefit analysis (and the β_j of eq. (10)):
+//   S_k = ∩_{j∈V_k} V^j,  m_k = |S_k|,  M_k = max_{j∈V_k} |V^j|,
+//   U_i = ∪_{j∈V_i} V^j,  N_i = |U_i|,  n_i = min_{j∈V_i} |V^j|,
+//   β_j = min_{i∈I_j} n_i / N_i.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mmlp/core/instance.hpp"
+#include "mmlp/lp/simplex.hpp"
+
+namespace mmlp {
+
+/// The subinstance visible to one agent.
+struct LocalView {
+  AgentId center = -1;
+  std::int32_t radius = 0;
+
+  std::vector<AgentId> agents;  ///< V^u, sorted global ids; local index = position
+
+  std::vector<ResourceId> resources;               ///< I^u (global ids)
+  std::vector<std::vector<Coef>> resource_entries; ///< per i∈I^u: (local agent, a_iv), v∈V^u_i
+
+  std::vector<PartyId> parties;                    ///< K^u (global ids)
+  std::vector<std::vector<Coef>> party_entries;    ///< per k∈K^u: (local agent, c_kv), v∈V_k
+
+  /// Local index of a global agent id, or −1 when outside the view.
+  std::int32_t local_index(AgentId global) const;
+};
+
+/// Extract the view of `u` given its precomputed ball B_H(u, R)
+/// (sorted). The ball must have been computed on the same hypergraph the
+/// caller derived from `instance`.
+LocalView extract_view(const Instance& instance, AgentId u, std::int32_t radius,
+                       const std::vector<AgentId>& ball_of_u);
+
+/// Convenience: compute the ball, then extract.
+LocalView extract_view(const Instance& instance, const Hypergraph& h, AgentId u,
+                       std::int32_t radius);
+
+/// The local LP (9) of a view: variables are the view agents (local
+/// order) plus ω^u at index |agents|.
+LpProblem view_lp(const LocalView& view);
+
+/// Optimal x^u of (9) (indexed like view.agents). When K^u is empty the
+/// objective "min over nothing" is vacuous and x^u = 0 is returned (the
+/// Theorem 3 analysis only uses x^u for u ∈ S_k, which forces k ∈ K^u).
+/// The reported omega is the LP value (0 when K^u is empty).
+struct ViewLpSolution {
+  std::vector<double> x;
+  double omega = 0.0;
+  LpStatus status = LpStatus::kOptimal;
+};
+ViewLpSolution solve_view_lp(const LocalView& view,
+                             const SimplexOptions& options = {});
+
+/// The Figure 2 quantities for a fixed R, over all parties/resources.
+struct GrowthSets {
+  std::vector<std::size_t> ball_size;  ///< |V^j| per agent j
+  std::vector<std::size_t> m_k;        ///< |S_k| per party
+  std::vector<std::size_t> M_k;        ///< max ball size over V_k
+  std::vector<std::size_t> N_i;        ///< |U_i| per resource
+  std::vector<std::size_t> n_i;        ///< min ball size over V_i
+  std::vector<double> beta;            ///< β_j per agent
+
+  /// max_k M_k/m_k (Theorem 3: ≤ γ(R−1)).
+  double max_party_ratio() const;
+  /// max_i N_i/n_i (Theorem 3: ≤ γ(R)).
+  double max_resource_ratio() const;
+  /// The proof's overall ratio max_k M_k/m_k · max_i N_i/n_i.
+  double ratio_bound() const { return max_party_ratio() * max_resource_ratio(); }
+};
+
+/// Compute the sets from per-agent balls (as returned by all_balls(H, R)).
+/// Requires every V_k to be a clique in the ball structure, which holds
+/// when the balls come from the full hypergraph H (not the
+/// collaboration-oblivious one) — then S_k ⊇ V_k is nonempty.
+GrowthSets compute_growth_sets(const Instance& instance,
+                               const std::vector<std::vector<AgentId>>& balls);
+
+}  // namespace mmlp

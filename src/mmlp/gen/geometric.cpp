@@ -1,0 +1,87 @@
+#include "mmlp/gen/geometric.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mmlp/util/check.hpp"
+#include "mmlp/util/rng.hpp"
+
+namespace mmlp {
+
+GeometricInstance make_geometric_instance(const GeometricOptions& options) {
+  MMLP_CHECK_GT(options.num_agents, 0);
+  MMLP_CHECK_GE(options.dim, 1);
+  MMLP_CHECK_LE(options.dim, 3);
+  MMLP_CHECK_GT(options.radius, 0.0);
+  MMLP_CHECK_GE(options.max_support, 1);
+  MMLP_CHECK_GE(options.party_stride, 1);
+
+  Rng rng(options.seed);
+  GeometricInstance result;
+  result.points.reserve(static_cast<std::size_t>(options.num_agents));
+  for (std::int32_t v = 0; v < options.num_agents; ++v) {
+    std::vector<double> point(static_cast<std::size_t>(options.dim));
+    for (double& coord : point) {
+      coord = rng.uniform01();
+    }
+    result.points.push_back(std::move(point));
+  }
+
+  auto squared_distance = [&](std::int32_t a, std::int32_t b) {
+    double total = 0.0;
+    for (std::int32_t axis = 0; axis < options.dim; ++axis) {
+      const double diff =
+          result.points[static_cast<std::size_t>(a)][static_cast<std::size_t>(axis)] -
+          result.points[static_cast<std::size_t>(b)][static_cast<std::size_t>(axis)];
+      total += diff * diff;
+    }
+    return total;
+  };
+
+  // Neighbourhood of v: itself plus its (max_support − 1) nearest
+  // in-range agents. O(n²) is fine at generator scale.
+  const double radius2 = options.radius * options.radius;
+  auto neighborhood = [&](std::int32_t v) {
+    std::vector<std::pair<double, AgentId>> in_range;
+    for (std::int32_t u = 0; u < options.num_agents; ++u) {
+      if (u == v) {
+        continue;
+      }
+      const double d2 = squared_distance(v, u);
+      if (d2 <= radius2) {
+        in_range.emplace_back(d2, u);
+      }
+    }
+    std::sort(in_range.begin(), in_range.end());
+    std::vector<AgentId> members{v};
+    const auto keep = std::min<std::size_t>(
+        in_range.size(), static_cast<std::size_t>(options.max_support) - 1);
+    for (std::size_t idx = 0; idx < keep; ++idx) {
+      members.push_back(in_range[idx].second);
+    }
+    return members;
+  };
+
+  auto coefficient = [&]() {
+    return options.randomize ? rng.uniform(0.5, 1.5) : 1.0;
+  };
+
+  Instance::Builder builder;
+  builder.reserve(options.num_agents, 0, 0);
+  for (std::int32_t v = 0; v < options.num_agents; ++v) {
+    const ResourceId i = builder.add_resource();
+    for (const AgentId member : neighborhood(v)) {
+      builder.set_usage(i, member, coefficient());
+    }
+  }
+  for (std::int32_t v = 0; v < options.num_agents; v += options.party_stride) {
+    const PartyId k = builder.add_party();
+    for (const AgentId member : neighborhood(v)) {
+      builder.set_benefit(k, member, coefficient());
+    }
+  }
+  result.instance = std::move(builder).build();
+  return result;
+}
+
+}  // namespace mmlp

@@ -1,0 +1,94 @@
+#include "mmlp/gen/grid.hpp"
+
+#include <algorithm>
+
+#include "mmlp/util/check.hpp"
+
+namespace mmlp {
+
+std::int64_t grid_cell_index(const std::vector<std::int32_t>& dims,
+                             const std::vector<std::int32_t>& coords) {
+  MMLP_CHECK_EQ(dims.size(), coords.size());
+  std::int64_t index = 0;
+  for (std::size_t axis = 0; axis < dims.size(); ++axis) {
+    MMLP_CHECK_GE(coords[axis], 0);
+    MMLP_CHECK_LT(coords[axis], dims[axis]);
+    index = index * dims[axis] + coords[axis];
+  }
+  return index;
+}
+
+std::vector<std::int32_t> grid_cell_coords(const std::vector<std::int32_t>& dims,
+                                           std::int64_t index) {
+  std::vector<std::int32_t> coords(dims.size(), 0);
+  for (std::size_t axis = dims.size(); axis-- > 0;) {
+    coords[axis] = static_cast<std::int32_t>(index % dims[axis]);
+    index /= dims[axis];
+  }
+  MMLP_CHECK_EQ(index, 0);
+  return coords;
+}
+
+Instance make_grid_instance(const GridOptions& options) {
+  MMLP_CHECK(!options.dims.empty());
+  MMLP_CHECK_GE(options.party_stride, 1);
+  std::int64_t num_cells = 1;
+  for (const std::int32_t extent : options.dims) {
+    MMLP_CHECK_GE(extent, 1);
+    num_cells *= extent;
+  }
+  MMLP_CHECK_LE(num_cells, std::int64_t{1} << 26);
+
+  Rng rng(options.seed);
+  auto coefficient = [&]() {
+    return options.randomize ? rng.uniform(0.5, 1.5) : 1.0;
+  };
+
+  // Closed neighbourhood of a cell.
+  auto neighborhood = [&](std::int64_t cell) {
+    std::vector<AgentId> members{static_cast<AgentId>(cell)};
+    const auto coords = grid_cell_coords(options.dims, cell);
+    for (std::size_t axis = 0; axis < options.dims.size(); ++axis) {
+      const std::int32_t extent = options.dims[axis];
+      if (extent == 1) {
+        continue;
+      }
+      for (const std::int32_t step : {-1, +1}) {
+        auto shifted = coords;
+        shifted[axis] += step;
+        if (options.torus) {
+          shifted[axis] = (shifted[axis] + extent) % extent;
+        } else if (shifted[axis] < 0 || shifted[axis] >= extent) {
+          continue;
+        }
+        const auto neighbor =
+            static_cast<AgentId>(grid_cell_index(options.dims, shifted));
+        if (neighbor != static_cast<AgentId>(cell)) {
+          members.push_back(neighbor);
+        }
+      }
+    }
+    // A size-2 torus axis makes -1 and +1 the same cell; dedupe.
+    std::sort(members.begin(), members.end());
+    members.erase(std::unique(members.begin(), members.end()), members.end());
+    return members;
+  };
+
+  Instance::Builder builder;
+  builder.reserve(static_cast<AgentId>(num_cells), 0, 0);
+  for (std::int64_t cell = 0; cell < num_cells; ++cell) {
+    const ResourceId i = builder.add_resource();
+    for (const AgentId member : neighborhood(cell)) {
+      builder.set_usage(i, member, coefficient());
+    }
+  }
+  for (std::int64_t cell = 0; cell < num_cells; cell += options.party_stride) {
+    const PartyId k = builder.add_party();
+    for (const AgentId member : neighborhood(cell)) {
+      builder.set_benefit(k, member, coefficient());
+    }
+  }
+  return std::move(builder).build();
+}
+
+}  // namespace mmlp

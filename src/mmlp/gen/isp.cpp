@@ -1,0 +1,77 @@
+#include "mmlp/gen/isp.hpp"
+
+#include "mmlp/util/check.hpp"
+#include "mmlp/util/rng.hpp"
+
+namespace mmlp {
+
+IspNetwork make_isp_network(const IspOptions& options) {
+  MMLP_CHECK_GT(options.num_customers, 0);
+  MMLP_CHECK_GT(options.links_per_customer, 0);
+  MMLP_CHECK_GT(options.num_routers, 0);
+  MMLP_CHECK_GT(options.routers_per_link, 0);
+  MMLP_CHECK_LE(options.routers_per_link, options.num_routers);
+  MMLP_CHECK_GE(options.capacity_spread, 0.0);
+  MMLP_CHECK_LT(options.capacity_spread, 1.0);
+
+  Rng rng(options.seed);
+  IspNetwork net;
+  net.num_links = options.num_customers * options.links_per_customer;
+
+  auto jitter = [&](double base) {
+    return base * (1.0 + rng.uniform(-options.capacity_spread,
+                                     options.capacity_spread));
+  };
+  for (std::int32_t l = 0; l < net.num_links; ++l) {
+    net.link_capacity.push_back(jitter(options.link_capacity));
+  }
+  for (std::int32_t t = 0; t < options.num_routers; ++t) {
+    net.router_capacity.push_back(jitter(options.router_capacity));
+  }
+
+  // Paths first: each last-mile link connects to routers_per_link
+  // distinct routers chosen uniformly. Resources are then created for
+  // every link and for the routers that actually carry a path (an
+  // untouched router would be an empty resource, which the standing
+  // assumptions forbid).
+  for (std::int32_t c = 0; c < options.num_customers; ++c) {
+    for (std::int32_t lc = 0; lc < options.links_per_customer; ++lc) {
+      const std::int32_t l = c * options.links_per_customer + lc;
+      const auto routers = rng.sample_without_replacement(
+          options.num_routers, options.routers_per_link);
+      for (const std::int32_t t : routers) {
+        net.paths.emplace_back(l, t);
+      }
+    }
+  }
+
+  Instance::Builder builder;
+  for (std::int32_t l = 0; l < net.num_links; ++l) {
+    const ResourceId id = builder.add_resource();
+    MMLP_CHECK_EQ(id, l);
+  }
+  net.router_resource.assign(static_cast<std::size_t>(options.num_routers), -1);
+  for (const auto& [l, t] : net.paths) {
+    auto& id = net.router_resource[static_cast<std::size_t>(t)];
+    if (id < 0) {
+      id = builder.add_resource();
+    }
+  }
+  for (std::int32_t c = 0; c < options.num_customers; ++c) {
+    const PartyId id = builder.add_party();
+    MMLP_CHECK_EQ(id, c);
+  }
+
+  for (const auto& [l, t] : net.paths) {
+    const AgentId v = builder.add_agent();
+    builder.set_usage(l, v, 1.0 / net.link_capacity[static_cast<std::size_t>(l)]);
+    builder.set_usage(net.router_resource[static_cast<std::size_t>(t)], v,
+                      1.0 / net.router_capacity[static_cast<std::size_t>(t)]);
+    builder.set_benefit(l / options.links_per_customer, v, 1.0);
+  }
+
+  net.instance = std::move(builder).build();
+  return net;
+}
+
+}  // namespace mmlp

@@ -1,0 +1,47 @@
+// ISP fair-share instances (Section 2, second application).
+//
+// Each beneficiary party k is a major customer of an Internet service
+// provider; each resource is either a bounded-capacity last-mile link
+// between one customer and the ISP, or a bounded-capacity access router
+// in the ISP's network. An agent v is a (last-mile link, router) path;
+// routing one unit of traffic over v consumes 1/capacity of both the
+// link and the router. The max-min objective is the fair share: the
+// worst-served customer's total throughput.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mmlp/core/instance.hpp"
+
+namespace mmlp {
+
+struct IspOptions {
+  std::int32_t num_customers = 16;
+  std::int32_t links_per_customer = 2;  ///< last-mile links per customer
+  std::int32_t num_routers = 8;
+  std::int32_t routers_per_link = 2;    ///< routers reachable from each link
+  double link_capacity = 1.0;           ///< base last-mile capacity
+  double router_capacity = 4.0;         ///< base router capacity
+  double capacity_spread = 0.5;         ///< ±relative random variation
+  std::uint64_t seed = 1;
+};
+
+struct IspNetwork {
+  Instance instance;
+  /// Agent v routes over last-mile link paths[v].first (a global last-mile
+  /// index in [0, num_customers*links_per_customer)) and router
+  /// paths[v].second.
+  std::vector<std::pair<std::int32_t, std::int32_t>> paths;
+  std::vector<double> link_capacity;    ///< per last-mile link
+  std::vector<double> router_capacity;  ///< per router
+  /// Resource ids: last-mile link l -> resource l; router t ->
+  /// router_resource[t] (−1 when no path was routed through t);
+  /// customer c -> party c.
+  std::vector<ResourceId> router_resource;
+  std::int32_t num_links = 0;
+};
+
+IspNetwork make_isp_network(const IspOptions& options);
+
+}  // namespace mmlp

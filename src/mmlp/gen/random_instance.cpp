@@ -1,0 +1,83 @@
+#include "mmlp/gen/random_instance.hpp"
+
+#include <algorithm>
+
+#include "mmlp/util/check.hpp"
+#include "mmlp/util/rng.hpp"
+
+namespace mmlp {
+
+namespace {
+
+/// Chunk a shuffled multiset of agent slots into supports of size
+/// <= max_support, deduplicating agents within each chunk.
+std::vector<std::vector<AgentId>> chunk_slots(std::vector<AgentId> slots,
+                                              std::int32_t max_support,
+                                              Rng& rng) {
+  rng.shuffle(slots);
+  std::vector<std::vector<AgentId>> supports;
+  std::vector<AgentId> current;
+  for (const AgentId v : slots) {
+    if (std::find(current.begin(), current.end(), v) != current.end()) {
+      // Duplicate within the chunk: flush early so v lands in a new one.
+      supports.push_back(current);
+      current.clear();
+    }
+    current.push_back(v);
+    if (current.size() == static_cast<std::size_t>(max_support)) {
+      supports.push_back(current);
+      current.clear();
+    }
+  }
+  if (!current.empty()) {
+    supports.push_back(current);
+  }
+  return supports;
+}
+
+}  // namespace
+
+Instance make_random_instance(const RandomInstanceOptions& options) {
+  MMLP_CHECK_GT(options.num_agents, 0);
+  MMLP_CHECK_GE(options.resources_per_agent, 1);  // I_v must be nonempty
+  MMLP_CHECK_GE(options.parties_per_agent, 0);
+  MMLP_CHECK_GE(options.max_support, 1);
+  MMLP_CHECK_GT(options.coef_lo, 0.0);
+  MMLP_CHECK_LE(options.coef_lo, options.coef_hi);
+
+  Rng rng(options.seed);
+  auto coefficient = [&]() { return rng.uniform(options.coef_lo, options.coef_hi); };
+
+  std::vector<AgentId> resource_slots;
+  for (AgentId v = 0; v < options.num_agents; ++v) {
+    for (std::int32_t rep = 0; rep < options.resources_per_agent; ++rep) {
+      resource_slots.push_back(v);
+    }
+  }
+  std::vector<AgentId> party_slots;
+  for (AgentId v = 0; v < options.num_agents; ++v) {
+    for (std::int32_t rep = 0; rep < options.parties_per_agent; ++rep) {
+      party_slots.push_back(v);
+    }
+  }
+
+  Instance::Builder builder;
+  builder.reserve(options.num_agents, 0, 0);
+  for (const auto& support : chunk_slots(std::move(resource_slots),
+                                         options.max_support, rng)) {
+    const ResourceId i = builder.add_resource();
+    for (const AgentId v : support) {
+      builder.set_usage(i, v, coefficient());
+    }
+  }
+  for (const auto& support :
+       chunk_slots(std::move(party_slots), options.max_support, rng)) {
+    const PartyId k = builder.add_party();
+    for (const AgentId v : support) {
+      builder.set_benefit(k, v, coefficient());
+    }
+  }
+  return std::move(builder).build();
+}
+
+}  // namespace mmlp

@@ -1,0 +1,28 @@
+// Random bounded-degree max-min LP instances.
+//
+// Workload generator for property tests and microbenchmarks: every agent
+// joins `resources_per_agent` resources and `parties_per_agent` parties;
+// supports are built by chunking a shuffled slot multiset, which keeps
+// |V_i| ≤ max_support and |V_k| ≤ max_support, i.e. all four degree
+// bounds of Section 1.2 hold by construction.
+#pragma once
+
+#include <cstdint>
+
+#include "mmlp/core/instance.hpp"
+
+namespace mmlp {
+
+struct RandomInstanceOptions {
+  AgentId num_agents = 100;
+  std::int32_t resources_per_agent = 2;  ///< |I_v| (exact, up to dedup)
+  std::int32_t parties_per_agent = 1;    ///< |K_v| (exact, up to dedup)
+  std::int32_t max_support = 3;          ///< cap on |V_i| and |V_k|
+  double coef_lo = 0.5;                  ///< coefficient range (uniform)
+  double coef_hi = 1.5;
+  std::uint64_t seed = 1;
+};
+
+Instance make_random_instance(const RandomInstanceOptions& options);
+
+}  // namespace mmlp

@@ -1,0 +1,144 @@
+#include "mmlp/gen/sensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mmlp/util/check.hpp"
+#include "mmlp/util/rng.hpp"
+
+namespace mmlp {
+
+namespace {
+
+double squared_distance(const std::pair<double, double>& a,
+                        const std::pair<double, double>& b) {
+  const double dx = a.first - b.first;
+  const double dy = a.second - b.second;
+  return dx * dx + dy * dy;
+}
+
+}  // namespace
+
+SensorNetwork make_sensor_network(const SensorNetworkOptions& options) {
+  MMLP_CHECK_GT(options.num_sensors, 0);
+  MMLP_CHECK_GT(options.num_relays, 0);
+  MMLP_CHECK_GT(options.num_areas, 0);
+  MMLP_CHECK_GT(options.radio_range, 0.0);
+  MMLP_CHECK_GT(options.max_links_per_sensor, 0);
+
+  Rng rng(options.seed);
+  for (int placement_attempt = 0; placement_attempt < 64; ++placement_attempt) {
+    SensorNetwork net;
+    for (std::int32_t s = 0; s < options.num_sensors; ++s) {
+      net.sensor_pos.emplace_back(rng.uniform01(), rng.uniform01());
+    }
+    for (std::int32_t t = 0; t < options.num_relays; ++t) {
+      net.relay_pos.emplace_back(rng.uniform01(), rng.uniform01());
+    }
+    // Areas on a jittered sub-grid so coverage is spatially spread.
+    const auto side = static_cast<std::int32_t>(
+        std::ceil(std::sqrt(static_cast<double>(options.num_areas))));
+    for (std::int32_t k = 0; k < options.num_areas; ++k) {
+      const double cx = (0.5 + static_cast<double>(k % side)) / side;
+      const double cy = (0.5 + static_cast<double>(k / side)) / side;
+      net.area_pos.emplace_back(cx + rng.uniform(-0.1, 0.1),
+                                cy + rng.uniform(-0.1, 0.1));
+    }
+
+    // Links: each sensor keeps its max_links_per_sensor nearest in-range
+    // relays. This bounds |V_i| for sensor resources by that constant and
+    // keeps the degree bounds of Section 1.2 honest.
+    const double range2 = options.radio_range * options.radio_range;
+    for (std::int32_t s = 0; s < options.num_sensors; ++s) {
+      std::vector<std::pair<double, std::int32_t>> candidates;
+      for (std::int32_t t = 0; t < options.num_relays; ++t) {
+        const double d2 = squared_distance(net.sensor_pos[static_cast<std::size_t>(s)],
+                                           net.relay_pos[static_cast<std::size_t>(t)]);
+        if (d2 <= range2) {
+          candidates.emplace_back(d2, t);
+        }
+      }
+      std::sort(candidates.begin(), candidates.end());
+      const auto keep = std::min<std::size_t>(
+          candidates.size(), static_cast<std::size_t>(options.max_links_per_sensor));
+      for (std::size_t c = 0; c < keep; ++c) {
+        net.links.emplace_back(s, candidates[c].second);
+      }
+    }
+    if (net.links.empty()) {
+      continue;  // resample geometry
+    }
+
+    // Observation sets: which links benefit which areas.
+    const double sense2 = options.sensing_range * options.sensing_range;
+    std::vector<std::vector<AgentId>> area_links(
+        static_cast<std::size_t>(options.num_areas));
+    for (std::size_t v = 0; v < net.links.size(); ++v) {
+      const std::int32_t s = net.links[v].first;
+      for (std::int32_t k = 0; k < options.num_areas; ++k) {
+        if (squared_distance(net.sensor_pos[static_cast<std::size_t>(s)],
+                             net.area_pos[static_cast<std::size_t>(k)]) <= sense2) {
+          area_links[static_cast<std::size_t>(k)].push_back(
+              static_cast<AgentId>(v));
+        }
+      }
+    }
+    const bool any_area_covered =
+        std::any_of(area_links.begin(), area_links.end(),
+                    [](const auto& list) { return !list.empty(); });
+    if (!any_area_covered) {
+      continue;  // resample geometry
+    }
+
+    // Assemble the instance. Every link is an agent; sensors and relays
+    // that carry at least one link become resources; covered areas become
+    // parties.
+    Instance::Builder builder;
+    net.sensor_resource.assign(static_cast<std::size_t>(options.num_sensors), -1);
+    net.relay_resource.assign(static_cast<std::size_t>(options.num_relays), -1);
+    net.area_party.assign(static_cast<std::size_t>(options.num_areas), -1);
+
+    for (std::size_t v = 0; v < net.links.size(); ++v) {
+      const AgentId agent = builder.add_agent();
+      MMLP_CHECK_EQ(agent, static_cast<AgentId>(v));
+    }
+    for (std::size_t v = 0; v < net.links.size(); ++v) {
+      const auto [s, t] = net.links[v];
+      auto& sensor_res = net.sensor_resource[static_cast<std::size_t>(s)];
+      if (sensor_res < 0) {
+        sensor_res = builder.add_resource();
+      }
+      auto& relay_res = net.relay_resource[static_cast<std::size_t>(t)];
+      if (relay_res < 0) {
+        relay_res = builder.add_resource();
+      }
+      // Energy model: the sensor pays a base transmit cost plus a
+      // distance-dependent amplifier term; the relay pays a flat
+      // forwarding cost. Coefficients are fractions of the battery.
+      const double d2 = squared_distance(net.sensor_pos[static_cast<std::size_t>(s)],
+                                         net.relay_pos[static_cast<std::size_t>(t)]);
+      const double sensor_energy =
+          options.transmit_cost + options.distance_cost * d2;
+      builder.set_usage(sensor_res, static_cast<AgentId>(v), sensor_energy);
+      builder.set_usage(relay_res, static_cast<AgentId>(v), options.relay_cost);
+    }
+    for (std::int32_t k = 0; k < options.num_areas; ++k) {
+      const auto& list = area_links[static_cast<std::size_t>(k)];
+      if (list.empty()) {
+        continue;
+      }
+      const PartyId party = builder.add_party();
+      net.area_party[static_cast<std::size_t>(k)] = party;
+      for (const AgentId v : list) {
+        builder.set_benefit(party, v, 1.0);
+      }
+    }
+
+    net.instance = std::move(builder).build();
+    return net;
+  }
+  MMLP_CHECK_MSG(false, "sensor network generation failed; parameters leave "
+                        "the network disconnected (increase ranges)");
+}
+
+}  // namespace mmlp

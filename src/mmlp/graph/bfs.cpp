@@ -1,0 +1,128 @@
+#include "mmlp/graph/bfs.hpp"
+
+#include <algorithm>
+
+#include "mmlp/util/check.hpp"
+#include "mmlp/util/parallel.hpp"
+
+namespace mmlp {
+
+std::vector<std::int32_t> bfs_distances(const Hypergraph& h, NodeId source,
+                                        std::int32_t max_radius) {
+  MMLP_CHECK_GE(source, 0);
+  MMLP_CHECK_LT(source, h.num_nodes());
+  std::vector<std::int32_t> dist(static_cast<std::size_t>(h.num_nodes()), -1);
+  dist[static_cast<std::size_t>(source)] = 0;
+  std::vector<NodeId> frontier{source};
+  std::vector<NodeId> next;
+  std::int32_t level = 0;
+  while (!frontier.empty() && (max_radius < 0 || level < max_radius)) {
+    next.clear();
+    for (const NodeId v : frontier) {
+      for (const EdgeId e : h.edges_of(v)) {
+        for (const NodeId u : h.edge(e)) {
+          if (dist[static_cast<std::size_t>(u)] == -1) {
+            dist[static_cast<std::size_t>(u)] = level + 1;
+            next.push_back(u);
+          }
+        }
+      }
+    }
+    frontier.swap(next);
+    ++level;
+  }
+  return dist;
+}
+
+std::vector<NodeId> ball(const Hypergraph& h, NodeId v, std::int32_t radius) {
+  BallCollector collector(h);
+  return collector.collect(v, radius);
+}
+
+std::size_t ball_size(const Hypergraph& h, NodeId v, std::int32_t radius) {
+  return ball(h, v, radius).size();
+}
+
+BallCollector::BallCollector(const Hypergraph& h)
+    : h_(&h), dist_(static_cast<std::size_t>(h.num_nodes()), -1) {}
+
+const std::vector<NodeId>& BallCollector::collect(NodeId v, std::int32_t radius) {
+  MMLP_CHECK_GE(radius, 0);
+  MMLP_CHECK_GE(v, 0);
+  MMLP_CHECK_LT(v, h_->num_nodes());
+  // Reset only the entries touched by the previous call.
+  for (const NodeId u : touched_) {
+    dist_[static_cast<std::size_t>(u)] = -1;
+  }
+  touched_.clear();
+  result_.clear();
+  frontier_.clear();
+  next_frontier_.clear();
+
+  dist_[static_cast<std::size_t>(v)] = 0;
+  touched_.push_back(v);
+  result_.push_back(v);
+  frontier_.push_back(v);
+  for (std::int32_t level = 0; level < radius && !frontier_.empty(); ++level) {
+    next_frontier_.clear();
+    for (const NodeId w : frontier_) {
+      for (const EdgeId e : h_->edges_of(w)) {
+        for (const NodeId u : h_->edge(e)) {
+          if (dist_[static_cast<std::size_t>(u)] == -1) {
+            dist_[static_cast<std::size_t>(u)] = level + 1;
+            touched_.push_back(u);
+            result_.push_back(u);
+            next_frontier_.push_back(u);
+          }
+        }
+      }
+    }
+    frontier_.swap(next_frontier_);
+  }
+  std::sort(result_.begin(), result_.end());
+  return result_;
+}
+
+std::int32_t BallCollector::last_distance(NodeId u) const {
+  MMLP_CHECK_GE(u, 0);
+  MMLP_CHECK_LT(u, h_->num_nodes());
+  return dist_[static_cast<std::size_t>(u)];
+}
+
+std::vector<std::vector<NodeId>> all_balls(const Hypergraph& h,
+                                           std::int32_t radius) {
+  const auto n = static_cast<std::size_t>(h.num_nodes());
+  std::vector<std::vector<NodeId>> balls(n);
+  if (n == 0) {
+    return balls;
+  }
+  // Chunk the node range so each task amortises one BallCollector.
+  const std::size_t num_chunks =
+      std::min<std::size_t>(n, ThreadPool::global().size() * 8);
+  const std::size_t chunk = (n + num_chunks - 1) / num_chunks;
+  parallel_for(num_chunks, [&](std::size_t c) {
+    BallCollector collector(h);
+    const std::size_t begin = c * chunk;
+    const std::size_t end = std::min(n, begin + chunk);
+    for (std::size_t v = begin; v < end; ++v) {
+      balls[v] = collector.collect(static_cast<NodeId>(v), radius);
+    }
+  });
+  return balls;
+}
+
+std::int32_t hypergraph_distance(const Hypergraph& h, NodeId u, NodeId v) {
+  const auto dist = bfs_distances(h, u);
+  return dist[static_cast<std::size_t>(v)];
+}
+
+std::int32_t eccentricity(const Hypergraph& h, NodeId v) {
+  const auto dist = bfs_distances(h, v);
+  std::int32_t ecc = 0;
+  for (const std::int32_t d : dist) {
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+}  // namespace mmlp

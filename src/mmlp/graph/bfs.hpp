@@ -1,0 +1,61 @@
+// Breadth-first search over the agent graph induced by a hypergraph.
+//
+// Distances follow Section 1.4: d_H(u, v) is the shortest-path distance
+// where u, v are adjacent iff they share a hyperedge. B_H(v, r) is the
+// radius-r ball of eq. (Section 1.5). BallCollector keeps scratch arrays
+// alive across calls so ball enumeration inside the Theorem 3 algorithm
+// (one ball per agent) does not allocate per call.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mmlp/graph/hypergraph.hpp"
+
+namespace mmlp {
+
+/// Distances from `source` to every node; -1 for unreachable.
+/// If max_radius >= 0, the search stops expanding past that radius
+/// (farther nodes keep -1).
+std::vector<std::int32_t> bfs_distances(const Hypergraph& h, NodeId source,
+                                        std::int32_t max_radius = -1);
+
+/// B_H(v, r): all nodes within distance r of v, sorted ascending.
+std::vector<NodeId> ball(const Hypergraph& h, NodeId v, std::int32_t radius);
+
+/// |B_H(v, r)| without materialising the ball.
+std::size_t ball_size(const Hypergraph& h, NodeId v, std::int32_t radius);
+
+/// Reusable-buffer ball enumerator for hot loops.
+class BallCollector {
+ public:
+  explicit BallCollector(const Hypergraph& h);
+
+  /// Collect B_H(v, r), sorted. The returned reference is valid until the
+  /// next collect() call.
+  const std::vector<NodeId>& collect(NodeId v, std::int32_t radius);
+
+  /// Distance (within the last collected ball) of node u, or -1.
+  std::int32_t last_distance(NodeId u) const;
+
+ private:
+  const Hypergraph* h_;
+  std::vector<std::int32_t> dist_;    // -1 = untouched this round
+  std::vector<NodeId> touched_;       // nodes whose dist_ entry is set
+  std::vector<NodeId> result_;
+  std::vector<NodeId> frontier_;
+  std::vector<NodeId> next_frontier_;
+};
+
+/// B_H(v, r) for every node v, computed in parallel (chunked so each
+/// worker reuses one BallCollector).
+std::vector<std::vector<NodeId>> all_balls(const Hypergraph& h,
+                                           std::int32_t radius);
+
+/// Shortest-path distance between two nodes (-1 if disconnected).
+std::int32_t hypergraph_distance(const Hypergraph& h, NodeId u, NodeId v);
+
+/// Eccentricity of v (max distance to any reachable node).
+std::int32_t eccentricity(const Hypergraph& h, NodeId v);
+
+}  // namespace mmlp

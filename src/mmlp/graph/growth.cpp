@@ -1,0 +1,63 @@
+#include "mmlp/graph/growth.hpp"
+
+#include <algorithm>
+
+#include "mmlp/graph/bfs.hpp"
+#include "mmlp/util/check.hpp"
+#include "mmlp/util/parallel.hpp"
+
+namespace mmlp {
+
+std::vector<std::size_t> ball_size_profile(const Hypergraph& h, NodeId v,
+                                           std::int32_t max_radius) {
+  MMLP_CHECK_GE(max_radius, 0);
+  const auto dist = bfs_distances(h, v, max_radius);
+  std::vector<std::size_t> counts(static_cast<std::size_t>(max_radius) + 1, 0);
+  for (const std::int32_t d : dist) {
+    if (d >= 0 && d <= max_radius) {
+      ++counts[static_cast<std::size_t>(d)];
+    }
+  }
+  // Prefix-sum sphere sizes into ball sizes.
+  for (std::size_t r = 1; r < counts.size(); ++r) {
+    counts[r] += counts[r - 1];
+  }
+  return counts;
+}
+
+std::vector<double> growth_profile(const Hypergraph& h, std::int32_t max_radius) {
+  MMLP_CHECK_GE(max_radius, 0);
+  const auto n = static_cast<std::size_t>(h.num_nodes());
+  MMLP_CHECK_GT(n, 0u);
+  // Per-node profiles computed in parallel; the max-reduction is serial.
+  std::vector<std::vector<std::size_t>> profiles(n);
+  parallel_for(n, [&](std::size_t v) {
+    profiles[v] =
+        ball_size_profile(h, static_cast<NodeId>(v), max_radius + 1);
+  });
+  std::vector<double> gamma(static_cast<std::size_t>(max_radius) + 1, 0.0);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::int32_t r = 0; r <= max_radius; ++r) {
+      const double ratio =
+          static_cast<double>(profiles[v][static_cast<std::size_t>(r) + 1]) /
+          static_cast<double>(profiles[v][static_cast<std::size_t>(r)]);
+      gamma[static_cast<std::size_t>(r)] =
+          std::max(gamma[static_cast<std::size_t>(r)], ratio);
+    }
+  }
+  return gamma;
+}
+
+double growth_gamma(const Hypergraph& h, std::int32_t r) {
+  MMLP_CHECK_GE(r, 0);
+  return growth_profile(h, r)[static_cast<std::size_t>(r)];
+}
+
+double theorem3_bound(const Hypergraph& h, std::int32_t R) {
+  MMLP_CHECK_GE(R, 1);
+  const auto profile = growth_profile(h, R);
+  return profile[static_cast<std::size_t>(R) - 1] *
+         profile[static_cast<std::size_t>(R)];
+}
+
+}  // namespace mmlp

@@ -1,0 +1,153 @@
+#include "mmlp/graph/hypergraph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "mmlp/util/check.hpp"
+
+namespace mmlp {
+
+Hypergraph Hypergraph::from_edges(NodeId num_nodes,
+                                  const std::vector<std::vector<NodeId>>& edges) {
+  MMLP_CHECK_GE(num_nodes, 0);
+  Hypergraph h;
+  h.num_nodes_ = num_nodes;
+
+  std::size_t total_members = 0;
+  for (const auto& members : edges) {
+    MMLP_CHECK_MSG(!members.empty(), "hyperedges must be nonempty");
+    total_members += members.size();
+  }
+
+  h.edge_offsets_.clear();
+  h.edge_offsets_.reserve(edges.size() + 1);
+  h.edge_offsets_.push_back(0);
+  h.edge_nodes_.reserve(total_members);
+  for (const auto& members : edges) {
+    std::vector<NodeId> sorted = members;
+    std::sort(sorted.begin(), sorted.end());
+    MMLP_CHECK_MSG(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+                   "hyperedge contains a duplicate node");
+    for (const NodeId v : sorted) {
+      MMLP_CHECK_GE(v, 0);
+      MMLP_CHECK_LT(v, num_nodes);
+      h.edge_nodes_.push_back(v);
+    }
+    h.edge_offsets_.push_back(static_cast<std::int64_t>(h.edge_nodes_.size()));
+  }
+
+  // Transpose: counting sort of (node, edge) incidences.
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(num_nodes) + 1, 0);
+  for (const NodeId v : h.edge_nodes_) {
+    ++counts[static_cast<std::size_t>(v) + 1];
+  }
+  for (std::size_t v = 1; v < counts.size(); ++v) {
+    counts[v] += counts[v - 1];
+  }
+  h.node_offsets_ = counts;
+  h.node_edges_.assign(h.edge_nodes_.size(), 0);
+  std::vector<std::int64_t> cursor = h.node_offsets_;
+  for (EdgeId e = 0; e < h.num_edges(); ++e) {
+    for (const NodeId v : h.edge(e)) {
+      h.node_edges_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(v)]++)] = e;
+    }
+  }
+  return h;
+}
+
+std::span<const NodeId> Hypergraph::edge(EdgeId e) const {
+  MMLP_CHECK_GE(e, 0);
+  MMLP_CHECK_LT(e, num_edges());
+  const auto begin = static_cast<std::size_t>(edge_offsets_[static_cast<std::size_t>(e)]);
+  const auto end = static_cast<std::size_t>(edge_offsets_[static_cast<std::size_t>(e) + 1]);
+  return {edge_nodes_.data() + begin, end - begin};
+}
+
+std::span<const EdgeId> Hypergraph::edges_of(NodeId v) const {
+  MMLP_CHECK_GE(v, 0);
+  MMLP_CHECK_LT(v, num_nodes_);
+  const auto begin = static_cast<std::size_t>(node_offsets_[static_cast<std::size_t>(v)]);
+  const auto end = static_cast<std::size_t>(node_offsets_[static_cast<std::size_t>(v) + 1]);
+  return {node_edges_.data() + begin, end - begin};
+}
+
+std::vector<NodeId> Hypergraph::neighbors(NodeId v) const {
+  std::vector<NodeId> out;
+  for (const EdgeId e : edges_of(v)) {
+    for (const NodeId u : edge(e)) {
+      if (u != v) {
+        out.push_back(u);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::size_t Hypergraph::max_edge_size() const {
+  std::size_t best = 0;
+  for (EdgeId e = 0; e < num_edges(); ++e) {
+    best = std::max(best, edge_size(e));
+  }
+  return best;
+}
+
+std::size_t Hypergraph::max_degree() const {
+  std::size_t best = 0;
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    best = std::max(best, degree(v));
+  }
+  return best;
+}
+
+std::vector<std::int32_t> Hypergraph::components() const {
+  std::vector<std::int32_t> comp(static_cast<std::size_t>(num_nodes_), -1);
+  std::int32_t next = 0;
+  std::queue<NodeId> frontier;
+  for (NodeId start = 0; start < num_nodes_; ++start) {
+    if (comp[static_cast<std::size_t>(start)] != -1) {
+      continue;
+    }
+    comp[static_cast<std::size_t>(start)] = next;
+    frontier.push(start);
+    while (!frontier.empty()) {
+      const NodeId v = frontier.front();
+      frontier.pop();
+      for (const EdgeId e : edges_of(v)) {
+        for (const NodeId u : edge(e)) {
+          if (comp[static_cast<std::size_t>(u)] == -1) {
+            comp[static_cast<std::size_t>(u)] = next;
+            frontier.push(u);
+          }
+        }
+      }
+    }
+    ++next;
+  }
+  return comp;
+}
+
+bool Hypergraph::connected() const {
+  if (num_nodes_ <= 1) {
+    return true;
+  }
+  const auto comp = components();
+  return std::all_of(comp.begin(), comp.end(),
+                     [](std::int32_t c) { return c == 0; });
+}
+
+bool Hypergraph::adjacent(NodeId u, NodeId v) const {
+  if (u == v) {
+    return false;
+  }
+  for (const EdgeId e : edges_of(u)) {
+    const auto members = edge(e);
+    if (std::binary_search(members.begin(), members.end(), v)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace mmlp

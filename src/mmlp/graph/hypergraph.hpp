@@ -1,0 +1,64 @@
+// Communication hypergraph H = (V, E) of Section 1.4.
+//
+// Nodes are agents; hyperedges are the support sets V_i (resources) and
+// V_k (beneficiary parties). Two agents are adjacent iff they share a
+// hyperedge. Storage is CSR in both directions (edge -> member nodes and
+// node -> incident edges) so BFS over the agent graph and over incident
+// hyperedges are both cache-friendly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mmlp {
+
+using NodeId = std::int32_t;
+using EdgeId = std::int32_t;
+
+class Hypergraph {
+ public:
+  Hypergraph() = default;
+
+  /// Build from explicit member lists. Each edge must be nonempty and
+  /// contain valid, distinct node ids. Member lists are stored sorted.
+  static Hypergraph from_edges(NodeId num_nodes,
+                               const std::vector<std::vector<NodeId>>& edges);
+
+  NodeId num_nodes() const { return num_nodes_; }
+  EdgeId num_edges() const { return static_cast<EdgeId>(edge_offsets_.size()) - 1; }
+
+  /// Member nodes of hyperedge e (sorted).
+  std::span<const NodeId> edge(EdgeId e) const;
+
+  /// Hyperedges incident to node v (sorted).
+  std::span<const EdgeId> edges_of(NodeId v) const;
+
+  std::size_t edge_size(EdgeId e) const { return edge(e).size(); }
+  std::size_t degree(NodeId v) const { return edges_of(v).size(); }
+
+  /// Distinct neighbours of v (nodes sharing a hyperedge with v,
+  /// excluding v itself), sorted.
+  std::vector<NodeId> neighbors(NodeId v) const;
+
+  std::size_t max_edge_size() const;
+  std::size_t max_degree() const;
+
+  /// Connected-component id per node (0-based, BFS order).
+  std::vector<std::int32_t> components() const;
+  bool connected() const;
+
+  /// True if u and v share at least one hyperedge (u != v).
+  bool adjacent(NodeId u, NodeId v) const;
+
+ private:
+  NodeId num_nodes_ = 0;
+  // CSR edge -> nodes.
+  std::vector<std::int64_t> edge_offsets_{0};
+  std::vector<NodeId> edge_nodes_;
+  // CSR node -> edges.
+  std::vector<std::int64_t> node_offsets_;
+  std::vector<EdgeId> node_edges_;
+};
+
+}  // namespace mmlp

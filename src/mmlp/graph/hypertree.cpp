@@ -1,0 +1,72 @@
+#include "mmlp/graph/hypertree.hpp"
+
+#include "mmlp/util/check.hpp"
+
+namespace mmlp {
+
+Hypertree Hypertree::complete(std::int32_t d, std::int32_t D,
+                              std::int32_t height) {
+  MMLP_CHECK_GE(d, 1);
+  MMLP_CHECK_GE(D, 1);
+  MMLP_CHECK_GE(height, 0);
+  Hypertree tree;
+  tree.d_ = d;
+  tree.D_ = D;
+  tree.height_ = height;
+  tree.nodes_by_level_.resize(static_cast<std::size_t>(height) + 1);
+
+  // Root.
+  tree.level_.push_back(0);
+  tree.nodes_by_level_[0].push_back(0);
+
+  for (std::int32_t h = 1; h <= height; ++h) {
+    const std::int32_t parent_level = h - 1;
+    const bool type_one = (parent_level % 2 == 0);
+    const std::int32_t fanout = type_one ? d : D;
+    for (const std::int32_t parent : tree.nodes_by_level_[static_cast<std::size_t>(parent_level)]) {
+      HypertreeEdge edge;
+      edge.type = type_one ? HyperedgeType::kTypeI : HyperedgeType::kTypeII;
+      edge.parent = parent;
+      edge.children.reserve(static_cast<std::size_t>(fanout));
+      for (std::int32_t c = 0; c < fanout; ++c) {
+        const auto node = static_cast<std::int32_t>(tree.level_.size());
+        tree.level_.push_back(h);
+        tree.nodes_by_level_[static_cast<std::size_t>(h)].push_back(node);
+        edge.children.push_back(node);
+      }
+      tree.edges_.push_back(std::move(edge));
+    }
+  }
+
+  // Sanity: levels match the closed form.
+  for (std::int32_t l = 0; l <= height; ++l) {
+    MMLP_CHECK_EQ(
+        static_cast<std::int64_t>(tree.nodes_by_level_[static_cast<std::size_t>(l)].size()),
+        expected_level_size(d, D, l));
+  }
+  return tree;
+}
+
+const std::vector<std::int32_t>& Hypertree::nodes_at_level(std::int32_t level) const {
+  MMLP_CHECK_GE(level, 0);
+  MMLP_CHECK_LE(level, height_);
+  return nodes_by_level_[static_cast<std::size_t>(level)];
+}
+
+std::int64_t Hypertree::expected_level_size(std::int32_t d, std::int32_t D,
+                                            std::int32_t level) {
+  std::int64_t size = 1;
+  if (level % 2 == 0) {
+    for (std::int32_t j = 0; j < level / 2; ++j) {
+      size *= static_cast<std::int64_t>(d) * D;
+    }
+  } else {
+    for (std::int32_t j = 0; j < (level - 1) / 2; ++j) {
+      size *= static_cast<std::int64_t>(d) * D;
+    }
+    size *= d;
+  }
+  return size;
+}
+
+}  // namespace mmlp

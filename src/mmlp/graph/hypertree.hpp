@@ -1,0 +1,63 @@
+// Complete (d, D)-ary hypertrees (Section 4.2, Figure 1(b)).
+//
+// Built inductively: height 0 is a single node at level 0; for h > 0,
+// every node v at level h−1 gains a new hyperedge containing v plus
+//   * d new nodes if h−1 is even  (a "type I" hyperedge — a resource), or
+//   * D new nodes if h−1 is odd   (a "type II" hyperedge — a party).
+// New nodes sit at level h. Level ℓ holds (dD)^(ℓ/2) nodes for even ℓ and
+// d·(dD)^((ℓ−1)/2) for odd ℓ; the leaves of a height-(2R−1) hypertree
+// number d^R·D^(R−1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mmlp {
+
+enum class HyperedgeType : std::uint8_t {
+  kTypeI,   ///< resource edge: 1 parent + d children, created from even levels
+  kTypeII,  ///< party edge: 1 parent + D children, created from odd levels
+};
+
+struct HypertreeEdge {
+  HyperedgeType type;
+  std::int32_t parent;                 ///< the level-(h−1) node
+  std::vector<std::int32_t> children;  ///< the d or D level-h nodes
+};
+
+class Hypertree {
+ public:
+  /// Build the complete (d, D)-ary hypertree of the given height.
+  static Hypertree complete(std::int32_t d, std::int32_t D, std::int32_t height);
+
+  std::int32_t d() const { return d_; }
+  std::int32_t D() const { return D_; }
+  std::int32_t height() const { return height_; }
+
+  std::int32_t num_nodes() const { return static_cast<std::int32_t>(level_.size()); }
+  const std::vector<HypertreeEdge>& edges() const { return edges_; }
+
+  /// Level of a node (root is level 0).
+  std::int32_t level(std::int32_t node) const { return level_[static_cast<std::size_t>(node)]; }
+
+  /// Nodes at a given level, in creation order.
+  const std::vector<std::int32_t>& nodes_at_level(std::int32_t level) const;
+
+  /// The leaf nodes (level == height).
+  const std::vector<std::int32_t>& leaves() const { return nodes_at_level(height_); }
+
+  /// Closed-form level cardinality from the paper:
+  /// (dD)^(ℓ/2) for even ℓ, d·(dD)^((ℓ−1)/2) for odd ℓ.
+  static std::int64_t expected_level_size(std::int32_t d, std::int32_t D,
+                                          std::int32_t level);
+
+ private:
+  std::int32_t d_ = 0;
+  std::int32_t D_ = 0;
+  std::int32_t height_ = 0;
+  std::vector<std::int32_t> level_;
+  std::vector<std::vector<std::int32_t>> nodes_by_level_;
+  std::vector<HypertreeEdge> edges_;
+};
+
+}  // namespace mmlp

@@ -1,0 +1,288 @@
+#include "mmlp/graph/regular_bipartite.hpp"
+
+#include <algorithm>
+#include <array>
+#include <queue>
+
+#include "mmlp/util/check.hpp"
+
+namespace mmlp {
+
+namespace {
+
+// Find some cycle strictly shorter than `bound` and return its vertices in
+// order, or an empty vector. Depth-limited BFS from every vertex: a cycle
+// of length L < bound is detected from any of its vertices with depth
+// <= bound/2. Paths to the closing edge may share a prefix; taking the
+// walk up to the lowest common ancestor yields a genuine (possibly even
+// shorter) cycle, which is fine for repair purposes.
+std::vector<std::int32_t> find_cycle_shorter_than(const SimpleGraph& g,
+                                                  std::int32_t bound) {
+  const std::int32_t depth_cap = bound / 2;
+  std::vector<std::int32_t> dist(static_cast<std::size_t>(g.num_vertices()));
+  std::vector<std::int32_t> parent(static_cast<std::size_t>(g.num_vertices()));
+  for (std::int32_t source = 0; source < g.num_vertices(); ++source) {
+    std::fill(dist.begin(), dist.end(), -1);
+    std::fill(parent.begin(), parent.end(), -1);
+    std::queue<std::int32_t> frontier;
+    dist[static_cast<std::size_t>(source)] = 0;
+    frontier.push(source);
+    while (!frontier.empty()) {
+      const std::int32_t v = frontier.front();
+      frontier.pop();
+      if (dist[static_cast<std::size_t>(v)] >= depth_cap) {
+        continue;
+      }
+      for (const std::int32_t u : g.neighbors(v)) {
+        if (dist[static_cast<std::size_t>(u)] == -1) {
+          dist[static_cast<std::size_t>(u)] = dist[static_cast<std::size_t>(v)] + 1;
+          parent[static_cast<std::size_t>(u)] = v;
+          frontier.push(u);
+        } else if (u != parent[static_cast<std::size_t>(v)]) {
+          const std::int32_t len = dist[static_cast<std::size_t>(v)] +
+                                   dist[static_cast<std::size_t>(u)] + 1;
+          if (len >= bound) {
+            continue;
+          }
+          // Reconstruct the closed walk v..source..u + edge (u, v), then
+          // cut at the lowest common ancestor.
+          std::vector<std::int32_t> path_v{v};
+          for (std::int32_t x = v; parent[static_cast<std::size_t>(x)] != -1;) {
+            x = parent[static_cast<std::size_t>(x)];
+            path_v.push_back(x);
+          }
+          std::vector<std::int32_t> path_u{u};
+          for (std::int32_t x = u; parent[static_cast<std::size_t>(x)] != -1;) {
+            x = parent[static_cast<std::size_t>(x)];
+            path_u.push_back(x);
+          }
+          // Strip the common suffix (both paths end at `source`).
+          while (path_v.size() > 1 && path_u.size() > 1 &&
+                 path_v[path_v.size() - 2] == path_u[path_u.size() - 2]) {
+            path_v.pop_back();
+            path_u.pop_back();
+          }
+          std::vector<std::int32_t> cycle = path_v;  // v .. lca
+          for (std::size_t idx = path_u.size() - 1; idx-- > 0;) {
+            cycle.push_back(path_u[idx]);  // lca-child .. u
+          }
+          return cycle;
+        }
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::optional<RegularBipartiteResult> random_regular_bipartite(
+    const RegularBipartiteConfig& config, Rng& rng) {
+  const std::int32_t n = config.nodes_per_side;
+  const std::int32_t deg = config.degree;
+  MMLP_CHECK_GT(n, 0);
+  MMLP_CHECK_GT(deg, 0);
+  MMLP_CHECK_LE(deg, n);
+  MMLP_CHECK_GE(config.min_girth, 4);
+  MMLP_CHECK_EQ(config.min_girth % 2, 0);  // bipartite graphs have even cycles
+
+  for (std::int32_t attempt = 1; attempt <= config.max_attempts; ++attempt) {
+    // matchings[m][u] = right partner (0-based within the right side).
+    std::vector<std::vector<std::int32_t>> matchings;
+    matchings.reserve(static_cast<std::size_t>(deg));
+    for (std::int32_t m = 0; m < deg; ++m) {
+      matchings.push_back(rng.permutation(n));
+    }
+
+    SimpleGraph graph(2 * n);
+    // Insert matchings one by one. Duplicate pairs across matchings are
+    // resolved *before* insertion by random 2-opt swaps inside the new
+    // matching until it is conflict-free against everything inserted so
+    // far (a swap can introduce a new conflict, but with deg << n the
+    // expected conflict count is tiny and the loop converges fast).
+    bool attempt_failed = false;
+    for (std::int32_t m = 0; m < deg && !attempt_failed; ++m) {
+      auto& row = matchings[static_cast<std::size_t>(m)];
+      bool clean = false;
+      for (std::int32_t trial = 0; trial < 256 && !clean; ++trial) {
+        clean = true;
+        for (std::int32_t u = 0; u < n; ++u) {
+          if (graph.has_edge(u, n + row[static_cast<std::size_t>(u)])) {
+            clean = false;
+            const auto other = static_cast<std::int32_t>(
+                rng.next_below(static_cast<std::uint64_t>(n)));
+            std::swap(row[static_cast<std::size_t>(u)],
+                      row[static_cast<std::size_t>(other)]);
+          }
+        }
+      }
+      if (!clean) {
+        attempt_failed = true;
+        break;
+      }
+      for (std::int32_t u = 0; u < n; ++u) {
+        graph.add_edge(u, n + row[static_cast<std::size_t>(u)]);
+      }
+    }
+    if (attempt_failed) {
+      continue;
+    }
+
+    // Short-cycle repair: 2-opt swaps along shortest offending cycles.
+    std::int64_t steps = 0;
+    while (steps < config.max_repair_steps) {
+      const auto cycle = find_cycle_shorter_than(graph, config.min_girth);
+      if (cycle.empty()) {
+        RegularBipartiteResult result{std::move(graph), attempt, steps};
+        MMLP_CHECK(check_regular_bipartite(result.graph, n, deg,
+                                           config.min_girth));
+        return result;
+      }
+      ++steps;
+      // Pick a random edge (a, b) on the cycle with `a` on the left side.
+      const auto pick = static_cast<std::size_t>(
+          rng.next_below(cycle.size()));
+      std::int32_t a = cycle[pick];
+      std::int32_t b = cycle[(pick + 1) % cycle.size()];
+      if (a >= n) {
+        std::swap(a, b);
+      }
+      MMLP_CHECK(a < n && b >= n);
+      // Locate the matching that owns (a, b).
+      std::int32_t owner = -1;
+      for (std::int32_t m = 0; m < deg; ++m) {
+        if (matchings[static_cast<std::size_t>(m)][static_cast<std::size_t>(a)] ==
+            b - n) {
+          owner = m;
+          break;
+        }
+      }
+      MMLP_CHECK_GE(owner, 0);
+      // Try a few random swap partners; skip ones that would duplicate.
+      bool swapped = false;
+      for (int tries = 0; tries < 16 && !swapped; ++tries) {
+        const auto u = static_cast<std::int32_t>(
+            rng.next_below(static_cast<std::uint64_t>(n)));
+        if (u == a) {
+          continue;
+        }
+        auto& row = matchings[static_cast<std::size_t>(owner)];
+        const std::int32_t c = row[static_cast<std::size_t>(u)];  // u's partner
+        // New edges would be (a, n+c) and (u, n+(b-n)).
+        if (graph.has_edge(a, n + c) || graph.has_edge(u, b)) {
+          continue;
+        }
+        graph.remove_edge(a, b);
+        graph.remove_edge(u, n + c);
+        graph.add_edge(a, n + c);
+        graph.add_edge(u, b);
+        row[static_cast<std::size_t>(a)] = c;
+        row[static_cast<std::size_t>(u)] = b - n;
+        swapped = true;
+      }
+      if (!swapped) {
+        break;  // stuck; restart the attempt
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool is_prime(std::int32_t value) {
+  if (value < 2) {
+    return false;
+  }
+  for (std::int32_t factor = 2;
+       static_cast<std::int64_t>(factor) * factor <= value; ++factor) {
+    if (value % factor == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+SimpleGraph projective_plane_incidence(std::int32_t q) {
+  MMLP_CHECK(is_prime(q));
+  // Canonical homogeneous coordinates over GF(q): [1, a, b], [0, 1, a],
+  // [0, 0, 1] — q² + q + 1 points; lines use the same enumeration (the
+  // plane is self-dual) and incidence is a zero dot product mod q.
+  std::vector<std::array<std::int32_t, 3>> coords;
+  coords.reserve(static_cast<std::size_t>(q) * q + q + 1);
+  for (std::int32_t a = 0; a < q; ++a) {
+    for (std::int32_t b = 0; b < q; ++b) {
+      coords.push_back({1, a, b});
+    }
+  }
+  for (std::int32_t a = 0; a < q; ++a) {
+    coords.push_back({0, 1, a});
+  }
+  coords.push_back({0, 0, 1});
+  const auto n = static_cast<std::int32_t>(coords.size());
+  MMLP_CHECK_EQ(n, q * q + q + 1);
+
+  SimpleGraph graph(2 * n);
+  for (std::int32_t point = 0; point < n; ++point) {
+    for (std::int32_t line = 0; line < n; ++line) {
+      const std::int64_t dot =
+          static_cast<std::int64_t>(coords[static_cast<std::size_t>(point)][0]) *
+              coords[static_cast<std::size_t>(line)][0] +
+          static_cast<std::int64_t>(coords[static_cast<std::size_t>(point)][1]) *
+              coords[static_cast<std::size_t>(line)][1] +
+          static_cast<std::int64_t>(coords[static_cast<std::size_t>(point)][2]) *
+              coords[static_cast<std::size_t>(line)][2];
+      if (dot % q == 0) {
+        graph.add_edge(point, n + line);
+      }
+    }
+  }
+  MMLP_CHECK(check_regular_bipartite(graph, n, q + 1, 6));
+  return graph;
+}
+
+std::optional<RegularBipartiteResult> high_girth_bipartite(
+    std::int32_t degree, std::int32_t min_girth,
+    std::int32_t fallback_nodes_per_side, Rng& rng) {
+  MMLP_CHECK_GE(degree, 1);
+  if (min_girth <= 6 && degree >= 3 && is_prime(degree - 1)) {
+    RegularBipartiteResult result;
+    result.graph = projective_plane_incidence(degree - 1);
+    return result;
+  }
+  RegularBipartiteConfig config;
+  config.degree = degree;
+  config.min_girth = min_girth;
+  if (fallback_nodes_per_side > 0) {
+    config.nodes_per_side = fallback_nodes_per_side;
+  } else {
+    // Repair needs the per-swap cycle-creation rate Δ^(g/2−1)/n^(g/2−2)
+    // to stay below 1; for girth 6 that is n >> Δ³ (capped for sanity).
+    const std::int64_t wanted =
+        4 * static_cast<std::int64_t>(degree) * degree * degree;
+    config.nodes_per_side = static_cast<std::int32_t>(
+        std::clamp<std::int64_t>(wanted, 64, 20000));
+  }
+  config.nodes_per_side = std::max(config.nodes_per_side, degree);
+  return random_regular_bipartite(config, rng);
+}
+
+bool check_regular_bipartite(const SimpleGraph& g, std::int32_t nodes_per_side,
+                             std::int32_t degree, std::int32_t min_girth) {
+  if (g.num_vertices() != 2 * nodes_per_side) {
+    return false;
+  }
+  if (!g.is_regular(static_cast<std::size_t>(degree))) {
+    return false;
+  }
+  // Sides must not mix: every edge goes left (< n) to right (>= n).
+  for (std::int32_t v = 0; v < nodes_per_side; ++v) {
+    for (const std::int32_t u : g.neighbors(v)) {
+      if (u < nodes_per_side) {
+        return false;
+      }
+    }
+  }
+  const auto girth = g.girth();
+  return !girth.has_value() || *girth >= min_girth;
+}
+
+}  // namespace mmlp

@@ -1,0 +1,65 @@
+// Random Δ-regular bipartite graphs with a girth floor (Section 4.2).
+//
+// The lower-bound construction needs a template graph Q that is
+// d^R·D^(R−1)-regular, bipartite, and has no cycle shorter than 4r + 2.
+// The paper cites McKay–Wormald–Wysocka for existence via the random
+// regular model; here Q is sampled constructively as the union of Δ
+// random perfect matchings between the two sides, followed by a
+// short-cycle repair loop: while some cycle is shorter than the girth
+// floor, a random edge on a shortest cycle is 2-opt-swapped with another
+// edge of the same matching (which preserves both regularity and the
+// matching decomposition).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "mmlp/graph/simple_graph.hpp"
+#include "mmlp/util/rng.hpp"
+
+namespace mmlp {
+
+struct RegularBipartiteConfig {
+  std::int32_t nodes_per_side = 0;  ///< n: vertices on each side
+  std::int32_t degree = 0;          ///< Δ: must satisfy Δ <= n
+  std::int32_t min_girth = 6;       ///< reject cycles shorter than this
+  std::int64_t max_repair_steps = 200000;
+  std::int32_t max_attempts = 32;   ///< full resamples before giving up
+};
+
+/// Result: left vertices are 0..n-1, right vertices are n..2n-1.
+struct RegularBipartiteResult {
+  SimpleGraph graph;
+  std::int32_t attempts_used = 0;
+  std::int64_t repair_steps_used = 0;
+};
+
+/// Sample a graph per the config; nullopt if the girth floor could not be
+/// met within the step/attempt budget (the caller should enlarge n).
+std::optional<RegularBipartiteResult> random_regular_bipartite(
+    const RegularBipartiteConfig& config, Rng& rng);
+
+/// Structural check used by callers and tests: Δ-regular, bipartite with
+/// the expected sides, girth >= min_girth (or forest).
+bool check_regular_bipartite(const SimpleGraph& g, std::int32_t nodes_per_side,
+                             std::int32_t degree, std::int32_t min_girth);
+
+/// Incidence graph of the projective plane PG(2, q), q prime: a
+/// (q+1)-regular bipartite graph with q²+q+1 vertices per side and girth
+/// exactly 6 — the minimal deterministic witness for the girth-6 regular
+/// bipartite graphs the Section 4 construction needs (random sampling
+/// requires n = Ω(Δ³) to repair, since the expected 4-cycle count is
+/// (Δ−1)⁴/4 independently of n). Left vertices 0..q²+q are points, right
+/// vertices are lines.
+SimpleGraph projective_plane_incidence(std::int32_t q);
+
+bool is_prime(std::int32_t value);
+
+/// Best available Δ-regular bipartite graph with girth ≥ min_girth:
+/// projective plane when min_girth ≤ 6 and Δ−1 is prime, otherwise the
+/// random sampler at `fallback_nodes_per_side` (0 = heuristic size).
+std::optional<RegularBipartiteResult> high_girth_bipartite(
+    std::int32_t degree, std::int32_t min_girth,
+    std::int32_t fallback_nodes_per_side, Rng& rng);
+
+}  // namespace mmlp

@@ -1,0 +1,194 @@
+#include "mmlp/graph/simple_graph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "mmlp/util/check.hpp"
+
+namespace mmlp {
+
+SimpleGraph::SimpleGraph(std::int32_t num_vertices)
+    : adj_(static_cast<std::size_t>(num_vertices)) {
+  MMLP_CHECK_GE(num_vertices, 0);
+}
+
+void SimpleGraph::check_vertex(std::int32_t v) const {
+  MMLP_CHECK_GE(v, 0);
+  MMLP_CHECK_LT(v, num_vertices());
+}
+
+void SimpleGraph::add_edge(std::int32_t u, std::int32_t v) {
+  check_vertex(u);
+  check_vertex(v);
+  MMLP_CHECK_MSG(u != v, "self-loop rejected");
+  MMLP_CHECK_MSG(!has_edge(u, v), "parallel edge rejected: " << u << "-" << v);
+  adj_[static_cast<std::size_t>(u)].push_back(v);
+  adj_[static_cast<std::size_t>(v)].push_back(u);
+  ++num_edges_;
+}
+
+void SimpleGraph::remove_edge(std::int32_t u, std::int32_t v) {
+  check_vertex(u);
+  check_vertex(v);
+  auto erase_one = [](std::vector<std::int32_t>& list, std::int32_t target) {
+    const auto it = std::find(list.begin(), list.end(), target);
+    MMLP_CHECK_MSG(it != list.end(), "edge to remove does not exist");
+    list.erase(it);
+  };
+  erase_one(adj_[static_cast<std::size_t>(u)], v);
+  erase_one(adj_[static_cast<std::size_t>(v)], u);
+  --num_edges_;
+}
+
+bool SimpleGraph::has_edge(std::int32_t u, std::int32_t v) const {
+  check_vertex(u);
+  check_vertex(v);
+  const auto& list = adj_[static_cast<std::size_t>(u)];
+  return std::find(list.begin(), list.end(), v) != list.end();
+}
+
+const std::vector<std::int32_t>& SimpleGraph::neighbors(std::int32_t v) const {
+  check_vertex(v);
+  return adj_[static_cast<std::size_t>(v)];
+}
+
+bool SimpleGraph::is_regular(std::size_t d) const {
+  for (const auto& list : adj_) {
+    if (list.size() != d) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<std::vector<std::int8_t>> SimpleGraph::bipartition() const {
+  std::vector<std::int8_t> color(adj_.size(), -1);
+  std::queue<std::int32_t> frontier;
+  for (std::int32_t start = 0; start < num_vertices(); ++start) {
+    if (color[static_cast<std::size_t>(start)] != -1) {
+      continue;
+    }
+    color[static_cast<std::size_t>(start)] = 0;
+    frontier.push(start);
+    while (!frontier.empty()) {
+      const std::int32_t v = frontier.front();
+      frontier.pop();
+      for (const std::int32_t u : adj_[static_cast<std::size_t>(v)]) {
+        auto& cu = color[static_cast<std::size_t>(u)];
+        if (cu == -1) {
+          cu = static_cast<std::int8_t>(1 - color[static_cast<std::size_t>(v)]);
+          frontier.push(u);
+        } else if (cu == color[static_cast<std::size_t>(v)]) {
+          return std::nullopt;
+        }
+      }
+    }
+  }
+  return color;
+}
+
+std::optional<std::int32_t> SimpleGraph::shortest_cycle_through(
+    std::int32_t source) const {
+  // BFS from `source`; the first non-tree edge closes a candidate cycle of
+  // length dist[x] + dist[u] + 1. The minimum candidate is an upper bound
+  // on the shortest cycle through `source`; minimised over all sources it
+  // is exactly the girth (standard O(VE) algorithm).
+  check_vertex(source);
+  std::vector<std::int32_t> dist(adj_.size(), -1);
+  std::vector<std::int32_t> parent(adj_.size(), -1);
+  std::queue<std::int32_t> frontier;
+  dist[static_cast<std::size_t>(source)] = 0;
+  frontier.push(source);
+  std::optional<std::int32_t> best;
+  while (!frontier.empty()) {
+    const std::int32_t v = frontier.front();
+    frontier.pop();
+    // Nodes at depth >= best/2 cannot improve the candidate.
+    if (best.has_value() && 2 * dist[static_cast<std::size_t>(v)] + 1 >= *best) {
+      continue;
+    }
+    for (const std::int32_t u : adj_[static_cast<std::size_t>(v)]) {
+      if (dist[static_cast<std::size_t>(u)] == -1) {
+        dist[static_cast<std::size_t>(u)] = dist[static_cast<std::size_t>(v)] + 1;
+        parent[static_cast<std::size_t>(u)] = v;
+        frontier.push(u);
+      } else if (u != parent[static_cast<std::size_t>(v)]) {
+        const std::int32_t candidate = dist[static_cast<std::size_t>(v)] +
+                                       dist[static_cast<std::size_t>(u)] + 1;
+        if (!best.has_value() || candidate < *best) {
+          best = candidate;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+std::optional<std::int32_t> SimpleGraph::girth() const {
+  std::optional<std::int32_t> best;
+  for (std::int32_t v = 0; v < num_vertices(); ++v) {
+    const auto candidate = shortest_cycle_through(v);
+    if (candidate.has_value() && (!best.has_value() || *candidate < *best)) {
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+bool SimpleGraph::ball_is_acyclic(std::int32_t v, std::int32_t radius) const {
+  // The induced subgraph on B(v, radius) is a forest iff
+  // |edges| <= |vertices| - #components; check via edge counting on the
+  // induced vertex set (exact).
+  const auto members = ball(v, radius);
+  std::vector<std::int8_t> in_ball(adj_.size(), 0);
+  for (const std::int32_t u : members) {
+    in_ball[static_cast<std::size_t>(u)] = 1;
+  }
+  std::int64_t induced_edges = 0;
+  for (const std::int32_t u : members) {
+    for (const std::int32_t w : adj_[static_cast<std::size_t>(u)]) {
+      if (w > u && in_ball[static_cast<std::size_t>(w)]) {
+        ++induced_edges;
+      }
+    }
+  }
+  // The ball is connected by construction, so forest <=> edges == n - 1.
+  return induced_edges == static_cast<std::int64_t>(members.size()) - 1;
+}
+
+std::vector<std::int32_t> SimpleGraph::ball(std::int32_t v,
+                                            std::int32_t radius) const {
+  const auto dist = bfs(v, radius);
+  std::vector<std::int32_t> members;
+  for (std::int32_t u = 0; u < num_vertices(); ++u) {
+    if (dist[static_cast<std::size_t>(u)] >= 0) {
+      members.push_back(u);
+    }
+  }
+  return members;
+}
+
+std::vector<std::int32_t> SimpleGraph::bfs(std::int32_t v,
+                                           std::int32_t max_radius) const {
+  check_vertex(v);
+  std::vector<std::int32_t> dist(adj_.size(), -1);
+  dist[static_cast<std::size_t>(v)] = 0;
+  std::queue<std::int32_t> frontier;
+  frontier.push(v);
+  while (!frontier.empty()) {
+    const std::int32_t x = frontier.front();
+    frontier.pop();
+    if (max_radius >= 0 && dist[static_cast<std::size_t>(x)] >= max_radius) {
+      continue;
+    }
+    for (const std::int32_t u : adj_[static_cast<std::size_t>(x)]) {
+      if (dist[static_cast<std::size_t>(u)] == -1) {
+        dist[static_cast<std::size_t>(u)] = dist[static_cast<std::size_t>(x)] + 1;
+        frontier.push(u);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace mmlp

@@ -1,0 +1,65 @@
+// Simple undirected graph, used for the template graph Q of Section 4.2.
+//
+// Q must be a Δ-regular bipartite graph with no cycle shorter than
+// 4r + 2; this class provides the structural predicates the lower-bound
+// construction relies on (regularity, bipartiteness, girth, local
+// acyclicity).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace mmlp {
+
+class SimpleGraph {
+ public:
+  explicit SimpleGraph(std::int32_t num_vertices = 0);
+
+  std::int32_t num_vertices() const { return static_cast<std::int32_t>(adj_.size()); }
+  std::int64_t num_undirected_edges() const { return num_edges_; }
+
+  /// Add edge {u, v}; parallel edges and self-loops are rejected.
+  void add_edge(std::int32_t u, std::int32_t v);
+
+  /// Remove edge {u, v}; the edge must exist.
+  void remove_edge(std::int32_t u, std::int32_t v);
+
+  bool has_edge(std::int32_t u, std::int32_t v) const;
+
+  const std::vector<std::int32_t>& neighbors(std::int32_t v) const;
+  std::size_t degree(std::int32_t v) const { return neighbors(v).size(); }
+
+  /// Every vertex has degree exactly d.
+  bool is_regular(std::size_t d) const;
+
+  /// Two-colourability; returns the colouring if bipartite.
+  std::optional<std::vector<std::int8_t>> bipartition() const;
+
+  /// Length of the shortest cycle; nullopt if the graph is a forest.
+  /// O(V * E) BFS-based computation (exact for girth in simple graphs).
+  std::optional<std::int32_t> girth() const;
+
+  /// BFS cycle-length candidate from vertex v (nullopt if the component of
+  /// v is a tree). An upper bound on the shortest cycle through v; the
+  /// minimum over all v equals the girth.
+  std::optional<std::int32_t> shortest_cycle_through(std::int32_t v) const;
+
+  /// True if the subgraph induced by B(v, radius) contains no cycle.
+  bool ball_is_acyclic(std::int32_t v, std::int32_t radius) const;
+
+  /// Vertices within BFS distance `radius` of v (sorted).
+  std::vector<std::int32_t> ball(std::int32_t v, std::int32_t radius) const;
+
+  /// Distances from source (-1 unreachable), optionally radius-capped.
+  std::vector<std::int32_t> bfs(std::int32_t v, std::int32_t max_radius = -1) const;
+
+ private:
+  void check_vertex(std::int32_t v) const;
+
+  std::vector<std::vector<std::int32_t>> adj_;
+  std::int64_t num_edges_ = 0;
+};
+
+}  // namespace mmlp

@@ -1,0 +1,106 @@
+#include "mmlp/lp/duality.hpp"
+
+#include "mmlp/util/check.hpp"
+
+namespace mmlp {
+
+bool is_le_form(const LpProblem& problem) {
+  for (const LpRow& row : problem.rows) {
+    if (row.sense != ConstraintSense::kLe) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool is_packing_lp(const LpProblem& problem) {
+  if (!is_le_form(problem)) {
+    return false;
+  }
+  for (const double c : problem.objective) {
+    if (c < 0.0) {
+      return false;
+    }
+  }
+  for (const LpRow& row : problem.rows) {
+    if (row.rhs < 0.0) {
+      return false;
+    }
+    for (const double a : row.coeffs) {
+      if (a < 0.0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+LpProblem dual_of_le_form(const LpProblem& primal) {
+  primal.validate();
+  MMLP_CHECK_MSG(is_le_form(primal), "dual_of_le_form needs all-<= rows");
+  LpProblem dual;
+  dual.num_vars = static_cast<std::int32_t>(primal.rows.size());
+  dual.objective.assign(static_cast<std::size_t>(dual.num_vars), 0.0);
+  for (std::size_t i = 0; i < primal.rows.size(); ++i) {
+    dual.objective[i] = -primal.rows[i].rhs;  // max −b·y
+  }
+  // One dual row per primal variable: −(Aᵀ y)_j ≤ −c_j.
+  std::vector<LpRow> rows(static_cast<std::size_t>(primal.num_vars));
+  std::vector<double> objective = primal.objective;
+  objective.resize(static_cast<std::size_t>(primal.num_vars), 0.0);
+  for (std::size_t j = 0; j < rows.size(); ++j) {
+    rows[j].sense = ConstraintSense::kLe;
+    rows[j].rhs = -objective[j];
+  }
+  for (std::size_t i = 0; i < primal.rows.size(); ++i) {
+    const LpRow& row = primal.rows[i];
+    for (std::size_t idx = 0; idx < row.vars.size(); ++idx) {
+      auto& dual_row = rows[static_cast<std::size_t>(row.vars[idx])];
+      dual_row.vars.push_back(static_cast<std::int32_t>(i));
+      dual_row.coeffs.push_back(-row.coeffs[idx]);
+    }
+  }
+  dual.rows = std::move(rows);
+  return dual;
+}
+
+LpProblem packing_from_instance(const Instance& instance) {
+  MMLP_CHECK_EQ(instance.num_parties(), 1);
+  LpProblem lp;
+  lp.num_vars = instance.num_agents();
+  lp.objective.assign(static_cast<std::size_t>(lp.num_vars), 0.0);
+  for (const Coef& entry : instance.party_support(0)) {
+    lp.objective[static_cast<std::size_t>(entry.id)] = entry.value;
+  }
+  for (ResourceId i = 0; i < instance.num_resources(); ++i) {
+    LpRow& row = lp.add_row(ConstraintSense::kLe, 1.0);
+    for (const Coef& entry : instance.resource_support(i)) {
+      row.vars.push_back(entry.id);
+      row.coeffs.push_back(entry.value);
+    }
+  }
+  MMLP_CHECK(is_packing_lp(lp));
+  return lp;
+}
+
+LpProblem covering_from_instance(const Instance& instance) {
+  return dual_of_le_form(packing_from_instance(instance));
+}
+
+double duality_gap(const LpProblem& primal, const std::vector<double>& x,
+                   const std::vector<double>& y) {
+  MMLP_CHECK(is_le_form(primal));
+  MMLP_CHECK_EQ(x.size(), static_cast<std::size_t>(primal.num_vars));
+  MMLP_CHECK_EQ(y.size(), primal.rows.size());
+  double primal_value = 0.0;
+  for (std::size_t j = 0; j < x.size() && j < primal.objective.size(); ++j) {
+    primal_value += primal.objective[j] * x[j];
+  }
+  double dual_value = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    dual_value += primal.rows[i].rhs * y[i];
+  }
+  return dual_value - primal_value;
+}
+
+}  // namespace mmlp

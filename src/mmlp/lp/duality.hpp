@@ -1,0 +1,44 @@
+// Packing/covering LP duality (Section 1.3).
+//
+// The |K| = 1 special case of (1) is the fractional packing LP
+//   max c·x  s.t.  A x ≤ b,  x ≥ 0        (A, b, c nonnegative)
+// whose dual is the covering LP
+//   min b·y  s.t.  Aᵀ y ≥ c,  y ≥ 0.
+// These helpers build the dual (of any ≤-form max LP, packing or not),
+// extract the packing LP of a single-party instance, and verify weak
+// duality; strong duality is exercised via the simplex in tests.
+#pragma once
+
+#include <vector>
+
+#include "mmlp/core/instance.hpp"
+#include "mmlp/lp/simplex.hpp"
+
+namespace mmlp {
+
+/// True iff the problem is max-form with only ≤ rows (the shape whose
+/// dual is a pure min/≥ program); packing additionally requires
+/// nonnegative data.
+bool is_le_form(const LpProblem& problem);
+bool is_packing_lp(const LpProblem& problem);
+
+/// Dual of a ≤-form max LP, expressed again as a max LP:
+///   primal max c·x, Ax ≤ b, x ≥ 0
+///   dual   max −b·y, −Aᵀy ≤ −c, y ≥ 0      (value = −(min b·y))
+/// For a finite primal optimum, solve_lp(dual).objective == −primal value.
+LpProblem dual_of_le_form(const LpProblem& primal);
+
+/// The packing LP of a single-party instance: max Σ c_kv x_v s.t. Ax ≤ 1.
+/// Requires instance.num_parties() == 1.
+LpProblem packing_from_instance(const Instance& instance);
+
+/// The covering LP dual of the same instance (in max form; negate the
+/// objective to read the covering optimum).
+LpProblem covering_from_instance(const Instance& instance);
+
+/// Weak duality certificate: for feasible primal x and dual y,
+/// c·x ≤ b·y. Returns b·y − c·x (≥ −tol for genuinely feasible pairs).
+double duality_gap(const LpProblem& primal, const std::vector<double>& x,
+                   const std::vector<double>& y);
+
+}  // namespace mmlp

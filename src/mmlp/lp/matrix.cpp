@@ -1,0 +1,60 @@
+#include "mmlp/lp/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mmlp {
+
+DenseMatrix::DenseMatrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+std::vector<double> DenseMatrix::multiply(const std::vector<double>& x) const {
+  MMLP_CHECK_EQ(x.size(), cols_);
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* a = row(r);
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) {
+      acc += a[c] * x[c];
+    }
+    y[r] = acc;
+  }
+  return y;
+}
+
+std::vector<double> DenseMatrix::multiply_transpose(
+    const std::vector<double>& x) const {
+  MMLP_CHECK_EQ(x.size(), rows_);
+  std::vector<double> y(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* a = row(r);
+    const double xr = x[r];
+    if (xr == 0.0) {
+      continue;
+    }
+    for (std::size_t c = 0; c < cols_; ++c) {
+      y[c] += a[c] * xr;
+    }
+  }
+  return y;
+}
+
+DenseMatrix DenseMatrix::transpose() const {
+  DenseMatrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      t(c, r) = (*this)(r, c);
+    }
+  }
+  return t;
+}
+
+double DenseMatrix::max_abs() const {
+  double best = 0.0;
+  for (const double v : data_) {
+    best = std::max(best, std::abs(v));
+  }
+  return best;
+}
+
+}  // namespace mmlp

@@ -1,0 +1,48 @@
+#include "mmlp/lp/maxmin_reduction.hpp"
+
+#include "mmlp/util/check.hpp"
+
+namespace mmlp {
+
+LpProblem maxmin_to_lp(const Instance& instance) {
+  LpProblem problem;
+  const AgentId n = instance.num_agents();
+  problem.num_vars = n + 1;  // x plus ω
+  problem.objective.assign(static_cast<std::size_t>(problem.num_vars), 0.0);
+  problem.objective.back() = 1.0;  // maximise ω
+
+  for (ResourceId i = 0; i < instance.num_resources(); ++i) {
+    LpRow& row = problem.add_row(ConstraintSense::kLe, 1.0);
+    for (const Coef& entry : instance.resource_support(i)) {
+      row.vars.push_back(entry.id);
+      row.coeffs.push_back(entry.value);
+    }
+  }
+  for (PartyId k = 0; k < instance.num_parties(); ++k) {
+    LpRow& row = problem.add_row(ConstraintSense::kGe, 0.0);
+    for (const Coef& entry : instance.party_support(k)) {
+      row.vars.push_back(entry.id);
+      row.coeffs.push_back(entry.value);
+    }
+    row.vars.push_back(n);  // −ω
+    row.coeffs.push_back(-1.0);
+  }
+  return problem;
+}
+
+MaxMinLpResult solve_maxmin_simplex(const Instance& instance,
+                                    const SimplexOptions& options) {
+  const LpProblem problem = maxmin_to_lp(instance);
+  const LpResult lp = solve_lp(problem, options);
+  MaxMinLpResult result;
+  result.status = lp.status;
+  result.iterations = lp.iterations;
+  if (lp.status == LpStatus::kOptimal) {
+    result.omega = lp.objective;
+    result.x.assign(lp.x.begin(),
+                    lp.x.begin() + instance.num_agents());
+  }
+  return result;
+}
+
+}  // namespace mmlp

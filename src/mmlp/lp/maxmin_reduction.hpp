@@ -1,0 +1,34 @@
+// The LP formulation of Section 1.3.
+//
+// A finite max-min LP (1) is the linear program
+//
+//   maximise ω   s.t.   A x ≤ 1,   C x − ω·1 ≥ 0,   x ≥ 0, ω ≥ 0,
+//
+// whose constraint matrix is no longer nonnegative (the −ω column). This
+// module builds that LP from an Instance and solves it exactly with the
+// simplex substrate.
+#pragma once
+
+#include <vector>
+
+#include "mmlp/core/instance.hpp"
+#include "mmlp/lp/simplex.hpp"
+
+namespace mmlp {
+
+/// Build the LP; variables are x_0..x_{n−1} followed by ω at index n.
+LpProblem maxmin_to_lp(const Instance& instance);
+
+struct MaxMinLpResult {
+  LpStatus status = LpStatus::kIterLimit;
+  double omega = 0.0;
+  std::vector<double> x;  ///< size num_agents
+  std::int64_t iterations = 0;
+};
+
+/// Solve (1) exactly. An instance with no parties has ω unbounded; this
+/// is reported as LpStatus::kUnbounded.
+MaxMinLpResult solve_maxmin_simplex(const Instance& instance,
+                                    const SimplexOptions& options = {});
+
+}  // namespace mmlp

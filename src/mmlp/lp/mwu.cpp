@@ -1,0 +1,220 @@
+#include "mmlp/lp/mwu.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "mmlp/core/safe.hpp"
+#include "mmlp/core/solution.hpp"
+#include "mmlp/util/check.hpp"
+#include "mmlp/util/parallel.hpp"
+
+namespace mmlp {
+
+namespace {
+
+/// State of one feasibility test: is there x ≥ 0 with Ax ≤ 1, Cx ≥ λ·1?
+class FeasibilityTest {
+ public:
+  FeasibilityTest(const Instance& instance, double lambda, double epsilon,
+                  std::vector<double> x0)
+      : instance_(instance),
+        lambda_(lambda),
+        epsilon_(epsilon),
+        x_(std::move(x0)) {
+    const auto n = static_cast<std::size_t>(instance.num_agents());
+    if (x_.size() != n) {
+      x_.assign(n, 0.0);
+    }
+    const double m = static_cast<double>(instance.num_resources() +
+                                         instance.num_parties());
+    eta_ = std::log(std::max(2.0, m)) / epsilon_;
+    // Per-phase steps must keep every row's change ≤ ε/η even when all
+    // agents of the row move simultaneously.
+    const DegreeBounds bounds = instance.degree_bounds();
+    row_span_ = static_cast<double>(
+        std::max<std::size_t>(1, std::max(bounds.delta_V_of_I, bounds.delta_V_of_K)));
+    recompute_rows();
+  }
+
+  /// Run up to `max_phases` phases; true iff every covering row reached 1.
+  bool run(std::int64_t max_phases, std::int64_t* phases_used) {
+    const auto n = static_cast<std::size_t>(instance_.num_agents());
+    std::vector<double> rho(n, 0.0);
+    std::int64_t phase = 0;
+    for (; phase < max_phases; ++phase) {
+      if (min_cov_ >= 1.0) {
+        break;  // success
+      }
+      if (max_pack_ > 1.0 + 3.0 * epsilon_) {
+        break;  // packing budget exhausted before coverage: treat as infeasible
+      }
+      // Normalised weights: p_i = exp(η(load_i − max_load)),
+      // q_k = exp(η(min_cov − cov_k)) for active rows (cov_k < 1).
+      const double pack_shift = max_pack_;
+      const double cov_shift = min_cov_;
+      parallel_for(n, [&](std::size_t v) {
+        const auto agent = static_cast<AgentId>(v);
+        double numer = 0.0;
+        for (const Coef& entry : instance_.agent_parties(agent)) {
+          const double cov = cov_value_[static_cast<std::size_t>(entry.id)];
+          if (cov >= 1.0) {
+            continue;  // this party is already served
+          }
+          numer += (entry.value / lambda_) *
+                   std::exp(eta_ * (cov_shift - cov));
+        }
+        double denom = 0.0;
+        for (const Coef& entry : instance_.agent_resources(agent)) {
+          denom += entry.value *
+                   std::exp(eta_ * (pack_value_[static_cast<std::size_t>(entry.id)] -
+                                    pack_shift));
+        }
+        rho[v] = denom > 0.0 ? numer / denom : 0.0;
+      });
+      const double rho_best = *std::max_element(rho.begin(), rho.end());
+      if (rho_best <= 0.0) {
+        break;  // nobody can contribute to an unserved party
+      }
+      const double rho_cut = rho_best / (1.0 + epsilon_);
+      // Increment every near-best agent. Serial update: supports are
+      // bounded-degree so this is O(#incremented).
+      bool any = false;
+      for (std::size_t v = 0; v < n; ++v) {
+        if (rho[v] < rho_cut) {
+          continue;
+        }
+        const auto agent = static_cast<AgentId>(v);
+        double scale = 0.0;  // max row coefficient for this agent
+        for (const Coef& entry : instance_.agent_resources(agent)) {
+          scale = std::max(scale, entry.value);
+        }
+        for (const Coef& entry : instance_.agent_parties(agent)) {
+          scale = std::max(scale, entry.value / lambda_);
+        }
+        if (scale <= 0.0) {
+          continue;
+        }
+        const double delta = epsilon_ / (eta_ * scale * row_span_);
+        x_[v] += delta;
+        any = true;
+        for (const Coef& entry : instance_.agent_resources(agent)) {
+          pack_value_[static_cast<std::size_t>(entry.id)] += entry.value * delta;
+        }
+        for (const Coef& entry : instance_.agent_parties(agent)) {
+          cov_value_[static_cast<std::size_t>(entry.id)] +=
+              (entry.value / lambda_) * delta;
+        }
+      }
+      if (!any) {
+        break;
+      }
+      refresh_extrema();
+    }
+    if (phases_used != nullptr) {
+      *phases_used = phase;
+    }
+    return min_cov_ >= 1.0;
+  }
+
+  const std::vector<double>& x() const { return x_; }
+
+ private:
+  void recompute_rows() {
+    pack_value_.assign(static_cast<std::size_t>(instance_.num_resources()), 0.0);
+    cov_value_.assign(static_cast<std::size_t>(instance_.num_parties()), 0.0);
+    for (AgentId v = 0; v < instance_.num_agents(); ++v) {
+      const double xv = x_[static_cast<std::size_t>(v)];
+      if (xv == 0.0) {
+        continue;
+      }
+      for (const Coef& entry : instance_.agent_resources(v)) {
+        pack_value_[static_cast<std::size_t>(entry.id)] += entry.value * xv;
+      }
+      for (const Coef& entry : instance_.agent_parties(v)) {
+        cov_value_[static_cast<std::size_t>(entry.id)] +=
+            (entry.value / lambda_) * xv;
+      }
+    }
+    refresh_extrema();
+  }
+
+  void refresh_extrema() {
+    max_pack_ = 0.0;
+    for (const double value : pack_value_) {
+      max_pack_ = std::max(max_pack_, value);
+    }
+    min_cov_ = std::numeric_limits<double>::infinity();
+    for (const double value : cov_value_) {
+      min_cov_ = std::min(min_cov_, value);
+    }
+    if (cov_value_.empty()) {
+      min_cov_ = 1.0;
+    }
+  }
+
+  const Instance& instance_;
+  double lambda_;
+  double epsilon_;
+  double eta_;
+  double row_span_;
+  std::vector<double> x_;
+  std::vector<double> pack_value_;  // (Ax)_i
+  std::vector<double> cov_value_;   // (Cx)_k / λ
+  double max_pack_ = 0.0;
+  double min_cov_ = 0.0;
+};
+
+}  // namespace
+
+MwuResult solve_maxmin_mwu(const Instance& instance, const MwuOptions& options) {
+  MMLP_CHECK_GT(instance.num_parties(), 0);
+  MMLP_CHECK_GT(options.epsilon, 0.0);
+  MMLP_CHECK_LT(options.epsilon, 1.0);
+
+  MwuResult result;
+
+  // Bracket [lo, hi]: the safe solution gives a feasible lower bound and
+  // (by the Δ_I^V-approximation guarantee of Section 4) ω* ≤ Δ_I^V · ω_safe.
+  std::vector<double> best_x = safe_solution(instance);
+  double lo = objective_omega(instance, best_x);
+  MMLP_CHECK_GT(lo, 0.0);  // safe x is strictly positive, supports nonempty
+  const double delta = static_cast<double>(instance.degree_bounds().delta_V_of_I);
+  double hi = lo * std::max(1.0, delta);
+
+  std::vector<double> warm;  // carried across probes when warm_start
+  while (result.bisection_steps < options.max_bisection_steps &&
+         hi > lo * (1.0 + options.epsilon)) {
+    ++result.bisection_steps;
+    const double mid = std::sqrt(lo * hi);
+    FeasibilityTest test(instance, mid, options.epsilon,
+                         options.warm_start ? warm : std::vector<double>{});
+    std::int64_t phases = 0;
+    const bool feasible = test.run(options.max_phases, &phases);
+    result.total_phases += phases;
+    if (feasible) {
+      best_x = test.x();
+      if (options.warm_start) {
+        // Leave packing headroom so the next (higher-λ) probe does not
+        // start at the packing budget and get misjudged infeasible.
+        warm = test.x();
+        for (double& value : warm) {
+          value *= 1.0 - options.epsilon;
+        }
+      }
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  result.converged = hi <= lo * (1.0 + options.epsilon);
+
+  // Validate: whatever happened above, return an exactly feasible x and
+  // its true objective.
+  scale_to_feasible(instance, best_x);
+  result.omega = objective_omega(instance, best_x);
+  result.x = std::move(best_x);
+  return result;
+}
+
+}  // namespace mmlp

@@ -1,0 +1,44 @@
+// Approximate max-min LP solver for instances beyond the dense simplex.
+//
+// Solves  max ω : Ax ≤ 1, Cx ≥ ω·1, x ≥ 0  to a (1±ε) guarantee target by
+// geometric bisection on ω. Each candidate ω is tested with a
+// multiplicative-weights mixed packing/covering feasibility routine in the
+// style of Young (2001) / Luby–Nisan: packing rows carry weights
+// exp(+η·load), covering rows exp(−η·benefit); every phase increments all
+// agents whose benefit/cost weight ratio is within (1+ε) of the best, with
+// steps sized so no row changes by more than ε per phase. Phases are
+// embarrassingly parallel over agents (the HPC-relevant property: this is
+// the variant that parallelises, unlike the sequential greedy).
+//
+// The routine is *validating*: the returned x is always scaled to exact
+// feasibility and ω is re-measured against the instance, so the result is
+// a true lower bound on ω* regardless of early stopping. `converged`
+// reports whether the bisection bracket shrank below 1+ε.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mmlp/core/instance.hpp"
+
+namespace mmlp {
+
+struct MwuOptions {
+  double epsilon = 0.05;           ///< target relative error
+  std::int64_t max_phases = 50000; ///< per feasibility test
+  std::int32_t max_bisection_steps = 24;
+  bool warm_start = true;          ///< reuse x across bisection probes
+};
+
+struct MwuResult {
+  double omega = 0.0;        ///< measured ω of the returned feasible x
+  std::vector<double> x;     ///< feasible solution (scaled exactly)
+  bool converged = false;    ///< bracket shrank below (1+ε)
+  std::int64_t total_phases = 0;
+  std::int32_t bisection_steps = 0;
+};
+
+/// Approximately solve (1). Requires at least one party.
+MwuResult solve_maxmin_mwu(const Instance& instance, const MwuOptions& options = {});
+
+}  // namespace mmlp

@@ -1,0 +1,424 @@
+#include "mmlp/lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "mmlp/lp/matrix.hpp"
+#include "mmlp/util/check.hpp"
+
+namespace mmlp {
+
+void LpProblem::set_objective(std::int32_t var, double coeff) {
+  MMLP_CHECK_GE(var, 0);
+  MMLP_CHECK_LT(var, num_vars);
+  if (objective.size() != static_cast<std::size_t>(num_vars)) {
+    objective.assign(static_cast<std::size_t>(num_vars), 0.0);
+  }
+  objective[static_cast<std::size_t>(var)] = coeff;
+}
+
+LpRow& LpProblem::add_row(ConstraintSense sense, double rhs) {
+  rows.push_back(LpRow{{}, {}, sense, rhs});
+  return rows.back();
+}
+
+void LpProblem::validate() const {
+  MMLP_CHECK_GE(num_vars, 0);
+  MMLP_CHECK(objective.empty() ||
+             objective.size() == static_cast<std::size_t>(num_vars));
+  for (const auto& row : rows) {
+    MMLP_CHECK_EQ(row.vars.size(), row.coeffs.size());
+    for (const auto var : row.vars) {
+      MMLP_CHECK_GE(var, 0);
+      MMLP_CHECK_LT(var, num_vars);
+    }
+  }
+}
+
+const char* to_string(LpStatus status) {
+  switch (status) {
+    case LpStatus::kOptimal:
+      return "optimal";
+    case LpStatus::kInfeasible:
+      return "infeasible";
+    case LpStatus::kUnbounded:
+      return "unbounded";
+    case LpStatus::kIterLimit:
+      return "iteration-limit";
+  }
+  return "unknown";
+}
+
+double max_violation(const LpProblem& problem, const std::vector<double>& x,
+                     double tol) {
+  MMLP_CHECK_EQ(x.size(), static_cast<std::size_t>(problem.num_vars));
+  double worst = 0.0;
+  for (const double value : x) {
+    worst = std::max(worst, -value);  // x >= 0
+  }
+  for (const auto& row : problem.rows) {
+    double lhs = 0.0;
+    for (std::size_t j = 0; j < row.vars.size(); ++j) {
+      lhs += row.coeffs[j] * x[static_cast<std::size_t>(row.vars[j])];
+    }
+    double violation = 0.0;
+    switch (row.sense) {
+      case ConstraintSense::kLe:
+        violation = lhs - row.rhs;
+        break;
+      case ConstraintSense::kGe:
+        violation = row.rhs - lhs;
+        break;
+      case ConstraintSense::kEq:
+        violation = std::abs(lhs - row.rhs);
+        break;
+    }
+    worst = std::max(worst, violation);
+  }
+  return std::max(0.0, worst - tol);
+}
+
+namespace {
+
+/// Dense tableau state for the two-phase method.
+class Tableau {
+ public:
+  Tableau(const LpProblem& problem, const SimplexOptions& options)
+      : options_(options), num_structural_(problem.num_vars) {
+    const std::size_t m = problem.rows.size();
+
+    // Column layout: [structural | slack/surplus | artificial].
+    num_slack_ = 0;
+    num_artificial_ = 0;
+    for (const auto& row : problem.rows) {
+      // Rows are normalised to rhs >= 0 below; the *effective* sense after
+      // normalisation decides the auxiliary columns.
+      const bool flip = row.rhs < 0.0;
+      ConstraintSense sense = row.sense;
+      if (flip) {
+        if (sense == ConstraintSense::kLe) {
+          sense = ConstraintSense::kGe;
+        } else if (sense == ConstraintSense::kGe) {
+          sense = ConstraintSense::kLe;
+        }
+      }
+      switch (sense) {
+        case ConstraintSense::kLe:
+          ++num_slack_;
+          break;
+        case ConstraintSense::kGe:
+          ++num_slack_;
+          ++num_artificial_;
+          break;
+        case ConstraintSense::kEq:
+          ++num_artificial_;
+          break;
+      }
+    }
+    num_cols_ = static_cast<std::size_t>(num_structural_) + num_slack_ + num_artificial_;
+
+    table_ = DenseMatrix(m, num_cols_ + 1, 0.0);
+    basis_.assign(m, -1);
+    banned_.assign(num_cols_, 0);
+
+    std::size_t slack_cursor = static_cast<std::size_t>(num_structural_);
+    std::size_t art_cursor = static_cast<std::size_t>(num_structural_) + num_slack_;
+    artificial_start_ = art_cursor;
+
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto& row = problem.rows[i];
+      const double sign = row.rhs < 0.0 ? -1.0 : 1.0;
+      ConstraintSense sense = row.sense;
+      if (sign < 0.0) {
+        if (sense == ConstraintSense::kLe) {
+          sense = ConstraintSense::kGe;
+        } else if (sense == ConstraintSense::kGe) {
+          sense = ConstraintSense::kLe;
+        }
+      }
+      double* t = table_.row(i);
+      for (std::size_t j = 0; j < row.vars.size(); ++j) {
+        t[static_cast<std::size_t>(row.vars[j])] += sign * row.coeffs[j];
+      }
+      t[num_cols_] = sign * row.rhs;
+      switch (sense) {
+        case ConstraintSense::kLe:
+          t[slack_cursor] = 1.0;
+          basis_[i] = static_cast<std::int64_t>(slack_cursor);
+          ++slack_cursor;
+          break;
+        case ConstraintSense::kGe:
+          t[slack_cursor] = -1.0;
+          ++slack_cursor;
+          t[art_cursor] = 1.0;
+          basis_[i] = static_cast<std::int64_t>(art_cursor);
+          ++art_cursor;
+          break;
+        case ConstraintSense::kEq:
+          t[art_cursor] = 1.0;
+          basis_[i] = static_cast<std::int64_t>(art_cursor);
+          ++art_cursor;
+          break;
+      }
+    }
+    MMLP_CHECK_EQ(slack_cursor, static_cast<std::size_t>(num_structural_) + num_slack_);
+    MMLP_CHECK_EQ(art_cursor, num_cols_);
+  }
+
+  /// Run both phases. Returns the final status; on kOptimal the solution
+  /// can be read with extract().
+  LpStatus run(const std::vector<double>& objective) {
+    // ---- Phase 1: maximise -(sum of artificials). ----
+    if (num_artificial_ > 0) {
+      std::vector<double> phase1_cost(num_cols_, 0.0);
+      for (std::size_t j = artificial_start_; j < num_cols_; ++j) {
+        phase1_cost[j] = -1.0;
+      }
+      init_zrow(phase1_cost);
+      // Phase 1 is done the moment its objective hits zero; without this
+      // early exit an already-feasible start (common: all artificial rows
+      // have rhs 0) grinds through thousands of degenerate pivots whose
+      // accumulated roundoff can corrupt the tableau.
+      phase1_early_exit_ = true;
+      const LpStatus status = iterate(phase1_cost);
+      phase1_early_exit_ = false;
+      if (status != LpStatus::kOptimal) {
+        // Phase 1 is bounded below (>= -sum b), so unbounded cannot occur;
+        // propagate an iteration-limit verdict.
+        return status == LpStatus::kUnbounded ? LpStatus::kIterLimit : status;
+      }
+      if (phase1_objective() < -options_.feas_tol) {
+        return LpStatus::kInfeasible;
+      }
+      purge_artificials();
+      for (std::size_t j = artificial_start_; j < num_cols_; ++j) {
+        banned_[j] = 1;
+      }
+    }
+
+    // ---- Phase 2: original objective over structural columns. ----
+    std::vector<double> phase2_cost(num_cols_, 0.0);
+    for (std::size_t j = 0;
+         j < static_cast<std::size_t>(num_structural_) && j < objective.size();
+         ++j) {
+      phase2_cost[j] = objective[j];
+    }
+    init_zrow(phase2_cost);
+    return iterate(phase2_cost);
+  }
+
+  std::vector<double> extract() const {
+    std::vector<double> x(static_cast<std::size_t>(num_structural_), 0.0);
+    for (std::size_t i = 0; i < basis_.size(); ++i) {
+      const std::int64_t var = basis_[i];
+      if (var >= 0 && var < num_structural_) {
+        x[static_cast<std::size_t>(var)] =
+            std::max(0.0, table_(i, num_cols_));
+      }
+    }
+    return x;
+  }
+
+  std::int64_t iterations() const { return iterations_; }
+
+ private:
+  double phase1_objective() const {
+    // c_B^T b with phase-1 costs: -(sum of basic artificial values).
+    double z = 0.0;
+    for (std::size_t i = 0; i < basis_.size(); ++i) {
+      if (basis_[i] >= static_cast<std::int64_t>(artificial_start_)) {
+        z -= table_(i, num_cols_);
+      }
+    }
+    return z;
+  }
+
+  void init_zrow(const std::vector<double>& cost) {
+    zrow_.assign(num_cols_ + 1, 0.0);
+    for (std::size_t j = 0; j < num_cols_; ++j) {
+      zrow_[j] = -cost[j];
+    }
+    for (std::size_t i = 0; i < basis_.size(); ++i) {
+      const double cb = cost[static_cast<std::size_t>(basis_[i])];
+      if (cb == 0.0) {
+        continue;
+      }
+      const double* t = table_.row(i);
+      for (std::size_t j = 0; j <= num_cols_; ++j) {
+        zrow_[j] += cb * t[j];
+      }
+    }
+  }
+
+  /// Price, ratio-test, pivot until optimal/unbounded/limit.
+  LpStatus iterate(const std::vector<double>& cost) {
+    (void)cost;
+    std::int64_t degenerate_streak = 0;
+    while (true) {
+      if (phase1_early_exit_ && zrow_[num_cols_] >= -options_.feas_tol) {
+        return LpStatus::kOptimal;  // no infeasibility left to price out
+      }
+      if (iterations_ >= options_.max_iterations) {
+        return LpStatus::kIterLimit;
+      }
+      const bool bland = degenerate_streak > options_.degeneracy_window;
+      // Entering column.
+      std::int64_t enter = -1;
+      double best = -options_.pivot_tol;
+      for (std::size_t j = 0; j < num_cols_; ++j) {
+        if (banned_[j]) {
+          continue;
+        }
+        if (zrow_[j] < best) {
+          enter = static_cast<std::int64_t>(j);
+          if (bland) {
+            break;  // first eligible index
+          }
+          best = zrow_[j];
+        }
+      }
+      if (enter < 0) {
+        return LpStatus::kOptimal;
+      }
+      // Leaving row: min ratio; ties by smallest basis variable (Bland).
+      std::int64_t leave = -1;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < basis_.size(); ++i) {
+        const double a = table_(i, static_cast<std::size_t>(enter));
+        if (a <= options_.pivot_tol) {
+          continue;
+        }
+        const double ratio = table_(i, num_cols_) / a;
+        if (ratio < best_ratio - options_.pivot_tol ||
+            (ratio < best_ratio + options_.pivot_tol &&
+             (leave < 0 || basis_[i] < basis_[static_cast<std::size_t>(leave)]))) {
+          best_ratio = ratio;
+          leave = static_cast<std::int64_t>(i);
+        }
+      }
+      if (leave < 0) {
+        return LpStatus::kUnbounded;
+      }
+      degenerate_streak =
+          best_ratio <= options_.pivot_tol ? degenerate_streak + 1 : 0;
+      pivot(static_cast<std::size_t>(leave), static_cast<std::size_t>(enter));
+      ++iterations_;
+    }
+  }
+
+  void pivot(std::size_t pivot_row, std::size_t pivot_col) {
+    double* pr = table_.row(pivot_row);
+    const double pivot_value = pr[pivot_col];
+    MMLP_CHECK_GT(std::abs(pivot_value), 0.0);
+    const double inv = 1.0 / pivot_value;
+    for (std::size_t j = 0; j <= num_cols_; ++j) {
+      pr[j] *= inv;
+    }
+    pr[pivot_col] = 1.0;  // kill roundoff
+    for (std::size_t i = 0; i < basis_.size(); ++i) {
+      if (i == pivot_row) {
+        continue;
+      }
+      double* t = table_.row(i);
+      const double factor = t[pivot_col];
+      if (factor == 0.0) {
+        continue;
+      }
+      for (std::size_t j = 0; j <= num_cols_; ++j) {
+        t[j] -= factor * pr[j];
+      }
+      t[pivot_col] = 0.0;
+    }
+    const double zfactor = zrow_[pivot_col];
+    if (zfactor != 0.0) {
+      for (std::size_t j = 0; j <= num_cols_; ++j) {
+        zrow_[j] -= zfactor * pr[j];
+      }
+      zrow_[pivot_col] = 0.0;
+    }
+    basis_[pivot_row] = static_cast<std::int64_t>(pivot_col);
+    // Clamp tiny negative rhs introduced by elimination.
+    for (std::size_t i = 0; i < basis_.size(); ++i) {
+      double& rhs = table_(i, num_cols_);
+      if (rhs < 0.0 && rhs > -options_.feas_tol) {
+        rhs = 0.0;
+      }
+    }
+  }
+
+  /// After phase 1, pivot basic artificials (value ~0) out of the basis,
+  /// or detect redundant rows (left basic at zero with a banned column,
+  /// which phase 2 then never moves).
+  void purge_artificials() {
+    for (std::size_t i = 0; i < basis_.size(); ++i) {
+      if (basis_[i] < static_cast<std::int64_t>(artificial_start_)) {
+        continue;
+      }
+      const double* t = table_.row(i);
+      std::size_t enter = num_cols_;
+      for (std::size_t j = 0; j < artificial_start_; ++j) {
+        if (std::abs(t[j]) > options_.pivot_tol) {
+          enter = j;
+          break;
+        }
+      }
+      if (enter < num_cols_) {
+        pivot(i, enter);
+      }
+      // else: the row is 0 = 0 (redundant); the artificial stays basic at
+      // value zero and its column is banned, so it never re-enters.
+    }
+  }
+
+  SimplexOptions options_;
+  std::int32_t num_structural_ = 0;
+  std::size_t num_slack_ = 0;
+  std::size_t num_artificial_ = 0;
+  std::size_t num_cols_ = 0;
+  std::size_t artificial_start_ = 0;
+  DenseMatrix table_;
+  std::vector<double> zrow_;
+  std::vector<std::int64_t> basis_;
+  std::vector<std::uint8_t> banned_;
+  std::int64_t iterations_ = 0;
+  bool phase1_early_exit_ = false;
+};
+
+}  // namespace
+
+LpResult solve_lp(const LpProblem& problem, const SimplexOptions& options) {
+  problem.validate();
+  LpResult result;
+  if (problem.rows.empty()) {
+    // Without constraints the optimum is 0 iff no objective coefficient is
+    // positive (x >= 0), else unbounded.
+    result.x.assign(static_cast<std::size_t>(problem.num_vars), 0.0);
+    for (const double c : problem.objective) {
+      if (c > 0.0) {
+        result.status = LpStatus::kUnbounded;
+        return result;
+      }
+    }
+    result.status = LpStatus::kOptimal;
+    result.objective = 0.0;
+    return result;
+  }
+
+  Tableau tableau(problem, options);
+  std::vector<double> objective = problem.objective;
+  objective.resize(static_cast<std::size_t>(problem.num_vars), 0.0);
+  result.status = tableau.run(objective);
+  result.iterations = tableau.iterations();
+  if (result.status == LpStatus::kOptimal) {
+    result.x = tableau.extract();
+    double z = 0.0;
+    for (std::size_t j = 0; j < result.x.size(); ++j) {
+      z += objective[j] * result.x[j];
+    }
+    result.objective = z;
+  }
+  return result;
+}
+
+}  // namespace mmlp

@@ -1,0 +1,68 @@
+// Two-phase dense simplex solver, implemented from scratch.
+//
+// Solves   maximise c^T x   subject to   a_i x {<=,=,>=} b_i,  x >= 0.
+//
+// This is the exact-solution substrate the paper's algorithms rely on:
+// the per-agent local LPs (9) of Theorem 3, and global optima ω* for the
+// experiment harnesses. The tableau is dense (local LPs are small by the
+// bounded-growth assumption); pricing is Dantzig with an automatic switch
+// to Bland's rule after a degeneracy window, which guarantees
+// termination.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mmlp {
+
+enum class ConstraintSense : std::uint8_t { kLe, kEq, kGe };
+
+/// One constraint row in sparse form: sum coeff_j * x_{var_j} sense rhs.
+struct LpRow {
+  std::vector<std::int32_t> vars;
+  std::vector<double> coeffs;
+  ConstraintSense sense = ConstraintSense::kLe;
+  double rhs = 0.0;
+};
+
+/// maximise objective^T x subject to rows, x >= 0.
+struct LpProblem {
+  std::int32_t num_vars = 0;
+  std::vector<double> objective;  ///< size num_vars
+  std::vector<LpRow> rows;
+
+  /// Convenience mutators used by builders and tests.
+  void set_objective(std::int32_t var, double coeff);
+  LpRow& add_row(ConstraintSense sense, double rhs);
+  void validate() const;
+};
+
+enum class LpStatus : std::uint8_t { kOptimal, kInfeasible, kUnbounded, kIterLimit };
+
+const char* to_string(LpStatus status);
+
+struct LpResult {
+  LpStatus status = LpStatus::kIterLimit;
+  double objective = 0.0;
+  std::vector<double> x;  ///< size num_vars when status == kOptimal
+  std::int64_t iterations = 0;
+};
+
+struct SimplexOptions {
+  double pivot_tol = 1e-9;       ///< entries smaller than this are zero
+  double feas_tol = 1e-7;        ///< phase-1 residual considered feasible
+  std::int64_t max_iterations = 200000;
+  /// After this many consecutive non-improving (degenerate) pivots,
+  /// switch from Dantzig to Bland pricing to break cycles.
+  std::int64_t degeneracy_window = 64;
+};
+
+/// Solve with the two-phase dense simplex method.
+LpResult solve_lp(const LpProblem& problem, const SimplexOptions& options = {});
+
+/// Check x against the rows of `problem` with tolerance `tol`;
+/// returns the worst violation (0 when feasible).
+double max_violation(const LpProblem& problem, const std::vector<double>& x,
+                     double tol = 0.0);
+
+}  // namespace mmlp

@@ -1,0 +1,15 @@
+#include "mmlp/util/check.hpp"
+
+namespace mmlp::detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& message) {
+  std::ostringstream oss;
+  oss << "MMLP_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!message.empty()) {
+    oss << " — " << message;
+  }
+  throw CheckError(oss.str());
+}
+
+}  // namespace mmlp::detail

@@ -1,0 +1,56 @@
+// Checked assertions that stay on in release builds.
+//
+// Library invariants are enforced with MMLP_CHECK and friends rather than
+// <cassert> so that experiment binaries built with -O2 still validate the
+// paper-level invariants (feasibility, degree bounds, ...). Failures throw
+// mmlp::CheckError carrying the expression, location and an optional
+// formatted message, which tests can assert on.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mmlp {
+
+/// Error thrown when a runtime invariant check fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& message);
+
+}  // namespace detail
+
+}  // namespace mmlp
+
+/// Abort (by throwing mmlp::CheckError) when `expr` is false.
+#define MMLP_CHECK(expr)                                              \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::mmlp::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+    }                                                                 \
+  } while (false)
+
+/// As MMLP_CHECK, with a streamed message: MMLP_CHECK_MSG(x > 0, "x=" << x).
+#define MMLP_CHECK_MSG(expr, msg)                                       \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      std::ostringstream mmlp_check_oss_;                               \
+      mmlp_check_oss_ << msg; /* NOLINT */                              \
+      ::mmlp::detail::check_failed(#expr, __FILE__, __LINE__,           \
+                                   mmlp_check_oss_.str());              \
+    }                                                                   \
+  } while (false)
+
+/// Convenience comparison checks that report both operands.
+#define MMLP_CHECK_EQ(a, b) MMLP_CHECK_MSG((a) == (b), "lhs=" << (a) << " rhs=" << (b))
+#define MMLP_CHECK_NE(a, b) MMLP_CHECK_MSG((a) != (b), "lhs=" << (a) << " rhs=" << (b))
+#define MMLP_CHECK_LT(a, b) MMLP_CHECK_MSG((a) < (b), "lhs=" << (a) << " rhs=" << (b))
+#define MMLP_CHECK_LE(a, b) MMLP_CHECK_MSG((a) <= (b), "lhs=" << (a) << " rhs=" << (b))
+#define MMLP_CHECK_GT(a, b) MMLP_CHECK_MSG((a) > (b), "lhs=" << (a) << " rhs=" << (b))
+#define MMLP_CHECK_GE(a, b) MMLP_CHECK_MSG((a) >= (b), "lhs=" << (a) << " rhs=" << (b))

@@ -1,0 +1,50 @@
+// Minimal command-line flag parser for examples and experiment binaries.
+//
+// Supports --name value and --name=value forms plus boolean switches.
+// Unknown flags are an error so typos in experiment sweeps fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mmlp {
+
+class ArgParser {
+ public:
+  ArgParser(std::string program_description);
+
+  /// Register flags before parse(). `help` is shown by --help.
+  void add_flag(const std::string& name, const std::string& help,
+                const std::string& default_value);
+  void add_switch(const std::string& name, const std::string& help);
+
+  /// Parse argv. Returns false if --help was requested (help printed) or
+  /// on error (message printed to stderr).
+  bool parse(int argc, const char* const* argv);
+
+  std::string get_string(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  std::string help_text() const;
+
+ private:
+  struct Flag {
+    std::string help;
+    std::string value;
+    bool is_switch = false;
+    bool seen = false;
+  };
+
+  const Flag& find(const std::string& name) const;
+
+  std::string description_;
+  std::string program_name_;
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace mmlp

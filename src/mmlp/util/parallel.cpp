@@ -1,0 +1,131 @@
+#include "mmlp/util/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "mmlp/util/check.hpp"
+
+namespace mmlp {
+
+namespace {
+// Set while a pool worker is running a task; nested parallel_for calls
+// from inside a task run serially instead of deadlocking on wait_idle().
+thread_local bool tls_inside_worker = false;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t t = 0; t < num_threads; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    MMLP_CHECK(!stop_);
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) {
+        return;
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    tls_inside_worker = true;
+    task();
+    tls_inside_worker = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) {
+        cv_idle_.notify_all();
+      }
+    }
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
+                  ThreadPool* pool, std::size_t grain) {
+  if (count == 0) {
+    return;
+  }
+  if (tls_inside_worker) {
+    serial_for(count, fn);
+    return;
+  }
+  if (pool == nullptr) {
+    pool = &ThreadPool::global();
+  }
+  const std::size_t threads = pool->size();
+  if (threads <= 1 || count == 1) {
+    serial_for(count, fn);
+    return;
+  }
+  if (grain == 0) {
+    // Aim for ~4 chunks per worker so stragglers rebalance.
+    grain = std::max<std::size_t>(1, count / (threads * 4));
+  }
+  // Chunks pull from a shared atomic cursor; each chunk touches a
+  // disjoint index range so no other synchronisation is needed.
+  auto cursor = std::make_shared<std::atomic<std::size_t>>(0);
+  const std::size_t num_chunks = (count + grain - 1) / grain;
+  const std::size_t launches = std::min(threads, num_chunks);
+  for (std::size_t t = 0; t < launches; ++t) {
+    pool->submit([cursor, count, grain, &fn] {
+      while (true) {
+        const std::size_t begin = cursor->fetch_add(grain);
+        if (begin >= count) {
+          return;
+        }
+        const std::size_t end = std::min(count, begin + grain);
+        for (std::size_t i = begin; i < end; ++i) {
+          fn(i);
+        }
+      }
+    });
+  }
+  pool->wait_idle();
+}
+
+void serial_for(std::size_t count, const std::function<void(std::size_t)>& fn) {
+  for (std::size_t i = 0; i < count; ++i) {
+    fn(i);
+  }
+}
+
+}  // namespace mmlp

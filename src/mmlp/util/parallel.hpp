@@ -1,0 +1,63 @@
+// Shared-memory parallel execution substrate.
+//
+// The LOCAL-model simulator and the per-agent algorithm loops are
+// embarrassingly parallel over agents; this module provides a small
+// thread pool and a deterministic parallel_for built on it. Tasks write
+// only to their own output slots (message-passing discipline — no shared
+// mutable state between iterations), so parallel execution is bitwise
+// reproducible regardless of the thread count.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mmlp {
+
+/// Fixed-size worker pool executing void() tasks FIFO.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task. Tasks must not throw; exceptions terminate.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+  /// Process-wide pool, sized to the hardware. Lazily constructed.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Execute fn(i) for i in [0, count) across the pool, in chunks.
+/// Blocks until all iterations complete. fn must only write to
+/// per-index state. `grain` bounds the chunk size (0 = auto).
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
+                  ThreadPool* pool = nullptr, std::size_t grain = 0);
+
+/// Serial fallback used by tests to compare against parallel runs.
+void serial_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+}  // namespace mmlp

@@ -1,0 +1,130 @@
+#include "mmlp/util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace mmlp {
+
+namespace {
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) {
+    word = splitmix64(sm);
+  }
+  // xoshiro must not start from the all-zero state; splitmix64 cannot
+  // produce four consecutive zeros, but keep the guard for clarity.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) {
+    state_[0] = 1;
+  }
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  MMLP_CHECK_GT(bound, 0ULL);
+  // Lemire's unbiased method with rejection on the low word.
+  while (true) {
+    const std::uint64_t x = next_u64();
+    const __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    const std::uint64_t low = static_cast<std::uint64_t>(m);
+    if (low >= bound) {
+      return static_cast<std::uint64_t>(m >> 64);
+    }
+    // low < bound: accept only if above the bias threshold.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    if (low >= threshold) {
+      return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  MMLP_CHECK_LE(lo, hi);
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>(next_u64());
+  }
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double Rng::uniform01() {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  MMLP_CHECK_LE(lo, hi);
+  return lo + (hi - lo) * uniform01();
+}
+
+bool Rng::bernoulli(double p) { return uniform01() < p; }
+
+double Rng::normal(double mean, double stddev) {
+  // Box-Muller; u1 is kept away from 0 for a finite log.
+  double u1 = 0.0;
+  do {
+    u1 = uniform01();
+  } while (u1 <= 0.0);
+  const double u2 = uniform01();
+  const double mag =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+  return mean + stddev * mag;
+}
+
+std::vector<std::int32_t> Rng::permutation(std::int32_t n) {
+  MMLP_CHECK_GE(n, 0);
+  std::vector<std::int32_t> perm(static_cast<std::size_t>(n));
+  for (std::int32_t i = 0; i < n; ++i) {
+    perm[static_cast<std::size_t>(i)] = i;
+  }
+  shuffle(perm);
+  return perm;
+}
+
+std::vector<std::int32_t> Rng::sample_without_replacement(std::int32_t n,
+                                                          std::int32_t count) {
+  MMLP_CHECK_GE(count, 0);
+  MMLP_CHECK_LE(count, n);
+  // Partial Fisher-Yates over an index vector; O(n) but simple and exact.
+  std::vector<std::int32_t> pool(static_cast<std::size_t>(n));
+  for (std::int32_t i = 0; i < n; ++i) {
+    pool[static_cast<std::size_t>(i)] = i;
+  }
+  for (std::int32_t i = 0; i < count; ++i) {
+    const auto j = static_cast<std::size_t>(
+        i + static_cast<std::int32_t>(next_below(
+                static_cast<std::uint64_t>(n - i))));
+    std::swap(pool[static_cast<std::size_t>(i)], pool[j]);
+  }
+  pool.resize(static_cast<std::size_t>(count));
+  return pool;
+}
+
+Rng Rng::split() { return Rng(next_u64()); }
+
+}  // namespace mmlp

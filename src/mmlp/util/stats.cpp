@@ -1,0 +1,85 @@
+#include "mmlp/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mmlp/util/check.hpp"
+
+namespace mmlp {
+
+void OnlineStats::add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double OnlineStats::mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double OnlineStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double OnlineStats::min() const {
+  MMLP_CHECK_GT(count_, 0u);
+  return min_;
+}
+
+double OnlineStats::max() const {
+  MMLP_CHECK_GT(count_, 0u);
+  return max_;
+}
+
+Summary summarize(const std::vector<double>& values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) {
+    return s;
+  }
+  OnlineStats acc;
+  for (const double v : values) {
+    acc.add(v);
+  }
+  s.mean = acc.mean();
+  s.stddev = acc.stddev();
+  s.min = acc.min();
+  s.max = acc.max();
+  s.median = percentile(values, 0.5);
+  s.p90 = percentile(values, 0.9);
+  return s;
+}
+
+double percentile(std::vector<double> values, double q) {
+  MMLP_CHECK(!values.empty());
+  MMLP_CHECK_GE(q, 0.0);
+  MMLP_CHECK_LE(q, 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double geometric_mean(const std::vector<double>& values) {
+  MMLP_CHECK(!values.empty());
+  double log_sum = 0.0;
+  for (const double v : values) {
+    MMLP_CHECK_GT(v, 0.0);
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace mmlp

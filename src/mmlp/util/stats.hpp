@@ -1,0 +1,51 @@
+// Streaming and batch statistics used by experiments and benchmarks.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mmlp {
+
+/// Welford-style online accumulator: mean/variance/min/max in one pass.
+class OnlineStats {
+ public:
+  void add(double value);
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch summary of a sample vector.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p90 = 0.0;
+};
+
+/// Compute a Summary; copies and sorts internally.
+Summary summarize(const std::vector<double>& values);
+
+/// Linear-interpolation percentile of a sample, q in [0, 1].
+/// The input need not be sorted.
+double percentile(std::vector<double> values, double q);
+
+/// Geometric mean; every element must be positive.
+double geometric_mean(const std::vector<double>& values);
+
+}  // namespace mmlp

@@ -1,0 +1,118 @@
+#include "mmlp/util/table.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "mmlp/util/check.hpp"
+
+namespace mmlp {
+
+TableWriter::TableWriter(std::vector<std::string> headers, int precision)
+    : headers_(std::move(headers)), precision_(precision) {
+  MMLP_CHECK(!headers_.empty());
+}
+
+void TableWriter::add_row(std::vector<Cell> row) {
+  MMLP_CHECK_EQ(row.size(), headers_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TableWriter::format_cell(const Cell& cell) const {
+  if (const auto* s = std::get_if<std::string>(&cell)) {
+    return *s;
+  }
+  if (const auto* i = std::get_if<std::int64_t>(&cell)) {
+    return std::to_string(*i);
+  }
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision_) << std::get<double>(cell);
+  return oss.str();
+}
+
+std::string TableWriter::to_text(const std::string& title) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      cells.push_back(format_cell(row[c]));
+      widths[c] = std::max(widths[c], cells.back().size());
+    }
+    rendered.push_back(std::move(cells));
+  }
+
+  std::ostringstream oss;
+  if (!title.empty()) {
+    oss << title << '\n';
+  }
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      oss << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(widths[c]))
+          << cells[c];
+    }
+    oss << '\n';
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c == 0 ? 0 : 2);
+  }
+  oss << std::string(total, '-') << '\n';
+  for (const auto& cells : rendered) {
+    emit_row(cells);
+  }
+  return oss.str();
+}
+
+std::string TableWriter::to_csv() const {
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) {
+      return s;
+    }
+    std::string out = "\"";
+    for (const char ch : s) {
+      if (ch == '"') {
+        out += "\"\"";
+      } else {
+        out += ch;
+      }
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream oss;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    oss << (c == 0 ? "" : ",") << quote(headers_[c]);
+  }
+  oss << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      oss << (c == 0 ? "" : ",") << quote(format_cell(row[c]));
+    }
+    oss << '\n';
+  }
+  return oss.str();
+}
+
+void TableWriter::print(const std::string& title) const {
+  std::cout << to_text(title) << std::flush;
+}
+
+bool TableWriter::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "warning: cannot open " << path << " for writing\n";
+    return false;
+  }
+  out << to_csv();
+  return static_cast<bool>(out);
+}
+
+}  // namespace mmlp

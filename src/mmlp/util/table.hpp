@@ -1,0 +1,48 @@
+// Console table / CSV emission for the experiment harnesses.
+//
+// Every exp_* binary prints the series the paper's evaluation section
+// would have contained; TableWriter renders them as aligned text on
+// stdout and can mirror the rows to a CSV file for plotting.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace mmlp {
+
+/// One table cell: text, integer or double (with per-table precision).
+using Cell = std::variant<std::string, std::int64_t, double>;
+
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> headers, int precision = 4);
+
+  /// Append one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<Cell> row);
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Render with aligned columns, a header rule and an optional title.
+  std::string to_text(const std::string& title = "") const;
+
+  /// RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  std::string to_csv() const;
+
+  /// Print to stdout.
+  void print(const std::string& title = "") const;
+
+  /// Write CSV to `path`; returns false (and prints a warning) on failure.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  std::string format_cell(const Cell& cell) const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_;
+};
+
+}  // namespace mmlp

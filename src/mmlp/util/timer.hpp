@@ -1,0 +1,26 @@
+// Wall-clock timing helper.
+#pragma once
+
+#include <chrono>
+
+namespace mmlp {
+
+/// Monotonic stopwatch; starts at construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace mmlp

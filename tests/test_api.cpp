@@ -1,0 +1,46 @@
+// The umbrella header must compile standalone and expose the whole API.
+#include "mmlp/api.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mmlp {
+namespace {
+
+TEST(Api, UmbrellaHeaderExposesEveryting) {
+  // One end-to-end flow touching each subsystem through the umbrella.
+  Instance::Builder builder;
+  const AgentId v0 = builder.add_agent();
+  const AgentId v1 = builder.add_agent();
+  const ResourceId i = builder.add_resource();
+  builder.set_usage(i, v0, 1.0).set_usage(i, v1, 1.0);
+  const PartyId k = builder.add_party();
+  builder.set_benefit(k, v0, 1.0).set_benefit(k, v1, 1.0);
+  const Instance instance = std::move(builder).build();
+
+  const Hypergraph h = instance.communication_graph();
+  EXPECT_EQ(ball(h, 0, 1).size(), 2u);
+  EXPECT_GT(growth_gamma(h, 0), 1.0);
+
+  const auto x = safe_solution(instance);
+  EXPECT_TRUE(evaluate(instance, x).feasible());
+  const auto exact = solve_optimal(instance);
+  EXPECT_NEAR(exact.omega, 1.0, 1e-9);  // x0 + x1 = 1, c = 1 each
+  EXPECT_EQ(distributed_safe(instance), x);
+
+  Rng rng(1);
+  EXPECT_LT(rng.uniform01(), 1.0);
+  WallTimer timer;
+  EXPECT_GE(timer.seconds(), 0.0);
+}
+
+TEST(Api, SolverStackAgreesThroughUmbrella) {
+  const auto instance = make_random_instance({.num_agents = 30, .seed = 2});
+  const auto simplex = solve_maxmin_simplex(instance);
+  const auto mwu = solve_maxmin_mwu(instance, {.epsilon = 0.1});
+  ASSERT_EQ(simplex.status, LpStatus::kOptimal);
+  EXPECT_LE(mwu.omega, simplex.omega + 1e-7);
+  EXPECT_GE(mwu.omega, 0.5 * simplex.omega);
+}
+
+}  // namespace
+}  // namespace mmlp

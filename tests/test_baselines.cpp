@@ -1,0 +1,114 @@
+#include "mmlp/core/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mmlp/core/safe.hpp"
+#include "mmlp/core/solution.hpp"
+#include "mmlp/gen/grid.hpp"
+#include "mmlp/gen/random_instance.hpp"
+#include "mmlp/lp/maxmin_reduction.hpp"
+#include "test_helpers.hpp"
+
+namespace mmlp {
+namespace {
+
+TEST(Uniform, TwoAgentValue) {
+  // Row sum is 2 ⇒ t = 1/2 everywhere.
+  const auto instance = testing::two_agent_instance();
+  const auto x = uniform_solution(instance);
+  EXPECT_DOUBLE_EQ(x[0], 0.5);
+  EXPECT_DOUBLE_EQ(x[1], 0.5);
+  EXPECT_TRUE(evaluate(instance, x).feasible());
+}
+
+TEST(Uniform, FeasibleAcrossGenerators) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto instance = make_random_instance({.num_agents = 50, .seed = seed});
+    EXPECT_TRUE(evaluate(instance, uniform_solution(instance)).feasible());
+  }
+}
+
+TEST(Uniform, SaturatesTightestResource) {
+  const auto instance = testing::single_party_instance();
+  const auto x = uniform_solution(instance);
+  // Tightest row: x0 + 2x1 <= 1 has sum 3 ⇒ t = 1/3; that row is tight.
+  EXPECT_NEAR(resource_load(instance, x, 0), 1.0, 1e-12);
+}
+
+TEST(Greedy, FeasibleAndReportsConsistentOmega) {
+  const auto instance = make_random_instance({.num_agents = 60, .seed = 3});
+  const auto result = greedy_waterfill(instance);
+  EXPECT_TRUE(evaluate(instance, result.x).feasible());
+  EXPECT_NEAR(result.omega, objective_omega(instance, result.x), 1e-12);
+  EXPECT_GT(result.steps, 0);
+}
+
+TEST(Greedy, OptimalOnTwoAgentInstance) {
+  const auto instance = testing::two_agent_instance();
+  const auto result = greedy_waterfill(instance);
+  EXPECT_NEAR(result.omega, 0.5, 1e-6);
+}
+
+class GreedyVsBounds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GreedyVsBounds, BetweenZeroAndOptimum) {
+  const auto instance = make_random_instance({
+      .num_agents = 40,
+      .resources_per_agent = 2,
+      .parties_per_agent = 1,
+      .max_support = 3,
+      .seed = GetParam(),
+  });
+  const auto result = greedy_waterfill(instance);
+  const auto exact = solve_maxmin_simplex(instance);
+  ASSERT_EQ(exact.status, LpStatus::kOptimal);
+  EXPECT_GT(result.omega, 0.0);
+  EXPECT_LE(result.omega, exact.omega + 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyVsBounds,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(Greedy, BeatsUniformOnAverage) {
+  // Greedy is a heuristic: it can lose to the uniform point on an odd
+  // seed, but must win in aggregate.
+  double greedy_total = 0.0;
+  double uniform_total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto instance = make_random_instance({
+        .num_agents = 40,
+        .resources_per_agent = 2,
+        .parties_per_agent = 1,
+        .max_support = 3,
+        .seed = seed ^ 0x77,
+    });
+    greedy_total += greedy_waterfill(instance).omega;
+    uniform_total += objective_omega(instance, uniform_solution(instance));
+  }
+  EXPECT_GT(greedy_total, uniform_total);
+}
+
+TEST(Greedy, StepFractionOneStillTerminates) {
+  const auto instance = make_grid_instance({.dims = {5, 5}, .torus = true});
+  const auto result = greedy_waterfill(instance, {.step_fraction = 1.0});
+  EXPECT_TRUE(evaluate(instance, result.x).feasible());
+  EXPECT_LT(result.steps, 100000);
+}
+
+TEST(Greedy, RejectsBadOptions) {
+  const auto instance = testing::two_agent_instance();
+  EXPECT_THROW(greedy_waterfill(instance, {.step_fraction = 0.0}), CheckError);
+  EXPECT_THROW(greedy_waterfill(instance, {.step_fraction = 1.5}), CheckError);
+}
+
+TEST(Greedy, RequiresParties) {
+  Instance::Builder builder;
+  const AgentId v = builder.add_agent();
+  const ResourceId i = builder.add_resource();
+  builder.set_usage(i, v, 1.0);
+  const auto instance = std::move(builder).build();
+  EXPECT_THROW(greedy_waterfill(instance), CheckError);
+}
+
+}  // namespace
+}  // namespace mmlp

@@ -1,0 +1,130 @@
+#include "mmlp/graph/bfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mmlp {
+namespace {
+
+/// Path 0-1-2-3-4 as pairwise hyperedges.
+Hypergraph path5() {
+  return Hypergraph::from_edges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+}
+
+/// One big hyperedge makes everything pairwise adjacent.
+Hypergraph clique_edge() { return Hypergraph::from_edges(4, {{0, 1, 2, 3}}); }
+
+TEST(Bfs, DistancesOnPath) {
+  const auto h = path5();
+  const auto dist = bfs_distances(h, 0);
+  EXPECT_EQ(dist, (std::vector<std::int32_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Bfs, DistancesFromMiddle) {
+  const auto h = path5();
+  const auto dist = bfs_distances(h, 2);
+  EXPECT_EQ(dist, (std::vector<std::int32_t>{2, 1, 0, 1, 2}));
+}
+
+TEST(Bfs, RadiusCapLeavesFarNodesUnreached) {
+  const auto h = path5();
+  const auto dist = bfs_distances(h, 0, 2);
+  EXPECT_EQ(dist, (std::vector<std::int32_t>{0, 1, 2, -1, -1}));
+}
+
+TEST(Bfs, HyperedgeMembersAreMutuallyAdjacent) {
+  const auto h = clique_edge();
+  const auto dist = bfs_distances(h, 0);
+  EXPECT_EQ(dist, (std::vector<std::int32_t>{0, 1, 1, 1}));
+}
+
+TEST(Bfs, UnreachableNodesStayMinusOne) {
+  const auto h = Hypergraph::from_edges(3, {{0, 1}});
+  const auto dist = bfs_distances(h, 0);
+  EXPECT_EQ(dist[2], -1);
+}
+
+TEST(Ball, RadiusZeroIsSelf) {
+  const auto h = path5();
+  EXPECT_EQ(ball(h, 2, 0), (std::vector<NodeId>{2}));
+}
+
+TEST(Ball, GrowsAlongPath) {
+  const auto h = path5();
+  EXPECT_EQ(ball(h, 2, 1), (std::vector<NodeId>{1, 2, 3}));
+  EXPECT_EQ(ball(h, 2, 2), (std::vector<NodeId>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(ball(h, 0, 1), (std::vector<NodeId>{0, 1}));
+}
+
+TEST(Ball, SizeMatchesBall) {
+  const auto h = path5();
+  for (NodeId v = 0; v < 5; ++v) {
+    for (std::int32_t r = 0; r <= 4; ++r) {
+      EXPECT_EQ(ball_size(h, v, r), ball(h, v, r).size());
+    }
+  }
+}
+
+TEST(BallCollector, ReusableAcrossCalls) {
+  const auto h = path5();
+  BallCollector collector(h);
+  EXPECT_EQ(collector.collect(0, 1), (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(collector.collect(4, 1), (std::vector<NodeId>{3, 4}));
+  // Second call must fully reset: node 0 no longer present.
+  EXPECT_EQ(collector.last_distance(0), -1);
+  EXPECT_EQ(collector.last_distance(3), 1);
+  EXPECT_EQ(collector.last_distance(4), 0);
+}
+
+TEST(BallCollector, MatchesFreeFunction) {
+  const auto h = clique_edge();
+  BallCollector collector(h);
+  for (NodeId v = 0; v < 4; ++v) {
+    EXPECT_EQ(collector.collect(v, 1), ball(h, v, 1));
+  }
+}
+
+TEST(AllBalls, MatchesPerNodeBalls) {
+  const auto h = path5();
+  for (std::int32_t r = 0; r <= 3; ++r) {
+    const auto balls = all_balls(h, r);
+    ASSERT_EQ(balls.size(), 5u);
+    for (NodeId v = 0; v < 5; ++v) {
+      EXPECT_EQ(balls[static_cast<std::size_t>(v)], ball(h, v, r));
+    }
+  }
+}
+
+TEST(AllBalls, BallMembershipIsSymmetric) {
+  const auto h = path5();
+  const auto balls = all_balls(h, 2);
+  for (NodeId u = 0; u < 5; ++u) {
+    for (NodeId v = 0; v < 5; ++v) {
+      const bool u_in_v = std::binary_search(
+          balls[static_cast<std::size_t>(v)].begin(),
+          balls[static_cast<std::size_t>(v)].end(), u);
+      const bool v_in_u = std::binary_search(
+          balls[static_cast<std::size_t>(u)].begin(),
+          balls[static_cast<std::size_t>(u)].end(), v);
+      EXPECT_EQ(u_in_v, v_in_u);
+    }
+  }
+}
+
+TEST(Distance, PairwiseDistances) {
+  const auto h = path5();
+  EXPECT_EQ(hypergraph_distance(h, 0, 4), 4);
+  EXPECT_EQ(hypergraph_distance(h, 1, 1), 0);
+  const auto split = Hypergraph::from_edges(3, {{0, 1}});
+  EXPECT_EQ(hypergraph_distance(split, 0, 2), -1);
+}
+
+TEST(Eccentricity, PathEnds) {
+  const auto h = path5();
+  EXPECT_EQ(eccentricity(h, 0), 4);
+  EXPECT_EQ(eccentricity(h, 2), 2);
+}
+
+}  // namespace
+}  // namespace mmlp

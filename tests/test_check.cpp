@@ -1,0 +1,44 @@
+#include "mmlp/util/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mmlp {
+namespace {
+
+TEST(Check, PassingCheckDoesNothing) {
+  EXPECT_NO_THROW(MMLP_CHECK(true));
+  EXPECT_NO_THROW(MMLP_CHECK_EQ(1, 1));
+  EXPECT_NO_THROW(MMLP_CHECK_LE(1, 2));
+}
+
+TEST(Check, FailingCheckThrowsCheckError) {
+  EXPECT_THROW(MMLP_CHECK(false), CheckError);
+  EXPECT_THROW(MMLP_CHECK_EQ(1, 2), CheckError);
+  EXPECT_THROW(MMLP_CHECK_LT(2, 1), CheckError);
+}
+
+TEST(Check, MessageContainsExpressionAndLocation) {
+  try {
+    MMLP_CHECK_MSG(1 == 2, "custom context " << 42);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("custom context 42"), std::string::npos);
+    EXPECT_NE(what.find("test_check.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, ComparisonMacrosReportOperands) {
+  try {
+    MMLP_CHECK_EQ(3, 7);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("lhs=3"), std::string::npos);
+    EXPECT_NE(what.find("rhs=7"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace mmlp

@@ -1,0 +1,92 @@
+#include "mmlp/dist/algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mmlp/core/safe.hpp"
+#include "mmlp/core/solution.hpp"
+#include "mmlp/gen/grid.hpp"
+#include "mmlp/gen/random_instance.hpp"
+#include "mmlp/gen/sensor.hpp"
+#include "test_helpers.hpp"
+
+namespace mmlp {
+namespace {
+
+TEST(DistributedSafe, MatchesCentralisedExactly) {
+  const auto instance = make_random_instance({.num_agents = 60, .seed = 21});
+  EXPECT_EQ(distributed_safe(instance), safe_solution(instance));
+}
+
+TEST(DistributedSafe, MatchesOnGrid) {
+  const auto instance = make_grid_instance(
+      {.dims = {5, 5}, .torus = true, .randomize = true, .seed = 4});
+  EXPECT_EQ(distributed_safe(instance), safe_solution(instance));
+}
+
+TEST(DistributedSafe, CollaborationObliviousModeStillMatches) {
+  // The safe rule only reads resource data, so the hypergraph mode must
+  // not change the outcome.
+  const auto instance = make_random_instance({.num_agents = 30, .seed = 22});
+  EXPECT_EQ(distributed_safe(instance, true), safe_solution(instance));
+}
+
+class DistributedAveraging : public ::testing::TestWithParam<std::int32_t> {};
+
+TEST_P(DistributedAveraging, MatchesCentralisedBitForBit) {
+  // Section 5.1: each agent recomputes the view LPs with the same
+  // deterministic solver, so the distributed execution must equal the
+  // centralised simulation exactly.
+  const std::int32_t R = GetParam();
+  const auto instance = testing::path_instance(8);
+  const auto central = local_averaging(instance, {.R = R});
+  const auto distributed = distributed_local_averaging(instance, {.R = R});
+  ASSERT_EQ(distributed.size(), central.x.size());
+  for (std::size_t v = 0; v < central.x.size(); ++v) {
+    EXPECT_DOUBLE_EQ(distributed[v], central.x[v]) << "agent " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Radii, DistributedAveraging, ::testing::Values(1, 2));
+
+TEST(DistributedAveragingMore, MatchesOnSmallGrid) {
+  const auto instance = make_grid_instance(
+      {.dims = {4, 4}, .torus = true, .randomize = true, .seed = 13});
+  const auto central = local_averaging(instance, {.R = 1});
+  const auto distributed = distributed_local_averaging(instance, {.R = 1});
+  for (std::size_t v = 0; v < central.x.size(); ++v) {
+    EXPECT_DOUBLE_EQ(distributed[v], central.x[v]) << "agent " << v;
+  }
+}
+
+TEST(DistributedAveragingMore, MatchesOnRandomInstance) {
+  const auto instance = make_random_instance({.num_agents = 25, .seed = 31});
+  const auto central = local_averaging(instance, {.R = 1});
+  const auto distributed = distributed_local_averaging(instance, {.R = 1});
+  for (std::size_t v = 0; v < central.x.size(); ++v) {
+    EXPECT_DOUBLE_EQ(distributed[v], central.x[v]);
+  }
+}
+
+TEST(DistributedAveragingMore, MatchesOnSensorNetwork) {
+  SensorNetworkOptions options;
+  options.num_sensors = 25;
+  options.num_relays = 8;
+  options.num_areas = 4;
+  options.radio_range = 0.35;
+  options.seed = 41;
+  const auto net = make_sensor_network(options);
+  const auto central = local_averaging(net.instance, {.R = 1});
+  const auto distributed = distributed_local_averaging(net.instance, {.R = 1});
+  for (std::size_t v = 0; v < central.x.size(); ++v) {
+    EXPECT_DOUBLE_EQ(distributed[v], central.x[v]);
+  }
+}
+
+TEST(DistributedAveragingMore, OutputIsFeasible) {
+  const auto instance = make_random_instance({.num_agents = 30, .seed = 51});
+  const auto x = distributed_local_averaging(instance, {.R = 1});
+  EXPECT_TRUE(evaluate(instance, x).feasible());
+}
+
+}  // namespace
+}  // namespace mmlp

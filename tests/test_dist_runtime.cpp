@@ -1,0 +1,139 @@
+#include "mmlp/dist/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mmlp/util/check.hpp"
+
+#include "mmlp/gen/grid.hpp"
+#include "mmlp/graph/bfs.hpp"
+#include "test_helpers.hpp"
+
+namespace mmlp {
+namespace {
+
+TEST(LocalRuntime, ZeroRoundsKnowsOnlySelf) {
+  const auto instance = testing::path_instance(4);
+  LocalRuntime runtime(instance);
+  const auto knowledge = runtime.flood(0);
+  for (AgentId v = 0; v < 4; ++v) {
+    EXPECT_EQ(knowledge[static_cast<std::size_t>(v)],
+              (std::vector<AgentId>{v}));
+  }
+}
+
+TEST(LocalRuntime, FloodEqualsBalls) {
+  // The defining property of the LOCAL model: after r rounds each agent
+  // has exactly the packets of B_H(v, r).
+  const auto instance = make_grid_instance({.dims = {4, 4}, .torus = true});
+  LocalRuntime runtime(instance);
+  const auto& h = runtime.graph();
+  for (const std::int32_t rounds : {1, 2, 3}) {
+    const auto knowledge = runtime.flood(rounds);
+    for (AgentId v = 0; v < instance.num_agents(); ++v) {
+      EXPECT_EQ(knowledge[static_cast<std::size_t>(v)], ball(h, v, rounds))
+          << "agent " << v << " rounds " << rounds;
+    }
+  }
+}
+
+TEST(LocalRuntime, CollaborationObliviousUsesSmallerGraph) {
+  const auto instance = testing::two_agent_instance();
+  LocalRuntime full(instance, false);
+  LocalRuntime oblivious(instance, true);
+  EXPECT_EQ(full.graph().num_edges(), 3);
+  EXPECT_EQ(oblivious.graph().num_edges(), 1);
+}
+
+TEST(LocalRuntime, MessageCountScalesWithRounds) {
+  const auto instance = make_grid_instance({.dims = {4, 4}, .torus = true});
+  LocalRuntime runtime(instance);
+  const auto one = runtime.message_count(1);
+  EXPECT_GT(one, 0);
+  EXPECT_EQ(runtime.message_count(3), 3 * one);
+  EXPECT_EQ(runtime.message_count(0), 0);
+}
+
+TEST(AgentContext, EnforcesKnowledgeBoundary) {
+  const auto instance = testing::path_instance(5);
+  LocalRuntime runtime(instance);
+  const auto knowledge = runtime.flood(1);
+  const AgentContext ctx(instance, 0, knowledge[0]);
+  EXPECT_TRUE(ctx.knows(0));
+  EXPECT_TRUE(ctx.knows(1));
+  EXPECT_FALSE(ctx.knows(2));
+  EXPECT_NO_THROW(ctx.agent_resources(1));
+  EXPECT_THROW(ctx.agent_resources(2), CheckError);   // out of horizon
+  EXPECT_THROW(ctx.agent_parties(4), CheckError);
+}
+
+TEST(AgentContext, HyperedgeVisibilityThroughMembers) {
+  const auto instance = testing::path_instance(5);
+  LocalRuntime runtime(instance);
+  const auto knowledge = runtime.flood(1);
+  const AgentContext ctx(instance, 0, knowledge[0]);
+  // Resource 1 couples agents {1,2}; agent 1 is known, so the member list
+  // is visible even though agent 2 is not.
+  EXPECT_NO_THROW(ctx.resource_support(1));
+  // Resource 3 couples {3,4}: invisible from agent 0's radius-1 view.
+  EXPECT_THROW(ctx.resource_support(3), CheckError);
+}
+
+TEST(AgentContext, RequiresSelfKnowledge) {
+  const auto instance = testing::path_instance(3);
+  EXPECT_THROW(AgentContext(instance, 0, {1, 2}), CheckError);
+}
+
+TEST(AgentContext, MaterializeKeepsOwnResourcesOfEveryKnownAgent) {
+  const auto instance = make_grid_instance({.dims = {5, 5}, .torus = true});
+  LocalRuntime runtime(instance);
+  const auto knowledge = runtime.flood(1);
+  const AgentContext ctx(instance, 12, knowledge[12]);
+  const auto world = ctx.materialize();
+  world.instance.validate();  // I_v nonempty for every local agent
+  EXPECT_EQ(world.global_agents, knowledge[12]);
+  EXPECT_EQ(world.local_of(12), world.self_local);
+  EXPECT_EQ(world.local_of(9999), -1);
+}
+
+TEST(AgentContext, MaterializeDropsTruncatedParties) {
+  const auto instance = testing::path_instance(6);
+  LocalRuntime runtime(instance);
+  const auto knowledge = runtime.flood(1);
+  // Agent 0 knows {0, 1}; parties of agents 0 and 1 (singletons) are fully
+  // known; nothing else survives.
+  const AgentContext ctx(instance, 0, knowledge[0]);
+  const auto world = ctx.materialize();
+  EXPECT_EQ(world.instance.num_parties(), 2);
+}
+
+TEST(AgentContext, MaterializeTruncatesBoundaryResources) {
+  const auto instance = testing::path_instance(6);
+  LocalRuntime runtime(instance);
+  const auto knowledge = runtime.flood(1);
+  const AgentContext ctx(instance, 0, knowledge[0]);
+  const auto world = ctx.materialize();
+  // Resource 1 couples {1, 2}; only agent 1 is known, so the local copy
+  // keeps it with a single member.
+  bool found_truncated = false;
+  for (ResourceId i = 0; i < world.instance.num_resources(); ++i) {
+    if (world.instance.resource_support(i).size() == 1u) {
+      found_truncated = true;
+    }
+  }
+  EXPECT_TRUE(found_truncated);
+}
+
+TEST(AgentContext, FullKnowledgeReproducesWholeInstance) {
+  const auto instance = testing::path_instance(5);
+  LocalRuntime runtime(instance);
+  const auto knowledge = runtime.flood(10);  // beyond the diameter
+  const AgentContext ctx(instance, 2, knowledge[2]);
+  const auto world = ctx.materialize();
+  EXPECT_EQ(world.instance.num_agents(), instance.num_agents());
+  EXPECT_EQ(world.instance.num_resources(), instance.num_resources());
+  EXPECT_EQ(world.instance.num_parties(), instance.num_parties());
+  EXPECT_TRUE(world.instance == instance);
+}
+
+}  // namespace
+}  // namespace mmlp

@@ -1,0 +1,139 @@
+#include "mmlp/lp/duality.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mmlp/gen/random_instance.hpp"
+#include "mmlp/util/rng.hpp"
+#include "test_helpers.hpp"
+
+namespace mmlp {
+namespace {
+
+LpProblem small_packing() {
+  // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {3.0, 2.0};
+  auto& r0 = lp.add_row(ConstraintSense::kLe, 4.0);
+  r0.vars = {0, 1};
+  r0.coeffs = {1.0, 1.0};
+  auto& r1 = lp.add_row(ConstraintSense::kLe, 6.0);
+  r1.vars = {0, 1};
+  r1.coeffs = {1.0, 3.0};
+  return lp;
+}
+
+TEST(Duality, ShapePredicates) {
+  EXPECT_TRUE(is_le_form(small_packing()));
+  EXPECT_TRUE(is_packing_lp(small_packing()));
+  LpProblem with_ge = small_packing();
+  with_ge.add_row(ConstraintSense::kGe, 0.0);
+  with_ge.rows.back().vars = {0};
+  with_ge.rows.back().coeffs = {1.0};
+  EXPECT_FALSE(is_le_form(with_ge));
+  LpProblem negative = small_packing();
+  negative.objective[0] = -1.0;
+  EXPECT_TRUE(is_le_form(negative));
+  EXPECT_FALSE(is_packing_lp(negative));
+}
+
+TEST(Duality, DualShape) {
+  const auto dual = dual_of_le_form(small_packing());
+  EXPECT_EQ(dual.num_vars, 2);        // one var per primal row
+  EXPECT_EQ(dual.rows.size(), 2u);    // one row per primal var
+  // Objective is −b.
+  EXPECT_DOUBLE_EQ(dual.objective[0], -4.0);
+  EXPECT_DOUBLE_EQ(dual.objective[1], -6.0);
+  // Row j: −(Aᵀ y)_j ≤ −c_j.
+  EXPECT_DOUBLE_EQ(dual.rows[0].rhs, -3.0);
+  EXPECT_DOUBLE_EQ(dual.rows[1].rhs, -2.0);
+}
+
+TEST(Duality, StrongDualityOnTextbookLp) {
+  const auto primal = small_packing();
+  const auto dual = dual_of_le_form(primal);
+  const auto p = solve_lp(primal);
+  const auto d = solve_lp(dual);
+  ASSERT_EQ(p.status, LpStatus::kOptimal);
+  ASSERT_EQ(d.status, LpStatus::kOptimal);
+  EXPECT_NEAR(p.objective, -d.objective, 1e-8);  // dual value is −(min b·y)
+}
+
+class StrongDuality : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StrongDuality, RandomPackingLps) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    LpProblem primal;
+    primal.num_vars = static_cast<std::int32_t>(rng.uniform_int(2, 5));
+    primal.objective.resize(static_cast<std::size_t>(primal.num_vars));
+    for (double& c : primal.objective) {
+      c = rng.uniform(0.1, 2.0);
+    }
+    const auto rows = static_cast<std::int32_t>(rng.uniform_int(2, 5));
+    for (std::int32_t i = 0; i < rows; ++i) {
+      auto& row = primal.add_row(ConstraintSense::kLe, rng.uniform(0.5, 3.0));
+      for (std::int32_t j = 0; j < primal.num_vars; ++j) {
+        row.vars.push_back(j);
+        row.coeffs.push_back(rng.uniform(0.1, 2.0));
+      }
+    }
+    const auto p = solve_lp(primal);
+    const auto d = solve_lp(dual_of_le_form(primal));
+    ASSERT_EQ(p.status, LpStatus::kOptimal);
+    ASSERT_EQ(d.status, LpStatus::kOptimal);
+    EXPECT_NEAR(p.objective, -d.objective, 1e-6) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StrongDuality,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(Duality, WeakDualityGapNonNegative) {
+  const auto primal = small_packing();
+  const auto dual = dual_of_le_form(primal);
+  const auto p = solve_lp(primal);
+  const auto d = solve_lp(dual);
+  // Any feasible pair: gap = b·y − c·x >= 0; at the optima it is ~0.
+  EXPECT_NEAR(duality_gap(primal, p.x, d.x), 0.0, 1e-7);
+  // Suboptimal primal point widens the gap.
+  EXPECT_GT(duality_gap(primal, {0.0, 0.0}, d.x), 1.0);
+}
+
+TEST(Duality, PackingFromSinglePartyInstance) {
+  const auto instance = testing::single_party_instance();
+  const auto packing = packing_from_instance(instance);
+  EXPECT_EQ(packing.num_vars, 3);
+  EXPECT_EQ(packing.rows.size(), 2u);
+  const auto result = solve_lp(packing);
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_NEAR(result.objective, 2.0, 1e-9);  // known optimum
+}
+
+TEST(Duality, CoveringDualOfInstanceMatchesPrimal) {
+  const auto instance = testing::single_party_instance();
+  const auto primal = packing_from_instance(instance);
+  const auto covering = covering_from_instance(instance);
+  const auto p = solve_lp(primal);
+  const auto c = solve_lp(covering);
+  ASSERT_EQ(c.status, LpStatus::kOptimal);
+  EXPECT_NEAR(p.objective, -c.objective, 1e-8);
+}
+
+TEST(Duality, PackingFromInstanceRequiresSingleParty) {
+  const auto instance = testing::two_agent_instance();  // two parties
+  EXPECT_THROW(packing_from_instance(instance), CheckError);
+}
+
+TEST(Duality, DualRejectsNonLeForm) {
+  LpProblem lp;
+  lp.num_vars = 1;
+  lp.objective = {1.0};
+  auto& row = lp.add_row(ConstraintSense::kGe, 1.0);
+  row.vars = {0};
+  row.coeffs = {1.0};
+  EXPECT_THROW(dual_of_le_form(lp), CheckError);
+}
+
+}  // namespace
+}  // namespace mmlp

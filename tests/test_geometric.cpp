@@ -1,0 +1,139 @@
+#include "mmlp/gen/geometric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mmlp/core/local_averaging.hpp"
+#include "mmlp/core/solution.hpp"
+#include "mmlp/core/safe.hpp"
+#include "mmlp/graph/growth.hpp"
+#include "mmlp/util/check.hpp"
+
+namespace mmlp {
+namespace {
+
+GeometricOptions default_options(std::uint64_t seed) {
+  GeometricOptions options;
+  options.num_agents = 120;
+  options.dim = 2;
+  options.radius = 0.15;
+  options.max_support = 5;
+  options.seed = seed;
+  return options;
+}
+
+TEST(Geometric, ValidInstanceWithPositions) {
+  const auto result = make_geometric_instance(default_options(1));
+  result.instance.validate();
+  EXPECT_EQ(result.instance.num_agents(), 120);
+  EXPECT_EQ(result.points.size(), 120u);
+  for (const auto& point : result.points) {
+    EXPECT_EQ(point.size(), 2u);
+    for (const double coord : point) {
+      EXPECT_GE(coord, 0.0);
+      EXPECT_LT(coord, 1.0);
+    }
+  }
+}
+
+TEST(Geometric, DegreeBoundsRespectMaxSupport) {
+  const auto result = make_geometric_instance(default_options(2));
+  const auto bounds = result.instance.degree_bounds();
+  EXPECT_LE(bounds.delta_V_of_I, 5u);
+  EXPECT_LE(bounds.delta_V_of_K, 5u);
+}
+
+TEST(Geometric, SupportMembersAreWithinRange) {
+  const auto options = default_options(3);
+  const auto result = make_geometric_instance(options);
+  const double r2 = options.radius * options.radius;
+  for (ResourceId i = 0; i < result.instance.num_resources(); ++i) {
+    // Resource i is hosted by agent i; members must be in range of it.
+    for (const Coef& entry : result.instance.resource_support(i)) {
+      double d2 = 0.0;
+      for (std::size_t axis = 0; axis < 2; ++axis) {
+        const double diff =
+            result.points[static_cast<std::size_t>(i)][axis] -
+            result.points[static_cast<std::size_t>(entry.id)][axis];
+        d2 += diff * diff;
+      }
+      EXPECT_LE(d2, r2 + 1e-12);
+    }
+  }
+}
+
+TEST(Geometric, IsolatedAgentsStillValid) {
+  auto options = default_options(4);
+  options.num_agents = 20;
+  options.radius = 0.01;  // almost everyone isolated
+  const auto result = make_geometric_instance(options);
+  result.instance.validate();  // singleton supports are fine
+}
+
+TEST(Geometric, PartyStride) {
+  auto options = default_options(5);
+  options.party_stride = 4;
+  const auto result = make_geometric_instance(options);
+  EXPECT_EQ(result.instance.num_parties(), 30);
+}
+
+TEST(Geometric, OneAndThreeDimensions) {
+  for (const std::int32_t dim : {1, 3}) {
+    auto options = default_options(6);
+    options.dim = dim;
+    options.radius = dim == 1 ? 0.05 : 0.25;
+    const auto result = make_geometric_instance(options);
+    result.instance.validate();
+    EXPECT_EQ(result.points.front().size(), static_cast<std::size_t>(dim));
+  }
+}
+
+TEST(Geometric, DeterministicBySeed) {
+  const auto a = make_geometric_instance(default_options(7));
+  const auto b = make_geometric_instance(default_options(7));
+  EXPECT_TRUE(a.instance == b.instance);
+  EXPECT_EQ(a.points, b.points);
+}
+
+TEST(Geometric, GrowthDecaysOnDenseDeployments) {
+  // The Section 5 motivation: physical deployments have polynomial
+  // growth, so γ falls with r.
+  auto options = default_options(8);
+  options.num_agents = 400;
+  options.radius = 0.08;
+  const auto result = make_geometric_instance(options);
+  const auto h = result.instance.communication_graph();
+  const auto profile = growth_profile(h, 3);
+  EXPECT_LT(profile[2], profile[0]);
+}
+
+TEST(Geometric, LocalAlgorithmsRunAndStayFeasible) {
+  const auto result = make_geometric_instance(default_options(9));
+  EXPECT_TRUE(
+      evaluate(result.instance, safe_solution(result.instance)).feasible());
+  const auto averaging = local_averaging(result.instance, {.R = 1});
+  EXPECT_TRUE(evaluate(result.instance, averaging.x).feasible());
+}
+
+TEST(Geometric, RandomizedCoefficientsInRange) {
+  auto options = default_options(10);
+  options.randomize = true;
+  const auto result = make_geometric_instance(options);
+  for (ResourceId i = 0; i < result.instance.num_resources(); ++i) {
+    for (const Coef& entry : result.instance.resource_support(i)) {
+      EXPECT_GE(entry.value, 0.5);
+      EXPECT_LE(entry.value, 1.5);
+    }
+  }
+}
+
+TEST(Geometric, RejectsBadOptions) {
+  EXPECT_THROW(make_geometric_instance({.num_agents = 0}), CheckError);
+  EXPECT_THROW(make_geometric_instance({.dim = 4}), CheckError);
+  EXPECT_THROW(make_geometric_instance({.radius = 0.0}), CheckError);
+  EXPECT_THROW(make_geometric_instance({.max_support = 0}), CheckError);
+}
+
+}  // namespace
+}  // namespace mmlp

@@ -1,0 +1,115 @@
+#include "mmlp/gen/grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mmlp/graph/bfs.hpp"
+#include "mmlp/graph/growth.hpp"
+#include "mmlp/util/check.hpp"
+
+namespace mmlp {
+namespace {
+
+TEST(GridIndex, RoundTrip) {
+  const std::vector<std::int32_t> dims{3, 4, 5};
+  for (std::int64_t index = 0; index < 60; ++index) {
+    EXPECT_EQ(grid_cell_index(dims, grid_cell_coords(dims, index)), index);
+  }
+}
+
+TEST(GridIndex, RowMajorOrder) {
+  const std::vector<std::int32_t> dims{2, 3};
+  EXPECT_EQ(grid_cell_index(dims, {0, 0}), 0);
+  EXPECT_EQ(grid_cell_index(dims, {0, 2}), 2);
+  EXPECT_EQ(grid_cell_index(dims, {1, 0}), 3);
+}
+
+TEST(GridIndex, RejectsOutOfRange) {
+  EXPECT_THROW(grid_cell_index({2, 2}, {0, 2}), CheckError);
+  EXPECT_THROW(grid_cell_index({2, 2}, {-1, 0}), CheckError);
+  EXPECT_THROW(grid_cell_index({2}, {0, 0}), CheckError);
+}
+
+TEST(Grid, TorusCounts) {
+  const auto instance = make_grid_instance({.dims = {4, 4}, .torus = true});
+  EXPECT_EQ(instance.num_agents(), 16);
+  EXPECT_EQ(instance.num_resources(), 16);
+  EXPECT_EQ(instance.num_parties(), 16);
+  // Every 2D torus neighbourhood has 5 cells.
+  for (ResourceId i = 0; i < 16; ++i) {
+    EXPECT_EQ(instance.resource_support(i).size(), 5u);
+  }
+  const auto bounds = instance.degree_bounds();
+  EXPECT_EQ(bounds.delta_V_of_I, 5u);
+  EXPECT_EQ(bounds.delta_I_of_V, 5u);
+}
+
+TEST(Grid, NonTorusBoundaryShrinks) {
+  const auto instance = make_grid_instance({.dims = {3, 3}, .torus = false});
+  // Corner neighbourhood: cell + 2 neighbours.
+  EXPECT_EQ(instance.resource_support(0).size(), 3u);
+  // Centre cell (1,1) = index 4: full 5-neighbourhood.
+  EXPECT_EQ(instance.resource_support(4).size(), 5u);
+}
+
+TEST(Grid, OneDimensionalPath) {
+  const auto instance = make_grid_instance({.dims = {6}, .torus = false});
+  EXPECT_EQ(instance.num_agents(), 6);
+  EXPECT_EQ(instance.resource_support(0).size(), 2u);
+  EXPECT_EQ(instance.resource_support(3).size(), 3u);
+}
+
+TEST(Grid, ThreeDimensionalTorus) {
+  const auto instance = make_grid_instance({.dims = {3, 3, 3}, .torus = true});
+  EXPECT_EQ(instance.num_agents(), 27);
+  for (ResourceId i = 0; i < 27; ++i) {
+    EXPECT_EQ(instance.resource_support(i).size(), 7u);  // 1 + 2·3
+  }
+}
+
+TEST(Grid, PartyStrideReducesParties) {
+  const auto instance =
+      make_grid_instance({.dims = {4, 4}, .torus = true, .party_stride = 4});
+  EXPECT_EQ(instance.num_parties(), 4);
+  EXPECT_EQ(instance.num_resources(), 16);
+}
+
+TEST(Grid, RandomizedCoefficientsInRange) {
+  const auto instance = make_grid_instance(
+      {.dims = {4, 4}, .torus = true, .randomize = true, .seed = 5});
+  for (ResourceId i = 0; i < instance.num_resources(); ++i) {
+    for (const Coef& entry : instance.resource_support(i)) {
+      EXPECT_GE(entry.value, 0.5);
+      EXPECT_LE(entry.value, 1.5);
+    }
+  }
+}
+
+TEST(Grid, DeterministicBySeed) {
+  const GridOptions options{.dims = {4, 4}, .torus = true, .randomize = true, .seed = 9};
+  EXPECT_TRUE(make_grid_instance(options) == make_grid_instance(options));
+}
+
+TEST(Grid, SizeTwoTorusAxisDedupes) {
+  // On a torus axis of extent 2, -1 and +1 wrap to the same neighbour.
+  const auto instance = make_grid_instance({.dims = {2, 2}, .torus = true});
+  for (ResourceId i = 0; i < instance.num_resources(); ++i) {
+    EXPECT_EQ(instance.resource_support(i).size(), 3u);
+  }
+}
+
+TEST(Grid, CommunicationGraphIsConnected) {
+  const auto instance = make_grid_instance({.dims = {5, 5}, .torus = false});
+  EXPECT_TRUE(instance.communication_graph().connected());
+}
+
+TEST(Grid, GrowthShrinksWithRadius) {
+  const auto instance = make_grid_instance({.dims = {11, 11}, .torus = true});
+  const auto h = instance.communication_graph();
+  const auto profile = growth_profile(h, 3);
+  for (std::size_t r = 1; r < profile.size(); ++r) {
+    EXPECT_LT(profile[r], profile[r - 1]);
+  }
+}
+
+}  // namespace
+}  // namespace mmlp

@@ -1,0 +1,73 @@
+#include "mmlp/graph/growth.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mmlp/gen/grid.hpp"
+#include "mmlp/graph/bfs.hpp"
+
+namespace mmlp {
+namespace {
+
+Hypergraph cycle(std::int32_t n) {
+  std::vector<std::vector<NodeId>> edges;
+  for (NodeId v = 0; v < n; ++v) {
+    edges.push_back({v, (v + 1) % n});
+  }
+  return Hypergraph::from_edges(n, edges);
+}
+
+TEST(BallProfile, CycleBallSizes) {
+  const auto h = cycle(12);
+  const auto profile = ball_size_profile(h, 0, 4);
+  // On a cycle |B(v, r)| = 2r + 1 while 2r + 1 <= n.
+  EXPECT_EQ(profile, (std::vector<std::size_t>{1, 3, 5, 7, 9}));
+}
+
+TEST(BallProfile, SaturatesAtComponentSize) {
+  const auto h = cycle(6);
+  const auto profile = ball_size_profile(h, 0, 5);
+  EXPECT_EQ(profile.back(), 6u);
+  EXPECT_EQ(profile[3], 6u);  // saturated at r = 3 already
+}
+
+TEST(Growth, CycleGamma) {
+  const auto h = cycle(64);
+  // γ(r) = (2r+3)/(2r+1) on a long cycle.
+  EXPECT_NEAR(growth_gamma(h, 0), 3.0, 1e-12);
+  EXPECT_NEAR(growth_gamma(h, 1), 5.0 / 3.0, 1e-12);
+  EXPECT_NEAR(growth_gamma(h, 2), 7.0 / 5.0, 1e-12);
+}
+
+TEST(Growth, ProfileMatchesPointwiseGamma) {
+  const auto h = cycle(32);
+  const auto profile = growth_profile(h, 3);
+  for (std::int32_t r = 0; r <= 3; ++r) {
+    EXPECT_NEAR(profile[static_cast<std::size_t>(r)], growth_gamma(h, r), 1e-12);
+  }
+}
+
+TEST(Growth, GammaDecreasesOnGrids) {
+  // The paper's point: on d-dimensional grids γ(r) = 1 + Θ(1/r).
+  const auto instance = make_grid_instance({.dims = {9, 9}, .torus = true});
+  const auto h = instance.communication_graph();
+  const auto profile = growth_profile(h, 3);
+  EXPECT_GT(profile[0], profile[1]);
+  EXPECT_GT(profile[1], profile[2]);
+  EXPECT_GE(profile[2], 1.0);
+}
+
+TEST(Growth, Theorem3BoundIsProductOfGammas) {
+  const auto h = cycle(64);
+  const auto profile = growth_profile(h, 2);
+  EXPECT_NEAR(theorem3_bound(h, 2), profile[1] * profile[2], 1e-12);
+  EXPECT_NEAR(theorem3_bound(h, 1), profile[0] * profile[1], 1e-12);
+}
+
+TEST(Growth, CliqueSaturatesImmediately) {
+  const auto h = Hypergraph::from_edges(5, {{0, 1, 2, 3, 4}});
+  EXPECT_NEAR(growth_gamma(h, 1), 1.0, 1e-12);  // B(v,1) is already everything
+  EXPECT_NEAR(growth_gamma(h, 0), 5.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace mmlp

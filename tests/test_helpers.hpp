@@ -1,0 +1,66 @@
+// Shared fixtures and builders for the mmlp test suite.
+#pragma once
+
+#include <vector>
+
+#include "mmlp/core/instance.hpp"
+
+namespace mmlp::testing {
+
+/// The simplest nontrivial instance: two agents sharing one resource,
+/// two singleton parties.
+///   max min(x0, x1)  s.t.  x0 + x1 <= 1  =>  ω* = 1/2 at x = (1/2, 1/2).
+inline Instance two_agent_instance() {
+  Instance::Builder builder;
+  const AgentId v0 = builder.add_agent();
+  const AgentId v1 = builder.add_agent();
+  const ResourceId i = builder.add_resource();
+  builder.set_usage(i, v0, 1.0).set_usage(i, v1, 1.0);
+  const PartyId k0 = builder.add_party();
+  const PartyId k1 = builder.add_party();
+  builder.set_benefit(k0, v0, 1.0).set_benefit(k1, v1, 1.0);
+  return std::move(builder).build();
+}
+
+/// A path of `n` agents: resource i_j couples agents j and j+1
+/// (a = 1), and every agent has its own singleton party (c = 1).
+/// The communication graph is a path, useful for ball/growth tests.
+inline Instance path_instance(AgentId n) {
+  Instance::Builder builder;
+  for (AgentId v = 0; v < n; ++v) {
+    builder.add_agent();
+  }
+  for (AgentId v = 0; v + 1 < n; ++v) {
+    const ResourceId i = builder.add_resource();
+    builder.set_usage(i, v, 1.0).set_usage(i, v + 1, 1.0);
+  }
+  if (n == 1) {  // keep I_v nonempty
+    const ResourceId i = builder.add_resource();
+    builder.set_usage(i, 0, 1.0);
+  }
+  for (AgentId v = 0; v < n; ++v) {
+    const PartyId k = builder.add_party();
+    builder.set_benefit(k, v, 1.0);
+  }
+  return std::move(builder).build();
+}
+
+/// The packing special case |K| = 1 (Section 1.3): maximise c·x subject
+/// to Ax <= 1 with every agent benefitting the sole party.
+inline Instance single_party_instance() {
+  Instance::Builder builder;
+  const AgentId v0 = builder.add_agent();
+  const AgentId v1 = builder.add_agent();
+  const AgentId v2 = builder.add_agent();
+  const ResourceId i0 = builder.add_resource();
+  const ResourceId i1 = builder.add_resource();
+  builder.set_usage(i0, v0, 1.0).set_usage(i0, v1, 2.0);
+  builder.set_usage(i1, v1, 1.0).set_usage(i1, v2, 1.0);
+  const PartyId k = builder.add_party();
+  builder.set_benefit(k, v0, 1.0);
+  builder.set_benefit(k, v1, 1.0);
+  builder.set_benefit(k, v2, 1.0);
+  return std::move(builder).build();
+}
+
+}  // namespace mmlp::testing

@@ -1,0 +1,127 @@
+// Cross-family property sweep: on every instance family × seed, the full
+// algorithm hierarchy must satisfy the paper's ordering and guarantees:
+//
+//   feasible(safe), feasible(averaging), feasible(greedy), feasible(uniform)
+//   ω(uniform), ω(safe), ω(greedy), ω(averaging) ≤ ω*            (optimality)
+//   ω* ≤ Δ_I^V · ω(safe)                                          (§4 bound)
+//   ω* ≤ ratio_bound · ω(averaging)                               (Thm 3 bound)
+//
+// This is the repository's broadest single net: any regression in a
+// generator, a solver or an algorithm trips it.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "mmlp/core/baselines.hpp"
+#include "mmlp/core/local_averaging.hpp"
+#include "mmlp/core/optimal.hpp"
+#include "mmlp/core/safe.hpp"
+#include "mmlp/core/solution.hpp"
+#include "mmlp/gen/geometric.hpp"
+#include "mmlp/gen/grid.hpp"
+#include "mmlp/gen/isp.hpp"
+#include "mmlp/gen/random_instance.hpp"
+#include "mmlp/gen/sensor.hpp"
+
+namespace mmlp {
+namespace {
+
+struct Family {
+  const char* name;
+  std::function<Instance(std::uint64_t seed)> make;
+};
+
+const Family kFamilies[] = {
+    {"random",
+     [](std::uint64_t seed) {
+       return make_random_instance({.num_agents = 50,
+                                    .resources_per_agent = 2,
+                                    .parties_per_agent = 1,
+                                    .max_support = 3,
+                                    .seed = seed});
+     }},
+    {"grid",
+     [](std::uint64_t seed) {
+       return make_grid_instance({.dims = {6, 6},
+                                  .torus = (seed % 2 == 0),
+                                  .randomize = true,
+                                  .seed = seed});
+     }},
+    {"geometric",
+     [](std::uint64_t seed) {
+       return make_geometric_instance({.num_agents = 80,
+                                       .radius = 0.15,
+                                       .max_support = 4,
+                                       .seed = seed})
+           .instance;
+     }},
+    {"sensor",
+     [](std::uint64_t seed) {
+       SensorNetworkOptions options;
+       options.num_sensors = 35;
+       options.num_relays = 10;
+       options.num_areas = 4;
+       options.radio_range = 0.35;
+       options.seed = seed;
+       return make_sensor_network(options).instance;
+     }},
+    {"isp",
+     [](std::uint64_t seed) {
+       IspOptions options;
+       options.num_customers = 8;
+       options.num_routers = 5;
+       options.seed = seed;
+       return make_isp_network(options).instance;
+     }},
+};
+
+class Hierarchy
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(Hierarchy, GuaranteesHoldEverywhere) {
+  const auto [family_index, seed] = GetParam();
+  const Family& family = kFamilies[family_index];
+  const Instance instance = family.make(seed);
+  SCOPED_TRACE(::testing::Message() << family.name << " seed " << seed);
+
+  const auto exact = solve_optimal(instance);
+  ASSERT_TRUE(evaluate(instance, exact.x).feasible());
+
+  // Safe.
+  const auto x_safe = safe_solution(instance);
+  ASSERT_TRUE(evaluate(instance, x_safe).feasible());
+  const double omega_safe = objective_omega(instance, x_safe);
+  EXPECT_LE(omega_safe, exact.omega + 1e-6);
+  const double delta =
+      static_cast<double>(instance.degree_bounds().delta_V_of_I);
+  EXPECT_LE(exact.omega, delta * omega_safe + 1e-6);
+
+  // Averaging (R = 1).
+  const auto averaging = local_averaging(instance, {.R = 1});
+  ASSERT_TRUE(evaluate(instance, averaging.x).feasible());
+  const double omega_avg = objective_omega(instance, averaging.x);
+  EXPECT_LE(omega_avg, exact.omega + 1e-6);
+  if (omega_avg > 0.0 && averaging.ratio_bound < 1e17) {
+    EXPECT_LE(exact.omega, averaging.ratio_bound * omega_avg + 1e-6);
+  }
+
+  // Baselines.
+  const auto x_uniform = uniform_solution(instance);
+  EXPECT_TRUE(evaluate(instance, x_uniform).feasible());
+  EXPECT_LE(objective_omega(instance, x_uniform), exact.omega + 1e-6);
+  const auto greedy = greedy_waterfill(instance);
+  EXPECT_TRUE(evaluate(instance, greedy.x).feasible());
+  EXPECT_LE(greedy.omega, exact.omega + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, Hierarchy,
+    ::testing::Combine(::testing::Range(0, 5),
+                       ::testing::Values(1u, 2u, 3u)),
+    [](const ::testing::TestParamInfo<std::tuple<int, std::uint64_t>>& info) {
+      return std::string(kFamilies[std::get<0>(info.param)].name) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace mmlp

@@ -1,0 +1,112 @@
+#include "mmlp/graph/hypergraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mmlp/util/check.hpp"
+
+namespace mmlp {
+namespace {
+
+Hypergraph triangle_plus_tail() {
+  // Edges: {0,1,2} (a 3-hyperedge), {2,3}, {3,4}.
+  return Hypergraph::from_edges(5, {{0, 1, 2}, {2, 3}, {3, 4}});
+}
+
+TEST(Hypergraph, BasicCounts) {
+  const auto h = triangle_plus_tail();
+  EXPECT_EQ(h.num_nodes(), 5);
+  EXPECT_EQ(h.num_edges(), 3);
+  EXPECT_EQ(h.edge_size(0), 3u);
+  EXPECT_EQ(h.edge_size(1), 2u);
+  EXPECT_EQ(h.max_edge_size(), 3u);
+}
+
+TEST(Hypergraph, EdgeMembersSorted) {
+  const auto h = Hypergraph::from_edges(4, {{3, 1, 2}});
+  const auto members = h.edge(0);
+  EXPECT_EQ(std::vector<NodeId>(members.begin(), members.end()),
+            (std::vector<NodeId>{1, 2, 3}));
+}
+
+TEST(Hypergraph, NodeIncidence) {
+  const auto h = triangle_plus_tail();
+  EXPECT_EQ(h.degree(0), 1u);
+  EXPECT_EQ(h.degree(2), 2u);
+  EXPECT_EQ(h.degree(3), 2u);
+  const auto edges = h.edges_of(2);
+  EXPECT_EQ(std::vector<EdgeId>(edges.begin(), edges.end()),
+            (std::vector<EdgeId>{0, 1}));
+  EXPECT_EQ(h.max_degree(), 2u);
+}
+
+TEST(Hypergraph, Neighbors) {
+  const auto h = triangle_plus_tail();
+  EXPECT_EQ(h.neighbors(0), (std::vector<NodeId>{1, 2}));
+  EXPECT_EQ(h.neighbors(2), (std::vector<NodeId>{0, 1, 3}));
+  EXPECT_EQ(h.neighbors(4), (std::vector<NodeId>{3}));
+}
+
+TEST(Hypergraph, Adjacency) {
+  const auto h = triangle_plus_tail();
+  EXPECT_TRUE(h.adjacent(0, 1));
+  EXPECT_TRUE(h.adjacent(2, 3));
+  EXPECT_FALSE(h.adjacent(0, 3));
+  EXPECT_FALSE(h.adjacent(1, 1));  // no self-adjacency by convention
+}
+
+TEST(Hypergraph, ConnectivityAndComponents) {
+  const auto connected = triangle_plus_tail();
+  EXPECT_TRUE(connected.connected());
+
+  const auto split = Hypergraph::from_edges(4, {{0, 1}, {2, 3}});
+  EXPECT_FALSE(split.connected());
+  const auto comp = split.components();
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[2], comp[3]);
+  EXPECT_NE(comp[0], comp[2]);
+}
+
+TEST(Hypergraph, IsolatedNodesAreOwnComponents) {
+  const auto h = Hypergraph::from_edges(3, {{0, 1}});
+  const auto comp = h.components();
+  EXPECT_NE(comp[0], comp[2]);
+  EXPECT_FALSE(h.connected());
+}
+
+TEST(Hypergraph, EmptyGraph) {
+  const auto h = Hypergraph::from_edges(0, {});
+  EXPECT_EQ(h.num_nodes(), 0);
+  EXPECT_EQ(h.num_edges(), 0);
+  EXPECT_TRUE(h.connected());
+}
+
+TEST(Hypergraph, SingletonEdgeAllowed) {
+  const auto h = Hypergraph::from_edges(2, {{0}, {0, 1}});
+  EXPECT_EQ(h.edge_size(0), 1u);
+  EXPECT_TRUE(h.connected());
+}
+
+TEST(Hypergraph, RejectsEmptyEdge) {
+  EXPECT_THROW(Hypergraph::from_edges(2, {{}}), CheckError);
+}
+
+TEST(Hypergraph, RejectsDuplicateMember) {
+  EXPECT_THROW(Hypergraph::from_edges(2, {{0, 0}}), CheckError);
+}
+
+TEST(Hypergraph, RejectsOutOfRangeMember) {
+  EXPECT_THROW(Hypergraph::from_edges(2, {{0, 2}}), CheckError);
+  EXPECT_THROW(Hypergraph::from_edges(2, {{-1}}), CheckError);
+}
+
+TEST(Hypergraph, RejectsBadQueries) {
+  const auto h = triangle_plus_tail();
+  EXPECT_THROW(h.edge(3), CheckError);
+  EXPECT_THROW(h.edges_of(5), CheckError);
+  EXPECT_THROW(h.edges_of(-1), CheckError);
+}
+
+}  // namespace
+}  // namespace mmlp

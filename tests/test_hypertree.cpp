@@ -1,0 +1,102 @@
+#include "mmlp/graph/hypertree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mmlp/util/check.hpp"
+
+namespace mmlp {
+namespace {
+
+TEST(Hypertree, HeightZeroIsSingleNode) {
+  const auto tree = Hypertree::complete(2, 3, 0);
+  EXPECT_EQ(tree.num_nodes(), 1);
+  EXPECT_TRUE(tree.edges().empty());
+  EXPECT_EQ(tree.leaves(), (std::vector<std::int32_t>{0}));
+}
+
+TEST(Hypertree, LevelSizesMatchPaperFormula) {
+  // Figure 1(b): a complete (2,3)-ary hypertree of height 5 has 72 leaves.
+  const auto tree = Hypertree::complete(2, 3, 5);
+  EXPECT_EQ(tree.nodes_at_level(0).size(), 1u);
+  EXPECT_EQ(tree.nodes_at_level(1).size(), 2u);    // d
+  EXPECT_EQ(tree.nodes_at_level(2).size(), 6u);    // dD
+  EXPECT_EQ(tree.nodes_at_level(3).size(), 12u);   // dD·d
+  EXPECT_EQ(tree.nodes_at_level(4).size(), 36u);   // (dD)^2
+  EXPECT_EQ(tree.nodes_at_level(5).size(), 72u);   // (dD)^2·d
+  EXPECT_EQ(tree.leaves().size(), 72u);
+}
+
+TEST(Hypertree, ExpectedLevelSizeClosedForm) {
+  EXPECT_EQ(Hypertree::expected_level_size(2, 3, 0), 1);
+  EXPECT_EQ(Hypertree::expected_level_size(2, 3, 1), 2);
+  EXPECT_EQ(Hypertree::expected_level_size(2, 3, 4), 36);
+  EXPECT_EQ(Hypertree::expected_level_size(3, 2, 3), 18);  // d²D = 9·2
+}
+
+TEST(Hypertree, EdgeTypesAlternate) {
+  const auto tree = Hypertree::complete(2, 3, 4);
+  for (const auto& edge : tree.edges()) {
+    const std::int32_t parent_level = tree.level(edge.parent);
+    if (parent_level % 2 == 0) {
+      EXPECT_EQ(edge.type, HyperedgeType::kTypeI);
+      EXPECT_EQ(edge.children.size(), 2u);  // d children
+    } else {
+      EXPECT_EQ(edge.type, HyperedgeType::kTypeII);
+      EXPECT_EQ(edge.children.size(), 3u);  // D children
+    }
+    for (const std::int32_t child : edge.children) {
+      EXPECT_EQ(tree.level(child), parent_level + 1);
+    }
+  }
+}
+
+TEST(Hypertree, EveryNonRootNodeHasExactlyOneParentEdge) {
+  const auto tree = Hypertree::complete(3, 2, 3);
+  std::vector<int> parent_count(static_cast<std::size_t>(tree.num_nodes()), 0);
+  for (const auto& edge : tree.edges()) {
+    for (const std::int32_t child : edge.children) {
+      ++parent_count[static_cast<std::size_t>(child)];
+    }
+  }
+  EXPECT_EQ(parent_count[0], 0);  // root
+  for (std::size_t v = 1; v < parent_count.size(); ++v) {
+    EXPECT_EQ(parent_count[v], 1);
+  }
+}
+
+TEST(Hypertree, LeafCountIsTheQDegreeFormula) {
+  // Height 2R−1 ⇒ d^R·D^(R−1) leaves (the degree of Q in Section 4.2).
+  for (const auto [d, D, R] : {std::tuple{2, 2, 2}, std::tuple{2, 3, 2},
+                               std::tuple{3, 2, 3}, std::tuple{2, 1, 3}}) {
+    const auto tree = Hypertree::complete(d, D, 2 * R - 1);
+    std::int64_t expected = 1;
+    for (int e = 0; e < R; ++e) expected *= d;
+    for (int e = 0; e + 1 < R; ++e) expected *= D;
+    EXPECT_EQ(static_cast<std::int64_t>(tree.leaves().size()), expected)
+        << "d=" << d << " D=" << D << " R=" << R;
+  }
+}
+
+TEST(Hypertree, DegenerateFanoutOne) {
+  // d = D = 1 gives a path.
+  const auto tree = Hypertree::complete(1, 1, 4);
+  EXPECT_EQ(tree.num_nodes(), 5);
+  for (std::int32_t l = 0; l <= 4; ++l) {
+    EXPECT_EQ(tree.nodes_at_level(l).size(), 1u);
+  }
+}
+
+TEST(Hypertree, RejectsBadParameters) {
+  EXPECT_THROW(Hypertree::complete(0, 1, 2), CheckError);
+  EXPECT_THROW(Hypertree::complete(1, 0, 2), CheckError);
+  EXPECT_THROW(Hypertree::complete(1, 1, -1), CheckError);
+}
+
+TEST(Hypertree, NodesAtLevelBoundsChecked) {
+  const auto tree = Hypertree::complete(2, 2, 2);
+  EXPECT_THROW(tree.nodes_at_level(3), CheckError);
+  EXPECT_THROW(tree.nodes_at_level(-1), CheckError);
+}
+
+}  // namespace
+}  // namespace mmlp

@@ -1,0 +1,157 @@
+#include "mmlp/core/instance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mmlp/util/check.hpp"
+#include "test_helpers.hpp"
+
+namespace mmlp {
+namespace {
+
+TEST(Instance, BuilderProducesExpectedCounts) {
+  const auto instance = testing::two_agent_instance();
+  EXPECT_EQ(instance.num_agents(), 2);
+  EXPECT_EQ(instance.num_resources(), 1);
+  EXPECT_EQ(instance.num_parties(), 2);
+  EXPECT_EQ(instance.num_nonzeros(), 4u);
+}
+
+TEST(Instance, SupportsAreSortedAndConsistent) {
+  Instance::Builder builder;
+  builder.reserve(3, 0, 0);
+  const ResourceId i = builder.add_resource();
+  builder.set_usage(i, 2, 3.0);
+  builder.set_usage(i, 0, 1.0);
+  builder.set_usage(i, 1, 2.0);
+  const PartyId k = builder.add_party();
+  builder.set_benefit(k, 1, 5.0);
+  const auto instance = std::move(builder).build();
+  const auto& support = instance.resource_support(i);
+  ASSERT_EQ(support.size(), 3u);
+  EXPECT_EQ(support[0].id, 0);
+  EXPECT_EQ(support[1].id, 1);
+  EXPECT_EQ(support[2].id, 2);
+  EXPECT_DOUBLE_EQ(instance.usage(i, 2), 3.0);
+  EXPECT_DOUBLE_EQ(instance.usage(i, 1), 2.0);
+  EXPECT_DOUBLE_EQ(instance.benefit(k, 1), 5.0);
+  EXPECT_DOUBLE_EQ(instance.benefit(k, 0), 0.0);  // not in V_k
+}
+
+TEST(Instance, TransposedViewsMatch) {
+  const auto instance = testing::single_party_instance();
+  for (AgentId v = 0; v < instance.num_agents(); ++v) {
+    for (const Coef& entry : instance.agent_resources(v)) {
+      EXPECT_DOUBLE_EQ(instance.usage(entry.id, v), entry.value);
+    }
+    for (const Coef& entry : instance.agent_parties(v)) {
+      EXPECT_DOUBLE_EQ(instance.benefit(entry.id, v), entry.value);
+    }
+  }
+}
+
+TEST(Instance, DegreeBounds) {
+  const auto instance = testing::single_party_instance();
+  const auto bounds = instance.degree_bounds();
+  EXPECT_EQ(bounds.delta_V_of_I, 2u);  // each resource couples 2 agents
+  EXPECT_EQ(bounds.delta_V_of_K, 3u);  // the sole party has all 3 agents
+  EXPECT_EQ(bounds.delta_I_of_V, 2u);  // middle agent is in 2 resources
+  EXPECT_EQ(bounds.delta_K_of_V, 1u);
+}
+
+TEST(Instance, CommunicationGraphFull) {
+  const auto instance = testing::two_agent_instance();
+  const auto h = instance.communication_graph();
+  EXPECT_EQ(h.num_nodes(), 2);
+  EXPECT_EQ(h.num_edges(), 3);  // V_i plus both V_k
+  EXPECT_TRUE(h.adjacent(0, 1));
+}
+
+TEST(Instance, CommunicationGraphCollaborationOblivious) {
+  const auto instance = testing::two_agent_instance();
+  const auto h = instance.communication_graph(/*collaboration_oblivious=*/true);
+  EXPECT_EQ(h.num_edges(), 1);  // only the resource hyperedge
+}
+
+TEST(Instance, PartyEdgesConnectInFullGraphOnly) {
+  // Two agents share only a party, plus private resources.
+  Instance::Builder builder;
+  const AgentId v0 = builder.add_agent();
+  const AgentId v1 = builder.add_agent();
+  const ResourceId i0 = builder.add_resource();
+  const ResourceId i1 = builder.add_resource();
+  builder.set_usage(i0, v0, 1.0);
+  builder.set_usage(i1, v1, 1.0);
+  const PartyId k = builder.add_party();
+  builder.set_benefit(k, v0, 1.0).set_benefit(k, v1, 1.0);
+  const auto instance = std::move(builder).build();
+  EXPECT_TRUE(instance.communication_graph(false).adjacent(0, 1));
+  EXPECT_FALSE(instance.communication_graph(true).adjacent(0, 1));
+}
+
+TEST(Instance, BuilderRejectsNonPositiveCoefficients) {
+  Instance::Builder builder;
+  builder.add_agent();
+  builder.add_resource();
+  EXPECT_THROW(builder.set_usage(0, 0, 0.0), CheckError);
+  EXPECT_THROW(builder.set_usage(0, 0, -1.0), CheckError);
+  builder.add_party();
+  EXPECT_THROW(builder.set_benefit(0, 0, 0.0), CheckError);
+}
+
+TEST(Instance, BuilderRejectsDuplicateCoefficient) {
+  Instance::Builder builder;
+  builder.add_agent();
+  builder.add_resource();
+  builder.set_usage(0, 0, 1.0);
+  builder.set_usage(0, 0, 2.0);
+  EXPECT_THROW(std::move(builder).build(), CheckError);
+}
+
+TEST(Instance, BuildRejectsEmptyIv) {
+  // An agent with no resource violates the standing assumptions.
+  Instance::Builder builder;
+  builder.add_agent();
+  builder.add_agent();
+  builder.add_resource();
+  builder.set_usage(0, 0, 1.0);  // agent 1 left without a resource
+  EXPECT_THROW(std::move(builder).build(), CheckError);
+}
+
+TEST(Instance, BuildRejectsEmptyResource) {
+  Instance::Builder builder;
+  builder.add_agent();
+  const ResourceId i0 = builder.add_resource();
+  builder.add_resource();  // never touched
+  builder.set_usage(i0, 0, 1.0);
+  EXPECT_THROW(std::move(builder).build(), CheckError);
+}
+
+TEST(Instance, SerializeRoundTrip) {
+  const auto original = testing::single_party_instance();
+  const auto restored = Instance::deserialize(original.serialize());
+  EXPECT_TRUE(original == restored);
+  EXPECT_EQ(restored.num_agents(), original.num_agents());
+  EXPECT_EQ(restored.num_nonzeros(), original.num_nonzeros());
+}
+
+TEST(Instance, DeserializeRejectsGarbage) {
+  EXPECT_THROW(Instance::deserialize("bogus 1 1 1"), CheckError);
+  EXPECT_THROW(Instance::deserialize("mmlp 1 1 1\nz 0 0 1.0"), CheckError);
+}
+
+TEST(Instance, EqualityDistinguishesCoefficients) {
+  const auto a = testing::two_agent_instance();
+  Instance::Builder builder;
+  const AgentId v0 = builder.add_agent();
+  const AgentId v1 = builder.add_agent();
+  const ResourceId i = builder.add_resource();
+  builder.set_usage(i, v0, 1.0).set_usage(i, v1, 2.0);  // differs here
+  const PartyId k0 = builder.add_party();
+  const PartyId k1 = builder.add_party();
+  builder.set_benefit(k0, v0, 1.0).set_benefit(k1, v1, 1.0);
+  const auto b = std::move(builder).build();
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace mmlp

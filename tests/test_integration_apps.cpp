@@ -1,0 +1,119 @@
+// End-to-end validation of the Section 2 applications: sensor-network
+// lifetime and ISP fair share, solved by all three algorithm tiers.
+#include <gtest/gtest.h>
+
+#include "mmlp/core/local_averaging.hpp"
+#include "mmlp/core/optimal.hpp"
+#include "mmlp/core/safe.hpp"
+#include "mmlp/core/solution.hpp"
+#include "mmlp/gen/isp.hpp"
+#include "mmlp/gen/sensor.hpp"
+
+namespace mmlp {
+namespace {
+
+class SensorPipeline : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SensorPipeline, AlgorithmHierarchyOnLifetime) {
+  SensorNetworkOptions options;
+  options.num_sensors = 40;
+  options.num_relays = 12;
+  options.num_areas = 4;
+  options.radio_range = 0.35;
+  options.sensing_range = 0.45;
+  options.seed = GetParam();
+  const auto net = make_sensor_network(options);
+
+  const auto x_safe = safe_solution(net.instance);
+  const auto averaging = local_averaging(net.instance, {.R = 1});
+  const auto exact = solve_optimal(net.instance);
+
+  const double omega_safe = objective_omega(net.instance, x_safe);
+  const double omega_avg = objective_omega(net.instance, averaging.x);
+
+  // All tiers feasible.
+  EXPECT_TRUE(evaluate(net.instance, x_safe).feasible());
+  EXPECT_TRUE(evaluate(net.instance, averaging.x).feasible());
+  EXPECT_TRUE(evaluate(net.instance, exact.x).feasible());
+
+  // ω_safe ≤ ω* and ω_avg ≤ ω* (optimality), and the Δ_I^V guarantee.
+  EXPECT_LE(omega_safe, exact.omega + 1e-7);
+  EXPECT_LE(omega_avg, exact.omega + 1e-7);
+  const double delta =
+      static_cast<double>(net.instance.degree_bounds().delta_V_of_I);
+  EXPECT_LE(exact.omega, delta * omega_safe + 1e-7);
+  // Theorem 3 guarantee via the reported bound.
+  if (omega_avg > 0.0) {
+    EXPECT_LE(exact.omega / omega_avg, averaging.ratio_bound + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SensorPipeline,
+                         ::testing::Values(1u, 2u, 3u));
+
+class IspPipeline : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IspPipeline, AlgorithmHierarchyOnFairShare) {
+  IspOptions options;
+  options.num_customers = 8;
+  options.links_per_customer = 2;
+  options.num_routers = 5;
+  options.routers_per_link = 2;
+  options.seed = GetParam();
+  const auto net = make_isp_network(options);
+
+  const auto x_safe = safe_solution(net.instance);
+  const auto averaging = local_averaging(net.instance, {.R = 1});
+  const auto exact = solve_optimal(net.instance);
+
+  EXPECT_TRUE(evaluate(net.instance, x_safe).feasible());
+  EXPECT_TRUE(evaluate(net.instance, averaging.x).feasible());
+
+  const double omega_safe = objective_omega(net.instance, x_safe);
+  const double omega_avg = objective_omega(net.instance, averaging.x);
+  EXPECT_GT(omega_safe, 0.0);
+  EXPECT_LE(omega_safe, exact.omega + 1e-7);
+  EXPECT_LE(omega_avg, exact.omega + 1e-7);
+  const double delta =
+      static_cast<double>(net.instance.degree_bounds().delta_V_of_I);
+  EXPECT_LE(exact.omega, delta * omega_safe + 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IspPipeline, ::testing::Values(1u, 2u, 3u));
+
+TEST(Applications, LifetimeInterpretation) {
+  // ω is the guaranteed per-area data volume per unit battery: scaling
+  // all battery budgets (dividing every a_iv by s) scales ω* by s.
+  SensorNetworkOptions options;
+  options.num_sensors = 30;
+  options.num_relays = 10;
+  options.num_areas = 4;
+  options.radio_range = 0.4;
+  options.seed = 77;
+  const auto net = make_sensor_network(options);
+  const auto base = solve_optimal(net.instance);
+
+  // Halve all energy costs (double the battery).
+  Instance::Builder builder;
+  for (AgentId v = 0; v < net.instance.num_agents(); ++v) {
+    builder.add_agent();
+  }
+  for (ResourceId i = 0; i < net.instance.num_resources(); ++i) {
+    const ResourceId id = builder.add_resource();
+    for (const Coef& entry : net.instance.resource_support(i)) {
+      builder.set_usage(id, entry.id, entry.value / 2.0);
+    }
+  }
+  for (PartyId k = 0; k < net.instance.num_parties(); ++k) {
+    const PartyId id = builder.add_party();
+    for (const Coef& entry : net.instance.party_support(k)) {
+      builder.set_benefit(id, entry.id, entry.value);
+    }
+  }
+  const auto doubled = std::move(builder).build();
+  const auto result = solve_optimal(doubled);
+  EXPECT_NEAR(result.omega, 2.0 * base.omega, 1e-6);
+}
+
+}  // namespace
+}  // namespace mmlp

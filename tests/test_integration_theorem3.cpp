@@ -1,0 +1,115 @@
+// End-to-end validation of Theorem 3: the local-averaging algorithm is a
+// local approximation scheme on bounded-growth graphs.
+#include <gtest/gtest.h>
+
+#include "mmlp/core/local_averaging.hpp"
+#include "mmlp/core/optimal.hpp"
+#include "mmlp/core/safe.hpp"
+#include "mmlp/core/solution.hpp"
+#include "mmlp/gen/grid.hpp"
+#include "mmlp/gen/random_instance.hpp"
+#include "mmlp/graph/growth.hpp"
+
+namespace mmlp {
+namespace {
+
+TEST(Theorem3, GuaranteeHoldsAcrossRadiiOn1DTorus) {
+  const auto instance = make_grid_instance(
+      {.dims = {24}, .torus = true, .randomize = true, .seed = 3});
+  const auto exact = solve_optimal(instance);
+  const auto h = instance.communication_graph();
+  for (const std::int32_t R : {1, 2, 3}) {
+    const auto result = local_averaging(instance, {.R = R});
+    ASSERT_TRUE(evaluate(instance, result.x).feasible());
+    const double achieved = objective_omega(instance, result.x);
+    ASSERT_GT(achieved, 0.0);
+    const double ratio = exact.omega / achieved;
+    EXPECT_LE(ratio, result.ratio_bound + 1e-6) << "R=" << R;
+    EXPECT_LE(result.ratio_bound, theorem3_bound(h, R) + 1e-9) << "R=" << R;
+  }
+}
+
+TEST(Theorem3, RatioApproachesOneOn2DTorus) {
+  // γ(r) = 1 + Θ(1/r) on grids, so the scheme converges: the measured
+  // ratio must be monotone (weakly) improving and near 1 for R = 3.
+  const auto instance = make_grid_instance({.dims = {12, 12}, .torus = true});
+  // Uniform 2D torus: symmetric optimum ω* = 1 exactly.
+  std::vector<double> ratios;
+  for (const std::int32_t R : {1, 2, 3}) {
+    const auto result = local_averaging(instance, {.R = R});
+    const double achieved = objective_omega(instance, result.x);
+    ratios.push_back(1.0 / achieved);
+  }
+  EXPECT_LT(ratios[2], ratios[0]);
+  EXPECT_LT(ratios[2], 1.45);  // close to optimal by R = 3 (measured ≈ 1.38)
+}
+
+TEST(Theorem3, BoundShrinksTowardOneOnLargeTorus) {
+  // On this hypergraph B(v, r) is an L1-ball of radius 2r (hyperedges are
+  // closed neighbourhoods, i.e. distance-1 in H covers two grid steps), so
+  // γ(R−1)γ(R) ≈ ((2R+2)/(2R−2))² decays like 1 + O(1/R):
+  // R=1: γ(0)γ(1) = 41, R=2: 85/13 ≈ 6.5, R=3: 145/41 ≈ 3.5.
+  // (Extent 18 keeps the radius-8 L1-ball wrap-free.)
+  const auto instance = make_grid_instance({.dims = {18, 18}, .torus = true});
+  const auto h = instance.communication_graph();
+  double previous = 1e9;
+  for (const std::int32_t R : {1, 2, 3}) {
+    const double bound = theorem3_bound(h, R);
+    EXPECT_LT(bound, previous);
+    previous = bound;
+  }
+  EXPECT_NEAR(previous, 145.0 / 41.0, 1e-9);
+}
+
+TEST(Theorem3, FeasibilityNeverDependsOnGrowth) {
+  // The algorithm stays feasible even on graphs with bad growth
+  // (here: a random bounded-degree instance, expander-like).
+  const auto instance = make_random_instance({
+      .num_agents = 120,
+      .resources_per_agent = 2,
+      .parties_per_agent = 1,
+      .max_support = 3,
+      .seed = 7,
+  });
+  for (const std::int32_t R : {1, 2}) {
+    const auto result = local_averaging(instance, {.R = R});
+    EXPECT_TRUE(evaluate(instance, result.x).feasible()) << "R=" << R;
+  }
+}
+
+TEST(Theorem3, GuaranteeOvertakesSafeGuaranteeOnGrids) {
+  // The paper's comparison is between *guarantees*: the safe algorithm is
+  // stuck at Δ_I^V while the averaging bound γ(R−1)γ(R) → 1 on grids.
+  // (On individual near-uniform grid instances safe can measure well —
+  // on a perfectly uniform torus it is even optimal — so the instance-
+  // level comparison is not the theorem's claim.)
+  const auto instance = make_grid_instance(
+      {.dims = {12, 12}, .torus = true, .randomize = true, .seed = 11});
+  const double delta =
+      static_cast<double>(instance.degree_bounds().delta_V_of_I);
+  const auto r3 = local_averaging(instance, {.R = 3});
+  EXPECT_LT(r3.ratio_bound, delta);  // 1.69 vs 5 measured here
+  // And the measured ratio honours the guarantee.
+  const auto exact = solve_optimal(instance);
+  const double omega_avg = objective_omega(instance, r3.x);
+  ASSERT_GT(omega_avg, 0.0);
+  EXPECT_LE(exact.omega / omega_avg, r3.ratio_bound + 1e-6);
+  // Safe remains within its own (weaker) guarantee.
+  const double omega_safe = objective_omega(instance, safe_solution(instance));
+  EXPECT_LE(exact.omega / omega_safe, delta + 1e-6);
+}
+
+TEST(Theorem3, DampingNeverOvershoots) {
+  // β_j ≤ 1 and the averaged LP solutions are per-view feasible, so no
+  // agent's x̃ can exceed the max over views of x^u_j; in particular the
+  // output is bounded by 1/min_i a_iv over its resources.
+  const auto instance = make_grid_instance({.dims = {6, 6}, .torus = true});
+  const auto result = local_averaging(instance, {.R = 2});
+  for (AgentId v = 0; v < instance.num_agents(); ++v) {
+    EXPECT_LE(result.beta[static_cast<std::size_t>(v)], 1.0 + 1e-12);
+    EXPECT_GE(result.x[static_cast<std::size_t>(v)], 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace mmlp

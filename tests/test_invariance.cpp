@@ -1,0 +1,107 @@
+// Identifier-model invariance (Section 1.5): the paper's algorithms do
+// not read identifier *values*, only use them to tell agents apart, so
+// their outputs must be equivariant under agent relabelling. This is a
+// property of our implementations too — verified here for both
+// algorithms across instance families.
+#include <gtest/gtest.h>
+
+#include "mmlp/core/local_averaging.hpp"
+#include "mmlp/core/safe.hpp"
+#include "mmlp/core/solution.hpp"
+#include "mmlp/core/transform.hpp"
+#include "mmlp/gen/grid.hpp"
+#include "mmlp/gen/random_instance.hpp"
+#include "mmlp/gen/sensor.hpp"
+
+namespace mmlp {
+namespace {
+
+void expect_equivariant_safe(const Instance& instance, std::uint64_t seed) {
+  Rng rng(seed);
+  const auto perm = rng.permutation(instance.num_agents());
+  const auto relabeled = relabel_agents(instance, perm);
+  const auto mapped = relabel_solution(safe_solution(instance), perm);
+  const auto direct = safe_solution(relabeled);
+  ASSERT_EQ(mapped.size(), direct.size());
+  for (std::size_t v = 0; v < direct.size(); ++v) {
+    EXPECT_DOUBLE_EQ(direct[v], mapped[v]) << "agent " << v;
+  }
+}
+
+void expect_equivariant_averaging(const Instance& instance,
+                                  std::uint64_t seed, std::int32_t R) {
+  // The paper's eq. (9) only asks for *an* optimal view solution; the
+  // simplex breaks ties by variable order, which relabelling permutes, so
+  // strict per-coordinate equivariance does not hold. What is invariant
+  // is the algorithm's quality and guarantee: the achieved ω and the
+  // ratio bound must be (near-)identical, and both runs feasible.
+  Rng rng(seed);
+  const auto perm = rng.permutation(instance.num_agents());
+  const auto relabeled = relabel_agents(instance, perm);
+  const auto base = local_averaging(instance, {.R = R});
+  const auto mapped_run = local_averaging(relabeled, {.R = R});
+  EXPECT_TRUE(evaluate(instance, base.x).feasible());
+  EXPECT_TRUE(evaluate(relabeled, mapped_run.x).feasible());
+  EXPECT_NEAR(base.ratio_bound, mapped_run.ratio_bound, 1e-9);
+  const double omega_base = objective_omega(instance, base.x);
+  const double omega_mapped = objective_omega(relabeled, mapped_run.x);
+  EXPECT_NEAR(omega_base, omega_mapped, 0.05 * omega_base + 1e-9);
+  // β and ball sizes are purely structural: exactly equivariant.
+  for (AgentId v = 0; v < instance.num_agents(); ++v) {
+    const auto target = static_cast<std::size_t>(perm[static_cast<std::size_t>(v)]);
+    EXPECT_EQ(base.ball_size[static_cast<std::size_t>(v)],
+              mapped_run.ball_size[target]);
+    EXPECT_NEAR(base.beta[static_cast<std::size_t>(v)],
+                mapped_run.beta[target], 1e-12);
+  }
+}
+
+TEST(Invariance, SafeOnRandomInstances) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    expect_equivariant_safe(
+        make_random_instance({.num_agents = 40, .seed = seed}), seed * 13);
+  }
+}
+
+TEST(Invariance, SafeOnGrid) {
+  expect_equivariant_safe(
+      make_grid_instance(
+          {.dims = {5, 5}, .torus = true, .randomize = true, .seed = 3}),
+      17);
+}
+
+TEST(Invariance, SafeOnSensorNetwork) {
+  SensorNetworkOptions options;
+  options.num_sensors = 30;
+  options.num_relays = 10;
+  options.num_areas = 4;
+  options.radio_range = 0.35;
+  options.seed = 5;
+  expect_equivariant_safe(make_sensor_network(options).instance, 23);
+}
+
+TEST(Invariance, AveragingOnSmallGrid) {
+  expect_equivariant_averaging(
+      make_grid_instance(
+          {.dims = {4, 4}, .torus = true, .randomize = true, .seed = 7}),
+      29, 1);
+}
+
+TEST(Invariance, AveragingOnRandomInstance) {
+  expect_equivariant_averaging(
+      make_random_instance({.num_agents = 24, .seed = 9}), 31, 1);
+}
+
+TEST(Invariance, OmegaIsLabelFree) {
+  // The objective itself is invariant: same multiset of benefits.
+  const auto instance = make_random_instance({.num_agents = 30, .seed = 11});
+  Rng rng(37);
+  const auto perm = rng.permutation(instance.num_agents());
+  const auto relabeled = relabel_agents(instance, perm);
+  const auto x = safe_solution(instance);
+  EXPECT_NEAR(objective_omega(instance, x),
+              objective_omega(relabeled, relabel_solution(x, perm)), 1e-12);
+}
+
+}  // namespace
+}  // namespace mmlp

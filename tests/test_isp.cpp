@@ -1,0 +1,139 @@
+#include "mmlp/gen/isp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mmlp/util/check.hpp"
+
+#include "mmlp/core/solution.hpp"
+#include "mmlp/lp/maxmin_reduction.hpp"
+
+namespace mmlp {
+namespace {
+
+TEST(Isp, CountsMatchOptions) {
+  IspOptions options;
+  options.num_customers = 4;
+  options.links_per_customer = 2;
+  options.num_routers = 3;
+  options.routers_per_link = 2;
+  options.seed = 1;
+  const auto net = make_isp_network(options);
+  EXPECT_EQ(net.num_links, 8);
+  EXPECT_EQ(net.instance.num_parties(), 4);
+  // 8 link resources plus one per *used* router (≤ 3).
+  EXPECT_GE(net.instance.num_resources(), 8 + 1);
+  EXPECT_LE(net.instance.num_resources(), 8 + 3);
+  EXPECT_EQ(net.instance.num_agents(), 8 * 2);  // one agent per (link, router)
+  EXPECT_EQ(net.paths.size(), 16u);
+}
+
+TEST(Isp, PathsConsumeTheirLinkAndRouter) {
+  const auto net = make_isp_network({.num_customers = 3, .seed = 2});
+  for (AgentId v = 0; v < net.instance.num_agents(); ++v) {
+    const auto [l, t] = net.paths[static_cast<std::size_t>(v)];
+    EXPECT_NEAR(net.instance.usage(l, v),
+                1.0 / net.link_capacity[static_cast<std::size_t>(l)], 1e-12);
+    const ResourceId router_res =
+        net.router_resource[static_cast<std::size_t>(t)];
+    ASSERT_GE(router_res, 0);
+    EXPECT_NEAR(net.instance.usage(router_res, v),
+                1.0 / net.router_capacity[static_cast<std::size_t>(t)], 1e-12);
+    EXPECT_EQ(net.instance.agent_resources(v).size(), 2u);
+  }
+}
+
+TEST(Isp, CustomerBenefitsFromItsOwnPathsOnly) {
+  IspOptions options;
+  options.num_customers = 5;
+  options.links_per_customer = 2;
+  options.seed = 3;
+  const auto net = make_isp_network(options);
+  for (AgentId v = 0; v < net.instance.num_agents(); ++v) {
+    const auto& parties = net.instance.agent_parties(v);
+    ASSERT_EQ(parties.size(), 1u);
+    const std::int32_t link = net.paths[static_cast<std::size_t>(v)].first;
+    EXPECT_EQ(parties[0].id, link / options.links_per_customer);
+  }
+}
+
+TEST(Isp, RoutersPerLinkDistinct) {
+  const auto net = make_isp_network(
+      {.num_customers = 4, .links_per_customer = 1, .num_routers = 5,
+       .routers_per_link = 3, .seed = 4});
+  for (std::int32_t l = 0; l < net.num_links; ++l) {
+    std::vector<std::int32_t> routers;
+    for (std::size_t v = 0; v < net.paths.size(); ++v) {
+      if (net.paths[v].first == l) {
+        routers.push_back(net.paths[v].second);
+      }
+    }
+    EXPECT_EQ(routers.size(), 3u);
+    std::sort(routers.begin(), routers.end());
+    EXPECT_EQ(std::adjacent_find(routers.begin(), routers.end()), routers.end());
+  }
+}
+
+TEST(Isp, CapacitiesWithinSpread) {
+  IspOptions options;
+  options.capacity_spread = 0.2;
+  options.seed = 5;
+  const auto net = make_isp_network(options);
+  for (const double capacity : net.link_capacity) {
+    EXPECT_GE(capacity, options.link_capacity * 0.8 - 1e-12);
+    EXPECT_LE(capacity, options.link_capacity * 1.2 + 1e-12);
+  }
+  for (const double capacity : net.router_capacity) {
+    EXPECT_GE(capacity, options.router_capacity * 0.8 - 1e-12);
+    EXPECT_LE(capacity, options.router_capacity * 1.2 + 1e-12);
+  }
+}
+
+TEST(Isp, ZeroSpreadIsExact) {
+  const auto net = make_isp_network({.capacity_spread = 0.0, .seed = 6});
+  for (const double capacity : net.link_capacity) {
+    EXPECT_DOUBLE_EQ(capacity, 1.0);
+  }
+}
+
+TEST(Isp, DeterministicBySeed) {
+  const IspOptions options{.num_customers = 6, .seed = 7};
+  EXPECT_TRUE(make_isp_network(options).instance ==
+              make_isp_network(options).instance);
+}
+
+TEST(Isp, FairShareIsSolvable) {
+  const auto net = make_isp_network({.num_customers = 6, .seed = 8});
+  const auto result = solve_maxmin_simplex(net.instance);
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_GT(result.omega, 0.0);
+  EXPECT_TRUE(evaluate(net.instance, result.x).feasible());
+}
+
+TEST(Isp, SymmetricUniformCaseHasKnownOptimum) {
+  // 2 customers, 1 link each (capacity 1), 1 router shared by all links
+  // with ample capacity: each customer is limited by its own link:
+  // fair share = 1 per customer.
+  IspOptions options;
+  options.num_customers = 2;
+  options.links_per_customer = 1;
+  options.num_routers = 1;
+  options.routers_per_link = 1;
+  options.link_capacity = 1.0;
+  options.router_capacity = 10.0;
+  options.capacity_spread = 0.0;
+  options.seed = 9;
+  const auto net = make_isp_network(options);
+  const auto result = solve_maxmin_simplex(net.instance);
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_NEAR(result.omega, 1.0, 1e-9);
+}
+
+TEST(Isp, RejectsBadOptions) {
+  EXPECT_THROW(make_isp_network({.num_customers = 0}), CheckError);
+  EXPECT_THROW(make_isp_network({.num_routers = 2, .routers_per_link = 3}),
+               CheckError);
+  EXPECT_THROW(make_isp_network({.capacity_spread = 1.0}), CheckError);
+}
+
+}  // namespace
+}  // namespace mmlp

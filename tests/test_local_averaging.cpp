@@ -1,0 +1,118 @@
+#include "mmlp/core/local_averaging.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mmlp/util/check.hpp"
+
+#include "mmlp/core/solution.hpp"
+#include "mmlp/gen/grid.hpp"
+#include "mmlp/gen/random_instance.hpp"
+#include "mmlp/graph/growth.hpp"
+#include "mmlp/lp/maxmin_reduction.hpp"
+#include "test_helpers.hpp"
+
+namespace mmlp {
+namespace {
+
+TEST(LocalAveraging, FeasibleOnTwoAgentInstance) {
+  const auto instance = testing::two_agent_instance();
+  const auto result = local_averaging(instance, {.R = 1});
+  EXPECT_TRUE(evaluate(instance, result.x).feasible());
+  // Both views see everything: ratio bound is 1 and the output optimal.
+  EXPECT_NEAR(result.ratio_bound, 1.0, 1e-12);
+  EXPECT_NEAR(objective_omega(instance, result.x), 0.5, 1e-7);
+}
+
+TEST(LocalAveraging, ReportsPerAgentMetadata) {
+  const auto instance = testing::path_instance(6);
+  const auto result = local_averaging(instance, {.R = 1});
+  EXPECT_EQ(result.x.size(), 6u);
+  EXPECT_EQ(result.beta.size(), 6u);
+  EXPECT_EQ(result.ball_size.size(), 6u);
+  EXPECT_EQ(result.view_omega.size(), 6u);
+  for (const double beta : result.beta) {
+    EXPECT_GT(beta, 0.0);
+    EXPECT_LE(beta, 1.0 + 1e-12);
+  }
+}
+
+class AveragingFeasibility : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AveragingFeasibility, FeasibleOnRandomInstances) {
+  const auto instance = make_random_instance({
+      .num_agents = 50,
+      .resources_per_agent = 2,
+      .parties_per_agent = 2,
+      .max_support = 3,
+      .seed = GetParam(),
+  });
+  for (const std::int32_t R : {1, 2}) {
+    const auto result = local_averaging(instance, {.R = R});
+    EXPECT_TRUE(evaluate(instance, result.x).feasible())
+        << "seed " << GetParam() << " R " << R;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AveragingFeasibility,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(LocalAveraging, Theorem3RatioGuaranteeOnGrid) {
+  const auto instance = make_grid_instance(
+      {.dims = {6, 6}, .torus = true, .randomize = true, .seed = 7});
+  const auto exact = solve_maxmin_simplex(instance);
+  ASSERT_EQ(exact.status, LpStatus::kOptimal);
+  const auto h = instance.communication_graph();
+  for (const std::int32_t R : {1, 2}) {
+    const auto result = local_averaging(instance, {.R = R});
+    const double achieved = objective_omega(instance, result.x);
+    ASSERT_GT(achieved, 0.0);
+    const double measured_ratio = exact.omega / achieved;
+    // Theorem 3: ratio <= max_k M_k/m_k · max_i N_i/n_i <= γ(R−1)γ(R).
+    EXPECT_LE(measured_ratio, result.ratio_bound + 1e-6) << "R=" << R;
+    EXPECT_LE(result.ratio_bound, theorem3_bound(h, R) + 1e-9) << "R=" << R;
+  }
+}
+
+TEST(LocalAveraging, RatioImprovesWithRadiusOnGrid) {
+  const auto instance = make_grid_instance({.dims = {8, 8}, .torus = true});
+  // Uniform torus: ω* = 1 by symmetry (x = 1/5 saturates every resource).
+  const double omega_r1 =
+      objective_omega(instance, local_averaging(instance, {.R = 1}).x);
+  const double omega_r2 =
+      objective_omega(instance, local_averaging(instance, {.R = 2}).x);
+  EXPECT_GT(omega_r2, omega_r1 - 1e-9);
+  EXPECT_LE(omega_r2, 1.0 + 1e-7);
+}
+
+TEST(LocalAveraging, BoundTightensWithRadius) {
+  const auto instance = make_grid_instance({.dims = {10, 10}, .torus = true});
+  const auto r1 = local_averaging(instance, {.R = 1});
+  const auto r2 = local_averaging(instance, {.R = 2});
+  EXPECT_LT(r2.ratio_bound, r1.ratio_bound);
+}
+
+TEST(LocalAveraging, CollaborationObliviousStillFeasible) {
+  const auto instance = make_random_instance({.num_agents = 30, .seed = 17});
+  const auto result =
+      local_averaging(instance, {.R = 1, .collaboration_oblivious = true});
+  EXPECT_TRUE(evaluate(instance, result.x).feasible());
+}
+
+TEST(LocalAveraging, ViewOmegaUpperBoundsOptimum) {
+  // (13): every view LP value is >= ω*.
+  const auto instance = make_grid_instance({.dims = {5, 5}, .torus = true});
+  const auto exact = solve_maxmin_simplex(instance);
+  ASSERT_EQ(exact.status, LpStatus::kOptimal);
+  const auto result = local_averaging(instance, {.R = 1});
+  for (const double view_omega : result.view_omega) {
+    EXPECT_GE(view_omega, exact.omega - 1e-7);
+  }
+}
+
+TEST(LocalAveraging, RejectsNonPositiveRadius) {
+  const auto instance = testing::two_agent_instance();
+  EXPECT_THROW(local_averaging(instance, {.R = 0}), CheckError);
+}
+
+}  // namespace
+}  // namespace mmlp

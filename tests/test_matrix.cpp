@@ -1,0 +1,76 @@
+#include "mmlp/lp/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mmlp {
+namespace {
+
+TEST(DenseMatrix, ConstructionAndFill) {
+  DenseMatrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(m(r, c), 1.5);
+    }
+  }
+}
+
+TEST(DenseMatrix, ElementAccess) {
+  DenseMatrix m(2, 2);
+  m(0, 1) = 7.0;
+  m(1, 0) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 7.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), -2.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+}
+
+TEST(DenseMatrix, OutOfRangeThrows) {
+  DenseMatrix m(2, 2);
+  EXPECT_THROW(m(2, 0), CheckError);
+  EXPECT_THROW(m(0, 2), CheckError);
+}
+
+TEST(DenseMatrix, Multiply) {
+  DenseMatrix m(2, 3);
+  // [1 2 3; 4 5 6] * [1, 1, 1]^T = [6, 15]
+  m(0, 0) = 1; m(0, 1) = 2; m(0, 2) = 3;
+  m(1, 0) = 4; m(1, 1) = 5; m(1, 2) = 6;
+  EXPECT_EQ(m.multiply({1.0, 1.0, 1.0}), (std::vector<double>{6.0, 15.0}));
+  EXPECT_EQ(m.multiply({1.0, 0.0, -1.0}), (std::vector<double>{-2.0, -2.0}));
+}
+
+TEST(DenseMatrix, MultiplyTranspose) {
+  DenseMatrix m(2, 3);
+  m(0, 0) = 1; m(0, 1) = 2; m(0, 2) = 3;
+  m(1, 0) = 4; m(1, 1) = 5; m(1, 2) = 6;
+  EXPECT_EQ(m.multiply_transpose({1.0, 1.0}),
+            (std::vector<double>{5.0, 7.0, 9.0}));
+}
+
+TEST(DenseMatrix, MultiplyDimensionChecked) {
+  DenseMatrix m(2, 3);
+  EXPECT_THROW(m.multiply({1.0, 2.0}), CheckError);
+  EXPECT_THROW(m.multiply_transpose({1.0, 2.0, 3.0}), CheckError);
+}
+
+TEST(DenseMatrix, Transpose) {
+  DenseMatrix m(2, 3);
+  m(0, 2) = 9.0;
+  m(1, 0) = 4.0;
+  const auto t = m.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 0), 9.0);
+  EXPECT_DOUBLE_EQ(t(0, 1), 4.0);
+}
+
+TEST(DenseMatrix, MaxAbs) {
+  DenseMatrix m(2, 2);
+  m(0, 0) = -5.0;
+  m(1, 1) = 3.0;
+  EXPECT_DOUBLE_EQ(m.max_abs(), 5.0);
+}
+
+}  // namespace
+}  // namespace mmlp

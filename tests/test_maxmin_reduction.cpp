@@ -1,0 +1,95 @@
+#include "mmlp/lp/maxmin_reduction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mmlp/core/solution.hpp"
+#include "mmlp/gen/random_instance.hpp"
+#include "test_helpers.hpp"
+
+namespace mmlp {
+namespace {
+
+TEST(MaxMinLp, StructureOfBuiltLp) {
+  const auto instance = testing::two_agent_instance();
+  const auto lp = maxmin_to_lp(instance);
+  EXPECT_EQ(lp.num_vars, 3);  // x0, x1, ω
+  EXPECT_EQ(lp.rows.size(), 3u);  // 1 resource + 2 parties
+  EXPECT_DOUBLE_EQ(lp.objective.back(), 1.0);
+  // Party rows carry the −ω column.
+  EXPECT_EQ(lp.rows[1].sense, ConstraintSense::kGe);
+  EXPECT_DOUBLE_EQ(lp.rows[1].coeffs.back(), -1.0);
+  EXPECT_EQ(lp.rows[1].vars.back(), 2);
+}
+
+TEST(MaxMinLp, TwoAgentOptimum) {
+  const auto instance = testing::two_agent_instance();
+  const auto result = solve_maxmin_simplex(instance);
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_NEAR(result.omega, 0.5, 1e-9);
+  EXPECT_NEAR(result.x[0], 0.5, 1e-9);
+  EXPECT_NEAR(result.x[1], 0.5, 1e-9);
+}
+
+TEST(MaxMinLp, SinglePartyIsPackingLp) {
+  // max x0 + x1 + x2 s.t. x0 + 2x1 <= 1, x1 + x2 <= 1: optimum 2 at
+  // x = (1, 0, 1).
+  const auto instance = testing::single_party_instance();
+  const auto result = solve_maxmin_simplex(instance);
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_NEAR(result.omega, 2.0, 1e-9);
+}
+
+TEST(MaxMinLp, SolutionIsFeasibleAndAttainsOmega) {
+  const auto instance = make_random_instance({.num_agents = 40, .seed = 9});
+  const auto result = solve_maxmin_simplex(instance);
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  const auto eval = evaluate(instance, result.x);
+  EXPECT_TRUE(eval.feasible());
+  EXPECT_NEAR(eval.omega, result.omega, 1e-7);
+}
+
+TEST(MaxMinLp, OmegaAtLeastAnyFeasibleSolution) {
+  const auto instance = testing::path_instance(6);
+  const auto result = solve_maxmin_simplex(instance);
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  // The uniform x = 1/2 is feasible on a path (each resource couples two
+  // agents with a = 1), giving ω = 1/2.
+  EXPECT_GE(result.omega, 0.5 - 1e-9);
+}
+
+TEST(MaxMinLp, ScalingCoefficientsScalesOmega) {
+  // Doubling all c_kv doubles ω*.
+  Instance::Builder builder;
+  const AgentId v0 = builder.add_agent();
+  const AgentId v1 = builder.add_agent();
+  const ResourceId i = builder.add_resource();
+  builder.set_usage(i, v0, 1.0).set_usage(i, v1, 1.0);
+  const PartyId k0 = builder.add_party();
+  const PartyId k1 = builder.add_party();
+  builder.set_benefit(k0, v0, 2.0).set_benefit(k1, v1, 2.0);
+  const auto instance = std::move(builder).build();
+  const auto result = solve_maxmin_simplex(instance);
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_NEAR(result.omega, 1.0, 1e-9);
+}
+
+TEST(MaxMinLp, AsymmetricBenefitBalances) {
+  // Party 0 served only by v0 (c=1), party 1 only by v1 (c=3); both agents
+  // share one unit of resource. Optimum equalises: x0 + x1 = 1,
+  // x0 = 3x1 ⇒ ω = 3/4.
+  Instance::Builder builder;
+  const AgentId v0 = builder.add_agent();
+  const AgentId v1 = builder.add_agent();
+  const ResourceId i = builder.add_resource();
+  builder.set_usage(i, v0, 1.0).set_usage(i, v1, 1.0);
+  const PartyId k0 = builder.add_party();
+  const PartyId k1 = builder.add_party();
+  builder.set_benefit(k0, v0, 1.0).set_benefit(k1, v1, 3.0);
+  const auto result = std::move(builder).build();
+  const auto solved = solve_maxmin_simplex(result);
+  ASSERT_EQ(solved.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solved.omega, 0.75, 1e-9);
+}
+
+}  // namespace
+}  // namespace mmlp

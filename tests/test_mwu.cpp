@@ -1,0 +1,94 @@
+#include "mmlp/lp/mwu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mmlp/util/check.hpp"
+
+#include "mmlp/core/solution.hpp"
+#include "mmlp/gen/grid.hpp"
+#include "mmlp/gen/random_instance.hpp"
+#include "mmlp/lp/maxmin_reduction.hpp"
+#include "test_helpers.hpp"
+
+namespace mmlp {
+namespace {
+
+TEST(Mwu, SolutionAlwaysFeasible) {
+  const auto instance = make_random_instance({.num_agents = 60, .seed = 3});
+  const auto result = solve_maxmin_mwu(instance, {.epsilon = 0.1});
+  EXPECT_TRUE(evaluate(instance, result.x).feasible());
+  EXPECT_NEAR(objective_omega(instance, result.x), result.omega, 1e-9);
+}
+
+TEST(Mwu, TwoAgentInstanceNearOptimal) {
+  const auto instance = testing::two_agent_instance();
+  const auto result = solve_maxmin_mwu(instance, {.epsilon = 0.05});
+  EXPECT_GE(result.omega, 0.5 / (1.0 + 3 * 0.05));
+  EXPECT_LE(result.omega, 0.5 + 1e-9);
+}
+
+class MwuVsSimplex : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MwuVsSimplex, WithinEpsilonOfExactOptimum) {
+  const auto instance = make_random_instance({
+      .num_agents = 50,
+      .resources_per_agent = 2,
+      .parties_per_agent = 1,
+      .max_support = 3,
+      .seed = GetParam(),
+  });
+  const auto exact = solve_maxmin_simplex(instance);
+  ASSERT_EQ(exact.status, LpStatus::kOptimal);
+  const double epsilon = 0.05;
+  const auto approx = solve_maxmin_mwu(instance, {.epsilon = epsilon});
+  // Lower bound always valid; target is (1 − O(ε)) ω*.
+  EXPECT_LE(approx.omega, exact.omega + 1e-7);
+  EXPECT_GE(approx.omega, exact.omega * (1.0 - 4 * epsilon))
+      << "seed " << GetParam() << ": mwu " << approx.omega << " vs exact "
+      << exact.omega;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MwuVsSimplex,
+                         ::testing::Values(1u, 7u, 42u, 99u, 1234u));
+
+TEST(Mwu, GridInstanceNearOptimal) {
+  const auto instance = make_grid_instance({.dims = {6, 6}, .torus = true});
+  const auto exact = solve_maxmin_simplex(instance);
+  ASSERT_EQ(exact.status, LpStatus::kOptimal);
+  const auto approx = solve_maxmin_mwu(instance, {.epsilon = 0.05});
+  EXPECT_GE(approx.omega, exact.omega * (1.0 - 0.2));
+  EXPECT_LE(approx.omega, exact.omega + 1e-7);
+}
+
+TEST(Mwu, ReportsConvergenceAndWork) {
+  const auto instance = testing::two_agent_instance();
+  const auto result = solve_maxmin_mwu(instance, {.epsilon = 0.1});
+  EXPECT_TRUE(result.converged);
+  EXPECT_GT(result.bisection_steps, 0);
+  EXPECT_GT(result.total_phases, 0);
+}
+
+TEST(Mwu, WarmStartMatchesColdWithinTolerance) {
+  const auto instance = make_random_instance({.num_agents = 40, .seed = 5});
+  const auto warm = solve_maxmin_mwu(instance, {.epsilon = 0.1, .warm_start = true});
+  const auto cold = solve_maxmin_mwu(instance, {.epsilon = 0.1, .warm_start = false});
+  EXPECT_NEAR(warm.omega, cold.omega, 0.3 * std::max(warm.omega, cold.omega));
+}
+
+TEST(Mwu, RequiresParties) {
+  Instance::Builder builder;
+  const AgentId v = builder.add_agent();
+  const ResourceId i = builder.add_resource();
+  builder.set_usage(i, v, 1.0);
+  const auto instance = std::move(builder).build();
+  EXPECT_THROW(solve_maxmin_mwu(instance), CheckError);
+}
+
+TEST(Mwu, RejectsBadEpsilon) {
+  const auto instance = testing::two_agent_instance();
+  EXPECT_THROW(solve_maxmin_mwu(instance, {.epsilon = 0.0}), CheckError);
+  EXPECT_THROW(solve_maxmin_mwu(instance, {.epsilon = 1.0}), CheckError);
+}
+
+}  // namespace
+}  // namespace mmlp

@@ -1,0 +1,69 @@
+#include "mmlp/core/optimal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mmlp/util/check.hpp"
+
+#include "mmlp/core/solution.hpp"
+#include "mmlp/gen/grid.hpp"
+#include "mmlp/gen/random_instance.hpp"
+#include "test_helpers.hpp"
+
+namespace mmlp {
+namespace {
+
+TEST(Optimal, SimplexPathOnSmallInstance) {
+  const auto instance = testing::two_agent_instance();
+  const auto result = solve_optimal(instance);
+  EXPECT_EQ(result.method_used, OptimalMethod::kSimplex);
+  EXPECT_TRUE(result.exact);
+  EXPECT_NEAR(result.omega, 0.5, 1e-9);
+  EXPECT_TRUE(evaluate(instance, result.x).feasible());
+}
+
+TEST(Optimal, AutoFallsBackToMwuOnLargeInstances) {
+  const auto instance = make_random_instance({.num_agents = 300, .seed = 3});
+  OptimalOptions options;
+  options.simplex_agent_limit = 100;  // force the MWU path
+  options.mwu.epsilon = 0.1;
+  const auto result = solve_optimal(instance, options);
+  EXPECT_EQ(result.method_used, OptimalMethod::kMwu);
+  EXPECT_FALSE(result.exact);
+  EXPECT_TRUE(evaluate(instance, result.x).feasible());
+  EXPECT_GT(result.omega, 0.0);
+}
+
+TEST(Optimal, ForcedMethodsAgree) {
+  const auto instance = make_random_instance({.num_agents = 60, .seed = 11});
+  OptimalOptions simplex_options;
+  simplex_options.method = OptimalMethod::kSimplex;
+  const auto exact = solve_optimal(instance, simplex_options);
+
+  OptimalOptions mwu_options;
+  mwu_options.method = OptimalMethod::kMwu;
+  mwu_options.mwu.epsilon = 0.05;
+  const auto approx = solve_optimal(instance, mwu_options);
+
+  EXPECT_LE(approx.omega, exact.omega + 1e-7);
+  EXPECT_GE(approx.omega, exact.omega * 0.8);
+}
+
+TEST(Optimal, UniformTorusHasSymmetricOptimum) {
+  // Every resource couples 5 agents with a = 1, every party 5 with c = 1:
+  // x = 1/5 gives ω = 1 and saturates everything, so ω* = 1 exactly.
+  const auto instance = make_grid_instance({.dims = {5, 5}, .torus = true});
+  const auto result = solve_optimal(instance);
+  EXPECT_NEAR(result.omega, 1.0, 1e-7);
+}
+
+TEST(Optimal, RequiresParties) {
+  Instance::Builder builder;
+  const AgentId v = builder.add_agent();
+  const ResourceId i = builder.add_resource();
+  builder.set_usage(i, v, 1.0);
+  const auto instance = std::move(builder).build();
+  EXPECT_THROW(solve_optimal(instance), CheckError);
+}
+
+}  // namespace
+}  // namespace mmlp

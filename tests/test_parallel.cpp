@@ -1,0 +1,88 @@
+#include "mmlp/util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace mmlp {
+namespace {
+
+TEST(ThreadPool, ExecutesSubmittedTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, SizeReportsWorkerCount) {
+  ThreadPool pool(5);
+  EXPECT_EQ(pool.size(), 5u);
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(1000);
+  parallel_for(1000, [&](std::size_t i) { visits[i].fetch_add(1); }, &pool);
+  for (const auto& count : visits) {
+    EXPECT_EQ(count.load(), 1);
+  }
+}
+
+TEST(ParallelFor, ZeroCountIsANoop) {
+  bool touched = false;
+  parallel_for(0, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ParallelFor, MatchesSerialForDeterministically) {
+  ThreadPool pool(4);
+  std::vector<double> parallel_out(500);
+  std::vector<double> serial_out(500);
+  auto body = [](std::size_t i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j <= i % 50; ++j) {
+      acc += static_cast<double>(i * j) * 1e-3;
+    }
+    return acc;
+  };
+  parallel_for(500, [&](std::size_t i) { parallel_out[i] = body(i); }, &pool);
+  serial_for(500, [&](std::size_t i) { serial_out[i] = body(i); });
+  EXPECT_EQ(parallel_out, serial_out);  // bitwise identical
+}
+
+TEST(ParallelFor, GrainOneStillCoversAll) {
+  ThreadPool pool(2);
+  std::vector<int> hits(37, 0);
+  parallel_for(37, [&](std::size_t i) { hits[i] += 1; }, &pool, 1);
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 37);
+}
+
+TEST(ParallelFor, NestedCallsFallBackToSerial) {
+  // A nested parallel_for inside a worker must not deadlock.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  parallel_for(8, [&](std::size_t) {
+    parallel_for(8, [&](std::size_t) { total.fetch_add(1); }, &pool);
+  }, &pool);
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ParallelFor, UsesGlobalPoolByDefault) {
+  std::atomic<int> counter{0};
+  parallel_for(64, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 64);
+}
+
+}  // namespace
+}  // namespace mmlp

@@ -1,0 +1,103 @@
+#include "mmlp/gen/random_instance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mmlp/util/check.hpp"
+
+namespace mmlp {
+namespace {
+
+TEST(RandomInstance, RespectsAgentCount) {
+  const auto instance = make_random_instance({.num_agents = 77, .seed = 1});
+  EXPECT_EQ(instance.num_agents(), 77);
+  instance.validate();
+}
+
+TEST(RandomInstance, DegreeBoundsHold) {
+  const RandomInstanceOptions options{
+      .num_agents = 120,
+      .resources_per_agent = 3,
+      .parties_per_agent = 2,
+      .max_support = 4,
+      .seed = 2,
+  };
+  const auto instance = make_random_instance(options);
+  const auto bounds = instance.degree_bounds();
+  EXPECT_LE(bounds.delta_V_of_I, 4u);
+  EXPECT_LE(bounds.delta_V_of_K, 4u);
+  EXPECT_LE(bounds.delta_I_of_V, 3u);
+  EXPECT_LE(bounds.delta_K_of_V, 2u);
+}
+
+TEST(RandomInstance, EveryAgentJoinsExactSlotCounts) {
+  const RandomInstanceOptions options{
+      .num_agents = 50,
+      .resources_per_agent = 2,
+      .parties_per_agent = 1,
+      .max_support = 3,
+      .seed = 3,
+  };
+  const auto instance = make_random_instance(options);
+  for (AgentId v = 0; v < instance.num_agents(); ++v) {
+    EXPECT_EQ(instance.agent_resources(v).size(), 2u);
+    EXPECT_EQ(instance.agent_parties(v).size(), 1u);
+  }
+}
+
+TEST(RandomInstance, CoefficientsInRange) {
+  const auto instance = make_random_instance({
+      .num_agents = 40,
+      .coef_lo = 0.9,
+      .coef_hi = 1.1,
+      .seed = 4,
+  });
+  for (ResourceId i = 0; i < instance.num_resources(); ++i) {
+    for (const Coef& entry : instance.resource_support(i)) {
+      EXPECT_GE(entry.value, 0.9);
+      EXPECT_LE(entry.value, 1.1);
+    }
+  }
+}
+
+TEST(RandomInstance, ZeroPartiesAllowed) {
+  const auto instance = make_random_instance({
+      .num_agents = 10,
+      .parties_per_agent = 0,
+      .seed = 5,
+  });
+  EXPECT_EQ(instance.num_parties(), 0);
+  instance.validate();
+}
+
+TEST(RandomInstance, DeterministicBySeed) {
+  const RandomInstanceOptions options{.num_agents = 30, .seed = 6};
+  EXPECT_TRUE(make_random_instance(options) == make_random_instance(options));
+}
+
+TEST(RandomInstance, SeedsProduceDifferentInstances) {
+  EXPECT_FALSE(make_random_instance({.num_agents = 30, .seed = 7}) ==
+               make_random_instance({.num_agents = 30, .seed = 8}));
+}
+
+TEST(RandomInstance, SupportSizeOneWorks) {
+  const auto instance = make_random_instance({
+      .num_agents = 15,
+      .max_support = 1,
+      .seed = 9,
+  });
+  for (ResourceId i = 0; i < instance.num_resources(); ++i) {
+    EXPECT_EQ(instance.resource_support(i).size(), 1u);
+  }
+}
+
+TEST(RandomInstance, RejectsBadOptions) {
+  EXPECT_THROW(make_random_instance({.num_agents = 0}), CheckError);
+  EXPECT_THROW(make_random_instance({.resources_per_agent = 0}), CheckError);
+  EXPECT_THROW(make_random_instance({.max_support = 0}), CheckError);
+  EXPECT_THROW(make_random_instance({.coef_lo = 0.0}), CheckError);
+  EXPECT_THROW(make_random_instance({.coef_lo = 2.0, .coef_hi = 1.0}),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace mmlp

@@ -1,0 +1,125 @@
+#include "mmlp/graph/regular_bipartite.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mmlp {
+namespace {
+
+TEST(IsPrime, SmallValues) {
+  EXPECT_FALSE(is_prime(0));
+  EXPECT_FALSE(is_prime(1));
+  EXPECT_TRUE(is_prime(2));
+  EXPECT_TRUE(is_prime(3));
+  EXPECT_FALSE(is_prime(4));
+  EXPECT_TRUE(is_prime(7));
+  EXPECT_FALSE(is_prime(9));
+  EXPECT_TRUE(is_prime(31));
+  EXPECT_FALSE(is_prime(33));
+}
+
+TEST(ProjectivePlane, Fano) {
+  // PG(2, 2): the Fano plane, 7 points/lines, 3-regular, girth 6.
+  const auto g = projective_plane_incidence(2);
+  EXPECT_EQ(g.num_vertices(), 14);
+  EXPECT_TRUE(g.is_regular(3));
+  EXPECT_TRUE(g.bipartition().has_value());
+  EXPECT_EQ(g.girth().value(), 6);
+}
+
+TEST(ProjectivePlane, OrderThree) {
+  const auto g = projective_plane_incidence(3);
+  EXPECT_EQ(g.num_vertices(), 26);  // 13 per side
+  EXPECT_TRUE(g.is_regular(4));
+  EXPECT_EQ(g.girth().value(), 6);
+}
+
+TEST(ProjectivePlane, OrderSevenStructure) {
+  const auto g = projective_plane_incidence(7);
+  EXPECT_EQ(g.num_vertices(), 2 * 57);
+  EXPECT_TRUE(check_regular_bipartite(g, 57, 8, 6));
+}
+
+TEST(RandomRegularBipartite, DegreeTwoLongGirth) {
+  Rng rng(7);
+  RegularBipartiteConfig config;
+  config.nodes_per_side = 64;
+  config.degree = 2;
+  config.min_girth = 6;
+  const auto result = random_regular_bipartite(config, rng);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(check_regular_bipartite(result->graph, 64, 2, 6));
+}
+
+TEST(RandomRegularBipartite, DegreeThreeGirthSix) {
+  Rng rng(11);
+  RegularBipartiteConfig config;
+  config.nodes_per_side = 128;
+  config.degree = 3;
+  config.min_girth = 6;
+  const auto result = random_regular_bipartite(config, rng);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(check_regular_bipartite(result->graph, 128, 3, 6));
+}
+
+TEST(RandomRegularBipartite, GirthFourIsEasy) {
+  Rng rng(13);
+  RegularBipartiteConfig config;
+  config.nodes_per_side = 16;
+  config.degree = 4;
+  config.min_girth = 4;  // only parallel edges are forbidden
+  const auto result = random_regular_bipartite(config, rng);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(check_regular_bipartite(result->graph, 16, 4, 4));
+}
+
+TEST(RandomRegularBipartite, FullDegreeIsCompleteBipartite) {
+  Rng rng(17);
+  RegularBipartiteConfig config;
+  config.nodes_per_side = 3;
+  config.degree = 3;
+  config.min_girth = 4;
+  const auto result = random_regular_bipartite(config, rng);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->graph.num_undirected_edges(), 9);
+}
+
+TEST(RandomRegularBipartite, RejectsBadConfig) {
+  Rng rng(1);
+  RegularBipartiteConfig config;
+  config.nodes_per_side = 4;
+  config.degree = 5;  // degree > n impossible
+  EXPECT_THROW(random_regular_bipartite(config, rng), CheckError);
+  config.degree = 2;
+  config.min_girth = 5;  // odd girth impossible in bipartite graphs
+  EXPECT_THROW(random_regular_bipartite(config, rng), CheckError);
+}
+
+TEST(HighGirthBipartite, UsesProjectivePlaneForPrimeMinusOne) {
+  Rng rng(3);
+  const auto result = high_girth_bipartite(8, 6, 0, rng);
+  ASSERT_TRUE(result.has_value());
+  // PG(2,7): 57 per side, deterministic (0 attempts recorded).
+  EXPECT_EQ(result->graph.num_vertices(), 114);
+  EXPECT_TRUE(check_regular_bipartite(result->graph, 57, 8, 6));
+}
+
+TEST(HighGirthBipartite, FallsBackToSamplerOtherwise) {
+  Rng rng(5);
+  const auto result = high_girth_bipartite(2, 6, 48, rng);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(check_regular_bipartite(result->graph, 48, 2, 6));
+}
+
+TEST(CheckRegularBipartite, DetectsViolations) {
+  SimpleGraph bad(4);  // 2 per side, but a left-left edge
+  bad.add_edge(0, 1);
+  EXPECT_FALSE(check_regular_bipartite(bad, 2, 1, 4));
+  SimpleGraph irregular(4);
+  irregular.add_edge(0, 2);
+  irregular.add_edge(0, 3);
+  irregular.add_edge(1, 2);
+  EXPECT_FALSE(check_regular_bipartite(irregular, 2, 2, 4));
+}
+
+}  // namespace
+}  // namespace mmlp

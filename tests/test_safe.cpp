@@ -1,0 +1,125 @@
+#include "mmlp/core/safe.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mmlp/core/solution.hpp"
+#include "mmlp/gen/grid.hpp"
+#include "mmlp/gen/random_instance.hpp"
+#include "mmlp/lp/maxmin_reduction.hpp"
+#include "test_helpers.hpp"
+
+namespace mmlp {
+namespace {
+
+TEST(Safe, TwoAgentValues) {
+  // |V_i| = 2, a = 1 ⇒ x_v = 1/2 for both agents.
+  const auto instance = testing::two_agent_instance();
+  const auto x = safe_solution(instance);
+  EXPECT_NEAR(x[0], 0.5, 1e-12);
+  EXPECT_NEAR(x[1], 0.5, 1e-12);
+  // Here the safe solution happens to be optimal.
+  EXPECT_NEAR(objective_omega(instance, x), 0.5, 1e-12);
+}
+
+TEST(Safe, MinimumOverResources) {
+  // Middle agent of single_party_instance: resources with a=2,|V_i|=2 and
+  // a=1,|V_i|=2 ⇒ x = min(1/4, 1/2) = 1/4.
+  const auto instance = testing::single_party_instance();
+  const auto x = safe_solution(instance);
+  EXPECT_NEAR(x[0], 0.5, 1e-12);   // a=1, |V_i|=2
+  EXPECT_NEAR(x[1], 0.25, 1e-12);  // min over both resources
+  EXPECT_NEAR(x[2], 0.5, 1e-12);
+}
+
+TEST(Safe, ChoiceHelperMatches) {
+  const std::vector<Coef> resources{{0, 2.0}, {1, 1.0}};
+  const std::vector<std::size_t> sizes{2, 2};
+  EXPECT_NEAR(safe_choice(resources, sizes), 0.25, 1e-12);
+}
+
+TEST(Safe, ChoiceHelperValidatesInput) {
+  EXPECT_THROW(safe_choice({}, {}), CheckError);
+  EXPECT_THROW(safe_choice({{0, 1.0}}, {1, 2}), CheckError);
+}
+
+class SafeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SafeProperty, AlwaysFeasible) {
+  const auto instance = make_random_instance({
+      .num_agents = 80,
+      .resources_per_agent = 3,
+      .parties_per_agent = 2,
+      .max_support = 4,
+      .seed = GetParam(),
+  });
+  const auto x = safe_solution(instance);
+  EXPECT_TRUE(evaluate(instance, x).feasible());
+}
+
+TEST_P(SafeProperty, RatioWithinDeltaVI) {
+  // Section 4: ω* <= Δ_I^V · ω_safe.
+  const auto instance = make_random_instance({
+      .num_agents = 40,
+      .resources_per_agent = 2,
+      .parties_per_agent = 1,
+      .max_support = 4,
+      .seed = GetParam() ^ 0xabcdef,
+  });
+  const auto x = safe_solution(instance);
+  const double safe_omega = objective_omega(instance, x);
+  const auto exact = solve_maxmin_simplex(instance);
+  ASSERT_EQ(exact.status, LpStatus::kOptimal);
+  const double delta = static_cast<double>(instance.degree_bounds().delta_V_of_I);
+  EXPECT_LE(exact.omega, delta * safe_omega + 1e-7)
+      << "Δ_I^V = " << delta << ", safe ω = " << safe_omega;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SafeProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(Safe, FeasibleOnGrids) {
+  for (const bool torus : {true, false}) {
+    const auto instance = make_grid_instance(
+        {.dims = {5, 5}, .torus = torus, .randomize = true, .seed = 11});
+    const auto x = safe_solution(instance);
+    EXPECT_TRUE(evaluate(instance, x).feasible());
+  }
+}
+
+TEST(Safe, ExactlySaturatesUniformResources) {
+  // On a torus grid with a = 1 everywhere, every resource has the same
+  // support size s, all agents pick 1/s, and every load is exactly 1.
+  const auto instance = make_grid_instance({.dims = {4, 4}, .torus = true});
+  const auto x = safe_solution(instance);
+  for (ResourceId i = 0; i < instance.num_resources(); ++i) {
+    EXPECT_NEAR(resource_load(instance, x, i), 1.0, 1e-12);
+  }
+}
+
+TEST(Safe, TightOnWorstCaseStar) {
+  // One central resource shared by Δ agents, each its own party: safe
+  // gives each 1/Δ; the optimum is also 1/Δ (fair split), but when only
+  // one party exists the gap appears: ω* = 1 vs safe ω = 1/Δ... Exercise
+  // the single-party gap explicitly.
+  constexpr std::int32_t kDelta = 5;
+  Instance::Builder builder;
+  const ResourceId i = builder.add_resource();
+  const PartyId k = builder.add_party();
+  for (std::int32_t v = 0; v < kDelta; ++v) {
+    const AgentId agent = builder.add_agent();
+    builder.set_usage(i, agent, 1.0);
+    if (v == 0) {
+      builder.set_benefit(k, agent, 1.0);
+    }
+  }
+  const auto instance = std::move(builder).build();
+  const auto x = safe_solution(instance);
+  const double safe_omega = objective_omega(instance, x);
+  EXPECT_NEAR(safe_omega, 1.0 / kDelta, 1e-12);
+  const auto exact = solve_maxmin_simplex(instance);
+  ASSERT_EQ(exact.status, LpStatus::kOptimal);
+  EXPECT_NEAR(exact.omega, 1.0, 1e-9);  // the ratio Δ_I^V is attained
+}
+
+}  // namespace
+}  // namespace mmlp

@@ -1,0 +1,124 @@
+#include "mmlp/dist/self_stabilize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mmlp/core/safe.hpp"
+#include "mmlp/dist/runtime.hpp"
+#include "mmlp/gen/grid.hpp"
+#include "mmlp/gen/random_instance.hpp"
+#include "test_helpers.hpp"
+
+namespace mmlp {
+namespace {
+
+TEST(SelfStabilize, ColdStartConvergesWithinHorizonRounds) {
+  const auto instance = make_grid_instance({.dims = {6, 6}, .torus = true});
+  for (const std::int32_t horizon : {1, 2, 3}) {
+    SelfStabilizingFlood flood(instance, horizon);
+    flood.clear();
+    // At most `horizon` growth rounds plus the no-change detection round.
+    const std::int32_t rounds = flood.run_until_stable(horizon + 1);
+    EXPECT_LE(rounds, horizon + 1) << "horizon " << horizon;
+    EXPECT_TRUE(flood.is_legitimate()) << "horizon " << horizon;
+  }
+}
+
+TEST(SelfStabilize, LegitimateStateIsAFixedPoint) {
+  const auto instance = testing::path_instance(7);
+  SelfStabilizingFlood flood(instance, 2);
+  flood.reset_legitimate();
+  EXPECT_EQ(flood.step(), 0);
+  EXPECT_TRUE(flood.is_legitimate());
+}
+
+TEST(SelfStabilize, KnowledgeMatchesRuntimeFlood) {
+  const auto instance = make_random_instance({.num_agents = 40, .seed = 13});
+  const std::int32_t horizon = 2;
+  SelfStabilizingFlood flood(instance, horizon);
+  flood.clear();
+  flood.run_until_stable(horizon + 1);
+  LocalRuntime runtime(instance);
+  const auto expected = runtime.flood(horizon);
+  for (AgentId v = 0; v < instance.num_agents(); ++v) {
+    EXPECT_EQ(flood.knowledge(v), expected[static_cast<std::size_t>(v)])
+        << "agent " << v;
+  }
+}
+
+class SelfStabilizeCorruption : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SelfStabilizeCorruption, RecoversFromArbitraryCorruption) {
+  // The Section 1.1 claim: stabilisation in a constant number of rounds
+  // (horizon + 1), from ANY initial state.
+  const auto instance = make_grid_instance({.dims = {5, 5}, .torus = true});
+  const std::int32_t horizon = 2;
+  SelfStabilizingFlood flood(instance, horizon);
+  Rng rng(GetParam());
+  flood.corrupt(rng, 12);
+  for (std::int32_t round = 0; round < horizon + 1; ++round) {
+    flood.step();
+  }
+  EXPECT_TRUE(flood.is_legitimate()) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SelfStabilizeCorruption,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+TEST(SelfStabilize, StabilisationTimeIndependentOfSize) {
+  // Constant-time stabilisation: rounds-to-stable must not grow with n.
+  const std::int32_t horizon = 2;
+  for (const std::int32_t side : {4, 8, 16}) {
+    const auto instance =
+        make_grid_instance({.dims = {side, side}, .torus = true});
+    SelfStabilizingFlood flood(instance, horizon);
+    Rng rng(7);
+    flood.corrupt(rng, 8);
+    std::int32_t rounds = 0;
+    while (!flood.is_legitimate() && rounds < 10) {
+      flood.step();
+      ++rounds;
+    }
+    EXPECT_LE(rounds, horizon + 1) << "side " << side;
+  }
+}
+
+TEST(SelfStabilize, SafeOutputMatchesDirectAlgorithm) {
+  const auto instance = make_random_instance({.num_agents = 30, .seed = 5});
+  SelfStabilizingFlood flood(instance, 1);
+  Rng rng(3);
+  flood.corrupt(rng, 6);
+  flood.run_until_stable(4);
+  EXPECT_EQ(flood.safe_output(), safe_solution(instance));
+}
+
+TEST(SelfStabilize, GhostEntriesAgeOut) {
+  // A corrupted far-away origin must vanish, not circulate.
+  const auto instance = testing::path_instance(10);
+  const std::int32_t horizon = 2;
+  SelfStabilizingFlood flood(instance, horizon);
+  flood.reset_legitimate();
+  // Inject one ghost by corrupting and restabilising; afterwards agent 0
+  // must not know agent 9 (distance 9 > horizon).
+  Rng rng(11);
+  flood.corrupt(rng, 20);
+  for (std::int32_t round = 0; round < horizon + 1; ++round) {
+    flood.step();
+  }
+  const auto known = flood.knowledge(0);
+  EXPECT_FALSE(std::binary_search(known.begin(), known.end(), AgentId{9}));
+  EXPECT_TRUE(std::binary_search(known.begin(), known.end(), AgentId{2}));
+}
+
+TEST(SelfStabilize, HorizonZeroKnowsOnlySelf) {
+  const auto instance = testing::path_instance(4);
+  SelfStabilizingFlood flood(instance, 0);
+  Rng rng(1);
+  flood.corrupt(rng, 5);
+  flood.step();
+  for (AgentId v = 0; v < 4; ++v) {
+    EXPECT_EQ(flood.knowledge(v), (std::vector<AgentId>{v}));
+  }
+}
+
+}  // namespace
+}  // namespace mmlp

@@ -1,0 +1,137 @@
+#include "mmlp/gen/sensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mmlp/core/solution.hpp"
+#include "mmlp/core/safe.hpp"
+
+namespace mmlp {
+namespace {
+
+SensorNetworkOptions default_options(std::uint64_t seed) {
+  SensorNetworkOptions options;
+  options.num_sensors = 60;
+  options.num_relays = 15;
+  options.num_areas = 9;
+  options.radio_range = 0.3;
+  options.sensing_range = 0.4;
+  options.seed = seed;
+  return options;
+}
+
+TEST(Sensor, InstancePassesValidation) {
+  const auto net = make_sensor_network(default_options(1));
+  net.instance.validate();
+  EXPECT_GT(net.instance.num_agents(), 0);
+  EXPECT_GT(net.instance.num_parties(), 0);
+}
+
+TEST(Sensor, AgentsAreLinks) {
+  const auto net = make_sensor_network(default_options(2));
+  EXPECT_EQ(static_cast<std::size_t>(net.instance.num_agents()),
+            net.links.size());
+}
+
+TEST(Sensor, EveryLinkConsumesSensorAndRelay) {
+  const auto net = make_sensor_network(default_options(3));
+  for (AgentId v = 0; v < net.instance.num_agents(); ++v) {
+    const auto& resources = net.instance.agent_resources(v);
+    ASSERT_EQ(resources.size(), 2u) << "link " << v;
+    const auto [s, t] = net.links[static_cast<std::size_t>(v)];
+    const ResourceId sensor_res = net.sensor_resource[static_cast<std::size_t>(s)];
+    const ResourceId relay_res = net.relay_resource[static_cast<std::size_t>(t)];
+    EXPECT_TRUE(resources[0].id == sensor_res || resources[1].id == sensor_res);
+    EXPECT_TRUE(resources[0].id == relay_res || resources[1].id == relay_res);
+  }
+}
+
+TEST(Sensor, LinkLengthRespectsRadioRange) {
+  const auto options = default_options(4);
+  const auto net = make_sensor_network(options);
+  for (const auto& [s, t] : net.links) {
+    const auto& sp = net.sensor_pos[static_cast<std::size_t>(s)];
+    const auto& tp = net.relay_pos[static_cast<std::size_t>(t)];
+    const double dist = std::hypot(sp.first - tp.first, sp.second - tp.second);
+    EXPECT_LE(dist, options.radio_range + 1e-12);
+  }
+}
+
+TEST(Sensor, MaxLinksPerSensorHonored) {
+  const auto options = default_options(5);
+  const auto net = make_sensor_network(options);
+  std::vector<int> link_count(static_cast<std::size_t>(options.num_sensors), 0);
+  for (const auto& [s, t] : net.links) {
+    ++link_count[static_cast<std::size_t>(s)];
+  }
+  for (const int count : link_count) {
+    EXPECT_LE(count, options.max_links_per_sensor);
+  }
+}
+
+TEST(Sensor, SensorEnergyGrowsWithDistance) {
+  const auto options = default_options(6);
+  const auto net = make_sensor_network(options);
+  for (AgentId v = 0; v < net.instance.num_agents(); ++v) {
+    const auto [s, t] = net.links[static_cast<std::size_t>(v)];
+    const ResourceId res = net.sensor_resource[static_cast<std::size_t>(s)];
+    const auto& sp = net.sensor_pos[static_cast<std::size_t>(s)];
+    const auto& tp = net.relay_pos[static_cast<std::size_t>(t)];
+    const double d2 = std::pow(sp.first - tp.first, 2) +
+                      std::pow(sp.second - tp.second, 2);
+    EXPECT_NEAR(net.instance.usage(res, v),
+                options.transmit_cost + options.distance_cost * d2, 1e-12);
+    const ResourceId relay_res = net.relay_resource[static_cast<std::size_t>(t)];
+    EXPECT_NEAR(net.instance.usage(relay_res, v), options.relay_cost, 1e-12);
+  }
+}
+
+TEST(Sensor, PartiesAreCoveredAreas) {
+  const auto net = make_sensor_network(default_options(7));
+  for (PartyId k = 0; k < net.instance.num_parties(); ++k) {
+    for (const Coef& entry : net.instance.party_support(k)) {
+      EXPECT_DOUBLE_EQ(entry.value, 1.0);  // c_kv = 1 per the paper
+    }
+  }
+  // area_party markers map back onto real parties.
+  int covered = 0;
+  for (const PartyId party : net.area_party) {
+    if (party >= 0) {
+      ++covered;
+      EXPECT_LT(party, net.instance.num_parties());
+    }
+  }
+  EXPECT_EQ(covered, net.instance.num_parties());
+}
+
+TEST(Sensor, DeterministicBySeed) {
+  const auto a = make_sensor_network(default_options(8));
+  const auto b = make_sensor_network(default_options(8));
+  EXPECT_TRUE(a.instance == b.instance);
+  EXPECT_EQ(a.links, b.links);
+}
+
+TEST(Sensor, DifferentSeedsDiffer) {
+  const auto a = make_sensor_network(default_options(9));
+  const auto b = make_sensor_network(default_options(10));
+  EXPECT_FALSE(a.instance == b.instance);
+}
+
+TEST(Sensor, SafeSolutionFeasibleOnNetwork) {
+  const auto net = make_sensor_network(default_options(11));
+  const auto x = safe_solution(net.instance);
+  EXPECT_TRUE(evaluate(net.instance, x).feasible());
+}
+
+TEST(Sensor, SparseGeometryStillValid) {
+  auto options = default_options(12);
+  options.num_sensors = 20;
+  options.num_relays = 6;
+  options.radio_range = 0.35;
+  const auto net = make_sensor_network(options);
+  net.instance.validate();
+}
+
+}  // namespace
+}  // namespace mmlp

@@ -1,0 +1,125 @@
+#include "mmlp/graph/simple_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mmlp/util/check.hpp"
+
+namespace mmlp {
+namespace {
+
+SimpleGraph cycle(std::int32_t n) {
+  SimpleGraph g(n);
+  for (std::int32_t v = 0; v < n; ++v) {
+    g.add_edge(v, (v + 1) % n);
+  }
+  return g;
+}
+
+TEST(SimpleGraph, AddRemoveEdges) {
+  SimpleGraph g(3);
+  g.add_edge(0, 1);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_EQ(g.num_undirected_edges(), 1);
+  g.remove_edge(1, 0);
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_EQ(g.num_undirected_edges(), 0);
+}
+
+TEST(SimpleGraph, RejectsSelfLoopAndParallel) {
+  SimpleGraph g(3);
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.add_edge(0, 0), CheckError);
+  EXPECT_THROW(g.add_edge(1, 0), CheckError);
+  EXPECT_THROW(g.remove_edge(0, 2), CheckError);
+}
+
+TEST(SimpleGraph, DegreeAndNeighbors) {
+  const auto g = cycle(5);
+  for (std::int32_t v = 0; v < 5; ++v) {
+    EXPECT_EQ(g.degree(v), 2u);
+  }
+  EXPECT_TRUE(g.is_regular(2));
+  EXPECT_FALSE(g.is_regular(3));
+}
+
+TEST(SimpleGraph, BipartitionOfEvenCycle) {
+  const auto g = cycle(6);
+  const auto coloring = g.bipartition();
+  ASSERT_TRUE(coloring.has_value());
+  for (std::int32_t v = 0; v < 6; ++v) {
+    for (const std::int32_t u : g.neighbors(v)) {
+      EXPECT_NE((*coloring)[static_cast<std::size_t>(v)],
+                (*coloring)[static_cast<std::size_t>(u)]);
+    }
+  }
+}
+
+TEST(SimpleGraph, OddCycleNotBipartite) {
+  EXPECT_FALSE(cycle(5).bipartition().has_value());
+}
+
+TEST(SimpleGraph, GirthOfCycles) {
+  EXPECT_EQ(cycle(4).girth().value(), 4);
+  EXPECT_EQ(cycle(7).girth().value(), 7);
+  EXPECT_EQ(cycle(10).girth().value(), 10);
+}
+
+TEST(SimpleGraph, ForestHasNoGirth) {
+  SimpleGraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(1, 3);
+  EXPECT_FALSE(g.girth().has_value());
+}
+
+TEST(SimpleGraph, GirthDetectsChordShortcut) {
+  auto g = cycle(8);
+  g.add_edge(0, 3);  // creates a 4-cycle 0-1-2-3
+  EXPECT_EQ(g.girth().value(), 4);
+}
+
+TEST(SimpleGraph, CompleteGraphGirth3) {
+  SimpleGraph g(4);
+  for (std::int32_t u = 0; u < 4; ++u) {
+    for (std::int32_t v = u + 1; v < 4; ++v) {
+      g.add_edge(u, v);
+    }
+  }
+  EXPECT_EQ(g.girth().value(), 3);
+}
+
+TEST(SimpleGraph, BallAndBfs) {
+  const auto g = cycle(10);
+  EXPECT_EQ(g.ball(0, 0), (std::vector<std::int32_t>{0}));
+  EXPECT_EQ(g.ball(0, 1), (std::vector<std::int32_t>{0, 1, 9}));
+  const auto dist = g.bfs(0);
+  EXPECT_EQ(dist[5], 5);
+  EXPECT_EQ(dist[9], 1);
+  const auto capped = g.bfs(0, 2);
+  EXPECT_EQ(capped[5], -1);
+}
+
+TEST(SimpleGraph, BallAcyclicityOnCycle) {
+  const auto g = cycle(12);
+  EXPECT_TRUE(g.ball_is_acyclic(0, 2));   // arc of 5 nodes: a path
+  EXPECT_TRUE(g.ball_is_acyclic(0, 5));   // 11 of 12 nodes: still a path
+  EXPECT_FALSE(g.ball_is_acyclic(0, 6));  // whole cycle
+}
+
+TEST(SimpleGraph, ShortestCycleThroughUpperBoundsGirth) {
+  auto g = cycle(8);
+  g.add_edge(0, 3);
+  std::int32_t best = 1 << 30;
+  for (std::int32_t v = 0; v < g.num_vertices(); ++v) {
+    const auto candidate = g.shortest_cycle_through(v);
+    if (candidate.has_value()) {
+      EXPECT_GE(*candidate, 4);  // no candidate may undercut the girth
+      best = std::min(best, *candidate);
+    }
+  }
+  EXPECT_EQ(best, 4);  // and the minimum attains it
+}
+
+}  // namespace
+}  // namespace mmlp

@@ -1,0 +1,230 @@
+#include "mmlp/lp/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mmlp/util/check.hpp"
+
+#include <cmath>
+
+namespace mmlp {
+namespace {
+
+/// max 3x + 2y s.t. x + y <= 4, x + 3y <= 6 — classic textbook LP:
+/// optimum 12 at (4, 0).
+LpProblem textbook() {
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {3.0, 2.0};
+  auto& r0 = lp.add_row(ConstraintSense::kLe, 4.0);
+  r0.vars = {0, 1};
+  r0.coeffs = {1.0, 1.0};
+  auto& r1 = lp.add_row(ConstraintSense::kLe, 6.0);
+  r1.vars = {0, 1};
+  r1.coeffs = {1.0, 3.0};
+  return lp;
+}
+
+TEST(Simplex, TextbookOptimum) {
+  const auto result = solve_lp(textbook());
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_NEAR(result.objective, 12.0, 1e-9);
+  EXPECT_NEAR(result.x[0], 4.0, 1e-9);
+  EXPECT_NEAR(result.x[1], 0.0, 1e-9);
+}
+
+TEST(Simplex, InteriorOptimum) {
+  // max x + y s.t. 2x + y <= 3, x + 2y <= 3: optimum 2 at (1, 1).
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {1.0, 1.0};
+  auto& r0 = lp.add_row(ConstraintSense::kLe, 3.0);
+  r0.vars = {0, 1};
+  r0.coeffs = {2.0, 1.0};
+  auto& r1 = lp.add_row(ConstraintSense::kLe, 3.0);
+  r1.vars = {0, 1};
+  r1.coeffs = {1.0, 2.0};
+  const auto result = solve_lp(lp);
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_NEAR(result.objective, 2.0, 1e-9);
+  EXPECT_NEAR(result.x[0], 1.0, 1e-9);
+  EXPECT_NEAR(result.x[1], 1.0, 1e-9);
+}
+
+TEST(Simplex, GreaterEqualAndEquality) {
+  // max -x - y s.t. x + y >= 2, x = 0.5  -> x=0.5, y=1.5, objective -2.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {-1.0, -1.0};
+  auto& r0 = lp.add_row(ConstraintSense::kGe, 2.0);
+  r0.vars = {0, 1};
+  r0.coeffs = {1.0, 1.0};
+  auto& r1 = lp.add_row(ConstraintSense::kEq, 0.5);
+  r1.vars = {0};
+  r1.coeffs = {1.0};
+  const auto result = solve_lp(lp);
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_NEAR(result.objective, -2.0, 1e-9);
+  EXPECT_NEAR(result.x[0], 0.5, 1e-9);
+  EXPECT_NEAR(result.x[1], 1.5, 1e-9);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  // x <= 1 and x >= 2.
+  LpProblem lp;
+  lp.num_vars = 1;
+  lp.objective = {1.0};
+  auto& r0 = lp.add_row(ConstraintSense::kLe, 1.0);
+  r0.vars = {0};
+  r0.coeffs = {1.0};
+  auto& r1 = lp.add_row(ConstraintSense::kGe, 2.0);
+  r1.vars = {0};
+  r1.coeffs = {1.0};
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  // max x with only y constrained.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {1.0, 0.0};
+  auto& r0 = lp.add_row(ConstraintSense::kLe, 1.0);
+  r0.vars = {1};
+  r0.coeffs = {1.0};
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, NegativeRhsNormalisation) {
+  // max -x s.t. -x <= -2  (i.e. x >= 2): optimum -2 at x = 2.
+  LpProblem lp;
+  lp.num_vars = 1;
+  lp.objective = {-1.0};
+  auto& r0 = lp.add_row(ConstraintSense::kLe, -2.0);
+  r0.vars = {0};
+  r0.coeffs = {-1.0};
+  const auto result = solve_lp(lp);
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_NEAR(result.objective, -2.0, 1e-9);
+  EXPECT_NEAR(result.x[0], 2.0, 1e-9);
+}
+
+TEST(Simplex, NoConstraintsZeroOrUnbounded) {
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {-1.0, 0.0};
+  const auto bounded = solve_lp(lp);
+  EXPECT_EQ(bounded.status, LpStatus::kOptimal);
+  EXPECT_NEAR(bounded.objective, 0.0, 1e-12);
+
+  lp.objective = {1.0, 0.0};
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, RedundantEqualityRows) {
+  // x + y = 1 twice plus max x: optimum 1.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {1.0, 0.0};
+  for (int rep = 0; rep < 2; ++rep) {
+    auto& row = lp.add_row(ConstraintSense::kEq, 1.0);
+    row.vars = {0, 1};
+    row.coeffs = {1.0, 1.0};
+  }
+  const auto result = solve_lp(lp);
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_NEAR(result.objective, 1.0, 1e-9);
+}
+
+TEST(Simplex, DegenerateVertexTerminates) {
+  // A classic degenerate LP (multiple constraints through the origin).
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {1.0, 1.0};
+  auto& r0 = lp.add_row(ConstraintSense::kLe, 0.0);
+  r0.vars = {0, 1};
+  r0.coeffs = {1.0, -1.0};
+  auto& r1 = lp.add_row(ConstraintSense::kLe, 0.0);
+  r1.vars = {0, 1};
+  r1.coeffs = {-1.0, 1.0};
+  auto& r2 = lp.add_row(ConstraintSense::kLe, 2.0);
+  r2.vars = {0, 1};
+  r2.coeffs = {1.0, 1.0};
+  const auto result = solve_lp(lp);
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_NEAR(result.objective, 2.0, 1e-9);
+  EXPECT_NEAR(result.x[0], 1.0, 1e-9);
+}
+
+TEST(Simplex, TightEqualityAtZeroRhs) {
+  // max x s.t. x - y = 0, x + y <= 2: optimum 1 at (1,1).
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {1.0, 0.0};
+  auto& r0 = lp.add_row(ConstraintSense::kEq, 0.0);
+  r0.vars = {0, 1};
+  r0.coeffs = {1.0, -1.0};
+  auto& r1 = lp.add_row(ConstraintSense::kLe, 2.0);
+  r1.vars = {0, 1};
+  r1.coeffs = {1.0, 1.0};
+  const auto result = solve_lp(lp);
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_NEAR(result.objective, 1.0, 1e-9);
+}
+
+TEST(Simplex, SolutionSatisfiesConstraints) {
+  const auto lp = textbook();
+  const auto result = solve_lp(lp);
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_NEAR(max_violation(lp, result.x), 0.0, 1e-9);
+}
+
+TEST(Simplex, MaxViolationReportsBreaches) {
+  const auto lp = textbook();
+  EXPECT_GT(max_violation(lp, {10.0, 10.0}), 0.0);
+  EXPECT_GT(max_violation(lp, {-1.0, 0.0}), 0.0);  // negativity
+  EXPECT_DOUBLE_EQ(max_violation(lp, {0.0, 0.0}), 0.0);
+}
+
+TEST(Simplex, ValidateRejectsBadRows) {
+  LpProblem lp;
+  lp.num_vars = 1;
+  auto& row = lp.add_row(ConstraintSense::kLe, 1.0);
+  row.vars = {1};  // out of range
+  row.coeffs = {1.0};
+  EXPECT_THROW(solve_lp(lp), CheckError);
+}
+
+TEST(Simplex, BealeCyclingExampleTerminates) {
+  // Beale's classic cycling LP: Dantzig's rule alone cycles forever at
+  // the degenerate origin; the Bland fallback must break the cycle.
+  //   max 0.75x1 − 150x2 + 0.02x3 − 6x4
+  //   s.t. 0.25x1 − 60x2 − 0.04x3 + 9x4 ≤ 0
+  //        0.50x1 − 90x2 − 0.02x3 + 3x4 ≤ 0
+  //        x3 ≤ 1
+  // Optimum: 0.05 at x = (0.04, 0, 1, 0) (scaled classic form).
+  LpProblem lp;
+  lp.num_vars = 4;
+  lp.objective = {0.75, -150.0, 0.02, -6.0};
+  auto& r0 = lp.add_row(ConstraintSense::kLe, 0.0);
+  r0.vars = {0, 1, 2, 3};
+  r0.coeffs = {0.25, -60.0, -0.04, 9.0};
+  auto& r1 = lp.add_row(ConstraintSense::kLe, 0.0);
+  r1.vars = {0, 1, 2, 3};
+  r1.coeffs = {0.5, -90.0, -0.02, 3.0};
+  auto& r2 = lp.add_row(ConstraintSense::kLe, 1.0);
+  r2.vars = {2};
+  r2.coeffs = {1.0};
+  const auto result = solve_lp(lp);
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_NEAR(result.objective, 0.05, 1e-9);
+  EXPECT_LT(result.iterations, 1000);  // no cycling
+}
+
+TEST(Simplex, StatusToString) {
+  EXPECT_STREQ(to_string(LpStatus::kOptimal), "optimal");
+  EXPECT_STREQ(to_string(LpStatus::kInfeasible), "infeasible");
+  EXPECT_STREQ(to_string(LpStatus::kUnbounded), "unbounded");
+  EXPECT_STREQ(to_string(LpStatus::kIterLimit), "iteration-limit");
+}
+
+}  // namespace
+}  // namespace mmlp

@@ -1,0 +1,142 @@
+// Property suite: the simplex must agree with an independent brute-force
+// vertex enumerator on random two-variable LPs, across many seeds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <optional>
+
+#include "mmlp/lp/simplex.hpp"
+#include "mmlp/util/rng.hpp"
+
+namespace mmlp {
+namespace {
+
+struct DenseLp {
+  // max c·x s.t. A x <= b, x >= 0, two variables.
+  double c[2];
+  double a[4][2];
+  double b[4];
+  int rows;
+};
+
+/// Enumerate all candidate vertices: pairwise intersections of the
+/// constraint lines and the axes; keep feasible ones; return the best
+/// objective (nullopt if the feasible set is empty — cannot happen here
+/// since 0 is feasible for b >= 0).
+std::optional<double> brute_force(const DenseLp& lp) {
+  std::vector<std::array<double, 2>> candidates;
+  candidates.push_back({0.0, 0.0});
+
+  // Collect all lines: constraint rows plus x0 = 0 and x1 = 0.
+  struct Line {
+    double a0, a1, rhs;
+  };
+  std::vector<Line> lines;
+  for (int r = 0; r < lp.rows; ++r) {
+    lines.push_back({lp.a[r][0], lp.a[r][1], lp.b[r]});
+  }
+  lines.push_back({1.0, 0.0, 0.0});
+  lines.push_back({0.0, 1.0, 0.0});
+
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    for (std::size_t j = i + 1; j < lines.size(); ++j) {
+      const double det = lines[i].a0 * lines[j].a1 - lines[i].a1 * lines[j].a0;
+      if (std::abs(det) < 1e-12) {
+        continue;
+      }
+      const double x0 = (lines[i].rhs * lines[j].a1 - lines[i].a1 * lines[j].rhs) / det;
+      const double x1 = (lines[i].a0 * lines[j].rhs - lines[i].rhs * lines[j].a0) / det;
+      candidates.push_back({x0, x1});
+    }
+  }
+
+  std::optional<double> best;
+  for (const auto& cand : candidates) {
+    if (cand[0] < -1e-9 || cand[1] < -1e-9) {
+      continue;
+    }
+    bool feasible = true;
+    for (int r = 0; r < lp.rows; ++r) {
+      if (lp.a[r][0] * cand[0] + lp.a[r][1] * cand[1] > lp.b[r] + 1e-9) {
+        feasible = false;
+        break;
+      }
+    }
+    if (!feasible) {
+      continue;
+    }
+    const double objective = lp.c[0] * cand[0] + lp.c[1] * cand[1];
+    if (!best.has_value() || objective > *best) {
+      best = objective;
+    }
+  }
+  return best;
+}
+
+LpProblem to_problem(const DenseLp& lp) {
+  LpProblem problem;
+  problem.num_vars = 2;
+  problem.objective = {lp.c[0], lp.c[1]};
+  for (int r = 0; r < lp.rows; ++r) {
+    auto& row = problem.add_row(ConstraintSense::kLe, lp.b[r]);
+    row.vars = {0, 1};
+    row.coeffs = {lp.a[r][0], lp.a[r][1]};
+  }
+  return problem;
+}
+
+class SimplexRandomLp : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimplexRandomLp, MatchesBruteForceVertexEnumeration) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    DenseLp lp;
+    lp.rows = static_cast<int>(rng.uniform_int(1, 4));
+    // Strictly positive coefficients keep the LP bounded; b >= 0 keeps
+    // the origin feasible, so the optimum always exists.
+    lp.c[0] = rng.uniform(0.1, 2.0);
+    lp.c[1] = rng.uniform(0.1, 2.0);
+    for (int r = 0; r < lp.rows; ++r) {
+      lp.a[r][0] = rng.uniform(0.1, 2.0);
+      lp.a[r][1] = rng.uniform(0.1, 2.0);
+      lp.b[r] = rng.uniform(0.0, 3.0);
+    }
+    const auto expected = brute_force(lp);
+    ASSERT_TRUE(expected.has_value());
+    const auto result = solve_lp(to_problem(lp));
+    ASSERT_EQ(result.status, LpStatus::kOptimal) << "trial " << trial;
+    EXPECT_NEAR(result.objective, *expected, 1e-6) << "trial " << trial;
+    EXPECT_NEAR(max_violation(to_problem(lp), result.x), 0.0, 1e-7);
+  }
+}
+
+TEST_P(SimplexRandomLp, MixedSensesStayConsistentWithLeOnlyRelaxation) {
+  // Adding a redundant >= 0-sum row must not change the optimum.
+  Rng rng(GetParam() ^ 0x5bd1e995);
+  for (int trial = 0; trial < 25; ++trial) {
+    DenseLp lp;
+    lp.rows = static_cast<int>(rng.uniform_int(1, 3));
+    lp.c[0] = rng.uniform(0.1, 2.0);
+    lp.c[1] = rng.uniform(0.1, 2.0);
+    for (int r = 0; r < lp.rows; ++r) {
+      lp.a[r][0] = rng.uniform(0.1, 2.0);
+      lp.a[r][1] = rng.uniform(0.1, 2.0);
+      lp.b[r] = rng.uniform(0.5, 3.0);
+    }
+    auto problem = to_problem(lp);
+    const double base = solve_lp(problem).objective;
+    auto& row = problem.add_row(ConstraintSense::kGe, 0.0);
+    row.vars = {0, 1};
+    row.coeffs = {1.0, 1.0};
+    const auto result = solve_lp(problem);
+    ASSERT_EQ(result.status, LpStatus::kOptimal);
+    EXPECT_NEAR(result.objective, base, 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandomLp,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+}  // namespace
+}  // namespace mmlp

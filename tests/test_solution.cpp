@@ -1,0 +1,108 @@
+#include "mmlp/core/solution.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mmlp/util/check.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "test_helpers.hpp"
+
+namespace mmlp {
+namespace {
+
+TEST(Solution, PartyBenefitAndResourceLoad) {
+  const auto instance = testing::two_agent_instance();
+  const std::vector<double> x{0.25, 0.5};
+  EXPECT_DOUBLE_EQ(party_benefit(instance, x, 0), 0.25);
+  EXPECT_DOUBLE_EQ(party_benefit(instance, x, 1), 0.5);
+  EXPECT_DOUBLE_EQ(resource_load(instance, x, 0), 0.75);
+}
+
+TEST(Solution, ObjectiveIsMinOverParties) {
+  const auto instance = testing::two_agent_instance();
+  EXPECT_DOUBLE_EQ(objective_omega(instance, {0.25, 0.5}), 0.25);
+  EXPECT_DOUBLE_EQ(objective_omega(instance, {0.5, 0.1}), 0.1);
+}
+
+TEST(Solution, EvaluateTracksArgmins) {
+  const auto instance = testing::two_agent_instance();
+  const auto eval = evaluate(instance, {0.25, 0.5});
+  EXPECT_DOUBLE_EQ(eval.omega, 0.25);
+  EXPECT_EQ(eval.argmin_party, 0);
+  EXPECT_EQ(eval.argmax_resource, 0);
+  EXPECT_TRUE(eval.feasible());
+  EXPECT_DOUBLE_EQ(eval.worst_violation, 0.0);
+}
+
+TEST(Solution, EvaluateFlagsOverload) {
+  const auto instance = testing::two_agent_instance();
+  const auto eval = evaluate(instance, {1.0, 0.5});
+  EXPECT_FALSE(eval.feasible());
+  EXPECT_NEAR(eval.worst_violation, 0.5, 1e-12);
+}
+
+TEST(Solution, EvaluateFlagsNegativity) {
+  const auto instance = testing::two_agent_instance();
+  const auto eval = evaluate(instance, {-0.1, 0.2});
+  EXPECT_FALSE(eval.feasible());
+  EXPECT_NEAR(eval.worst_violation, 0.1, 1e-12);
+}
+
+TEST(Solution, FeasibleWithinTolerance) {
+  const auto instance = testing::two_agent_instance();
+  const auto eval = evaluate(instance, {0.5, 0.5 + 0.5e-7});
+  EXPECT_TRUE(eval.feasible(kFeasTol));
+  EXPECT_FALSE(eval.feasible(1e-9));
+}
+
+TEST(Solution, ScaleToFeasibleShrinksOverloaded) {
+  const auto instance = testing::two_agent_instance();
+  std::vector<double> x{2.0, 2.0};  // load 4
+  const double scale = scale_to_feasible(instance, x);
+  EXPECT_NEAR(scale, 0.25, 1e-12);
+  EXPECT_NEAR(x[0], 0.5, 1e-12);
+  EXPECT_TRUE(evaluate(instance, x).feasible());
+}
+
+TEST(Solution, ScaleToFeasibleLeavesFeasibleAlone) {
+  const auto instance = testing::two_agent_instance();
+  std::vector<double> x{0.25, 0.25};
+  EXPECT_DOUBLE_EQ(scale_to_feasible(instance, x), 1.0);
+  EXPECT_DOUBLE_EQ(x[0], 0.25);
+}
+
+TEST(Solution, ScaleToFeasibleClampsNegatives) {
+  const auto instance = testing::two_agent_instance();
+  std::vector<double> x{-1.0, 0.5};
+  scale_to_feasible(instance, x);
+  EXPECT_DOUBLE_EQ(x[0], 0.0);
+  EXPECT_DOUBLE_EQ(x[1], 0.5);
+}
+
+TEST(Solution, NoPartiesMeansInfiniteOmega) {
+  Instance::Builder builder;
+  const AgentId v = builder.add_agent();
+  const ResourceId i = builder.add_resource();
+  builder.set_usage(i, v, 1.0);
+  const auto instance = std::move(builder).build();
+  EXPECT_TRUE(std::isinf(objective_omega(instance, {0.0})));
+  EXPECT_EQ(evaluate(instance, {0.0}).argmin_party, -1);
+}
+
+TEST(Solution, ApproximationRatioConventions) {
+  EXPECT_DOUBLE_EQ(approximation_ratio(1.0, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(approximation_ratio(0.0, 0.0), 1.0);
+  EXPECT_TRUE(std::isinf(approximation_ratio(1.0, 0.0)));
+  EXPECT_THROW(approximation_ratio(-1.0, 0.5), CheckError);
+}
+
+TEST(Solution, SizeMismatchThrows) {
+  const auto instance = testing::two_agent_instance();
+  EXPECT_THROW(objective_omega(instance, {0.1}), CheckError);
+  EXPECT_THROW(evaluate(instance, {0.1, 0.2, 0.3}), CheckError);
+}
+
+}  // namespace
+}  // namespace mmlp

@@ -1,0 +1,75 @@
+#include "mmlp/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "mmlp/util/check.hpp"
+
+namespace mmlp {
+namespace {
+
+TEST(TableWriter, RejectsEmptyHeadersAndMismatchedRows) {
+  EXPECT_THROW(TableWriter({}), CheckError);
+  TableWriter table({"a", "b"});
+  EXPECT_THROW(table.add_row({std::int64_t{1}}), CheckError);
+}
+
+TEST(TableWriter, RendersAlignedText) {
+  TableWriter table({"name", "n"});
+  table.add_row({std::string("alpha"), std::int64_t{1}});
+  table.add_row({std::string("b"), std::int64_t{1000}});
+  const std::string text = table.to_text("Title");
+  EXPECT_NE(text.find("Title"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("1000"), std::string::npos);
+  // Header rule present.
+  EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+TEST(TableWriter, DoublePrecisionRespected) {
+  TableWriter table({"x"}, 2);
+  table.add_row({3.14159});
+  EXPECT_NE(table.to_text().find("3.14"), std::string::npos);
+  EXPECT_EQ(table.to_text().find("3.142"), std::string::npos);
+}
+
+TEST(TableWriter, CsvEscapesSpecials) {
+  TableWriter table({"label", "v"});
+  table.add_row({std::string("a,b"), std::int64_t{1}});
+  table.add_row({std::string("quote\"inside"), std::int64_t{2}});
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(TableWriter, CsvRoundTripLineCount) {
+  TableWriter table({"a"});
+  table.add_row({std::int64_t{1}});
+  table.add_row({std::int64_t{2}});
+  const std::string csv = table.to_csv();
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);  // header + 2 rows
+}
+
+TEST(TableWriter, WriteCsvCreatesFile) {
+  TableWriter table({"a", "b"});
+  table.add_row({std::int64_t{1}, 2.5});
+  const std::string path = ::testing::TempDir() + "/mmlp_table_test.csv";
+  ASSERT_TRUE(table.write_csv(path));
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "a,b");
+  std::remove(path.c_str());
+}
+
+TEST(TableWriter, NumRows) {
+  TableWriter table({"a"});
+  EXPECT_EQ(table.num_rows(), 0u);
+  table.add_row({std::int64_t{5}});
+  EXPECT_EQ(table.num_rows(), 1u);
+}
+
+}  // namespace
+}  // namespace mmlp
