@@ -1,0 +1,106 @@
+#include "mmlp/dist/algorithms.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "mmlp/core/safe.hpp"
+#include "mmlp/core/view.hpp"
+#include "mmlp/dist/runtime.hpp"
+#include "mmlp/graph/bfs.hpp"
+#include "mmlp/util/check.hpp"
+#include "mmlp/util/parallel.hpp"
+
+namespace mmlp {
+
+double safe_from_context(const AgentContext& ctx) {
+  const auto& resources = ctx.agent_resources(ctx.self());
+  std::vector<std::size_t> sizes;
+  sizes.reserve(resources.size());
+  for (const Coef& entry : resources) {
+    sizes.push_back(ctx.resource_support(entry.id).size());
+  }
+  return safe_choice(resources, sizes);
+}
+
+std::vector<double> distributed_safe(const Instance& instance,
+                                     bool collaboration_oblivious) {
+  const LocalRuntime runtime(instance, collaboration_oblivious);
+  const auto knowledge = runtime.flood(1);
+  const auto n = static_cast<std::size_t>(instance.num_agents());
+  std::vector<double> x(n, 0.0);
+  parallel_for(n, [&](std::size_t v) {
+    const AgentContext ctx(instance, static_cast<AgentId>(v), knowledge[v]);
+    x[v] = safe_from_context(ctx);
+  });
+  return x;
+}
+
+namespace {
+
+/// One agent's execution of the Section 5.1 algorithm on its world.
+double averaging_decision(const LocalWorld& world, const Hypergraph& h,
+                          const LocalAveragingOptions& options) {
+  BallCollector collector(h);
+  const std::vector<AgentId> my_ball =  // copy: the collector is reused
+      collector.collect(world.self_local, options.R);
+
+  // Σ_{u∈V^j} x^u_j, accumulated in ascending agent order — the same
+  // addition sequence as the centralized eq. (10) accumulation.
+  double sum = 0.0;
+  for (const AgentId u : my_ball) {
+    const auto& ball_u = collector.collect(u, options.R);
+    const LocalView view =
+        extract_view(world.instance, u, options.R, ball_u);
+    const ViewLpSolution solution = solve_view_lp(view, options.lp);
+    const std::int32_t self_in_view = view.local_index(world.self_local);
+    MMLP_CHECK_GE(self_in_view, 0);  // u ∈ V^j ⇔ j ∈ V^u
+    sum += solution.x[static_cast<std::size_t>(self_in_view)];
+  }
+
+  // β_j = min_{i∈I_j} n_i / N_i over the agent's own resources; V_i is
+  // fully known (one hop) and the members' balls lie inside the world.
+  double beta = std::numeric_limits<double>::infinity();
+  for (const Coef& entry : world.instance.agent_resources(world.self_local)) {
+    const auto& support = world.instance.resource_support(entry.id);
+    std::vector<AgentId> union_set;
+    std::size_t min_ball = std::numeric_limits<std::size_t>::max();
+    for (const Coef& member : support) {
+      const auto& ball_m = collector.collect(member.id, options.R);
+      min_ball = std::min(min_ball, ball_m.size());
+      std::vector<AgentId> next;
+      next.reserve(union_set.size() + ball_m.size());
+      std::set_union(union_set.begin(), union_set.end(), ball_m.begin(),
+                     ball_m.end(), std::back_inserter(next));
+      union_set.swap(next);
+    }
+    beta = std::min(beta, static_cast<double>(min_ball) /
+                              static_cast<double>(union_set.size()));
+  }
+
+  const double average = sum / static_cast<double>(my_ball.size());
+  return beta * average;
+}
+
+}  // namespace
+
+std::vector<double> distributed_local_averaging(
+    const Instance& instance, const LocalAveragingOptions& options) {
+  MMLP_CHECK_GE(options.R, 1);
+  MMLP_CHECK_MSG(options.damping == AveragingDamping::kBetaPerAgent,
+                 "only the per-agent damping of eq. (10) is a local rule");
+  const std::int32_t horizon = 2 * options.R + 1;
+  const LocalRuntime runtime(instance, options.collaboration_oblivious);
+  const auto knowledge = runtime.flood(horizon);
+  const auto n = static_cast<std::size_t>(instance.num_agents());
+  std::vector<double> x(n, 0.0);
+  parallel_for(n, [&](std::size_t j) {
+    const AgentContext ctx(instance, static_cast<AgentId>(j), knowledge[j]);
+    const LocalWorld world = ctx.materialize();
+    const Hypergraph h =
+        world.instance.communication_graph(options.collaboration_oblivious);
+    x[j] = averaging_decision(world, h, options);
+  });
+  return x;
+}
+
+}  // namespace mmlp

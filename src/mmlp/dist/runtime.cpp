@@ -1,0 +1,172 @@
+#include "mmlp/dist/runtime.hpp"
+
+#include <algorithm>
+
+#include "mmlp/util/check.hpp"
+#include "mmlp/util/parallel.hpp"
+
+namespace mmlp {
+
+LocalRuntime::LocalRuntime(const Instance& instance,
+                           bool collaboration_oblivious)
+    : graph_(instance.communication_graph(collaboration_oblivious)),
+      collaboration_oblivious_(collaboration_oblivious) {
+  for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+    degree_sum_ += static_cast<std::int64_t>(graph_.degree(v));
+  }
+}
+
+std::vector<std::vector<AgentId>> LocalRuntime::flood(
+    std::int32_t rounds) const {
+  MMLP_CHECK_GE(rounds, 0);
+  const auto n = static_cast<std::size_t>(graph_.num_nodes());
+  std::vector<std::vector<AgentId>> knowledge(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    knowledge[v] = {static_cast<AgentId>(v)};
+  }
+  std::vector<std::vector<AgentId>> received(n);
+  for (std::int32_t round = 0; round < rounds; ++round) {
+    // Synchronous round: every agent reads the packet each hyperedge
+    // member broadcast at the end of the previous round and merges.
+    // Writes go only to received[v], so the round is parallel over v.
+    parallel_for(n, [&](std::size_t v) {
+      std::vector<AgentId> merged = knowledge[v];
+      for (const EdgeId e : graph_.edges_of(static_cast<NodeId>(v))) {
+        for (const NodeId u : graph_.edge(e)) {
+          if (u == static_cast<NodeId>(v)) {
+            continue;
+          }
+          const auto& packet = knowledge[static_cast<std::size_t>(u)];
+          merged.insert(merged.end(), packet.begin(), packet.end());
+        }
+      }
+      std::sort(merged.begin(), merged.end());
+      merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+      received[v] = std::move(merged);
+    });
+    knowledge.swap(received);
+  }
+  return knowledge;
+}
+
+std::int64_t LocalRuntime::message_count(std::int32_t rounds) const {
+  MMLP_CHECK_GE(rounds, 0);
+  return static_cast<std::int64_t>(rounds) * degree_sum_;
+}
+
+std::int32_t LocalWorld::local_of(AgentId global) const {
+  const auto it =
+      std::lower_bound(global_agents.begin(), global_agents.end(), global);
+  if (it != global_agents.end() && *it == global) {
+    return static_cast<std::int32_t>(it - global_agents.begin());
+  }
+  return -1;
+}
+
+AgentContext::AgentContext(const Instance& instance, AgentId self,
+                           std::vector<AgentId> knowledge)
+    : instance_(&instance), self_(self), knowledge_(std::move(knowledge)) {
+  std::sort(knowledge_.begin(), knowledge_.end());
+  knowledge_.erase(std::unique(knowledge_.begin(), knowledge_.end()),
+                   knowledge_.end());
+  MMLP_CHECK_MSG(!knowledge_.empty() && knowledge_.front() >= 0 &&
+                     knowledge_.back() < instance.num_agents(),
+                 "knowledge set contains invalid agent ids");
+  MMLP_CHECK_MSG(knows(self_),
+                 "agent " << self_ << " missing from its own knowledge set");
+}
+
+bool AgentContext::knows(AgentId v) const {
+  return std::binary_search(knowledge_.begin(), knowledge_.end(), v);
+}
+
+const std::vector<Coef>& AgentContext::agent_resources(AgentId v) const {
+  MMLP_CHECK_MSG(knows(v), "agent " << self_ << " cannot see agent " << v);
+  return instance_->agent_resources(v);
+}
+
+const std::vector<Coef>& AgentContext::agent_parties(AgentId v) const {
+  MMLP_CHECK_MSG(knows(v), "agent " << self_ << " cannot see agent " << v);
+  return instance_->agent_parties(v);
+}
+
+const std::vector<Coef>& AgentContext::resource_support(ResourceId i) const {
+  const auto& support = instance_->resource_support(i);
+  for (const Coef& entry : support) {
+    if (knows(entry.id)) {
+      return support;
+    }
+  }
+  detail::check_failed("resource visible", __FILE__, __LINE__,
+                       "agent " + std::to_string(self_) +
+                           " knows no member of resource " + std::to_string(i));
+}
+
+const std::vector<Coef>& AgentContext::party_support(PartyId k) const {
+  const auto& support = instance_->party_support(k);
+  for (const Coef& entry : support) {
+    if (knows(entry.id)) {
+      return support;
+    }
+  }
+  detail::check_failed("party visible", __FILE__, __LINE__,
+                       "agent " + std::to_string(self_) +
+                           " knows no member of party " + std::to_string(k));
+}
+
+LocalWorld AgentContext::materialize() const {
+  LocalWorld world;
+  world.global_agents = knowledge_;
+  world.self_local = world.local_of(self_);
+
+  // Every resource and party touching a known agent, each counted once.
+  for (const AgentId v : knowledge_) {
+    for (const Coef& entry : instance_->agent_resources(v)) {
+      world.global_resources.push_back(entry.id);
+    }
+    for (const Coef& entry : instance_->agent_parties(v)) {
+      world.global_parties.push_back(entry.id);
+    }
+  }
+  std::sort(world.global_resources.begin(), world.global_resources.end());
+  world.global_resources.erase(std::unique(world.global_resources.begin(),
+                                           world.global_resources.end()),
+                               world.global_resources.end());
+  std::sort(world.global_parties.begin(), world.global_parties.end());
+  world.global_parties.erase(
+      std::unique(world.global_parties.begin(), world.global_parties.end()),
+      world.global_parties.end());
+
+  Instance::Builder builder;
+  builder.reserve(static_cast<AgentId>(knowledge_.size()), 0, 0);
+  for (const ResourceId i : world.global_resources) {
+    const ResourceId local = builder.add_resource();
+    for (const Coef& entry : instance_->resource_support(i)) {
+      const std::int32_t member = world.local_of(entry.id);
+      if (member >= 0) {
+        builder.set_usage(local, member, entry.value);
+      }
+    }
+  }
+  // Keep only fully known parties; a truncated benefit row would lie.
+  std::vector<PartyId> kept_parties;
+  for (const PartyId k : world.global_parties) {
+    const auto& support = instance_->party_support(k);
+    const bool full = std::all_of(
+        support.begin(), support.end(),
+        [&](const Coef& entry) { return world.local_of(entry.id) >= 0; });
+    if (!full) {
+      continue;
+    }
+    const PartyId local = builder.add_party();
+    for (const Coef& entry : support) {
+      builder.set_benefit(local, world.local_of(entry.id), entry.value);
+    }
+    kept_parties.push_back(k);
+  }
+  world.global_parties = std::move(kept_parties);
+  world.instance = std::move(builder).build();
+  return world;
+}
+
+}  // namespace mmlp

@@ -1,0 +1,148 @@
+#include "mmlp/dist/self_stabilize.hpp"
+
+#include <algorithm>
+
+#include "mmlp/dist/algorithms.hpp"
+#include "mmlp/dist/runtime.hpp"
+#include "mmlp/graph/bfs.hpp"
+#include "mmlp/util/check.hpp"
+#include "mmlp/util/parallel.hpp"
+
+namespace mmlp {
+
+SelfStabilizingFlood::SelfStabilizingFlood(const Instance& instance,
+                                           std::int32_t horizon,
+                                           bool collaboration_oblivious)
+    : instance_(&instance),
+      graph_(instance.communication_graph(collaboration_oblivious)),
+      horizon_(horizon) {
+  MMLP_CHECK_GE(horizon, 0);
+  const auto n = static_cast<std::size_t>(graph_.num_nodes());
+  legitimate_.resize(n);
+  parallel_for(n, [&](std::size_t v) {
+    const auto dist =
+        bfs_distances(graph_, static_cast<NodeId>(v), horizon_);
+    Table& table = legitimate_[v];
+    for (std::size_t o = 0; o < dist.size(); ++o) {
+      if (dist[o] >= 0) {
+        table.push_back({static_cast<AgentId>(o), dist[o]});
+      }
+    }
+  });
+  tables_ = legitimate_;
+}
+
+void SelfStabilizingFlood::clear() {
+  for (Table& table : tables_) {
+    table.clear();
+  }
+}
+
+void SelfStabilizingFlood::reset_legitimate() { tables_ = legitimate_; }
+
+void SelfStabilizingFlood::corrupt(Rng& rng, std::int32_t entries) {
+  const auto n = static_cast<std::uint64_t>(tables_.size());
+  if (n == 0) {
+    return;
+  }
+  for (std::int32_t e = 0; e < entries; ++e) {
+    Table& table = tables_[rng.next_below(n)];
+    if (!table.empty() && rng.bernoulli(0.25)) {
+      table.erase(table.begin() +
+                  static_cast<std::ptrdiff_t>(rng.next_below(table.size())));
+      continue;
+    }
+    const Entry ghost{static_cast<AgentId>(rng.next_below(n)),
+                      static_cast<std::int32_t>(
+                          rng.uniform_int(0, std::max(horizon_, 0)))};
+    const auto it = std::lower_bound(
+        table.begin(), table.end(), ghost.origin,
+        [](const Entry& entry, AgentId o) { return entry.origin < o; });
+    if (it != table.end() && it->origin == ghost.origin) {
+      it->dist = ghost.dist;
+    } else {
+      table.insert(it, ghost);
+    }
+  }
+}
+
+std::int32_t SelfStabilizingFlood::step() {
+  const auto n = static_cast<std::size_t>(tables_.size());
+  std::vector<Table> next(n);
+  std::vector<std::uint8_t> changed(n, 0);
+  parallel_for(n, [&](std::size_t v) {
+    // Recompute from scratch: self entry plus aged neighbour entries,
+    // keeping the minimum distance per origin.
+    Table merged;
+    merged.push_back({static_cast<AgentId>(v), 0});
+    for (const EdgeId e : graph_.edges_of(static_cast<NodeId>(v))) {
+      for (const NodeId u : graph_.edge(e)) {
+        if (u == static_cast<NodeId>(v)) {
+          continue;
+        }
+        for (const Entry& entry : tables_[static_cast<std::size_t>(u)]) {
+          if (entry.dist + 1 <= horizon_) {
+            merged.push_back({entry.origin, entry.dist + 1});
+          }
+        }
+      }
+    }
+    std::sort(merged.begin(), merged.end(), [](const Entry& a, const Entry& b) {
+      return a.origin < b.origin || (a.origin == b.origin && a.dist < b.dist);
+    });
+    Table& table = next[v];
+    for (const Entry& entry : merged) {
+      if (table.empty() || table.back().origin != entry.origin) {
+        table.push_back(entry);
+      }
+    }
+    // The self entry wins any ghost claiming distance 0 to v.
+    changed[v] = (table != tables_[v]) ? 1 : 0;
+  });
+  std::int32_t num_changed = 0;
+  for (const std::uint8_t flag : changed) {
+    num_changed += flag;
+  }
+  tables_.swap(next);
+  return num_changed;
+}
+
+std::int32_t SelfStabilizingFlood::run_until_stable(std::int32_t max_rounds) {
+  std::int32_t rounds = 0;
+  while (rounds < max_rounds) {
+    ++rounds;
+    if (step() == 0) {
+      break;
+    }
+  }
+  return rounds;
+}
+
+bool SelfStabilizingFlood::is_legitimate() const {
+  return tables_ == legitimate_;
+}
+
+std::vector<AgentId> SelfStabilizingFlood::knowledge(AgentId v) const {
+  MMLP_CHECK_GE(v, 0);
+  MMLP_CHECK_LT(static_cast<std::size_t>(v), tables_.size());
+  std::vector<AgentId> origins;
+  const Table& table = tables_[static_cast<std::size_t>(v)];
+  origins.reserve(table.size());
+  for (const Entry& entry : table) {
+    origins.push_back(entry.origin);
+  }
+  return origins;
+}
+
+std::vector<double> SelfStabilizingFlood::safe_output() const {
+  const auto n = static_cast<std::size_t>(tables_.size());
+  std::vector<double> x(n, 0.0);
+  parallel_for(n, [&](std::size_t v) {
+    const AgentContext ctx(*instance_, static_cast<AgentId>(v),
+                           knowledge(static_cast<AgentId>(v)));
+    x[v] = safe_from_context(ctx);
+  });
+  return x;
+}
+
+}  // namespace mmlp

@@ -1,0 +1,85 @@
+// Self-stabilizing flooding (the Section 1.1 claim that local
+// algorithms yield self-stabilizing algorithms with constant
+// stabilization time).
+//
+// Every agent maintains a table of (origin, hop distance) entries with
+// distances bounded by the horizon. A synchronous step recomputes each
+// table *from scratch* out of the neighbours' tables:
+//
+//   table_v ← {(v, 0)} ∪ min-merge{ (o, d+1) : (o, d) ∈ table_u,
+//                                   u neighbour of v, d + 1 ≤ horizon }
+//
+// Because nothing of the old local state survives a step, the rule is
+// self-stabilizing: after one round every distance-0 entry is a true
+// self entry, and inductively after k rounds every entry with d < k is
+// correct while corrupted "ghost" entries can only age (their distance
+// grows each round) until they exceed the horizon and vanish. From ANY
+// state the legitimate state — table_v = {(o, d_H(v,o)) : d ≤ horizon},
+// the fixed point of the rule — is reached within horizon + 1 rounds,
+// a constant independent of the network size.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mmlp/core/instance.hpp"
+#include "mmlp/graph/hypergraph.hpp"
+#include "mmlp/util/rng.hpp"
+
+namespace mmlp {
+
+class SelfStabilizingFlood {
+ public:
+  /// Starts in the legitimate state for the given knowledge horizon.
+  SelfStabilizingFlood(const Instance& instance, std::int32_t horizon,
+                       bool collaboration_oblivious = false);
+
+  std::int32_t horizon() const { return horizon_; }
+  const Hypergraph& graph() const { return graph_; }
+
+  /// Cold start: erase every table (the all-empty transient state).
+  void clear();
+
+  /// Jump directly to the legitimate state.
+  void reset_legitimate();
+
+  /// Adversarial corruption: apply `entries` random table mutations
+  /// (overwrite an (origin, distance) entry or delete one), driven by
+  /// the caller's rng for reproducibility.
+  void corrupt(Rng& rng, std::int32_t entries);
+
+  /// One synchronous round of the recompute rule. Returns the number of
+  /// agents whose table changed (0 ⇔ a fixed point, i.e. legitimacy).
+  std::int32_t step();
+
+  /// Step until a round changes nothing, executing at most `max_rounds`
+  /// rounds. Returns the number of rounds executed.
+  std::int32_t run_until_stable(std::int32_t max_rounds);
+
+  /// True iff every table equals the legitimate table.
+  bool is_legitimate() const;
+
+  /// The origins agent v currently knows, sorted ascending.
+  std::vector<AgentId> knowledge(AgentId v) const;
+
+  /// The safe solution (eq. (2)) computed from the current tables via
+  /// per-agent contexts; equals safe_solution() in the legitimate state.
+  std::vector<double> safe_output() const;
+
+ private:
+  struct Entry {
+    AgentId origin = -1;
+    std::int32_t dist = 0;
+
+    friend bool operator==(const Entry&, const Entry&) = default;
+  };
+  using Table = std::vector<Entry>;  // sorted by origin
+
+  const Instance* instance_;
+  Hypergraph graph_;
+  std::int32_t horizon_ = 0;
+  std::vector<Table> tables_;
+  std::vector<Table> legitimate_;  // the fixed point, precomputed once
+};
+
+}  // namespace mmlp

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
 
 #include "mmlp/util/check.hpp"
 
@@ -101,25 +102,40 @@ void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
     grain = std::max<std::size_t>(1, count / (threads * 4));
   }
   // Chunks pull from a shared atomic cursor; each chunk touches a
-  // disjoint index range so no other synchronisation is needed.
+  // disjoint index range so no other synchronisation is needed. Pool
+  // tasks must not throw, so exceptions from fn are trapped here: the
+  // first one is kept, remaining chunks are abandoned, and the caller
+  // rethrows after the pool drains (matching the serial paths above).
   auto cursor = std::make_shared<std::atomic<std::size_t>>(0);
+  auto failed = std::make_shared<std::atomic<bool>>(false);
+  auto first_error = std::make_shared<std::exception_ptr>();
   const std::size_t num_chunks = (count + grain - 1) / grain;
   const std::size_t launches = std::min(threads, num_chunks);
   for (std::size_t t = 0; t < launches; ++t) {
-    pool->submit([cursor, count, grain, &fn] {
-      while (true) {
+    pool->submit([cursor, count, grain, &fn, failed, first_error] {
+      while (!failed->load(std::memory_order_relaxed)) {
         const std::size_t begin = cursor->fetch_add(grain);
         if (begin >= count) {
           return;
         }
         const std::size_t end = std::min(count, begin + grain);
-        for (std::size_t i = begin; i < end; ++i) {
-          fn(i);
+        try {
+          for (std::size_t i = begin; i < end; ++i) {
+            fn(i);
+          }
+        } catch (...) {
+          if (!failed->exchange(true)) {
+            *first_error = std::current_exception();
+          }
+          return;
         }
       }
     });
   }
   pool->wait_idle();
+  if (failed->load() && *first_error != nullptr) {
+    std::rethrow_exception(*first_error);
+  }
 }
 
 void serial_for(std::size_t count, const std::function<void(std::size_t)>& fn) {

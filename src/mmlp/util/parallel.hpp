@@ -54,6 +54,9 @@ class ThreadPool {
 /// Execute fn(i) for i in [0, count) across the pool, in chunks.
 /// Blocks until all iterations complete. fn must only write to
 /// per-index state. `grain` bounds the chunk size (0 = auto).
+/// If fn throws, remaining chunks are abandoned and the first
+/// exception is rethrown in the caller once the pool drains, so a
+/// CheckError inside a parallel loop stays catchable.
 void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
                   ThreadPool* pool = nullptr, std::size_t grain = 0);
 

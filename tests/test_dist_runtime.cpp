@@ -6,10 +6,38 @@
 
 #include "mmlp/gen/grid.hpp"
 #include "mmlp/graph/bfs.hpp"
+#include "mmlp/graph/hypertree.hpp"
 #include "test_helpers.hpp"
 
 namespace mmlp {
 namespace {
+
+/// A complete (d, D)-ary hypertree as an instance: type I hyperedges
+/// become resources, type II hyperedges parties (a = c = 1). The height
+/// must be odd (2R−1) so that every node lies in some type I edge and
+/// the standing assumption I_v ≠ ∅ holds.
+Instance hypertree_instance(std::int32_t d, std::int32_t D,
+                            std::int32_t height) {
+  const auto tree = Hypertree::complete(d, D, height);
+  Instance::Builder builder;
+  builder.reserve(tree.num_nodes(), 0, 0);
+  for (const HypertreeEdge& edge : tree.edges()) {
+    if (edge.type == HyperedgeType::kTypeI) {
+      const ResourceId i = builder.add_resource();
+      builder.set_usage(i, edge.parent, 1.0);
+      for (const std::int32_t child : edge.children) {
+        builder.set_usage(i, child, 1.0);
+      }
+    } else {
+      const PartyId k = builder.add_party();
+      builder.set_benefit(k, edge.parent, 1.0);
+      for (const std::int32_t child : edge.children) {
+        builder.set_benefit(k, child, 1.0);
+      }
+    }
+  }
+  return std::move(builder).build();
+}
 
 TEST(LocalRuntime, ZeroRoundsKnowsOnlySelf) {
   const auto instance = testing::path_instance(4);
@@ -51,6 +79,80 @@ TEST(LocalRuntime, MessageCountScalesWithRounds) {
   EXPECT_GT(one, 0);
   EXPECT_EQ(runtime.message_count(3), 3 * one);
   EXPECT_EQ(runtime.message_count(0), 0);
+}
+
+TEST(LocalRuntime, ObliviousMessageCountDropsPartyTraffic) {
+  // Every grid cell hosts one resource and one party over the same
+  // support, so dropping party hyperedges halves each agent's degree —
+  // and with it the per-round message bill.
+  const auto instance = make_grid_instance({.dims = {4, 4}, .torus = true});
+  const LocalRuntime full(instance, false);
+  const LocalRuntime oblivious(instance, true);
+  EXPECT_GT(oblivious.message_count(1), 0);
+  EXPECT_EQ(full.message_count(1), 2 * oblivious.message_count(1));
+  EXPECT_EQ(oblivious.message_count(4), 4 * oblivious.message_count(1));
+  EXPECT_EQ(oblivious.message_count(0), 0);
+}
+
+TEST(LocalRuntime, ObliviousFloodEqualsObliviousBalls) {
+  // The flood-equals-balls property must hold on whichever graph the
+  // runtime was asked to use, not just the full hypergraph.
+  const auto instance = hypertree_instance(2, 2, 3);
+  const LocalRuntime oblivious(instance, true);
+  const auto knowledge = oblivious.flood(2);
+  for (AgentId v = 0; v < instance.num_agents(); ++v) {
+    EXPECT_EQ(knowledge[static_cast<std::size_t>(v)],
+              ball(oblivious.graph(), v, 2))
+        << "agent " << v;
+  }
+}
+
+TEST(AgentContext, HypertreeRootSeesOnlyItsOwnHyperedge) {
+  // (2,2)-ary hypertree of height 3 (15 nodes): the root's radius-1 view
+  // is exactly its type I resource {0, 1, 2}; everything deeper is out.
+  const auto instance = hypertree_instance(2, 2, 3);
+  const LocalRuntime runtime(instance);
+  const auto knowledge = runtime.flood(1);
+  const AgentContext ctx(instance, 0, knowledge[0]);
+  EXPECT_EQ(knowledge[0], (std::vector<AgentId>{0, 1, 2}));
+  EXPECT_NO_THROW(ctx.agent_resources(1));
+  EXPECT_THROW(ctx.agent_resources(3), CheckError);
+  // Resource 1 = {3, 7, 8}: no member within the root's horizon.
+  EXPECT_THROW(ctx.resource_support(1), CheckError);
+  // Party 0 = {1, 3, 4}: visible through its known member 1.
+  EXPECT_NO_THROW(ctx.party_support(0));
+}
+
+TEST(AgentContext, HypertreeMaterializeTruncatesDeeperLevels) {
+  const auto instance = hypertree_instance(2, 2, 3);
+  const LocalRuntime runtime(instance);
+
+  // Radius 1: only the root's resource survives; both parties reach
+  // level 2 and are dropped as truncated.
+  const auto near = runtime.flood(1);
+  const auto world1 = AgentContext(instance, 0, near[0]).materialize();
+  world1.instance.validate();
+  EXPECT_EQ(world1.instance.num_agents(), 3);
+  EXPECT_EQ(world1.instance.num_resources(), 1);
+  EXPECT_EQ(world1.instance.num_parties(), 0);
+
+  // Radius 2 reaches the level-2 nodes through the party hyperedges:
+  // both parties become fully known, and the level-2 nodes drag in their
+  // own type I resources truncated to a single member.
+  const auto far = runtime.flood(2);
+  const auto world2 = AgentContext(instance, 0, far[0]).materialize();
+  world2.instance.validate();
+  EXPECT_EQ(world2.global_agents, (std::vector<AgentId>{0, 1, 2, 3, 4, 5, 6}));
+  EXPECT_EQ(world2.instance.num_parties(), 2);
+  EXPECT_EQ(world2.instance.num_resources(), 5);
+  std::int32_t truncated = 0;
+  for (ResourceId i = 0; i < world2.instance.num_resources(); ++i) {
+    if (world2.instance.resource_support(i).size() == 1u) {
+      ++truncated;
+    }
+  }
+  EXPECT_EQ(truncated, 4);  // the four level-2 resources lost their leaves
+  EXPECT_EQ(world2.local_of(0), world2.self_local);
 }
 
 TEST(AgentContext, EnforcesKnowledgeBoundary) {

@@ -66,8 +66,8 @@ TEST(Hypertree, EveryNonRootNodeHasExactlyOneParentEdge) {
 
 TEST(Hypertree, LeafCountIsTheQDegreeFormula) {
   // Height 2R−1 ⇒ d^R·D^(R−1) leaves (the degree of Q in Section 4.2).
-  for (const auto [d, D, R] : {std::tuple{2, 2, 2}, std::tuple{2, 3, 2},
-                               std::tuple{3, 2, 3}, std::tuple{2, 1, 3}}) {
+  for (const auto& [d, D, R] : {std::tuple{2, 2, 2}, std::tuple{2, 3, 2},
+                                std::tuple{3, 2, 3}, std::tuple{2, 1, 3}}) {
     const auto tree = Hypertree::complete(d, D, 2 * R - 1);
     std::int64_t expected = 1;
     for (int e = 0; e < R; ++e) expected *= d;

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 namespace mmlp {
@@ -82,6 +83,27 @@ TEST(ParallelFor, UsesGlobalPoolByDefault) {
   std::atomic<int> counter{0};
   parallel_for(64, [&](std::size_t) { counter.fetch_add(1); });
   EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ParallelFor, ExceptionFromBodyIsRethrownInCaller) {
+  // Pool tasks must not throw, but parallel_for traps exceptions from
+  // the body and rethrows the first in the caller — a CheckError inside
+  // a parallel loop (e.g. an AgentContext horizon violation) stays
+  // catchable instead of terminating a worker thread.
+  ThreadPool pool(4);
+  EXPECT_THROW(parallel_for(
+                   1000,
+                   [](std::size_t i) {
+                     if (i == 501) {
+                       throw std::runtime_error("boom");
+                     }
+                   },
+                   &pool),
+               std::runtime_error);
+  // The pool survives and keeps executing work afterwards.
+  std::atomic<int> counter{0};
+  parallel_for(100, [&](std::size_t) { counter.fetch_add(1); }, &pool);
+  EXPECT_EQ(counter.load(), 100);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include "mmlp/dist/runtime.hpp"
 #include "mmlp/gen/grid.hpp"
 #include "mmlp/gen/random_instance.hpp"
+#include "mmlp/util/check.hpp"
 #include "test_helpers.hpp"
 
 namespace mmlp {
@@ -107,6 +108,18 @@ TEST(SelfStabilize, GhostEntriesAgeOut) {
   const auto known = flood.knowledge(0);
   EXPECT_FALSE(std::binary_search(known.begin(), known.end(), AgentId{9}));
   EXPECT_TRUE(std::binary_search(known.begin(), known.end(), AgentId{2}));
+}
+
+TEST(SelfStabilize, SafeOutputFromClearedStateThrowsCatchably) {
+  // Before any round runs, agents know nothing — not even themselves —
+  // so the safe rule must fail loudly (and catchably, despite running
+  // under parallel_for) rather than fabricate an output.
+  const auto instance = testing::path_instance(5);
+  SelfStabilizingFlood flood(instance, 1);
+  flood.clear();
+  EXPECT_THROW(flood.safe_output(), CheckError);
+  flood.run_until_stable(2);
+  EXPECT_EQ(flood.safe_output(), safe_solution(instance));
 }
 
 TEST(SelfStabilize, HorizonZeroKnowsOnlySelf) {
