@@ -1,44 +1,54 @@
-// E9 — Theorem 3 algorithm: per-node work depends on the ball size
+// E9 — Theorem 3 algorithm: per-node work depends on the R-ball volume
 // (constant on bounded-growth graphs), so total time is linear in n for
-// fixed R and grows with the R-ball volume.
-#include <benchmark/benchmark.h>
+// fixed R. Sweeps n at R = 1 over grid/geometric workloads plus an
+// R-sweep at fixed n, reporting ns/agent, the Figure 2 ratio bound and
+// the peak ball size into BENCH_averaging.json.
+#include <algorithm>
 
 #include "mmlp/core/local_averaging.hpp"
-#include "mmlp/gen/grid.hpp"
+#include "mmlp/util/bench_report.hpp"
+
+#include "scenarios.hpp"
 
 namespace {
 
-void BM_AveragingGridByN(benchmark::State& state) {
-  const auto side = static_cast<std::int32_t>(state.range(0));
-  const auto instance =
-      mmlp::make_grid_instance({.dims = {side, side}, .torus = true});
-  for (auto _ : state) {
-    const auto result = mmlp::local_averaging(instance, {.R = 1});
-    benchmark::DoNotOptimize(result.x.data());
+void run_one(mmlp::bench::Report& report, const std::string& scenario,
+             const mmlp::Instance& instance, std::int32_t radius, int reps) {
+  mmlp::LocalAveragingResult result;
+  auto& entry = report.run_case(
+      scenario, instance.num_agents(), reps,
+      [&] { result = mmlp::local_averaging(instance, {.R = radius}); });
+  entry.counters["R"] = static_cast<double>(radius);
+  entry.counters["ratio_bound"] = result.ratio_bound;
+  std::size_t max_ball = 0;
+  for (const std::size_t size : result.ball_size) {
+    max_ball = std::max(max_ball, size);
   }
-  state.counters["agents"] = static_cast<double>(side) * side;
+  entry.counters["peak_ball"] = static_cast<double>(max_ball);
 }
-BENCHMARK(BM_AveragingGridByN)
-    ->Arg(8)
-    ->Arg(12)
-    ->Arg(16)
-    ->Arg(24)
-    ->Unit(benchmark::kMillisecond);
-
-void BM_AveragingGridByRadius(benchmark::State& state) {
-  const auto instance =
-      mmlp::make_grid_instance({.dims = {12, 12}, .torus = true});
-  const auto radius = static_cast<std::int32_t>(state.range(0));
-  for (auto _ : state) {
-    const auto result = mmlp::local_averaging(instance, {.R = radius});
-    benchmark::DoNotOptimize(result.x.data());
-  }
-  state.counters["R"] = static_cast<double>(radius);
-}
-BENCHMARK(BM_AveragingGridByRadius)
-    ->Arg(1)
-    ->Arg(2)
-    ->Arg(3)
-    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mmlp;
+  return bench::bench_main(
+      argc, argv, "averaging",
+      [](bench::Report& report, const std::string& scale, int reps) {
+        for (const std::string& scenario :
+             {std::string("grid_torus"), std::string("geometric")}) {
+          for (const std::int64_t n : bench_scenarios::swept_sizes(scale)) {
+            const Instance instance =
+                bench_scenarios::make_scenario(scenario, n);
+            run_one(report, scenario, instance, /*radius=*/1, reps);
+          }
+        }
+        // Radius sweep at fixed n: the per-agent cost grows with the
+        // R-ball volume (|B(u,R)| ~ 2R^2 on the torus).
+        const std::int64_t sweep_n = scale == "smoke" ? 256 : 2500;
+        const Instance instance =
+            bench_scenarios::make_grid_torus(sweep_n);
+        for (const std::int32_t radius : {2, 3}) {
+          run_one(report, "grid_torus_radius", instance, radius, reps);
+        }
+      });
+}

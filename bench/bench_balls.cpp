@@ -1,60 +1,44 @@
-// E10 — ball enumeration: the inner loop of every local algorithm.
-#include <benchmark/benchmark.h>
+// Ball enumeration (Section 1.5): B_H(v, r) for every agent via the
+// chunked BallCollector sweep — the substrate under every view
+// extraction and the Figure 2 growth sets. Reports ns/agent and ball
+// volume counters into BENCH_balls.json.
+#include <algorithm>
 
-#include "mmlp/gen/grid.hpp"
 #include "mmlp/graph/bfs.hpp"
+#include "mmlp/util/bench_report.hpp"
 
-namespace {
+#include "scenarios.hpp"
 
-void BM_AllBalls(benchmark::State& state) {
-  const auto side = static_cast<std::int32_t>(state.range(0));
-  const auto radius = static_cast<std::int32_t>(state.range(1));
-  const auto instance =
-      mmlp::make_grid_instance({.dims = {side, side}, .torus = true});
-  const auto h = instance.communication_graph();
-  for (auto _ : state) {
-    const auto balls = mmlp::all_balls(h, radius);
-    benchmark::DoNotOptimize(balls.size());
-  }
-  state.counters["nodes"] = static_cast<double>(side) * side;
-  state.counters["radius"] = static_cast<double>(radius);
+int main(int argc, char** argv) {
+  using namespace mmlp;
+  return bench::bench_main(
+      argc, argv, "balls",
+      [](bench::Report& report, const std::string& scale, int reps) {
+        for (const std::string& scenario :
+             {std::string("grid_torus"), std::string("geometric"),
+              std::string("isp")}) {
+          for (const std::int64_t n : bench_scenarios::swept_sizes(scale)) {
+            const Instance instance =
+                bench_scenarios::make_scenario(scenario, n);
+            const Hypergraph h = instance.communication_graph();
+            for (const std::int32_t radius : {1, 2}) {
+              std::vector<std::vector<NodeId>> balls;
+              auto& entry = report.run_case(
+                  scenario, instance.num_agents(), reps,
+                  [&] { balls = all_balls(h, radius); });
+              std::size_t max_ball = 0;
+              std::size_t total = 0;
+              for (const auto& ball : balls) {
+                max_ball = std::max(max_ball, ball.size());
+                total += ball.size();
+              }
+              entry.counters["R"] = static_cast<double>(radius);
+              entry.counters["peak_ball"] = static_cast<double>(max_ball);
+              entry.counters["avg_ball"] =
+                  static_cast<double>(total) /
+                  static_cast<double>(balls.size());
+            }
+          }
+        }
+      });
 }
-BENCHMARK(BM_AllBalls)
-    ->Args({16, 1})
-    ->Args({16, 2})
-    ->Args({16, 3})
-    ->Args({32, 1})
-    ->Args({32, 2})
-    ->Unit(benchmark::kMillisecond);
-
-void BM_BallCollectorReuse(benchmark::State& state) {
-  // Collector reuse vs per-call allocation.
-  const auto instance =
-      mmlp::make_grid_instance({.dims = {24, 24}, .torus = true});
-  const auto h = instance.communication_graph();
-  mmlp::BallCollector collector(h);
-  std::size_t total = 0;
-  for (auto _ : state) {
-    for (mmlp::NodeId v = 0; v < h.num_nodes(); ++v) {
-      total += collector.collect(v, 2).size();
-    }
-  }
-  benchmark::DoNotOptimize(total);
-}
-BENCHMARK(BM_BallCollectorReuse)->Unit(benchmark::kMillisecond);
-
-void BM_BallFreshPerCall(benchmark::State& state) {
-  const auto instance =
-      mmlp::make_grid_instance({.dims = {24, 24}, .torus = true});
-  const auto h = instance.communication_graph();
-  std::size_t total = 0;
-  for (auto _ : state) {
-    for (mmlp::NodeId v = 0; v < h.num_nodes(); ++v) {
-      total += mmlp::ball(h, v, 2).size();
-    }
-  }
-  benchmark::DoNotOptimize(total);
-}
-BENCHMARK(BM_BallFreshPerCall)->Unit(benchmark::kMillisecond);
-
-}  // namespace

@@ -1,52 +1,45 @@
-// E10 — MWU approximate solver: scaling past the simplex range.
-#include <benchmark/benchmark.h>
-
-#include "mmlp/gen/random_instance.hpp"
+// MWU approximate solver: scaling past the dense-simplex range, and the
+// ε-accuracy/work trade-off. Reports ns/agent, phase counts and the
+// achieved ω into BENCH_mwu.json.
 #include "mmlp/lp/mwu.hpp"
+#include "mmlp/util/bench_report.hpp"
 
-namespace {
+#include "scenarios.hpp"
 
-void BM_MwuRandomInstance(benchmark::State& state) {
-  const auto instance = mmlp::make_random_instance({
-      .num_agents = static_cast<mmlp::AgentId>(state.range(0)),
-      .resources_per_agent = 2,
-      .parties_per_agent = 1,
-      .max_support = 3,
-      .seed = 9,
-  });
-  mmlp::MwuOptions options;
-  options.epsilon = 0.1;
-  double omega = 0.0;
-  for (auto _ : state) {
-    const auto result = mmlp::solve_maxmin_mwu(instance, options);
-    benchmark::DoNotOptimize(result.omega);
-    omega = result.omega;
-  }
-  state.counters["agents"] = static_cast<double>(state.range(0));
-  state.counters["omega"] = omega;
+int main(int argc, char** argv) {
+  using namespace mmlp;
+  return bench::bench_main(
+      argc, argv, "mwu",
+      [](bench::Report& report, const std::string& scale, int reps) {
+        const std::vector<std::int64_t> sizes =
+            scale == "smoke" ? std::vector<std::int64_t>{100}
+            : scale == "small"
+                ? std::vector<std::int64_t>{500, 2000}
+                : std::vector<std::int64_t>{500, 2000, 8000};
+        for (const std::int64_t n : sizes) {
+          const Instance instance = bench_scenarios::make_random(n);
+          MwuResult result;
+          auto& entry = report.run_case(
+              "random", instance.num_agents(), reps, [&] {
+                result = solve_maxmin_mwu(instance, {.epsilon = 0.1});
+              });
+          entry.counters["phases"] = static_cast<double>(result.total_phases);
+          entry.counters["converged"] = result.converged ? 1.0 : 0.0;
+          entry.counters["omega"] = result.omega;
+        }
+
+        // ε sweep at fixed n: phases grow ~1/ε².
+        const Instance instance =
+            bench_scenarios::make_random(scale == "smoke" ? 100 : 300);
+        for (const double inv_eps : {5.0, 10.0, 20.0}) {
+          MwuResult result;
+          auto& entry = report.run_case(
+              "random_epsilon", instance.num_agents(), reps, [&] {
+                result =
+                    solve_maxmin_mwu(instance, {.epsilon = 1.0 / inv_eps});
+              });
+          entry.counters["inv_eps"] = inv_eps;
+          entry.counters["phases"] = static_cast<double>(result.total_phases);
+        }
+      });
 }
-BENCHMARK(BM_MwuRandomInstance)
-    ->Arg(100)
-    ->Arg(500)
-    ->Arg(2000)
-    ->Unit(benchmark::kMillisecond);
-
-void BM_MwuEpsilonSweep(benchmark::State& state) {
-  const auto instance = mmlp::make_random_instance({
-      .num_agents = 300,
-      .resources_per_agent = 2,
-      .parties_per_agent = 1,
-      .max_support = 3,
-      .seed = 9,
-  });
-  mmlp::MwuOptions options;
-  options.epsilon = 1.0 / static_cast<double>(state.range(0));
-  for (auto _ : state) {
-    const auto result = mmlp::solve_maxmin_mwu(instance, options);
-    benchmark::DoNotOptimize(result.omega);
-  }
-  state.counters["inv_eps"] = static_cast<double>(state.range(0));
-}
-BENCHMARK(BM_MwuEpsilonSweep)->Arg(5)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
-
-}  // namespace

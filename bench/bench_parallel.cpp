@@ -1,54 +1,52 @@
-// E10 — shared-memory scaling of the per-agent loops (1 vs N workers).
-#include <benchmark/benchmark.h>
+// Shared-memory substrate: parallel_for dispatch overhead (slot-store
+// bodies) and compute-bound scaling across worker counts. Reports
+// ns/agent (here: per loop index) and pool sizes into
+// BENCH_parallel.json.
+#include <vector>
 
-#include "mmlp/gen/grid.hpp"
-#include "mmlp/graph/bfs.hpp"
+#include "mmlp/util/bench_report.hpp"
 #include "mmlp/util/parallel.hpp"
 
-namespace {
+#include "scenarios.hpp"
 
-void BM_ParallelForThreads(benchmark::State& state) {
-  mmlp::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
-  // A compute-bound per-index body (synthetic per-agent work).
-  std::vector<double> out(4096);
-  for (auto _ : state) {
-    mmlp::parallel_for(out.size(), [&](std::size_t i) {
-      double acc = 0.0;
-      for (int rep = 0; rep < 2000; ++rep) {
-        acc += static_cast<double>((i * 2654435761u + rep) % 1000) * 1e-3;
-      }
-      out[i] = acc;
-    }, &pool);
-  }
-  benchmark::DoNotOptimize(out.data());
-  state.counters["threads"] = static_cast<double>(state.range(0));
+int main(int argc, char** argv) {
+  using namespace mmlp;
+  return bench::bench_main(
+      argc, argv, "parallel",
+      [](bench::Report& report, const std::string& scale, int reps) {
+        const std::int64_t n = scale == "smoke"   ? 100000
+                               : scale == "small" ? 1000000
+                                                  : 4000000;
+        // Dispatch overhead: a body that only writes its slot.
+        {
+          std::vector<std::size_t> out(static_cast<std::size_t>(n));
+          auto& entry = report.run_case("store_slot", n, reps, [&] {
+            parallel_for(out.size(), [&](std::size_t i) { out[i] = i; });
+          });
+          entry.counters["threads"] =
+              static_cast<double>(ThreadPool::global().size());
+        }
+        // Compute-bound scaling across explicit pool sizes.
+        for (const std::size_t threads : {std::size_t{1}, std::size_t{2}}) {
+          ThreadPool pool(threads);
+          std::vector<double> out(4096);
+          auto& entry = report.run_case(
+              "compute_bound", static_cast<std::int64_t>(out.size()), reps,
+              [&] {
+                parallel_for(
+                    out.size(),
+                    [&](std::size_t i) {
+                      double acc = 0.0;
+                      for (int rep = 0; rep < 2000; ++rep) {
+                        acc += static_cast<double>(
+                                   (i * 2654435761u + rep) % 1000) *
+                               1e-3;
+                      }
+                      out[i] = acc;
+                    },
+                    &pool);
+              });
+          entry.counters["threads"] = static_cast<double>(threads);
+        }
+      });
 }
-BENCHMARK(BM_ParallelForThreads)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
-
-void BM_AllBallsThreads(benchmark::State& state) {
-  const auto instance =
-      mmlp::make_grid_instance({.dims = {40, 40}, .torus = true});
-  const auto h = instance.communication_graph();
-  // all_balls uses the global pool; emulate the thread sweep by chunking
-  // through a local pool-driven loop.
-  mmlp::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
-  const auto n = static_cast<std::size_t>(h.num_nodes());
-  std::vector<std::size_t> sizes(n);
-  for (auto _ : state) {
-    const std::size_t chunks = pool.size() * 8;
-    const std::size_t chunk = (n + chunks - 1) / chunks;
-    mmlp::parallel_for(chunks, [&](std::size_t c) {
-      mmlp::BallCollector collector(h);
-      const std::size_t begin = c * chunk;
-      const std::size_t end = std::min(n, begin + chunk);
-      for (std::size_t v = begin; v < end; ++v) {
-        sizes[v] = collector.collect(static_cast<mmlp::NodeId>(v), 3).size();
-      }
-    }, &pool);
-  }
-  benchmark::DoNotOptimize(sizes.data());
-  state.counters["threads"] = static_cast<double>(state.range(0));
-}
-BENCHMARK(BM_AllBallsThreads)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
-
-}  // namespace

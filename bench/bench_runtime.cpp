@@ -1,38 +1,46 @@
-// E10 — LOCAL-model simulator: flooding rounds and per-agent world
-// materialisation.
-#include <benchmark/benchmark.h>
+// LOCAL-model simulator (Section 1.1): flooding rounds grow each
+// agent's knowledge to B_H(v, r), one message per (agent, incident
+// hyperedge, round). Reports ns/agent, messages/round and knowledge-set
+// volumes into BENCH_runtime.json.
+#include <algorithm>
 
 #include "mmlp/dist/runtime.hpp"
-#include "mmlp/gen/grid.hpp"
+#include "mmlp/util/bench_report.hpp"
 
-namespace {
+#include "scenarios.hpp"
 
-void BM_FloodRounds(benchmark::State& state) {
-  const auto instance =
-      mmlp::make_grid_instance({.dims = {20, 20}, .torus = true});
-  const mmlp::LocalRuntime runtime(instance);
-  const auto rounds = static_cast<std::int32_t>(state.range(0));
-  for (auto _ : state) {
-    const auto knowledge = runtime.flood(rounds);
-    benchmark::DoNotOptimize(knowledge.size());
-  }
-  state.counters["rounds"] = static_cast<double>(rounds);
-  state.counters["messages"] =
-      static_cast<double>(runtime.message_count(rounds));
+int main(int argc, char** argv) {
+  using namespace mmlp;
+  return bench::bench_main(
+      argc, argv, "runtime",
+      [](bench::Report& report, const std::string& scale, int reps) {
+        for (const std::string& scenario :
+             {std::string("grid_torus"), std::string("isp")}) {
+          for (const std::int64_t n : bench_scenarios::swept_sizes(scale)) {
+            const Instance instance =
+                bench_scenarios::make_scenario(scenario, n);
+            const LocalRuntime runtime(instance);
+            for (const std::int32_t rounds : {1, 3}) {
+              std::vector<std::vector<AgentId>> knowledge;
+              auto& entry = report.run_case(
+                  scenario, instance.num_agents(), reps,
+                  [&] { knowledge = runtime.flood(rounds); });
+              std::size_t max_known = 0;
+              std::size_t total = 0;
+              for (const auto& set : knowledge) {
+                max_known = std::max(max_known, set.size());
+                total += set.size();
+              }
+              entry.counters["rounds"] = static_cast<double>(rounds);
+              entry.counters["messages_per_round"] =
+                  static_cast<double>(runtime.message_count(1));
+              entry.counters["peak_knowledge"] =
+                  static_cast<double>(max_known);
+              entry.counters["avg_knowledge"] =
+                  static_cast<double>(total) /
+                  static_cast<double>(knowledge.size());
+            }
+          }
+        }
+      });
 }
-BENCHMARK(BM_FloodRounds)->Arg(1)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
-
-void BM_MaterializeWorld(benchmark::State& state) {
-  const auto instance =
-      mmlp::make_grid_instance({.dims = {16, 16}, .torus = true});
-  const mmlp::LocalRuntime runtime(instance);
-  const auto knowledge = runtime.flood(3);
-  for (auto _ : state) {
-    const mmlp::AgentContext ctx(instance, 0, knowledge[0]);
-    const auto world = ctx.materialize();
-    benchmark::DoNotOptimize(world.instance.num_agents());
-  }
-}
-BENCHMARK(BM_MaterializeWorld)->Unit(benchmark::kMillisecond);
-
-}  // namespace

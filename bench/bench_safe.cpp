@@ -1,51 +1,32 @@
 // E9 — the scalability claim of Section 1.1: per-node work of the safe
-// algorithm is constant, so total time is linear in n.
-#include <benchmark/benchmark.h>
-
+// algorithm (eq. (2)) is constant, so total time is linear in n. Sweeps
+// every generator scenario at the --scale sizes and reports ns/agent
+// plus sparsity counters into BENCH_safe.json.
 #include "mmlp/core/safe.hpp"
-#include "mmlp/gen/grid.hpp"
-#include "mmlp/gen/random_instance.hpp"
+#include "mmlp/util/bench_report.hpp"
 
-namespace {
+#include "scenarios.hpp"
 
-void BM_SafeGrid(benchmark::State& state) {
-  const auto side = static_cast<std::int32_t>(state.range(0));
-  const auto instance =
-      mmlp::make_grid_instance({.dims = {side, side}, .torus = true});
-  for (auto _ : state) {
-    const auto x = mmlp::safe_solution(instance);
-    benchmark::DoNotOptimize(x.data());
-  }
-  const double n = static_cast<double>(side) * side;
-  state.counters["agents"] = n;
-  state.counters["ns_per_agent"] = benchmark::Counter(
-      n, benchmark::Counter::kIsIterationInvariantRate |
-             benchmark::Counter::kInvert);
+int main(int argc, char** argv) {
+  using namespace mmlp;
+  return bench::bench_main(
+      argc, argv, "safe",
+      [](bench::Report& report, const std::string& scale, int reps) {
+        const std::vector<std::string> scenarios = {
+            "grid_torus", "random", "geometric", "isp", "regular_bipartite"};
+        for (const std::string& scenario : scenarios) {
+          for (const std::int64_t n : bench_scenarios::swept_sizes(scale)) {
+            const Instance instance = bench_scenarios::make_scenario(scenario, n);
+            std::vector<double> x;
+            auto& result = report.run_case(
+                scenario, instance.num_agents(), reps,
+                [&] { x = safe_solution(instance); });
+            const DegreeBounds bounds = instance.degree_bounds();
+            result.counters["nonzeros"] =
+                static_cast<double>(instance.num_nonzeros());
+            result.counters["peak_support"] = static_cast<double>(
+                std::max(bounds.delta_V_of_I, bounds.delta_V_of_K));
+          }
+        }
+      });
 }
-BENCHMARK(BM_SafeGrid)
-    ->Arg(32)    // 1k agents
-    ->Arg(100)   // 10k
-    ->Arg(316)   // ~100k
-    ->Unit(benchmark::kMillisecond);
-
-void BM_SafeRandom(benchmark::State& state) {
-  const auto instance = mmlp::make_random_instance({
-      .num_agents = static_cast<mmlp::AgentId>(state.range(0)),
-      .resources_per_agent = 3,
-      .parties_per_agent = 2,
-      .max_support = 4,
-      .seed = 5,
-  });
-  for (auto _ : state) {
-    const auto x = mmlp::safe_solution(instance);
-    benchmark::DoNotOptimize(x.data());
-  }
-  state.counters["agents"] = static_cast<double>(state.range(0));
-}
-BENCHMARK(BM_SafeRandom)
-    ->Arg(1000)
-    ->Arg(10000)
-    ->Arg(100000)
-    ->Unit(benchmark::kMillisecond);
-
-}  // namespace

@@ -1,46 +1,56 @@
-// E10 — simplex substrate performance: global max-min LP solves vs n.
-#include <benchmark/benchmark.h>
-
-#include "mmlp/gen/grid.hpp"
-#include "mmlp/gen/random_instance.hpp"
+// Simplex substrate (Section 1.3): global max-min LP solves vs n, plus
+// the per-agent view-LP throughput that dominates Theorem 3 (the
+// ViewScratch/SimplexWorkspace hot path). Reports ns/agent and pivot
+// counts into BENCH_simplex.json.
+#include "mmlp/core/view.hpp"
+#include "mmlp/graph/bfs.hpp"
 #include "mmlp/lp/maxmin_reduction.hpp"
+#include "mmlp/util/bench_report.hpp"
 
-namespace {
+#include "scenarios.hpp"
 
-void BM_SimplexRandomInstance(benchmark::State& state) {
-  const auto instance = mmlp::make_random_instance({
-      .num_agents = static_cast<mmlp::AgentId>(state.range(0)),
-      .resources_per_agent = 2,
-      .parties_per_agent = 1,
-      .max_support = 3,
-      .seed = 42,
-  });
-  std::int64_t iterations = 0;
-  for (auto _ : state) {
-    const auto result = mmlp::solve_maxmin_simplex(instance);
-    benchmark::DoNotOptimize(result.omega);
-    iterations = result.iterations;
-  }
-  state.counters["pivots"] = static_cast<double>(iterations);
-  state.counters["agents"] = static_cast<double>(state.range(0));
+int main(int argc, char** argv) {
+  using namespace mmlp;
+  return bench::bench_main(
+      argc, argv, "simplex",
+      [](bench::Report& report, const std::string& scale, int reps) {
+        // Global solves: the dense tableau is O(n^2) memory, so the
+        // sweep stays small by design (the local algorithms exist
+        // precisely because this does not scale).
+        const std::vector<std::int64_t> global_sizes =
+            scale == "smoke" ? std::vector<std::int64_t>{49}
+                             : std::vector<std::int64_t>{100, 400, 900};
+        for (const std::int64_t n : global_sizes) {
+          const Instance instance = bench_scenarios::make_grid_torus(n);
+          MaxMinLpResult result;
+          auto& entry = report.run_case(
+              "maxmin_grid", instance.num_agents(), reps,
+              [&] { result = solve_maxmin_simplex(instance); });
+          entry.counters["pivots"] = static_cast<double>(result.iterations);
+        }
+
+        // Per-agent view LPs: one small LP per agent, workspace reused —
+        // the exact inner loop of local_averaging.
+        for (const std::int64_t n : bench_scenarios::swept_sizes(scale)) {
+          const Instance instance = bench_scenarios::make_grid_torus(n);
+          const Hypergraph h = instance.communication_graph();
+          const auto balls = all_balls(h, 1);
+          std::int64_t solved = 0;
+          auto& entry = report.run_case(
+              "view_lp_grid", instance.num_agents(), reps, [&] {
+                ViewScratch scratch;
+                LocalView view;
+                solved = 0;
+                for (AgentId u = 0; u < instance.num_agents(); ++u) {
+                  extract_view_into(instance, u, 1,
+                                    balls[static_cast<std::size_t>(u)], view,
+                                    scratch);
+                  const ViewLpSolution solution =
+                      solve_view_lp(view, {}, scratch);
+                  solved += solution.status == LpStatus::kOptimal ? 1 : 0;
+                }
+              });
+          entry.counters["lps_solved"] = static_cast<double>(solved);
+        }
+      });
 }
-BENCHMARK(BM_SimplexRandomInstance)
-    ->Arg(20)
-    ->Arg(50)
-    ->Arg(100)
-    ->Arg(200)
-    ->Unit(benchmark::kMillisecond);
-
-void BM_SimplexGrid(benchmark::State& state) {
-  const auto side = static_cast<std::int32_t>(state.range(0));
-  const auto instance = mmlp::make_grid_instance(
-      {.dims = {side, side}, .torus = true, .randomize = true, .seed = 3});
-  for (auto _ : state) {
-    const auto result = mmlp::solve_maxmin_simplex(instance);
-    benchmark::DoNotOptimize(result.omega);
-  }
-  state.counters["agents"] = static_cast<double>(side) * side;
-}
-BENCHMARK(BM_SimplexGrid)->Arg(6)->Arg(8)->Arg(10)->Unit(benchmark::kMillisecond);
-
-}  // namespace

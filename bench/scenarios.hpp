@@ -1,0 +1,135 @@
+// Shared generator scenarios for the bench_* binaries.
+//
+// Each factory produces a bounded-degree max-min LP instance of roughly
+// the requested number of agents from one of the paper's instance
+// families (grid/torus, random geometric, ISP fair-share, Δ-regular
+// bipartite), so every benchmark sweeps the same workload axes and the
+// BENCH_*.json series stay comparable across PRs. Sizes are swept per
+// --scale: smoke (CI-sized), small, full (the 10^5-agent target of the
+// perf acceptance bar).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mmlp/core/instance.hpp"
+#include "mmlp/gen/geometric.hpp"
+#include "mmlp/gen/grid.hpp"
+#include "mmlp/gen/isp.hpp"
+#include "mmlp/gen/random_instance.hpp"
+#include "mmlp/graph/regular_bipartite.hpp"
+#include "mmlp/util/check.hpp"
+#include "mmlp/util/rng.hpp"
+
+namespace mmlp::bench_scenarios {
+
+/// The swept agent counts for a --scale preset.
+inline std::vector<std::int64_t> swept_sizes(const std::string& scale) {
+  if (scale == "smoke") {
+    return {512};
+  }
+  if (scale == "small") {
+    return {1000, 10000};
+  }
+  return {1000, 10000, 100000};
+}
+
+/// 2-D torus with ~n agents (side = round(sqrt(n))).
+inline Instance make_grid_torus(std::int64_t n) {
+  const auto side = static_cast<std::int32_t>(
+      std::llround(std::sqrt(static_cast<double>(n))));
+  return make_grid_instance({.dims = {side, side}, .torus = true});
+}
+
+/// Random bounded-degree instance with exactly n agents.
+inline Instance make_random(std::int64_t n) {
+  return make_random_instance({
+      .num_agents = static_cast<AgentId>(n),
+      .resources_per_agent = 3,
+      .parties_per_agent = 2,
+      .max_support = 4,
+      .seed = 5,
+  });
+}
+
+/// Random geometric instance with n agents; the radius shrinks as
+/// 1/sqrt(n) so the expected neighbourhood size stays constant.
+inline Instance make_geometric(std::int64_t n) {
+  const double radius = std::sqrt(8.0 / (3.141592653589793 * static_cast<double>(n)));
+  return make_geometric_instance({
+                                     .num_agents = static_cast<std::int32_t>(n),
+                                     .dim = 2,
+                                     .radius = radius,
+                                     .max_support = 5,
+                                     .party_stride = 1,
+                                     .seed = 7,
+                                 })
+      .instance;
+}
+
+/// ISP fair-share network with ~n agents (one agent per
+/// (last-mile link, router) path; 4 paths per customer).
+inline Instance make_isp(std::int64_t n) {
+  const auto customers = static_cast<std::int32_t>(std::max<std::int64_t>(2, n / 4));
+  return make_isp_network({
+                              .num_customers = customers,
+                              .links_per_customer = 2,
+                              .num_routers = std::max(2, customers / 2),
+                              .routers_per_link = 2,
+                              .seed = 11,
+                          })
+      .instance;
+}
+
+/// Δ-regular bipartite instance with ~n agents: agents are the edges of
+/// a random Δ-regular bipartite graph, every left vertex is a resource
+/// over its incident edges and every right vertex a party over its
+/// incident edges (unit coefficients) — the Section 4 template-graph
+/// shape as a workload.
+inline Instance make_regular_bipartite(std::int64_t n) {
+  constexpr std::int32_t kDegree = 3;
+  const auto per_side = static_cast<std::int32_t>(
+      std::max<std::int64_t>(kDegree, n / kDegree));
+  Rng rng(13);
+  // Bipartite graphs have no odd cycles, so a girth floor of 4 is always
+  // met and sampling never needs the repair loop.
+  const auto sampled = random_regular_bipartite(
+      {.nodes_per_side = per_side, .degree = kDegree, .min_girth = 4}, rng);
+  MMLP_CHECK_MSG(sampled.has_value(), "regular bipartite sampling failed");
+  const SimpleGraph& graph = sampled->graph;
+
+  Instance::Builder builder;
+  builder.reserve(0, per_side, per_side);
+  for (std::int32_t u = 0; u < per_side; ++u) {
+    for (const std::int32_t w : graph.neighbors(u)) {
+      const AgentId edge_agent = builder.add_agent();
+      builder.set_usage(u, edge_agent, 1.0);
+      builder.set_benefit(w - per_side, edge_agent, 1.0);
+    }
+  }
+  return std::move(builder).build();
+}
+
+/// Dispatch by scenario name (the names used in BENCH JSON output).
+inline Instance make_scenario(const std::string& name, std::int64_t n) {
+  if (name == "grid_torus") {
+    return make_grid_torus(n);
+  }
+  if (name == "random") {
+    return make_random(n);
+  }
+  if (name == "geometric") {
+    return make_geometric(n);
+  }
+  if (name == "isp") {
+    return make_isp(n);
+  }
+  if (name == "regular_bipartite") {
+    return make_regular_bipartite(n);
+  }
+  MMLP_CHECK_MSG(false, "unknown scenario: " << name);
+}
+
+}  // namespace mmlp::bench_scenarios

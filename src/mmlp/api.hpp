@@ -32,6 +32,7 @@
 #include "mmlp/lp/maxmin_reduction.hpp"  // IWYU pragma: export
 #include "mmlp/lp/mwu.hpp"               // IWYU pragma: export
 #include "mmlp/lp/simplex.hpp"           // IWYU pragma: export
+#include "mmlp/util/bench_report.hpp"    // IWYU pragma: export
 #include "mmlp/util/cli.hpp"             // IWYU pragma: export
 #include "mmlp/util/parallel.hpp"        // IWYU pragma: export
 #include "mmlp/util/rng.hpp"             // IWYU pragma: export

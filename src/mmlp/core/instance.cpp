@@ -1,3 +1,12 @@
+// CSR construction and the standing-assumption checks of Section 1.2.
+//
+// Builder::build() performs a two-pass counting-sort scatter per
+// direction (count row sizes, prefix-sum into offsets, scatter the
+// coefficient tuples), then sorts each row segment by id in place — no
+// per-row heap allocation anywhere. Duplicate (row, id) pairs and
+// non-positive coefficients are rejected with the offending ids in the
+// message, so a bad entry inside a million-agent generated instance is
+// still attributable.
 #include "mmlp/core/instance.hpp"
 
 #include <algorithm>
@@ -10,14 +19,7 @@ namespace mmlp {
 
 namespace {
 
-const std::vector<Coef>& at(const std::vector<std::vector<Coef>>& lists,
-                            std::int32_t index, const char* what) {
-  MMLP_CHECK_MSG(index >= 0 && static_cast<std::size_t>(index) < lists.size(),
-                 what << " index out of range: " << index);
-  return lists[static_cast<std::size_t>(index)];
-}
-
-double lookup(const std::vector<Coef>& support, std::int32_t id) {
+double lookup(CoefSpan support, std::int32_t id) {
   const auto it = std::lower_bound(
       support.begin(), support.end(), id,
       [](const Coef& entry, std::int32_t target) { return entry.id < target; });
@@ -29,20 +31,46 @@ double lookup(const std::vector<Coef>& support, std::int32_t id) {
 
 }  // namespace
 
-const std::vector<Coef>& Instance::resource_support(ResourceId i) const {
-  return at(resource_support_, i, "resource");
+CoefSpan Instance::resource_support(ResourceId i) const {
+  MMLP_CHECK_MSG(i >= 0 && static_cast<std::size_t>(i) < resource_support_.num_rows(),
+                 "resource index out of range: i=" << i << ", have "
+                                                  << resource_support_.num_rows());
+  return resource_support_.row(static_cast<std::size_t>(i));
 }
 
-const std::vector<Coef>& Instance::party_support(PartyId k) const {
-  return at(party_support_, k, "party");
+CoefSpan Instance::party_support(PartyId k) const {
+  MMLP_CHECK_MSG(k >= 0 && static_cast<std::size_t>(k) < party_support_.num_rows(),
+                 "party index out of range: k=" << k << ", have "
+                                                << party_support_.num_rows());
+  return party_support_.row(static_cast<std::size_t>(k));
 }
 
-const std::vector<Coef>& Instance::agent_resources(AgentId v) const {
-  return at(agent_resources_, v, "agent");
+CoefSpan Instance::agent_resources(AgentId v) const {
+  MMLP_CHECK_MSG(v >= 0 && static_cast<std::size_t>(v) < agent_resources_.num_rows(),
+                 "agent index out of range: v=" << v << ", have "
+                                                << agent_resources_.num_rows());
+  return agent_resources_.row(static_cast<std::size_t>(v));
 }
 
-const std::vector<Coef>& Instance::agent_parties(AgentId v) const {
-  return at(agent_parties_, v, "agent");
+CoefSpan Instance::agent_parties(AgentId v) const {
+  MMLP_CHECK_MSG(v >= 0 && static_cast<std::size_t>(v) < agent_parties_.num_rows(),
+                 "agent index out of range: v=" << v << ", have "
+                                                << agent_parties_.num_rows());
+  return agent_parties_.row(static_cast<std::size_t>(v));
+}
+
+std::size_t Instance::resource_support_size(ResourceId i) const {
+  MMLP_CHECK_MSG(i >= 0 && static_cast<std::size_t>(i) < resource_support_.num_rows(),
+                 "resource index out of range: i=" << i << ", have "
+                                                  << resource_support_.num_rows());
+  return resource_support_.row_size(static_cast<std::size_t>(i));
+}
+
+std::size_t Instance::party_support_size(PartyId k) const {
+  MMLP_CHECK_MSG(k >= 0 && static_cast<std::size_t>(k) < party_support_.num_rows(),
+                 "party index out of range: k=" << k << ", have "
+                                                << party_support_.num_rows());
+  return party_support_.row_size(static_cast<std::size_t>(k));
 }
 
 double Instance::usage(ResourceId i, AgentId v) const {
@@ -55,26 +83,27 @@ double Instance::benefit(PartyId k, AgentId v) const {
 
 DegreeBounds Instance::degree_bounds() const {
   DegreeBounds bounds;
-  for (const auto& list : agent_resources_) {
-    bounds.delta_I_of_V = std::max(bounds.delta_I_of_V, list.size());
+  for (std::size_t v = 0; v < agent_resources_.num_rows(); ++v) {
+    bounds.delta_I_of_V = std::max(bounds.delta_I_of_V, agent_resources_.row_size(v));
   }
-  for (const auto& list : agent_parties_) {
-    bounds.delta_K_of_V = std::max(bounds.delta_K_of_V, list.size());
+  for (std::size_t v = 0; v < agent_parties_.num_rows(); ++v) {
+    bounds.delta_K_of_V = std::max(bounds.delta_K_of_V, agent_parties_.row_size(v));
   }
-  for (const auto& list : resource_support_) {
-    bounds.delta_V_of_I = std::max(bounds.delta_V_of_I, list.size());
+  for (std::size_t i = 0; i < resource_support_.num_rows(); ++i) {
+    bounds.delta_V_of_I = std::max(bounds.delta_V_of_I, resource_support_.row_size(i));
   }
-  for (const auto& list : party_support_) {
-    bounds.delta_V_of_K = std::max(bounds.delta_V_of_K, list.size());
+  for (std::size_t k = 0; k < party_support_.num_rows(); ++k) {
+    bounds.delta_V_of_K = std::max(bounds.delta_V_of_K, party_support_.row_size(k));
   }
   return bounds;
 }
 
 Hypergraph Instance::communication_graph(bool collaboration_oblivious) const {
   std::vector<std::vector<NodeId>> edges;
-  edges.reserve(resource_support_.size() +
-                (collaboration_oblivious ? 0 : party_support_.size()));
-  for (const auto& support : resource_support_) {
+  edges.reserve(resource_support_.num_rows() +
+                (collaboration_oblivious ? 0 : party_support_.num_rows()));
+  for (std::size_t i = 0; i < resource_support_.num_rows(); ++i) {
+    const CoefSpan support = resource_support_.row(i);
     std::vector<NodeId> members;
     members.reserve(support.size());
     for (const Coef& entry : support) {
@@ -83,7 +112,8 @@ Hypergraph Instance::communication_graph(bool collaboration_oblivious) const {
     edges.push_back(std::move(members));
   }
   if (!collaboration_oblivious) {
-    for (const auto& support : party_support_) {
+    for (std::size_t k = 0; k < party_support_.num_rows(); ++k) {
+      const CoefSpan support = party_support_.row(k);
       std::vector<NodeId> members;
       members.reserve(support.size());
       for (const Coef& entry : support) {
@@ -106,7 +136,9 @@ void Instance::validate() const {
     MMLP_CHECK_MSG(!resource_support(i).empty(),
                    "resource " << i << " has empty V_i");
     for (const Coef& entry : resource_support(i)) {
-      MMLP_CHECK_GT(entry.value, 0.0);
+      MMLP_CHECK_MSG(entry.value > 0.0, "a(i=" << i << ", v=" << entry.id
+                                               << ") = " << entry.value
+                                               << " must be positive");
       MMLP_CHECK_EQ(usage(i, entry.id),
                     lookup(agent_resources(entry.id), i));
     }
@@ -115,7 +147,9 @@ void Instance::validate() const {
     MMLP_CHECK_MSG(!party_support(k).empty(),
                    "party " << k << " has empty V_k");
     for (const Coef& entry : party_support(k)) {
-      MMLP_CHECK_GT(entry.value, 0.0);
+      MMLP_CHECK_MSG(entry.value > 0.0, "c(k=" << k << ", v=" << entry.id
+                                               << ") = " << entry.value
+                                               << " must be positive");
       MMLP_CHECK_EQ(benefit(k, entry.id),
                     lookup(agent_parties(entry.id), k));
     }
@@ -123,14 +157,7 @@ void Instance::validate() const {
 }
 
 std::size_t Instance::num_nonzeros() const {
-  std::size_t total = 0;
-  for (const auto& list : resource_support_) {
-    total += list.size();
-  }
-  for (const auto& list : party_support_) {
-    total += list.size();
-  }
-  return total;
+  return resource_support_.data.size() + party_support_.data.size();
 }
 
 std::string Instance::serialize() const {
@@ -196,15 +223,23 @@ Instance::Builder& Instance::Builder::reserve(AgentId agents,
   return *this;
 }
 
+Instance::Builder& Instance::Builder::reserve_nonzeros(std::size_t usages,
+                                                       std::size_t benefits) {
+  usages_.reserve(usages);
+  benefits_.reserve(benefits);
+  return *this;
+}
+
 AgentId Instance::Builder::add_agent() { return num_agents_++; }
 ResourceId Instance::Builder::add_resource() { return num_resources_++; }
 PartyId Instance::Builder::add_party() { return num_parties_++; }
 
 Instance::Builder& Instance::Builder::set_usage(ResourceId i, AgentId v,
                                                 double a) {
-  MMLP_CHECK_GE(i, 0);
-  MMLP_CHECK_GE(v, 0);
-  MMLP_CHECK_MSG(a > 0.0, "a_iv must be positive, got " << a);
+  MMLP_CHECK_MSG(i >= 0, "set_usage: resource id i=" << i << " is negative");
+  MMLP_CHECK_MSG(v >= 0, "set_usage: agent id v=" << v << " is negative");
+  MMLP_CHECK_MSG(a > 0.0, "a(i=" << i << ", v=" << v << ") = " << a
+                                 << " must be positive");
   reserve(v + 1, i + 1, 0);
   usages_.emplace_back(i, v, a);
   return *this;
@@ -212,45 +247,68 @@ Instance::Builder& Instance::Builder::set_usage(ResourceId i, AgentId v,
 
 Instance::Builder& Instance::Builder::set_benefit(PartyId k, AgentId v,
                                                   double c) {
-  MMLP_CHECK_GE(k, 0);
-  MMLP_CHECK_GE(v, 0);
-  MMLP_CHECK_MSG(c > 0.0, "c_kv must be positive, got " << c);
+  MMLP_CHECK_MSG(k >= 0, "set_benefit: party id k=" << k << " is negative");
+  MMLP_CHECK_MSG(v >= 0, "set_benefit: agent id v=" << v << " is negative");
+  MMLP_CHECK_MSG(c > 0.0, "c(k=" << k << ", v=" << v << ") = " << c
+                                 << " must be positive");
   reserve(v + 1, 0, k + 1);
   benefits_.emplace_back(k, v, c);
   return *this;
 }
 
+namespace {
+
+/// Counting-sort scatter of (row, id, value) triples into a CSR block
+/// with `rows` rows; each row segment is then sorted by id. `row_kind`
+/// and `id_kind` name the directions in duplicate-rejection messages.
+template <typename Triples, typename RowOf, typename IdOf>
+void fill_csr(std::vector<std::size_t>& offsets, std::vector<Coef>& data,
+              std::size_t rows, const Triples& triples, const RowOf& row_of,
+              const IdOf& id_of, const char* row_kind, const char* id_kind) {
+  offsets.assign(rows + 1, 0);
+  for (const auto& triple : triples) {
+    ++offsets[static_cast<std::size_t>(row_of(triple)) + 1];
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    offsets[r + 1] += offsets[r];
+  }
+  data.resize(triples.size());
+  std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const auto& triple : triples) {
+    const auto r = static_cast<std::size_t>(row_of(triple));
+    data[cursor[r]++] = {id_of(triple), std::get<2>(triple)};
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    const auto begin = data.begin() + static_cast<std::ptrdiff_t>(offsets[r]);
+    const auto end = data.begin() + static_cast<std::ptrdiff_t>(offsets[r + 1]);
+    std::sort(begin, end,
+              [](const Coef& x, const Coef& y) { return x.id < y.id; });
+    const auto dup = std::adjacent_find(
+        begin, end, [](const Coef& x, const Coef& y) { return x.id == y.id; });
+    MMLP_CHECK_MSG(dup == end, "duplicate coefficient: " << row_kind << "="
+                                                         << r << ", " << id_kind
+                                                         << "=" << dup->id);
+  }
+}
+
+}  // namespace
+
 Instance Instance::Builder::build() && {
   Instance instance;
-  instance.resource_support_.resize(static_cast<std::size_t>(num_resources_));
-  instance.party_support_.resize(static_cast<std::size_t>(num_parties_));
-  instance.agent_resources_.resize(static_cast<std::size_t>(num_agents_));
-  instance.agent_parties_.resize(static_cast<std::size_t>(num_agents_));
+  const auto agents = static_cast<std::size_t>(num_agents_);
+  const auto resources = static_cast<std::size_t>(num_resources_);
+  const auto parties = static_cast<std::size_t>(num_parties_);
 
-  for (const auto& [i, v, a] : usages_) {
-    instance.resource_support_[static_cast<std::size_t>(i)].push_back({v, a});
-    instance.agent_resources_[static_cast<std::size_t>(v)].push_back({i, a});
-  }
-  for (const auto& [k, v, c] : benefits_) {
-    instance.party_support_[static_cast<std::size_t>(k)].push_back({v, c});
-    instance.agent_parties_[static_cast<std::size_t>(v)].push_back({k, c});
-  }
-
-  auto sort_and_reject_duplicates = [](std::vector<std::vector<Coef>>& lists,
-                                       const char* what) {
-    for (auto& list : lists) {
-      std::sort(list.begin(), list.end(),
-                [](const Coef& x, const Coef& y) { return x.id < y.id; });
-      const auto dup = std::adjacent_find(
-          list.begin(), list.end(),
-          [](const Coef& x, const Coef& y) { return x.id == y.id; });
-      MMLP_CHECK_MSG(dup == list.end(), "duplicate coefficient in " << what);
-    }
-  };
-  sort_and_reject_duplicates(instance.resource_support_, "resource support");
-  sort_and_reject_duplicates(instance.party_support_, "party support");
-  sort_and_reject_duplicates(instance.agent_resources_, "agent resources");
-  sort_and_reject_duplicates(instance.agent_parties_, "agent parties");
+  const auto first = [](const auto& t) { return std::get<0>(t); };
+  const auto second = [](const auto& t) { return std::get<1>(t); };
+  fill_csr(instance.resource_support_.offsets, instance.resource_support_.data,
+           resources, usages_, first, second, "resource i", "agent v");
+  fill_csr(instance.agent_resources_.offsets, instance.agent_resources_.data,
+           agents, usages_, second, first, "agent v", "resource i");
+  fill_csr(instance.party_support_.offsets, instance.party_support_.data,
+           parties, benefits_, first, second, "party k", "agent v");
+  fill_csr(instance.agent_parties_.offsets, instance.agent_parties_.data,
+           agents, benefits_, second, first, "agent v", "party k");
 
   instance.validate();
   return instance;

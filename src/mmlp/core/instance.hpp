@@ -6,13 +6,23 @@
 // V are agents, I resources, K beneficiary parties. All coefficients are
 // nonnegative and the support sets V_i = {v : a_iv > 0},
 // V_k = {v : c_kv > 0}, I_v = {i : a_iv > 0}, K_v = {k : c_kv > 0} are
-// stored explicitly in both directions (sparse row/column views). The
-// standing assumptions of the paper — I_v, V_i, V_k nonempty — are
-// enforced by validate()/Builder::build().
+// stored explicitly in both directions. The standing assumptions of the
+// paper — I_v, V_i, V_k nonempty — are enforced by
+// validate()/Builder::build().
+//
+// Storage is flat CSR (compressed sparse row), one block per direction:
+// a single contiguous Coef array ordered row-by-row plus an offset array
+// with row r occupying data[offsets[r] .. offsets[r+1]). The support-set
+// traversals that dominate the local algorithms (eq. (2) scans I_v then
+// |V_i|; the view extraction of Section 5 walks whole balls of supports)
+// therefore stream through memory instead of chasing one heap pointer
+// per support list. Accessors return std::span views into the blocks;
+// entries within a row are sorted by id.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -34,6 +44,9 @@ struct Coef {
   friend bool operator==(const Coef&, const Coef&) = default;
 };
 
+/// Non-owning view of one CSR row (one support set with coefficients).
+using CoefSpan = std::span<const Coef>;
+
 /// Support-set size bounds of Section 1.2.
 struct DegreeBounds {
   std::size_t delta_I_of_V = 0;  ///< Δ_V^I = max_v |I_v|
@@ -46,18 +59,23 @@ class Instance {
  public:
   class Builder;
 
-  AgentId num_agents() const { return static_cast<AgentId>(agent_resources_.size()); }
-  ResourceId num_resources() const { return static_cast<ResourceId>(resource_support_.size()); }
-  PartyId num_parties() const { return static_cast<PartyId>(party_support_.size()); }
+  AgentId num_agents() const { return static_cast<AgentId>(agent_resources_.num_rows()); }
+  ResourceId num_resources() const { return static_cast<ResourceId>(resource_support_.num_rows()); }
+  PartyId num_parties() const { return static_cast<PartyId>(party_support_.num_rows()); }
 
   /// V_i with coefficients a_iv (sorted by agent id).
-  const std::vector<Coef>& resource_support(ResourceId i) const;
+  CoefSpan resource_support(ResourceId i) const;
   /// V_k with coefficients c_kv (sorted by agent id).
-  const std::vector<Coef>& party_support(PartyId k) const;
+  CoefSpan party_support(PartyId k) const;
   /// I_v with coefficients a_iv (sorted by resource id).
-  const std::vector<Coef>& agent_resources(AgentId v) const;
+  CoefSpan agent_resources(AgentId v) const;
   /// K_v with coefficients c_kv (sorted by party id).
-  const std::vector<Coef>& agent_parties(AgentId v) const;
+  CoefSpan agent_parties(AgentId v) const;
+
+  /// |V_i| in O(1) (offset difference; no span construction).
+  std::size_t resource_support_size(ResourceId i) const;
+  /// |V_k| in O(1).
+  std::size_t party_support_size(PartyId k) const;
 
   /// a_iv (0 when v is not in V_i).
   double usage(ResourceId i, AgentId v) const;
@@ -84,10 +102,25 @@ class Instance {
   friend bool operator==(const Instance&, const Instance&);
 
  private:
-  std::vector<std::vector<Coef>> resource_support_;  // i -> (v, a_iv)
-  std::vector<std::vector<Coef>> party_support_;     // k -> (v, c_kv)
-  std::vector<std::vector<Coef>> agent_resources_;   // v -> (i, a_iv)
-  std::vector<std::vector<Coef>> agent_parties_;     // v -> (k, c_kv)
+  /// One direction of the sparse coefficient matrix: row r (a resource,
+  /// party, or agent) owns data[offsets[r] .. offsets[r+1]), sorted by id.
+  struct CsrBlock {
+    std::vector<std::size_t> offsets{0};  ///< num_rows + 1 entries
+    std::vector<Coef> data;
+
+    std::size_t num_rows() const { return offsets.size() - 1; }
+    std::size_t row_size(std::size_t r) const { return offsets[r + 1] - offsets[r]; }
+    CoefSpan row(std::size_t r) const {
+      return {data.data() + offsets[r], offsets[r + 1] - offsets[r]};
+    }
+
+    friend bool operator==(const CsrBlock&, const CsrBlock&) = default;
+  };
+
+  CsrBlock resource_support_;  // i -> (v, a_iv)
+  CsrBlock party_support_;     // k -> (v, c_kv)
+  CsrBlock agent_resources_;   // v -> (i, a_iv)
+  CsrBlock agent_parties_;     // v -> (k, c_kv)
 };
 
 /// Incremental construction with validation at build().
@@ -95,6 +128,9 @@ class Instance::Builder {
  public:
   /// Pre-declare entity counts (further adds extend them).
   Builder& reserve(AgentId agents, ResourceId resources, PartyId parties);
+
+  /// Pre-size the coefficient buffers (pure capacity hint).
+  Builder& reserve_nonzeros(std::size_t usages, std::size_t benefits);
 
   AgentId add_agent();
   ResourceId add_resource();

@@ -1,3 +1,9 @@
+// Theorem 3 / Section 5.1: solve every agent's view LP (9), then damp
+// the ball average by β_j (eq. (10)). The per-agent loop is chunked so
+// each worker amortises one ViewScratch — view extraction, LP rows and
+// the simplex tableau all reuse the same memory across the agents of a
+// chunk; the outputs (view_omega, view_x) are per-agent slots, so the
+// result is identical to the serial run.
 #include "mmlp/core/local_averaging.hpp"
 
 #include <algorithm>
@@ -23,15 +29,20 @@ LocalAveragingResult local_averaging(const Instance& instance,
       instance.communication_graph(options.collaboration_oblivious);
   const auto balls = all_balls(h, options.R);
 
-  // Solve the local LP (9) of every agent, in parallel.
+  // Solve the local LP (9) of every agent, in parallel; chunked so each
+  // task reuses one scratch workspace.
   std::vector<std::vector<double>> view_x(n);
   result.view_omega.assign(n, 0.0);
-  parallel_for(n, [&](std::size_t u) {
-    const LocalView view = extract_view(
-        instance, static_cast<AgentId>(u), options.R, balls[u]);
-    ViewLpSolution solution = solve_view_lp(view, options.lp);
-    result.view_omega[u] = solution.omega;
-    view_x[u] = std::move(solution.x);
+  chunked_parallel_for(n, [&](std::size_t begin, std::size_t end) {
+    ViewScratch scratch;
+    LocalView view;
+    for (std::size_t u = begin; u < end; ++u) {
+      extract_view_into(instance, static_cast<AgentId>(u), options.R, balls[u],
+                        view, scratch);
+      ViewLpSolution solution = solve_view_lp(view, options.lp, scratch);
+      result.view_omega[u] = solution.omega;
+      view_x[u] = std::move(solution.x);
+    }
   });
 
   // β_j from the growth sets (Figure 2 machinery).

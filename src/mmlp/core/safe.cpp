@@ -1,3 +1,8 @@
+// eq. (2) in two shapes: safe_choice is the literal per-agent rule on
+// explicit (I_v, |V_i|) inputs (the distributed path goes through it so
+// the knowledge boundary stays visible); safe_solution is the fused
+// whole-instance scan, which skips the per-entry invariant checks — the
+// instance passed validate() at build, so a_iv > 0 and V_i ≠ ∅ hold.
 #include "mmlp/core/safe.hpp"
 
 #include <limits>
@@ -7,8 +12,8 @@
 
 namespace mmlp {
 
-double safe_choice(const std::vector<Coef>& agent_resources,
-                   const std::vector<std::size_t>& support_sizes) {
+double safe_choice(CoefSpan agent_resources,
+                   std::span<const std::size_t> support_sizes) {
   MMLP_CHECK(!agent_resources.empty());
   MMLP_CHECK_EQ(agent_resources.size(), support_sizes.size());
   double choice = std::numeric_limits<double>::infinity();
@@ -26,13 +31,13 @@ std::vector<double> safe_solution(const Instance& instance) {
   const auto n = static_cast<std::size_t>(instance.num_agents());
   std::vector<double> x(n, 0.0);
   parallel_for(n, [&](std::size_t v) {
-    const auto& resources = instance.agent_resources(static_cast<AgentId>(v));
-    std::vector<std::size_t> sizes;
-    sizes.reserve(resources.size());
-    for (const Coef& entry : resources) {
-      sizes.push_back(instance.resource_support(entry.id).size());
+    double choice = std::numeric_limits<double>::infinity();
+    for (const Coef& entry : instance.agent_resources(static_cast<AgentId>(v))) {
+      const auto size =
+          static_cast<double>(instance.resource_support_size(entry.id));
+      choice = std::min(choice, 1.0 / (entry.value * size));
     }
-    x[v] = safe_choice(resources, sizes);
+    x[v] = choice;
   });
   return x;
 }

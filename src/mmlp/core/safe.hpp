@@ -8,18 +8,21 @@
 // Δ_I^V-approximation of (1) (Section 4, first display).
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "mmlp/core/instance.hpp"
 
 namespace mmlp {
 
-/// The safe solution for the whole instance.
+/// The safe solution for the whole instance. The hot loop reads the CSR
+/// blocks directly (I_v scan plus O(1) |V_i| offset lookups) and performs
+/// no per-agent allocation.
 std::vector<double> safe_solution(const Instance& instance);
 
 /// The single-agent rule, usable from per-agent (distributed) code:
 /// needs I_v with coefficients and |V_i| for each i ∈ I_v.
-double safe_choice(const std::vector<Coef>& agent_resources,
-                   const std::vector<std::size_t>& support_sizes);
+double safe_choice(CoefSpan agent_resources,
+                   std::span<const std::size_t> support_sizes);
 
 }  // namespace mmlp

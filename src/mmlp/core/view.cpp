@@ -1,3 +1,9 @@
+// View extraction (Section 5, Figure 2) tuned for the one-view-per-agent
+// hot loop: extract_view_into scatters B_H(u,R) into a persistent
+// global→local stamp map (all −1 between calls, reset via the ball
+// itself), so membership tests V^u_i = V_i ∩ V^u and K^u ⊆-tests are
+// O(1) per support entry, and every buffer — id lists, CSR entry arrays,
+// the LP rows, the simplex tableau — is reused across agents.
 #include "mmlp/core/view.hpp"
 
 #include <algorithm>
@@ -5,27 +11,9 @@
 
 #include "mmlp/graph/bfs.hpp"
 #include "mmlp/util/check.hpp"
+#include "mmlp/util/stamp_guard.hpp"
 
 namespace mmlp {
-
-namespace {
-
-bool contains_sorted(const std::vector<AgentId>& sorted, AgentId value) {
-  return std::binary_search(sorted.begin(), sorted.end(), value);
-}
-
-/// Is every member of `support` inside the sorted agent list?
-bool support_subset(const std::vector<Coef>& support,
-                    const std::vector<AgentId>& sorted_agents) {
-  for (const Coef& entry : support) {
-    if (!contains_sorted(sorted_agents, entry.id)) {
-      return false;
-    }
-  }
-  return true;
-}
-
-}  // namespace
 
 std::int32_t LocalView::local_index(AgentId global) const {
   const auto it = std::lower_bound(agents.begin(), agents.end(), global);
@@ -35,19 +23,54 @@ std::int32_t LocalView::local_index(AgentId global) const {
   return -1;
 }
 
-LocalView extract_view(const Instance& instance, AgentId u, std::int32_t radius,
-                       const std::vector<AgentId>& ball_of_u) {
+void LocalView::clear() {
+  center = -1;
+  radius = 0;
+  agents.clear();
+  resources.clear();
+  parties.clear();
+  resource_offsets.assign(1, 0);
+  resource_data.clear();
+  party_offsets.assign(1, 0);
+  party_data.clear();
+}
+
+void extract_view_into(const Instance& instance, AgentId u, std::int32_t radius,
+                       const std::vector<AgentId>& ball_of_u, LocalView& view,
+                       ViewScratch& scratch) {
   MMLP_CHECK(std::is_sorted(ball_of_u.begin(), ball_of_u.end()));
-  MMLP_CHECK(contains_sorted(ball_of_u, u));
-  LocalView view;
+  view.clear();
   view.center = u;
   view.radius = radius;
-  view.agents = ball_of_u;
+  view.agents.assign(ball_of_u.begin(), ball_of_u.end());
 
-  // I^u: resources touching the view. Collect via the agents' I_v lists
-  // (each resource appears once; dedupe with sort+unique on ids).
-  std::vector<ResourceId> resource_ids;
-  std::vector<PartyId> party_ids;
+  // Persistent global→local map: −1 outside the current ball. Lazily
+  // sized once per instance; reset below by walking the ball again.
+  auto& local_of = scratch.agent_local;
+  if (local_of.size() < static_cast<std::size_t>(instance.num_agents())) {
+    local_of.assign(static_cast<std::size_t>(instance.num_agents()), -1);
+  }
+  bool center_seen = false;
+  for (const AgentId v : view.agents) {
+    MMLP_CHECK_MSG(v >= 0 && v < instance.num_agents(),
+                   "ball of agent " << u << " contains invalid agent " << v);
+    center_seen = center_seen || v == u;
+  }
+  MMLP_CHECK_MSG(center_seen, "ball of agent " << u << " does not contain it");
+  // All ids validated; stamp under a guard so a CheckError below cannot
+  // leave the persistent map dirty for the next extraction.
+  const StampGuard guard(local_of, view.agents);
+  for (std::size_t idx = 0; idx < view.agents.size(); ++idx) {
+    local_of[static_cast<std::size_t>(view.agents[idx])] =
+        static_cast<std::int32_t>(idx);
+  }
+
+  // I^u and the party candidates: ids touching any view agent, deduped
+  // with sort+unique (the lists are tiny under bounded degrees).
+  auto& resource_ids = scratch.resource_ids;
+  auto& party_ids = scratch.party_ids;
+  resource_ids.clear();
+  party_ids.clear();
   for (const AgentId v : view.agents) {
     for (const Coef& entry : instance.agent_resources(v)) {
       resource_ids.push_back(entry.id);
@@ -64,32 +87,48 @@ LocalView extract_view(const Instance& instance, AgentId u, std::int32_t radius,
                   party_ids.end());
 
   for (const ResourceId i : resource_ids) {
-    std::vector<Coef> local_entries;
+    const auto start = view.resource_data.size();
     for (const Coef& entry : instance.resource_support(i)) {
-      const std::int32_t local = view.local_index(entry.id);
+      const std::int32_t local = local_of[static_cast<std::size_t>(entry.id)];
       if (local >= 0) {
-        local_entries.push_back({local, entry.value});
+        view.resource_data.push_back({local, entry.value});
       }
     }
-    MMLP_CHECK(!local_entries.empty());  // i came from some view agent
+    MMLP_CHECK(view.resource_data.size() > start);  // i came from a view agent
     view.resources.push_back(i);
-    view.resource_entries.push_back(std::move(local_entries));
+    view.resource_offsets.push_back(
+        static_cast<std::int32_t>(view.resource_data.size()));
   }
 
-  // K^u keeps only fully visible parties.
+  // K^u keeps only fully visible parties: collect entries in one pass and
+  // roll back when a member falls outside the ball.
   for (const PartyId k : party_ids) {
-    const auto& support = instance.party_support(k);
-    if (!support_subset(support, view.agents)) {
+    const auto start = view.party_data.size();
+    bool full = true;
+    for (const Coef& entry : instance.party_support(k)) {
+      const std::int32_t local = local_of[static_cast<std::size_t>(entry.id)];
+      if (local < 0) {
+        full = false;
+        break;
+      }
+      view.party_data.push_back({local, entry.value});
+    }
+    if (!full) {
+      view.party_data.resize(start);
       continue;
     }
-    std::vector<Coef> local_entries;
-    local_entries.reserve(support.size());
-    for (const Coef& entry : support) {
-      local_entries.push_back({view.local_index(entry.id), entry.value});
-    }
     view.parties.push_back(k);
-    view.party_entries.push_back(std::move(local_entries));
+    view.party_offsets.push_back(
+        static_cast<std::int32_t>(view.party_data.size()));
   }
+  // The StampGuard restores the all-−1 invariant on every exit path.
+}
+
+LocalView extract_view(const Instance& instance, AgentId u, std::int32_t radius,
+                       const std::vector<AgentId>& ball_of_u) {
+  LocalView view;
+  ViewScratch scratch;
+  extract_view_into(instance, u, radius, ball_of_u, view, scratch);
   return view;
 }
 
@@ -98,47 +137,94 @@ LocalView extract_view(const Instance& instance, const Hypergraph& h, AgentId u,
   return extract_view(instance, u, radius, ball(h, u, radius));
 }
 
-LpProblem view_lp(const LocalView& view) {
-  LpProblem problem;
+void view_lp_into(const LocalView& view, LpProblem& out) {
   const auto num_agents = static_cast<std::int32_t>(view.agents.size());
-  problem.num_vars = num_agents + 1;  // x^u plus ω^u
-  problem.objective.assign(static_cast<std::size_t>(problem.num_vars), 0.0);
-  problem.objective.back() = 1.0;
+  out.num_vars = num_agents + 1;  // x^u plus ω^u
+  out.objective.assign(static_cast<std::size_t>(out.num_vars), 0.0);
+  out.objective.back() = 1.0;
 
-  for (const auto& entries : view.resource_entries) {
-    LpRow& row = problem.add_row(ConstraintSense::kLe, 1.0);
-    for (const Coef& entry : entries) {
+  const std::size_t num_rows = view.resources.size() + view.parties.size();
+  if (out.rows.size() > num_rows) {
+    out.rows.resize(num_rows);
+  }
+  while (out.rows.size() < num_rows) {
+    out.rows.emplace_back();
+  }
+
+  std::size_t row_idx = 0;
+  for (std::size_t r = 0; r < view.resources.size(); ++r, ++row_idx) {
+    LpRow& row = out.rows[row_idx];
+    row.vars.clear();
+    row.coeffs.clear();
+    row.sense = ConstraintSense::kLe;
+    row.rhs = 1.0;
+    for (const Coef& entry : view.resource_entries(r)) {
       row.vars.push_back(entry.id);
       row.coeffs.push_back(entry.value);
     }
   }
-  for (const auto& entries : view.party_entries) {
-    LpRow& row = problem.add_row(ConstraintSense::kGe, 0.0);
-    for (const Coef& entry : entries) {
+  for (std::size_t p = 0; p < view.parties.size(); ++p, ++row_idx) {
+    LpRow& row = out.rows[row_idx];
+    row.vars.clear();
+    row.coeffs.clear();
+    row.sense = ConstraintSense::kGe;
+    row.rhs = 0.0;
+    for (const Coef& entry : view.party_entries(p)) {
       row.vars.push_back(entry.id);
       row.coeffs.push_back(entry.value);
     }
     row.vars.push_back(num_agents);
     row.coeffs.push_back(-1.0);
   }
+}
+
+LpProblem view_lp(const LocalView& view) {
+  LpProblem problem;
+  view_lp_into(view, problem);
   return problem;
 }
 
-ViewLpSolution solve_view_lp(const LocalView& view,
-                             const SimplexOptions& options) {
+namespace {
+
+ViewLpSolution solve_view_lp_impl(const LocalView& view, const LpProblem& lp_problem,
+                                  const SimplexOptions& options,
+                                  SimplexWorkspace* workspace) {
   ViewLpSolution solution;
-  if (view.parties.empty()) {
-    solution.x.assign(view.agents.size(), 0.0);
-    return solution;
-  }
-  const LpResult lp = solve_lp(view_lp(view), options);
+  const LpResult lp = workspace != nullptr
+                          ? solve_lp(lp_problem, options, *workspace)
+                          : solve_lp(lp_problem, options);
   MMLP_CHECK_MSG(lp.status == LpStatus::kOptimal,
                  "view LP for agent " << view.center << " returned "
                                       << to_string(lp.status));
   solution.status = lp.status;
   solution.omega = lp.objective;
-  solution.x.assign(lp.x.begin(), lp.x.begin() + view.agents.size());
+  solution.x.assign(lp.x.begin(),
+                    lp.x.begin() + static_cast<std::ptrdiff_t>(view.agents.size()));
   return solution;
+}
+
+}  // namespace
+
+ViewLpSolution solve_view_lp(const LocalView& view,
+                             const SimplexOptions& options) {
+  if (view.parties.empty()) {
+    ViewLpSolution solution;
+    solution.x.assign(view.agents.size(), 0.0);
+    return solution;
+  }
+  return solve_view_lp_impl(view, view_lp(view), options, nullptr);
+}
+
+ViewLpSolution solve_view_lp(const LocalView& view,
+                             const SimplexOptions& options,
+                             ViewScratch& scratch) {
+  if (view.parties.empty()) {
+    ViewLpSolution solution;
+    solution.x.assign(view.agents.size(), 0.0);
+    return solution;
+  }
+  view_lp_into(view, scratch.lp);
+  return solve_view_lp_impl(view, scratch.lp, options, &scratch.simplex);
 }
 
 double GrowthSets::max_party_ratio() const {
@@ -174,26 +260,30 @@ GrowthSets compute_growth_sets(const Instance& instance,
     sets.ball_size[j] = balls[j].size();
   }
 
+  // Scratch for the running intersections/unions, hoisted out of the
+  // per-party/per-resource loops (the sets are small; the allocations
+  // were the cost).
+  std::vector<AgentId> current;
+  std::vector<AgentId> next;
+
   // Parties: S_k = ∩_{j∈V_k} V^j (sorted-list intersection), M_k = max |V^j|.
   const auto num_parties = static_cast<std::size_t>(instance.num_parties());
   sets.m_k.resize(num_parties);
   sets.M_k.resize(num_parties);
   for (PartyId k = 0; k < instance.num_parties(); ++k) {
-    const auto& support = instance.party_support(k);
-    std::vector<AgentId> intersection =
-        balls[static_cast<std::size_t>(support.front().id)];
+    const CoefSpan support = instance.party_support(k);
+    const auto& first_ball = balls[static_cast<std::size_t>(support.front().id)];
+    current.assign(first_ball.begin(), first_ball.end());
     std::size_t max_ball = 0;
     for (const Coef& entry : support) {
       const auto& ball_j = balls[static_cast<std::size_t>(entry.id)];
       max_ball = std::max(max_ball, ball_j.size());
-      std::vector<AgentId> next;
-      next.reserve(std::min(intersection.size(), ball_j.size()));
-      std::set_intersection(intersection.begin(), intersection.end(),
-                            ball_j.begin(), ball_j.end(),
-                            std::back_inserter(next));
-      intersection.swap(next);
+      next.clear();
+      std::set_intersection(current.begin(), current.end(), ball_j.begin(),
+                            ball_j.end(), std::back_inserter(next));
+      current.swap(next);
     }
-    sets.m_k[static_cast<std::size_t>(k)] = intersection.size();
+    sets.m_k[static_cast<std::size_t>(k)] = current.size();
     sets.M_k[static_cast<std::size_t>(k)] = max_ball;
   }
 
@@ -202,19 +292,18 @@ GrowthSets compute_growth_sets(const Instance& instance,
   sets.N_i.resize(num_resources);
   sets.n_i.resize(num_resources);
   for (ResourceId i = 0; i < instance.num_resources(); ++i) {
-    const auto& support = instance.resource_support(i);
-    std::vector<AgentId> union_set;
+    const CoefSpan support = instance.resource_support(i);
+    current.clear();
     std::size_t min_ball = std::numeric_limits<std::size_t>::max();
     for (const Coef& entry : support) {
       const auto& ball_j = balls[static_cast<std::size_t>(entry.id)];
       min_ball = std::min(min_ball, ball_j.size());
-      std::vector<AgentId> next;
-      next.reserve(union_set.size() + ball_j.size());
-      std::set_union(union_set.begin(), union_set.end(), ball_j.begin(),
+      next.clear();
+      std::set_union(current.begin(), current.end(), ball_j.begin(),
                      ball_j.end(), std::back_inserter(next));
-      union_set.swap(next);
+      current.swap(next);
     }
-    sets.N_i[static_cast<std::size_t>(i)] = union_set.size();
+    sets.N_i[static_cast<std::size_t>(i)] = current.size();
     sets.n_i[static_cast<std::size_t>(i)] = min_ball;
   }
 

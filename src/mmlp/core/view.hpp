@@ -13,6 +13,13 @@
 //   S_k = ∩_{j∈V_k} V^j,  m_k = |S_k|,  M_k = max_{j∈V_k} |V^j|,
 //   U_i = ∪_{j∈V_i} V^j,  N_i = |U_i|,  n_i = min_{j∈V_i} |V^j|,
 //   β_j = min_{i∈I_j} n_i / N_i.
+//
+// A LocalView stores its per-resource/per-party entry lists in flat CSR
+// form (one Coef array + offsets per side), mirroring Instance; the hot
+// extraction path (one view per agent inside Theorem 3's algorithm) goes
+// through extract_view_into + ViewScratch, which reuses an O(1)
+// global→local stamp map and all intermediate buffers so a steady-state
+// extraction performs no heap allocation.
 #pragma once
 
 #include <cstdint>
@@ -30,14 +37,45 @@ struct LocalView {
 
   std::vector<AgentId> agents;  ///< V^u, sorted global ids; local index = position
 
-  std::vector<ResourceId> resources;               ///< I^u (global ids)
-  std::vector<std::vector<Coef>> resource_entries; ///< per i∈I^u: (local agent, a_iv), v∈V^u_i
+  std::vector<ResourceId> resources;  ///< I^u (global ids)
+  std::vector<PartyId> parties;       ///< K^u (global ids)
 
-  std::vector<PartyId> parties;                    ///< K^u (global ids)
-  std::vector<std::vector<Coef>> party_entries;    ///< per k∈K^u: (local agent, c_kv), v∈V_k
+  /// CSR entry storage: resource r of `resources` owns
+  /// resource_data[resource_offsets[r] .. resource_offsets[r+1]) with
+  /// (local agent, a_iv) pairs for v ∈ V^u_i; parties analogous with V_k.
+  std::vector<std::int32_t> resource_offsets{0};
+  std::vector<Coef> resource_data;
+  std::vector<std::int32_t> party_offsets{0};
+  std::vector<Coef> party_data;
+
+  /// Entries of the r-th resource in `resources` (local agent ids).
+  CoefSpan resource_entries(std::size_t r) const {
+    return {resource_data.data() + resource_offsets[r],
+            static_cast<std::size_t>(resource_offsets[r + 1] - resource_offsets[r])};
+  }
+  /// Entries of the p-th party in `parties` (local agent ids).
+  CoefSpan party_entries(std::size_t p) const {
+    return {party_data.data() + party_offsets[p],
+            static_cast<std::size_t>(party_offsets[p + 1] - party_offsets[p])};
+  }
 
   /// Local index of a global agent id, or −1 when outside the view.
   std::int32_t local_index(AgentId global) const;
+
+  /// Reset to an empty view, keeping buffer capacity.
+  void clear();
+};
+
+/// Reusable workspace for view extraction and view-LP solving. One per
+/// worker thread; every buffer (including the global→local agent map,
+/// kept all −1 between calls and reset via the touched list) survives
+/// across agents so the per-agent loops of Theorem 3 do not allocate.
+struct ViewScratch {
+  std::vector<std::int32_t> agent_local;  ///< global agent -> local id, −1 outside
+  std::vector<ResourceId> resource_ids;
+  std::vector<PartyId> party_ids;
+  LpProblem lp;                 ///< reused row storage for view_lp_into
+  SimplexWorkspace simplex;     ///< reused tableau memory for solve_lp
 };
 
 /// Extract the view of `u` given its precomputed ball B_H(u, R)
@@ -50,9 +88,18 @@ LocalView extract_view(const Instance& instance, AgentId u, std::int32_t radius,
 LocalView extract_view(const Instance& instance, const Hypergraph& h, AgentId u,
                        std::int32_t radius);
 
+/// Allocation-free (steady state) extraction into a reused view.
+void extract_view_into(const Instance& instance, AgentId u, std::int32_t radius,
+                       const std::vector<AgentId>& ball_of_u, LocalView& view,
+                       ViewScratch& scratch);
+
 /// The local LP (9) of a view: variables are the view agents (local
 /// order) plus ω^u at index |agents|.
 LpProblem view_lp(const LocalView& view);
+
+/// As view_lp, but reusing the row storage of `out` (capacity persists
+/// across calls).
+void view_lp_into(const LocalView& view, LpProblem& out);
 
 /// Optimal x^u of (9) (indexed like view.agents). When K^u is empty the
 /// objective "min over nothing" is vacuous and x^u = 0 is returned (the
@@ -65,6 +112,12 @@ struct ViewLpSolution {
 };
 ViewLpSolution solve_view_lp(const LocalView& view,
                              const SimplexOptions& options = {});
+
+/// Hot-loop variant: builds the LP into scratch.lp and solves with
+/// scratch.simplex, so repeated solves reuse all tableau memory.
+ViewLpSolution solve_view_lp(const LocalView& view,
+                             const SimplexOptions& options,
+                             ViewScratch& scratch);
 
 /// The Figure 2 quantities for a fixed R, over all parties/resources.
 struct GrowthSets {

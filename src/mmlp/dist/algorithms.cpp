@@ -1,3 +1,11 @@
+// Per-agent executions of eq. (2) and the Section 5.1 averaging rule on
+// AgentContext worlds. The distributed averaging loop is chunked so each
+// worker carries one MaterializeArena + LocalWorld + ViewScratch across
+// all its agents: world materialization, view extraction and the view-LP
+// tableau then recycle the same memory agent after agent, while the
+// decisions themselves stay bit-for-bit equal to the centralized run
+// (same balls, same LP rows in the same order, same deterministic
+// simplex pivoting).
 #include "mmlp/dist/algorithms.hpp"
 
 #include <algorithm>
@@ -13,7 +21,7 @@
 namespace mmlp {
 
 double safe_from_context(const AgentContext& ctx) {
-  const auto& resources = ctx.agent_resources(ctx.self());
+  const CoefSpan resources = ctx.agent_resources(ctx.self());
   std::vector<std::size_t> sizes;
   sizes.reserve(resources.size());
   for (const Coef& entry : resources) {
@@ -38,8 +46,10 @@ std::vector<double> distributed_safe(const Instance& instance,
 namespace {
 
 /// One agent's execution of the Section 5.1 algorithm on its world.
+/// `scratch` is the owning worker's reusable view/LP workspace.
 double averaging_decision(const LocalWorld& world, const Hypergraph& h,
-                          const LocalAveragingOptions& options) {
+                          const LocalAveragingOptions& options,
+                          ViewScratch& scratch) {
   BallCollector collector(h);
   const std::vector<AgentId> my_ball =  // copy: the collector is reused
       collector.collect(world.self_local, options.R);
@@ -47,11 +57,11 @@ double averaging_decision(const LocalWorld& world, const Hypergraph& h,
   // Σ_{u∈V^j} x^u_j, accumulated in ascending agent order — the same
   // addition sequence as the centralized eq. (10) accumulation.
   double sum = 0.0;
+  LocalView view;
   for (const AgentId u : my_ball) {
     const auto& ball_u = collector.collect(u, options.R);
-    const LocalView view =
-        extract_view(world.instance, u, options.R, ball_u);
-    const ViewLpSolution solution = solve_view_lp(view, options.lp);
+    extract_view_into(world.instance, u, options.R, ball_u, view, scratch);
+    const ViewLpSolution solution = solve_view_lp(view, options.lp, scratch);
     const std::int32_t self_in_view = view.local_index(world.self_local);
     MMLP_CHECK_GE(self_in_view, 0);  // u ∈ V^j ⇔ j ∈ V^u
     sum += solution.x[static_cast<std::size_t>(self_in_view)];
@@ -60,15 +70,16 @@ double averaging_decision(const LocalWorld& world, const Hypergraph& h,
   // β_j = min_{i∈I_j} n_i / N_i over the agent's own resources; V_i is
   // fully known (one hop) and the members' balls lie inside the world.
   double beta = std::numeric_limits<double>::infinity();
+  std::vector<AgentId> union_set;
+  std::vector<AgentId> next;
   for (const Coef& entry : world.instance.agent_resources(world.self_local)) {
-    const auto& support = world.instance.resource_support(entry.id);
-    std::vector<AgentId> union_set;
+    const CoefSpan support = world.instance.resource_support(entry.id);
+    union_set.clear();
     std::size_t min_ball = std::numeric_limits<std::size_t>::max();
     for (const Coef& member : support) {
       const auto& ball_m = collector.collect(member.id, options.R);
       min_ball = std::min(min_ball, ball_m.size());
-      std::vector<AgentId> next;
-      next.reserve(union_set.size() + ball_m.size());
+      next.clear();
       std::set_union(union_set.begin(), union_set.end(), ball_m.begin(),
                      ball_m.end(), std::back_inserter(next));
       union_set.swap(next);
@@ -93,12 +104,19 @@ std::vector<double> distributed_local_averaging(
   const auto knowledge = runtime.flood(horizon);
   const auto n = static_cast<std::size_t>(instance.num_agents());
   std::vector<double> x(n, 0.0);
-  parallel_for(n, [&](std::size_t j) {
-    const AgentContext ctx(instance, static_cast<AgentId>(j), knowledge[j]);
-    const LocalWorld world = ctx.materialize();
-    const Hypergraph h =
-        world.instance.communication_graph(options.collaboration_oblivious);
-    x[j] = averaging_decision(world, h, options);
+  // Chunked so each worker amortises one materialization arena and one
+  // view/LP scratch across all its agents.
+  chunked_parallel_for(n, [&](std::size_t begin, std::size_t end) {
+    MaterializeArena arena;
+    LocalWorld world;
+    ViewScratch scratch;
+    for (std::size_t j = begin; j < end; ++j) {
+      const AgentContext ctx(instance, static_cast<AgentId>(j), knowledge[j]);
+      ctx.materialize_into(world, arena);
+      const Hypergraph h =
+          world.instance.communication_graph(options.collaboration_oblivious);
+      x[j] = averaging_decision(world, h, options, scratch);
+    }
   });
   return x;
 }

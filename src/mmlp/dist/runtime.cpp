@@ -1,9 +1,16 @@
+// Flooding (== ball growth: after r rounds agent v knows B_H(v, r)) and
+// the knowledge-boundary machinery. The flood loop double-buffers the
+// per-agent knowledge sets and reuses the receive-side vectors across
+// rounds, so a full 2R+1-round flood allocates only what the final balls
+// occupy; materialize_into scatters the horizon into a stamp map so
+// truncating supports to known members is O(1) per coefficient.
 #include "mmlp/dist/runtime.hpp"
 
 #include <algorithm>
 
 #include "mmlp/util/check.hpp"
 #include "mmlp/util/parallel.hpp"
+#include "mmlp/util/stamp_guard.hpp"
 
 namespace mmlp {
 
@@ -28,9 +35,13 @@ std::vector<std::vector<AgentId>> LocalRuntime::flood(
   for (std::int32_t round = 0; round < rounds; ++round) {
     // Synchronous round: every agent reads the packet each hyperedge
     // member broadcast at the end of the previous round and merges.
-    // Writes go only to received[v], so the round is parallel over v.
+    // Writes go only to received[v] (whose buffer is recycled from two
+    // rounds ago by the swap below), so the round is parallel over v.
     parallel_for(n, [&](std::size_t v) {
-      std::vector<AgentId> merged = knowledge[v];
+      std::vector<AgentId>& merged = received[v];
+      merged.clear();
+      const auto& own = knowledge[v];
+      merged.insert(merged.end(), own.begin(), own.end());
       for (const EdgeId e : graph_.edges_of(static_cast<NodeId>(v))) {
         for (const NodeId u : graph_.edge(e)) {
           if (u == static_cast<NodeId>(v)) {
@@ -42,7 +53,6 @@ std::vector<std::vector<AgentId>> LocalRuntime::flood(
       }
       std::sort(merged.begin(), merged.end());
       merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
-      received[v] = std::move(merged);
     });
     knowledge.swap(received);
   }
@@ -80,18 +90,18 @@ bool AgentContext::knows(AgentId v) const {
   return std::binary_search(knowledge_.begin(), knowledge_.end(), v);
 }
 
-const std::vector<Coef>& AgentContext::agent_resources(AgentId v) const {
+CoefSpan AgentContext::agent_resources(AgentId v) const {
   MMLP_CHECK_MSG(knows(v), "agent " << self_ << " cannot see agent " << v);
   return instance_->agent_resources(v);
 }
 
-const std::vector<Coef>& AgentContext::agent_parties(AgentId v) const {
+CoefSpan AgentContext::agent_parties(AgentId v) const {
   MMLP_CHECK_MSG(knows(v), "agent " << self_ << " cannot see agent " << v);
   return instance_->agent_parties(v);
 }
 
-const std::vector<Coef>& AgentContext::resource_support(ResourceId i) const {
-  const auto& support = instance_->resource_support(i);
+CoefSpan AgentContext::resource_support(ResourceId i) const {
+  const CoefSpan support = instance_->resource_support(i);
   for (const Coef& entry : support) {
     if (knows(entry.id)) {
       return support;
@@ -102,8 +112,8 @@ const std::vector<Coef>& AgentContext::resource_support(ResourceId i) const {
                            " knows no member of resource " + std::to_string(i));
 }
 
-const std::vector<Coef>& AgentContext::party_support(PartyId k) const {
-  const auto& support = instance_->party_support(k);
+CoefSpan AgentContext::party_support(PartyId k) const {
+  const CoefSpan support = instance_->party_support(k);
   for (const Coef& entry : support) {
     if (knows(entry.id)) {
       return support;
@@ -114,18 +124,37 @@ const std::vector<Coef>& AgentContext::party_support(PartyId k) const {
                            " knows no member of party " + std::to_string(k));
 }
 
-LocalWorld AgentContext::materialize() const {
-  LocalWorld world;
-  world.global_agents = knowledge_;
-  world.self_local = world.local_of(self_);
+void AgentContext::materialize_into(LocalWorld& world,
+                                    MaterializeArena& arena) const {
+  world.global_agents.assign(knowledge_.begin(), knowledge_.end());
+  world.global_resources.clear();
+  world.global_parties.clear();
+
+  // Stamp the horizon into the persistent global→local map (−1 outside).
+  // The ids were validated in the constructor; the guard restores the
+  // all-−1 invariant on every exit path, including a thrown CheckError.
+  auto& local_of = arena.agent_local;
+  if (local_of.size() < static_cast<std::size_t>(instance_->num_agents())) {
+    local_of.assign(static_cast<std::size_t>(instance_->num_agents()), -1);
+  }
+  const StampGuard guard(local_of, world.global_agents);
+  for (std::size_t idx = 0; idx < world.global_agents.size(); ++idx) {
+    local_of[static_cast<std::size_t>(world.global_agents[idx])] =
+        static_cast<std::int32_t>(idx);
+  }
+  world.self_local = local_of[static_cast<std::size_t>(self_)];
 
   // Every resource and party touching a known agent, each counted once.
+  std::size_t num_usages = 0;
+  std::size_t num_benefits = 0;
   for (const AgentId v : knowledge_) {
     for (const Coef& entry : instance_->agent_resources(v)) {
       world.global_resources.push_back(entry.id);
+      ++num_usages;
     }
     for (const Coef& entry : instance_->agent_parties(v)) {
       world.global_parties.push_back(entry.id);
+      ++num_benefits;
     }
   }
   std::sort(world.global_resources.begin(), world.global_resources.end());
@@ -139,33 +168,42 @@ LocalWorld AgentContext::materialize() const {
 
   Instance::Builder builder;
   builder.reserve(static_cast<AgentId>(knowledge_.size()), 0, 0);
+  builder.reserve_nonzeros(num_usages, num_benefits);
   for (const ResourceId i : world.global_resources) {
     const ResourceId local = builder.add_resource();
     for (const Coef& entry : instance_->resource_support(i)) {
-      const std::int32_t member = world.local_of(entry.id);
+      const std::int32_t member = local_of[static_cast<std::size_t>(entry.id)];
       if (member >= 0) {
         builder.set_usage(local, member, entry.value);
       }
     }
   }
   // Keep only fully known parties; a truncated benefit row would lie.
-  std::vector<PartyId> kept_parties;
+  std::size_t kept = 0;
   for (const PartyId k : world.global_parties) {
-    const auto& support = instance_->party_support(k);
+    const CoefSpan support = instance_->party_support(k);
     const bool full = std::all_of(
-        support.begin(), support.end(),
-        [&](const Coef& entry) { return world.local_of(entry.id) >= 0; });
+        support.begin(), support.end(), [&](const Coef& entry) {
+          return local_of[static_cast<std::size_t>(entry.id)] >= 0;
+        });
     if (!full) {
       continue;
     }
     const PartyId local = builder.add_party();
     for (const Coef& entry : support) {
-      builder.set_benefit(local, world.local_of(entry.id), entry.value);
+      builder.set_benefit(local, local_of[static_cast<std::size_t>(entry.id)],
+                          entry.value);
     }
-    kept_parties.push_back(k);
+    world.global_parties[kept++] = k;
   }
-  world.global_parties = std::move(kept_parties);
+  world.global_parties.resize(kept);
   world.instance = std::move(builder).build();
+}
+
+LocalWorld AgentContext::materialize() const {
+  LocalWorld world;
+  MaterializeArena arena;
+  materialize_into(world, arena);
   return world;
 }
 

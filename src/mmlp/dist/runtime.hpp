@@ -13,7 +13,10 @@
 // per-agent algorithm is *structurally* unable to use information a real
 // message-passing execution would not have. materialize() converts the
 // horizon into a standalone sub-Instance (the agent's "world") on which
-// the centralized machinery (views, LPs, balls) can run unchanged.
+// the centralized machinery (views, LPs, balls) can run unchanged; the
+// materialize_into + MaterializeArena variant lets a worker loop reuse
+// one arena (global→local stamp map, id buffers, coefficient staging)
+// across all the agents it processes.
 #pragma once
 
 #include <cstdint>
@@ -67,6 +70,15 @@ struct LocalWorld {
   std::int32_t local_of(AgentId global) const;
 };
 
+/// Reusable scratch for AgentContext::materialize_into. One per worker:
+/// the global→local stamp map stays allocated (all −1 between calls), so
+/// truncating supports to the horizon is O(1) per coefficient; reusing
+/// the destination LocalWorld across agents keeps its id-buffer capacity
+/// as well, leaving only the world's own instance to allocate.
+struct MaterializeArena {
+  std::vector<std::int32_t> agent_local;  ///< global agent -> local id, −1 outside
+};
+
 /// Knowledge-boundary-enforcing view of an Instance.
 class AgentContext {
  public:
@@ -80,22 +92,25 @@ class AgentContext {
   bool knows(AgentId v) const;
 
   /// I_v with coefficients; throws CheckError unless v is known.
-  const std::vector<Coef>& agent_resources(AgentId v) const;
+  CoefSpan agent_resources(AgentId v) const;
   /// K_v with coefficients; throws CheckError unless v is known.
-  const std::vector<Coef>& agent_parties(AgentId v) const;
+  CoefSpan agent_parties(AgentId v) const;
 
   /// V_i with coefficients. A hyperedge is visible through any known
   /// member (its member list is part of that member's packet), so this
   /// throws CheckError only when no member of V_i is known.
-  const std::vector<Coef>& resource_support(ResourceId i) const;
+  CoefSpan resource_support(ResourceId i) const;
   /// V_k with coefficients; same visibility rule as resource_support.
-  const std::vector<Coef>& party_support(PartyId k) const;
+  CoefSpan party_support(PartyId k) const;
 
   /// Build the agent's world: all known agents, every resource of every
   /// known agent (support truncated to known members), and exactly the
   /// parties whose support is fully known (a truncated party would
   /// misstate its benefit row, so partial parties are dropped).
   LocalWorld materialize() const;
+
+  /// As materialize(), reusing `world`'s buffers and the worker's arena.
+  void materialize_into(LocalWorld& world, MaterializeArena& arena) const;
 
  private:
   const Instance* instance_;

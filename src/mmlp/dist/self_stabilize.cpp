@@ -1,3 +1,10 @@
+// Self-stabilizing knowledge maintenance (the Section 1.1 remark that
+// constant-horizon local algorithms yield self-stabilizing algorithms
+// with constant stabilization time): every round each agent recomputes
+// its radius-h knowledge purely from its neighbours' current claims plus
+// itself, so any corrupted state is flushed after at most horizon + 1
+// synchronous rounds and the safe/averaging outputs derived from the
+// stabilized knowledge coincide with the fault-free execution.
 #include "mmlp/dist/self_stabilize.hpp"
 
 #include <algorithm>

@@ -1,3 +1,10 @@
+// Sampling the Section 5 bounded-growth setting: agents are uniform
+// points in [0,1]^dim, each hosting one resource (and one party per
+// `party_stride`-th agent) whose support is itself plus its nearest
+// in-range neighbours, capped at `max_support` — so all four degree
+// bounds Δ_V^I, Δ_V^K, Δ_I^V, Δ_K^V of Section 1.2 hold by construction
+// and the communication graph inherits the polynomial ball growth the
+// paper expects of physically embedded networks.
 #include "mmlp/gen/geometric.hpp"
 
 #include <algorithm>

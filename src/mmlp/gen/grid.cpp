@@ -1,3 +1,10 @@
+// d-dimensional lattice instances (the Theorem 3 illustration): every
+// cell hosts a resource over its closed von-Neumann neighbourhood (the
+// cell plus its 2d axis neighbours, a_iv = 1 or U[0.5, 1.5] when
+// randomized), and each party_stride-th cell a party with the same
+// support, giving |V_i| = |V_k| = 2d + 1 in the torus case and the
+// growth bound γ(r) = 1 + Θ(1/r) that makes local averaging a
+// (1 + O(1/R))²-approximation on this family.
 #include "mmlp/gen/grid.hpp"
 
 #include <algorithm>

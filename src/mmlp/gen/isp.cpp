@@ -1,3 +1,9 @@
+// The Section 2 ISP fair-share application as a generator: agent v is a
+// (last-mile link l, router t) path, consuming a_lv = 1/cap(l) of the
+// customer's link resource and a_tv = 1/cap(t) of the router resource
+// per unit of traffic; customer k is a party with c_kv = 1 over its
+// paths. The max-min objective ω of eq. (1) is then exactly the fair
+// share: the bandwidth every customer is guaranteed simultaneously.
 #include "mmlp/gen/isp.hpp"
 
 #include "mmlp/util/check.hpp"

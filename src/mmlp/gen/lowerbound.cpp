@@ -1,3 +1,10 @@
+// The Section 4 lower-bound construction (Figure 1): one complete
+// (d,D)-ary hypertree T_q of height 2R−1 per vertex q of a ∆-regular
+// bipartite template graph Q with girth > 4r (∆ = d^R·D^(R−1)), leaves
+// identified along the edges of Q. Locality then forces any horizon-r
+// algorithm to output the same x on the two non-isomorphic gluings,
+// which pins its approximation ratio to ∆_I^V(1 − 1/∆_K^V) − o(1)
+// (Theorem 1; Corollary 2 for the binary case).
 #include "mmlp/gen/lowerbound.hpp"
 
 #include <algorithm>

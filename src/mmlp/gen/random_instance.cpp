@@ -1,3 +1,10 @@
+// Random bounded-degree workload generator: each agent draws
+// `resources_per_agent` resource slots and `parties_per_agent` party
+// slots; the shuffled slot multiset is chunked into supports of size
+// ≤ max_support, so every instance satisfies the Section 1.2 standing
+// assumptions (I_v, V_i, V_k nonempty) and all four degree bounds by
+// construction. Coefficients are U[coef_lo, coef_hi] from the portable
+// Rng, making runs reproducible across platforms.
 #include "mmlp/gen/random_instance.hpp"
 
 #include <algorithm>

@@ -1,3 +1,10 @@
+// The Section 2 sensor-network application as a generator: sensors and
+// relays are planar points; agent v = (sensor s, relay t) is a wireless
+// link whose unit of transmitted data costs a_sv of s's battery and
+// a_tv of t's battery (both resources of eq. (1)); each monitored area
+// k is a party with c_kv = 1 for every link whose sensor observes the
+// area. Maximising min_k Σ c_kv x_v is then the lifetime-fair data
+// collection rate across areas.
 #include "mmlp/gen/sensor.hpp"
 
 #include <algorithm>

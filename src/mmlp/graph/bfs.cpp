@@ -97,13 +97,8 @@ std::vector<std::vector<NodeId>> all_balls(const Hypergraph& h,
     return balls;
   }
   // Chunk the node range so each task amortises one BallCollector.
-  const std::size_t num_chunks =
-      std::min<std::size_t>(n, ThreadPool::global().size() * 8);
-  const std::size_t chunk = (n + num_chunks - 1) / num_chunks;
-  parallel_for(num_chunks, [&](std::size_t c) {
+  chunked_parallel_for(n, [&](std::size_t begin, std::size_t end) {
     BallCollector collector(h);
-    const std::size_t begin = c * chunk;
-    const std::size_t end = std::min(n, begin + chunk);
     for (std::size_t v = begin; v < end; ++v) {
       balls[v] = collector.collect(static_cast<NodeId>(v), radius);
     }

@@ -14,6 +14,15 @@ class DenseMatrix {
   DenseMatrix() = default;
   DenseMatrix(std::size_t rows, std::size_t cols, double fill = 0.0);
 
+  /// Re-shape in place, reusing the existing allocation when it is large
+  /// enough; every entry is set to `fill`. Lets hot loops (one simplex
+  /// tableau per agent) recycle one matrix instead of reallocating.
+  void reset(std::size_t rows, std::size_t cols, double fill = 0.0) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, fill);
+  }
+
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
 

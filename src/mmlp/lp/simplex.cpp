@@ -81,11 +81,20 @@ double max_violation(const LpProblem& problem, const std::vector<double>& x,
 
 namespace {
 
-/// Dense tableau state for the two-phase method.
+/// Dense tableau state for the two-phase method. All heavy buffers live
+/// in the caller's SimplexWorkspace so consecutive solves reuse them;
+/// every buffer is fully re-initialised here, so results do not depend
+/// on what a previous solve left behind.
 class Tableau {
  public:
-  Tableau(const LpProblem& problem, const SimplexOptions& options)
-      : options_(options), num_structural_(problem.num_vars) {
+  Tableau(const LpProblem& problem, const SimplexOptions& options,
+          SimplexWorkspace& ws)
+      : options_(options),
+        num_structural_(problem.num_vars),
+        table_(ws.table),
+        zrow_(ws.zrow),
+        basis_(ws.basis),
+        banned_(ws.banned) {
     const std::size_t m = problem.rows.size();
 
     // Column layout: [structural | slack/surplus | artificial].
@@ -118,7 +127,7 @@ class Tableau {
     }
     num_cols_ = static_cast<std::size_t>(num_structural_) + num_slack_ + num_artificial_;
 
-    table_ = DenseMatrix(m, num_cols_ + 1, 0.0);
+    table_.reset(m, num_cols_ + 1, 0.0);
     basis_.assign(m, -1);
     banned_.assign(num_cols_, 0);
 
@@ -167,11 +176,14 @@ class Tableau {
   }
 
   /// Run both phases. Returns the final status; on kOptimal the solution
-  /// can be read with extract().
-  LpStatus run(const std::vector<double>& objective) {
+  /// can be read with extract(). `cost_scratch` provides the cost-vector
+  /// buffer for both phases (reused from the workspace).
+  LpStatus run(const std::vector<double>& objective,
+               std::vector<double>& cost_scratch) {
     // ---- Phase 1: maximise -(sum of artificials). ----
     if (num_artificial_ > 0) {
-      std::vector<double> phase1_cost(num_cols_, 0.0);
+      std::vector<double>& phase1_cost = cost_scratch;
+      phase1_cost.assign(num_cols_, 0.0);
       for (std::size_t j = artificial_start_; j < num_cols_; ++j) {
         phase1_cost[j] = -1.0;
       }
@@ -198,7 +210,8 @@ class Tableau {
     }
 
     // ---- Phase 2: original objective over structural columns. ----
-    std::vector<double> phase2_cost(num_cols_, 0.0);
+    std::vector<double>& phase2_cost = cost_scratch;
+    phase2_cost.assign(num_cols_, 0.0);
     for (std::size_t j = 0;
          j < static_cast<std::size_t>(num_structural_) && j < objective.size();
          ++j) {
@@ -377,17 +390,18 @@ class Tableau {
   std::size_t num_artificial_ = 0;
   std::size_t num_cols_ = 0;
   std::size_t artificial_start_ = 0;
-  DenseMatrix table_;
-  std::vector<double> zrow_;
-  std::vector<std::int64_t> basis_;
-  std::vector<std::uint8_t> banned_;
+  DenseMatrix& table_;
+  std::vector<double>& zrow_;
+  std::vector<std::int64_t>& basis_;
+  std::vector<std::uint8_t>& banned_;
   std::int64_t iterations_ = 0;
   bool phase1_early_exit_ = false;
 };
 
 }  // namespace
 
-LpResult solve_lp(const LpProblem& problem, const SimplexOptions& options) {
+LpResult solve_lp(const LpProblem& problem, const SimplexOptions& options,
+                  SimplexWorkspace& workspace) {
   problem.validate();
   LpResult result;
   if (problem.rows.empty()) {
@@ -405,10 +419,11 @@ LpResult solve_lp(const LpProblem& problem, const SimplexOptions& options) {
     return result;
   }
 
-  Tableau tableau(problem, options);
-  std::vector<double> objective = problem.objective;
+  Tableau tableau(problem, options, workspace);
+  std::vector<double>& objective = workspace.objective;
+  objective.assign(problem.objective.begin(), problem.objective.end());
   objective.resize(static_cast<std::size_t>(problem.num_vars), 0.0);
-  result.status = tableau.run(objective);
+  result.status = tableau.run(objective, workspace.cost);
   result.iterations = tableau.iterations();
   if (result.status == LpStatus::kOptimal) {
     result.x = tableau.extract();
@@ -419,6 +434,11 @@ LpResult solve_lp(const LpProblem& problem, const SimplexOptions& options) {
     result.objective = z;
   }
   return result;
+}
+
+LpResult solve_lp(const LpProblem& problem, const SimplexOptions& options) {
+  SimplexWorkspace workspace;
+  return solve_lp(problem, options, workspace);
 }
 
 }  // namespace mmlp

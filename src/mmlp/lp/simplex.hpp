@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "mmlp/lp/matrix.hpp"
+
 namespace mmlp {
 
 enum class ConstraintSense : std::uint8_t { kLe, kEq, kGe };
@@ -57,8 +59,27 @@ struct SimplexOptions {
   std::int64_t degeneracy_window = 64;
 };
 
+/// Reusable tableau memory for solve_lp. Passing the same workspace to
+/// consecutive solves recycles every internal buffer (the dense tableau,
+/// the pricing row, basis bookkeeping), which matters when millions of
+/// small per-agent LPs are solved in a loop. The workspace carries no
+/// state between calls — results are bitwise identical with or without
+/// it — it only donates capacity.
+struct SimplexWorkspace {
+  DenseMatrix table;
+  std::vector<double> zrow;
+  std::vector<double> cost;
+  std::vector<double> objective;
+  std::vector<std::int64_t> basis;
+  std::vector<std::uint8_t> banned;
+};
+
 /// Solve with the two-phase dense simplex method.
 LpResult solve_lp(const LpProblem& problem, const SimplexOptions& options = {});
+
+/// As above, borrowing all scratch memory from `workspace`.
+LpResult solve_lp(const LpProblem& problem, const SimplexOptions& options,
+                  SimplexWorkspace& workspace);
 
 /// Check x against the rows of `problem` with tolerance `tol`;
 /// returns the worst violation (0 when feasible).

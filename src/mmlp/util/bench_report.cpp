@@ -1,0 +1,161 @@
+#include "mmlp/util/bench_report.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "mmlp/util/check.hpp"
+#include "mmlp/util/cli.hpp"
+#include "mmlp/util/timer.hpp"
+
+namespace mmlp::bench {
+
+namespace {
+
+void append_escaped(std::ostringstream& oss, const std::string& text) {
+  oss << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        oss << "\\\"";
+        break;
+      case '\\':
+        oss << "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          // JSON strings may not contain raw control characters.
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          oss << buffer;
+        } else {
+          oss << c;
+        }
+    }
+  }
+  oss << '"';
+}
+
+void append_number(std::ostringstream& oss, double value) {
+  // JSON has no inf/nan; reject non-finite metrics loudly instead of
+  // emitting an unparsable token.
+  MMLP_CHECK_MSG(std::isfinite(value), "non-finite benchmark metric: " << value);
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  oss << buffer;
+}
+
+}  // namespace
+
+Report::Report(std::string name, std::string scale)
+    : name_(std::move(name)), scale_(std::move(scale)) {}
+
+CaseResult& Report::run_case(const std::string& scenario, std::int64_t agents,
+                             int reps, const std::function<void()>& fn) {
+  MMLP_CHECK_GE(reps, 1);
+  MMLP_CHECK_GT(agents, 0);
+  double best_ms = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < reps; ++rep) {
+    WallTimer timer;
+    fn();
+    best_ms = std::min(best_ms, timer.milliseconds());
+  }
+  CaseResult result;
+  result.scenario = scenario;
+  result.agents = agents;
+  result.repetitions = reps;
+  result.wall_ms = best_ms;
+  result.ns_per_agent = best_ms * 1e6 / static_cast<double>(agents);
+  return add_case(std::move(result));
+}
+
+CaseResult& Report::add_case(CaseResult result) {
+  cases_.push_back(std::move(result));
+  return cases_.back();
+}
+
+std::string Report::to_json() const {
+  std::ostringstream oss;
+  oss << "{\n  \"schema\": ";
+  append_escaped(oss, kSchemaId);
+  oss << ",\n  \"name\": ";
+  append_escaped(oss, name_);
+  oss << ",\n  \"scale\": ";
+  append_escaped(oss, scale_);
+  oss << ",\n  \"cases\": [";
+  for (std::size_t idx = 0; idx < cases_.size(); ++idx) {
+    const CaseResult& entry = cases_[idx];
+    oss << (idx == 0 ? "\n" : ",\n") << "    {\"scenario\": ";
+    append_escaped(oss, entry.scenario);
+    oss << ", \"agents\": " << entry.agents
+        << ", \"repetitions\": " << entry.repetitions << ", \"wall_ms\": ";
+    append_number(oss, entry.wall_ms);
+    oss << ", \"ns_per_agent\": ";
+    append_number(oss, entry.ns_per_agent);
+    oss << ", \"counters\": {";
+    bool first = true;
+    for (const auto& [key, value] : entry.counters) {
+      if (!first) {
+        oss << ", ";
+      }
+      first = false;
+      append_escaped(oss, key);
+      oss << ": ";
+      append_number(oss, value);
+    }
+    oss << "}}";
+  }
+  oss << "\n  ]\n}\n";
+  return oss.str();
+}
+
+void Report::write(const std::string& path) const {
+  std::ofstream out(path);
+  MMLP_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  out << to_json();
+  out.flush();
+  MMLP_CHECK_MSG(out.good(), "failed writing benchmark report to " << path);
+}
+
+int bench_main(int argc, const char* const* argv, const std::string& name,
+               const std::function<void(Report& report, const std::string& scale,
+                                        int reps)>& body) {
+  ArgParser parser("mmlp benchmark '" + name +
+                   "'; writes a mmlp-bench-v1 JSON report");
+  parser.add_flag("out", "output JSON path", "BENCH_" + name + ".json");
+  parser.add_flag("scale", "problem sizes: smoke | small | full", "full");
+  parser.add_flag("reps", "timed repetitions per case (min is kept)", "3");
+  if (!parser.parse(argc, argv)) {
+    return 1;
+  }
+  const std::string scale = parser.get_string("scale");
+  if (scale != "smoke" && scale != "small" && scale != "full") {
+    std::fprintf(stderr, "unknown --scale '%s' (want smoke|small|full)\n",
+                 scale.c_str());
+    return 1;
+  }
+  const auto reps = static_cast<int>(parser.get_int("reps"));
+  if (reps < 1) {
+    std::fprintf(stderr, "--reps must be >= 1\n");
+    return 1;
+  }
+
+  Report report(name, scale);
+  body(report, scale, reps);
+
+  const std::string out = parser.get_string("out");
+  report.write(out);
+  for (const CaseResult& entry : report.cases()) {
+    std::printf("%-24s %-20s n=%-8lld %10.3f ms  %8.1f ns/agent\n",
+                name.c_str(), entry.scenario.c_str(),
+                static_cast<long long>(entry.agents), entry.wall_ms,
+                entry.ns_per_agent);
+  }
+  std::printf("wrote %s (%zu cases)\n", out.c_str(), report.cases().size());
+  return 0;
+}
+
+}  // namespace mmlp::bench

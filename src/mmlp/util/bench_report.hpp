@@ -1,0 +1,82 @@
+// mmlp::bench — the measured-trajectory harness behind the bench_*
+// binaries.
+//
+// Every benchmark run produces a machine-readable BENCH_<name>.json
+// (schema "mmlp-bench-v1", documented in docs/BENCHMARKS.md) so that
+// successive PRs land on a comparable series instead of eyeballed
+// human-text output. A Report collects one CaseResult per
+// (scenario, size) pair; run_case() times a callable `reps` times and
+// records the *minimum* wall time (the least-noise estimator on a shared
+// machine) both as total wall_ms and normalised ns_per_agent. Arbitrary
+// extra metrics — messages per round, peak support sizes, simplex
+// iterations — ride along in the per-case `counters` map.
+//
+// bench_main() is the shared CLI shell: it parses
+//   --out PATH    (default BENCH_<name>.json)
+//   --scale SIZE  (smoke | small | full; default full)
+//   --reps N      (default 3)
+// runs the benchmark body, writes the JSON, and prints a one-line
+// human summary per case to stdout.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mmlp::bench {
+
+/// Identifier of the JSON layout emitted by Report::to_json.
+inline constexpr const char* kSchemaId = "mmlp-bench-v1";
+
+/// One timed configuration of one benchmark.
+struct CaseResult {
+  std::string scenario;            ///< generator family, e.g. "grid_torus"
+  std::int64_t agents = 0;         ///< problem size the times are normalised by
+  std::int64_t repetitions = 0;    ///< how many timed runs wall_ms is the min of
+  double wall_ms = 0.0;            ///< minimum single-run wall time
+  double ns_per_agent = 0.0;       ///< wall_ms · 1e6 / agents
+  std::map<std::string, double> counters;  ///< extra metrics (sorted keys)
+};
+
+/// Accumulates cases and serialises them to the BENCH JSON schema.
+class Report {
+ public:
+  explicit Report(std::string name, std::string scale = "full");
+
+  const std::string& name() const { return name_; }
+  const std::string& scale() const { return scale_; }
+  const std::vector<CaseResult>& cases() const { return cases_; }
+
+  /// Time fn() `reps` times (reps >= 1) and append a case with the
+  /// minimum wall time. Returns the stored case so the caller can attach
+  /// counters; the reference is invalidated by the next
+  /// run_case/add_case call, so attach counters before adding more cases.
+  CaseResult& run_case(const std::string& scenario, std::int64_t agents,
+                       int reps, const std::function<void()>& fn);
+
+  /// Append a pre-filled case (for externally timed measurements). The
+  /// returned reference follows the same invalidation rule as run_case.
+  CaseResult& add_case(CaseResult result);
+
+  std::string to_json() const;
+
+  /// Write to_json() to `path`; throws CheckError when the file cannot
+  /// be written.
+  void write(const std::string& path) const;
+
+ private:
+  std::string name_;
+  std::string scale_;
+  std::vector<CaseResult> cases_;
+};
+
+/// Shared main() for bench binaries: parse the standard flags, run
+/// `body`, write the report, print the summary. Returns a process exit
+/// code.
+int bench_main(int argc, const char* const* argv, const std::string& name,
+               const std::function<void(Report& report, const std::string& scale,
+                                        int reps)>& body);
+
+}  // namespace mmlp::bench

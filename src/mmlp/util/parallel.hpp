@@ -8,6 +8,7 @@
 // reproducible regardless of the thread count.
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -62,5 +63,33 @@ void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
 
 /// Serial fallback used by tests to compare against parallel runs.
 void serial_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+/// Chunked variant for loops whose bodies amortise per-worker scratch
+/// (ball collectors, view/LP workspaces, materialization arenas):
+/// body(begin, end) is called once per chunk, with the range [0, count)
+/// split into ~8 chunks per pool worker. The body must only write
+/// per-index state, exactly as with parallel_for.
+template <typename Body>
+void chunked_parallel_for(std::size_t count, Body&& body,
+                          ThreadPool* pool = nullptr) {
+  if (count == 0) {
+    return;
+  }
+  const std::size_t workers =
+      (pool != nullptr ? *pool : ThreadPool::global()).size();
+  const std::size_t target_chunks = std::min(count, workers * 8);
+  const std::size_t chunk = (count + target_chunks - 1) / target_chunks;
+  // Re-derive the chunk count from the rounded-up size so no trailing
+  // task sees an empty (begin >= count) range.
+  const std::size_t num_chunks = (count + chunk - 1) / chunk;
+  parallel_for(
+      num_chunks,
+      [&](std::size_t c) {
+        const std::size_t begin = c * chunk;
+        const std::size_t end = std::min(count, begin + chunk);
+        body(begin, end);
+      },
+      pool);
+}
 
 }  // namespace mmlp

@@ -1,0 +1,37 @@
+// Exception-safe reset for persistent stamp maps.
+//
+// The hot per-agent loops (view extraction, world materialization) keep
+// a global→local index map alive across calls with the invariant "all
+// entries are −1 between calls" and restore it by re-walking the keys
+// they stamped. CheckError is catchable, so the restore must run on the
+// throw path too — otherwise a caller that catches and reuses the
+// scratch silently reads stale indices. StampGuard does the restore in
+// its destructor; construct it only after every key has been validated
+// to be a legal map index.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mmlp {
+
+/// Resets map[key] = -1 for every key on destruction.
+class StampGuard {
+ public:
+  StampGuard(std::vector<std::int32_t>& map,
+             const std::vector<std::int32_t>& keys)
+      : map_(map), keys_(keys) {}
+  ~StampGuard() {
+    for (const std::int32_t key : keys_) {
+      map_[static_cast<std::size_t>(key)] = -1;
+    }
+  }
+  StampGuard(const StampGuard&) = delete;
+  StampGuard& operator=(const StampGuard&) = delete;
+
+ private:
+  std::vector<std::int32_t>& map_;
+  const std::vector<std::int32_t>& keys_;
+};
+
+}  // namespace mmlp

@@ -1,0 +1,81 @@
+// mmlp::bench report layer: case timing, counters, and the
+// mmlp-bench-v1 JSON serialisation the CI smoke job validates.
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "mmlp/util/bench_report.hpp"
+#include "mmlp/util/check.hpp"
+
+namespace mmlp::bench {
+namespace {
+
+TEST(BenchReport, RunCaseRecordsTimingAndNormalises) {
+  Report report("unit", "smoke");
+  int calls = 0;
+  const CaseResult& entry =
+      report.run_case("grid_torus", 1000, 3, [&] { ++calls; });
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(entry.scenario, "grid_torus");
+  EXPECT_EQ(entry.agents, 1000);
+  EXPECT_EQ(entry.repetitions, 3);
+  EXPECT_GE(entry.wall_ms, 0.0);
+  EXPECT_NEAR(entry.ns_per_agent, entry.wall_ms * 1e6 / 1000.0, 1e-9);
+}
+
+TEST(BenchReport, RejectsInvalidCases) {
+  Report report("unit", "smoke");
+  EXPECT_THROW(report.run_case("x", 10, 0, [] {}), CheckError);
+  EXPECT_THROW(report.run_case("x", 0, 1, [] {}), CheckError);
+}
+
+TEST(BenchReport, JsonCarriesSchemaNameScaleAndCounters) {
+  Report report("safe", "smoke");
+  CaseResult& entry = report.run_case("isp", 512, 1, [] {});
+  entry.counters["messages_per_round"] = 2048;
+  entry.counters["peak_support"] = 15;
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"schema\": \"mmlp-bench-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"safe\""), std::string::npos);
+  EXPECT_NE(json.find("\"scale\": \"smoke\""), std::string::npos);
+  EXPECT_NE(json.find("\"scenario\": \"isp\""), std::string::npos);
+  EXPECT_NE(json.find("\"agents\": 512"), std::string::npos);
+  EXPECT_NE(json.find("\"messages_per_round\": 2048"), std::string::npos);
+  EXPECT_NE(json.find("\"peak_support\": 15"), std::string::npos);
+}
+
+TEST(BenchReport, JsonEscapesStringsAndRejectsNonFiniteMetrics) {
+  Report report("quo\"te", "smoke");
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"name\": \"quo\\\"te\""), std::string::npos);
+
+  Report bad("nan", "smoke");
+  CaseResult& entry = bad.run_case("x", 1, 1, [] {});
+  entry.counters["bad"] = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(bad.to_json(), CheckError);
+}
+
+TEST(BenchReport, WriteProducesAReadableFile) {
+  Report report("roundtrip", "smoke");
+  report.run_case("grid_torus", 64, 1, [] {});
+  const std::string path = ::testing::TempDir() + "BENCH_roundtrip.json";
+  report.write(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), report.to_json());
+  std::remove(path.c_str());
+}
+
+TEST(BenchReport, WriteToUnwritablePathThrows) {
+  Report report("nowhere", "smoke");
+  EXPECT_THROW(report.write("/nonexistent-dir/BENCH_x.json"), CheckError);
+}
+
+}  // namespace
+}  // namespace mmlp::bench

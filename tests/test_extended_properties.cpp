@@ -83,13 +83,13 @@ TEST(ViewConsistency, ViewOfViewIsStable) {
   builder.reserve(static_cast<AgentId>(view.agents.size()), 0, 0);
   for (std::size_t r = 0; r < view.resources.size(); ++r) {
     const ResourceId id = builder.add_resource();
-    for (const Coef& entry : view.resource_entries[r]) {
+    for (const Coef& entry : view.resource_entries(r)) {
       builder.set_usage(id, entry.id, entry.value);
     }
   }
   for (std::size_t p = 0; p < view.parties.size(); ++p) {
     const PartyId id = builder.add_party();
-    for (const Coef& entry : view.party_entries[p]) {
+    for (const Coef& entry : view.party_entries(p)) {
       builder.set_benefit(id, entry.id, entry.value);
     }
   }

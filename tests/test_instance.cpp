@@ -107,6 +107,61 @@ TEST(Instance, BuilderRejectsDuplicateCoefficient) {
   EXPECT_THROW(std::move(builder).build(), CheckError);
 }
 
+/// Run fn and return the CheckError message (fails the test if nothing
+/// is thrown).
+template <typename Fn>
+std::string check_error_message(Fn fn) {
+  try {
+    fn();
+  } catch (const CheckError& error) {
+    return error.what();
+  }
+  ADD_FAILURE() << "expected CheckError";
+  return {};
+}
+
+TEST(Instance, BuilderErrorsNameTheOffendingIds) {
+  // A bad entry inside a large generated instance must be attributable:
+  // every rejection names the agent/resource/party ids involved.
+  {
+    Instance::Builder builder;
+    const auto message =
+        check_error_message([&] { builder.set_usage(3, 7, -1.0); });
+    EXPECT_NE(message.find("i=3"), std::string::npos) << message;
+    EXPECT_NE(message.find("v=7"), std::string::npos) << message;
+  }
+  {
+    Instance::Builder builder;
+    const auto message =
+        check_error_message([&] { builder.set_benefit(5, 9, 0.0); });
+    EXPECT_NE(message.find("k=5"), std::string::npos) << message;
+    EXPECT_NE(message.find("v=9"), std::string::npos) << message;
+  }
+  {
+    Instance::Builder builder;
+    builder.reserve(8, 4, 0);
+    for (AgentId v = 0; v < 8; ++v) {
+      builder.set_usage(v / 2, v, 1.0);
+    }
+    builder.set_usage(2, 5, 2.0);  // duplicate of the (2, 5) entry above
+    const auto message =
+        check_error_message([&] { std::move(builder).build(); });
+    EXPECT_NE(message.find("duplicate"), std::string::npos) << message;
+    EXPECT_NE(message.find("2"), std::string::npos) << message;
+    EXPECT_NE(message.find("5"), std::string::npos) << message;
+  }
+}
+
+TEST(Instance, AccessorRangeErrorsNameTheIndex) {
+  const auto instance = testing::two_agent_instance();
+  const auto message = check_error_message(
+      [&] { instance.resource_support(42); });
+  EXPECT_NE(message.find("42"), std::string::npos) << message;
+  const auto agent_message =
+      check_error_message([&] { instance.agent_resources(-1); });
+  EXPECT_NE(agent_message.find("-1"), std::string::npos) << agent_message;
+}
+
 TEST(Instance, BuildRejectsEmptyIv) {
   // An agent with no resource violates the standing assumptions.
   Instance::Builder builder;

@@ -39,7 +39,9 @@ TEST(Safe, ChoiceHelperMatches) {
 
 TEST(Safe, ChoiceHelperValidatesInput) {
   EXPECT_THROW(safe_choice({}, {}), CheckError);
-  EXPECT_THROW(safe_choice({{0, 1.0}}, {1, 2}), CheckError);
+  const std::vector<Coef> one_resource{{0, 1.0}};
+  const std::vector<std::size_t> two_sizes{1, 2};
+  EXPECT_THROW(safe_choice(one_resource, two_sizes), CheckError);
 }
 
 class SafeProperty : public ::testing::TestWithParam<std::uint64_t> {};

@@ -40,7 +40,7 @@ TEST(LocalView, ResourceEntriesRestrictedToBall) {
   const auto it = std::find(view.resources.begin(), view.resources.end(), 0);
   ASSERT_NE(it, view.resources.end());
   const auto& entries =
-      view.resource_entries[static_cast<std::size_t>(it - view.resources.begin())];
+      view.resource_entries(static_cast<std::size_t>(it - view.resources.begin()));
   ASSERT_EQ(entries.size(), 1u);
   EXPECT_EQ(view.agents[static_cast<std::size_t>(entries[0].id)], 1);
 }

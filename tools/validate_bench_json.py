@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_*.json report against the mmlp-bench-v1 schema.
+
+Usage: validate_bench_json.py REPORT.json [REPORT2.json ...]
+
+Exits non-zero (printing every violation) when any report is invalid.
+The schema contract is documented in docs/BENCHMARKS.md and kept in
+lockstep with src/mmlp/util/bench_report.cpp.
+"""
+
+import json
+import math
+import sys
+
+SCHEMA_ID = "mmlp-bench-v1"
+SCALES = {"smoke", "small", "full"}
+
+
+def check(condition, errors, message):
+    if not condition:
+        errors.append(message)
+
+
+def is_finite_number(value):
+    return (
+        isinstance(value, (int, float))
+        and not isinstance(value, bool)
+        and math.isfinite(value)
+    )
+
+
+def validate_case(index, case, errors):
+    where = f"cases[{index}]"
+    check(isinstance(case, dict), errors, f"{where}: not an object")
+    if not isinstance(case, dict):
+        return
+    scenario = case.get("scenario")
+    check(
+        isinstance(scenario, str) and scenario,
+        errors,
+        f"{where}.scenario: non-empty string required",
+    )
+    agents = case.get("agents")
+    check(
+        isinstance(agents, int) and not isinstance(agents, bool) and agents > 0,
+        errors,
+        f"{where}.agents: positive integer required, got {agents!r}",
+    )
+    repetitions = case.get("repetitions")
+    check(
+        isinstance(repetitions, int)
+        and not isinstance(repetitions, bool)
+        and repetitions >= 1,
+        errors,
+        f"{where}.repetitions: integer >= 1 required, got {repetitions!r}",
+    )
+    wall_ms = case.get("wall_ms")
+    check(
+        is_finite_number(wall_ms) and wall_ms >= 0,
+        errors,
+        f"{where}.wall_ms: finite number >= 0 required, got {wall_ms!r}",
+    )
+    ns_per_agent = case.get("ns_per_agent")
+    check(
+        is_finite_number(ns_per_agent) and ns_per_agent >= 0,
+        errors,
+        f"{where}.ns_per_agent: finite number >= 0 required, got {ns_per_agent!r}",
+    )
+    if (
+        is_finite_number(wall_ms)
+        and is_finite_number(ns_per_agent)
+        and isinstance(agents, int)
+        and not isinstance(agents, bool)
+        and agents > 0
+    ):
+        expected = wall_ms * 1e6 / agents
+        tolerance = 1e-6 * max(1.0, abs(expected))
+        check(
+            abs(ns_per_agent - expected) <= tolerance,
+            errors,
+            f"{where}.ns_per_agent: {ns_per_agent} != wall_ms*1e6/agents ({expected})",
+        )
+    counters = case.get("counters")
+    check(isinstance(counters, dict), errors, f"{where}.counters: object required")
+    if isinstance(counters, dict):
+        for key, value in counters.items():
+            check(
+                isinstance(key, str) and key,
+                errors,
+                f"{where}.counters: non-empty string key required, got {key!r}",
+            )
+            check(
+                is_finite_number(value),
+                errors,
+                f"{where}.counters[{key!r}]: finite number required, got {value!r}",
+            )
+
+
+def validate_report(path):
+    errors = []
+    try:
+        with open(path, encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        return [f"cannot parse: {error}"]
+
+    check(isinstance(report, dict), errors, "top level: object required")
+    if not isinstance(report, dict):
+        return errors
+    check(
+        report.get("schema") == SCHEMA_ID,
+        errors,
+        f"schema: expected {SCHEMA_ID!r}, got {report.get('schema')!r}",
+    )
+    check(
+        isinstance(report.get("name"), str) and report.get("name"),
+        errors,
+        f"name: non-empty string required, got {report.get('name')!r}",
+    )
+    check(
+        report.get("scale") in SCALES,
+        errors,
+        f"scale: one of {sorted(SCALES)} required, got {report.get('scale')!r}",
+    )
+    cases = report.get("cases")
+    check(
+        isinstance(cases, list) and cases,
+        errors,
+        "cases: non-empty array required",
+    )
+    if isinstance(cases, list):
+        for index, case in enumerate(cases):
+            validate_case(index, case, errors)
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        errors = validate_report(path)
+        if errors:
+            failed = True
+            print(f"{path}: INVALID")
+            for error in errors:
+                print(f"  - {error}")
+        else:
+            print(f"{path}: OK")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
