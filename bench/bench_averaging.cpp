@@ -3,9 +3,14 @@
 // fixed R. Sweeps n at R = 1 over grid/geometric workloads plus an
 // R-sweep at fixed n, reporting ns/agent, the Figure 2 ratio bound and
 // the peak ball size into BENCH_averaging.json.
+//
+// Each timed run goes through a *fresh* engine::Session (the historical
+// cold-path series: every repetition pays for balls and growth sets);
+// the warm repeat-solve economics live in bench_engine.
 #include <algorithm>
 
 #include "mmlp/core/local_averaging.hpp"
+#include "mmlp/engine/session.hpp"
 #include "mmlp/util/bench_report.hpp"
 
 #include "scenarios.hpp"
@@ -16,8 +21,10 @@ void run_one(mmlp::bench::Report& report, const std::string& scenario,
              const mmlp::Instance& instance, std::int32_t radius, int reps) {
   mmlp::LocalAveragingResult result;
   auto& entry = report.run_case(
-      scenario, instance.num_agents(), reps,
-      [&] { result = mmlp::local_averaging(instance, {.R = radius}); });
+      scenario, instance.num_agents(), reps, [&] {
+        mmlp::engine::Session session(instance);
+        result = mmlp::local_averaging_with(session, {.R = radius});
+      });
   entry.counters["R"] = static_cast<double>(radius);
   entry.counters["ratio_bound"] = result.ratio_bound;
   std::size_t max_ball = 0;
@@ -34,14 +41,11 @@ int main(int argc, char** argv) {
   return bench::bench_main(
       argc, argv, "averaging",
       [](bench::Report& report, const std::string& scale, int reps) {
-        for (const std::string& scenario :
-             {std::string("grid_torus"), std::string("geometric")}) {
-          for (const std::int64_t n : bench_scenarios::swept_sizes(scale)) {
-            const Instance instance =
-                bench_scenarios::make_scenario(scenario, n);
-            run_one(report, scenario, instance, /*radius=*/1, reps);
-          }
-        }
+        bench_scenarios::for_each_scenario(
+            {"grid_torus", "geometric"}, scale,
+            [&](const std::string& scenario, const Instance& instance) {
+              run_one(report, scenario, instance, /*radius=*/1, reps);
+            });
         // Radius sweep at fixed n: the per-agent cost grows with the
         // R-ball volume (|B(u,R)| ~ 2R^2 on the torus).
         const std::int64_t sweep_n = scale == "smoke" ? 256 : 2500;

@@ -1,0 +1,77 @@
+// Engine session economics: what does a request pay on a cold session
+// vs. request #2..#N on a hot one?  For every scenario/size the harness
+// times the same registry request twice:
+//
+//   <scenario>_cold : a fresh engine::Session per solve — every repeat
+//                     rebuilds balls, growth sets and worker scratch
+//                     (the pre-engine free-function cost);
+//   <scenario>_warm : one persistent Session primed once — repeats hit
+//                     the caches, so only the algorithm proper remains.
+//
+// The counters carry the proof that the cache actually engaged:
+// cache_build_ms / cache_misses from the request's timing breakdown
+// (≈0 on warm cases), plus the warm/cold wall ratio. The acceptance
+// criterion of the engine PR reads this file at --scale full
+// (1e5 agents): warm averaging must sit measurably below cold.
+#include "mmlp/engine/session.hpp"
+#include "mmlp/engine/solver.hpp"
+#include "mmlp/util/bench_report.hpp"
+
+#include "scenarios.hpp"
+
+namespace {
+
+using mmlp::engine::Session;
+using mmlp::engine::SolveRequest;
+using mmlp::engine::SolveResult;
+
+void run_pair(mmlp::bench::Report& report, const std::string& scenario,
+              const mmlp::Instance& instance, const SolveRequest& request,
+              int reps) {
+  SolveResult last;
+
+  auto& cold = report.run_case(scenario + "_cold", instance.num_agents(), reps,
+                               [&] {
+                                 Session session(instance);
+                                 last = mmlp::engine::solve(session, request);
+                               });
+  cold.counters["cache_build_ms"] = last.cache_build_ms;
+  cold.counters["cache_misses"] = static_cast<double>(last.cache_misses);
+  const double cold_ms = cold.wall_ms;
+
+  Session session(instance);
+  (void)mmlp::engine::solve(session, request);  // prime the caches
+  auto& warm = report.run_case(
+      scenario + "_warm", instance.num_agents(), reps,
+      [&] { last = mmlp::engine::solve(session, request); });
+  warm.counters["cache_build_ms"] = last.cache_build_ms;
+  warm.counters["cache_misses"] = static_cast<double>(last.cache_misses);
+  warm.counters["cache_hits"] = static_cast<double>(last.cache_hits);
+  warm.counters["cold_over_warm"] =
+      warm.wall_ms > 0.0 ? cold_ms / warm.wall_ms : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mmlp;
+  return bench::bench_main(
+      argc, argv, "engine",
+      [](bench::Report& report, const std::string& scale, int reps) {
+        for (const std::string& scenario :
+             {std::string("grid_torus"), std::string("random")}) {
+          for (const std::int64_t n : bench_scenarios::swept_sizes(scale)) {
+            const Instance instance =
+                bench_scenarios::make_scenario(scenario, n);
+            // The averaging request is where the session caches carry
+            // real weight (balls + growth sets + per-worker LP scratch).
+            run_pair(report, scenario + "_averaging", instance,
+                     {.algorithm = "averaging", .R = 1}, reps);
+            // The safe request derives no cacheable state: warm ≈ cold
+            // by design, which keeps the comparison honest.
+            run_pair(report, scenario + "_safe", instance,
+                     {.algorithm = "safe"}, reps);
+          }
+        }
+      });
+}

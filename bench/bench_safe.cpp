@@ -1,8 +1,11 @@
 // E9 — the scalability claim of Section 1.1: per-node work of the safe
 // algorithm (eq. (2)) is constant, so total time is linear in n. Sweeps
-// every generator scenario at the --scale sizes and reports ns/agent
-// plus sparsity counters into BENCH_safe.json.
+// every generator scenario at the --scale sizes through the engine
+// Session API (safe derives no cacheable state, so the series stays
+// comparable with the pre-engine free-function numbers) and reports
+// ns/agent plus sparsity counters into BENCH_safe.json.
 #include "mmlp/core/safe.hpp"
+#include "mmlp/engine/session.hpp"
 #include "mmlp/util/bench_report.hpp"
 
 #include "scenarios.hpp"
@@ -12,21 +15,19 @@ int main(int argc, char** argv) {
   return bench::bench_main(
       argc, argv, "safe",
       [](bench::Report& report, const std::string& scale, int reps) {
-        const std::vector<std::string> scenarios = {
-            "grid_torus", "random", "geometric", "isp", "regular_bipartite"};
-        for (const std::string& scenario : scenarios) {
-          for (const std::int64_t n : bench_scenarios::swept_sizes(scale)) {
-            const Instance instance = bench_scenarios::make_scenario(scenario, n);
-            std::vector<double> x;
-            auto& result = report.run_case(
-                scenario, instance.num_agents(), reps,
-                [&] { x = safe_solution(instance); });
-            const DegreeBounds bounds = instance.degree_bounds();
-            result.counters["nonzeros"] =
-                static_cast<double>(instance.num_nonzeros());
-            result.counters["peak_support"] = static_cast<double>(
-                std::max(bounds.delta_V_of_I, bounds.delta_V_of_K));
-          }
-        }
+        bench_scenarios::for_each_scenario(
+            bench_scenarios::all_scenarios(), scale,
+            [&](const std::string& scenario, const Instance& instance) {
+              engine::Session session(instance);
+              std::vector<double> x;
+              auto& result = report.run_case(
+                  scenario, instance.num_agents(), reps,
+                  [&] { x = safe_solution_with(session); });
+              const DegreeBounds bounds = instance.degree_bounds();
+              result.counters["nonzeros"] =
+                  static_cast<double>(instance.num_nonzeros());
+              result.counters["peak_support"] = static_cast<double>(
+                  std::max(bounds.delta_V_of_I, bounds.delta_V_of_K));
+            });
       });
 }

@@ -132,4 +132,24 @@ inline Instance make_scenario(const std::string& name, std::int64_t n) {
   MMLP_CHECK_MSG(false, "unknown scenario: " << name);
 }
 
+/// Every scenario name, in the sweep order the BENCH series use.
+inline const std::vector<std::string>& all_scenarios() {
+  static const std::vector<std::string> names = {
+      "grid_torus", "random", "geometric", "isp", "regular_bipartite"};
+  return names;
+}
+
+/// Sweep `scenarios` × swept_sizes(scale): build each instance once and
+/// hand it to body(scenario_name, instance). Kills the nested
+/// scenario/size loop every bench binary used to re-implement.
+template <typename Body>
+inline void for_each_scenario(const std::vector<std::string>& scenarios,
+                              const std::string& scale, Body&& body) {
+  for (const std::string& scenario : scenarios) {
+    for (const std::int64_t n : swept_sizes(scale)) {
+      body(scenario, make_scenario(scenario, n));
+    }
+  }
+}
+
 }  // namespace mmlp::bench_scenarios

@@ -3,10 +3,9 @@
 // maximises the worst customer's throughput.
 #include <cstdio>
 
-#include "mmlp/core/local_averaging.hpp"
-#include "mmlp/core/optimal.hpp"
-#include "mmlp/core/safe.hpp"
 #include "mmlp/core/solution.hpp"
+#include "mmlp/engine/session.hpp"
+#include "mmlp/engine/solver.hpp"
 #include "mmlp/gen/isp.hpp"
 #include "mmlp/util/cli.hpp"
 #include "mmlp/util/table.hpp"
@@ -32,25 +31,27 @@ int main(int argc, char** argv) {
               options.num_customers, net.num_links, options.num_routers,
               net.instance.num_agents());
 
-  const auto x_safe = safe_solution(net.instance);
-  const auto averaging = local_averaging(net.instance, {.R = 1});
-  const auto exact = solve_optimal(net.instance);
+  // One session serves all three solver tiers.
+  engine::Session session(net.instance);
+  const auto safe = engine::solve(session, {.algorithm = "safe"});
+  const auto averaging =
+      engine::solve(session, {.algorithm = "averaging", .R = 1});
+  const auto exact = engine::solve(session, {.algorithm = "optimal"});
 
-  const double safe_omega = objective_omega(net.instance, x_safe);
-  const double avg_omega = objective_omega(net.instance, averaging.x);
   TableWriter table({"algorithm", "fair share", "vs optimal"}, 4);
-  table.add_row({std::string("safe (local)"), safe_omega,
-                 safe_omega / exact.omega});
-  table.add_row({std::string("averaging R=1 (local)"), avg_omega,
-                 avg_omega / exact.omega});
+  table.add_row({std::string("safe (local)"), safe.omega,
+                 safe.omega / exact.omega});
+  table.add_row({std::string("averaging R=1 (local)"), averaging.omega,
+                 averaging.omega / exact.omega});
   table.add_row({std::string("optimal (centralised)"), exact.omega, 1.0});
   table.print("Worst-served customer's throughput");
 
-  // Per-customer breakdown under the optimum.
+  // Per-customer breakdown under the optimum (SolveResult carries the
+  // per-party benefits already).
   TableWriter detail({"customer", "throughput"}, 4);
   for (PartyId k = 0; k < net.instance.num_parties(); ++k) {
     detail.add_row({static_cast<std::int64_t>(k),
-                    party_benefit(net.instance, exact.x, k)});
+                    exact.party_benefit[static_cast<std::size_t>(k)]});
   }
   std::printf("\n");
   detail.print("Per-customer throughput at the optimum (max-min fair floor)");

@@ -4,10 +4,10 @@
 // price it pays there.
 #include <cstdio>
 
-#include "mmlp/core/safe.hpp"
 #include "mmlp/core/solution.hpp"
+#include "mmlp/engine/session.hpp"
+#include "mmlp/engine/solver.hpp"
 #include "mmlp/gen/lowerbound.hpp"
-#include "mmlp/lp/maxmin_reduction.hpp"
 #include "mmlp/util/cli.hpp"
 
 int main(int argc, char** argv) {
@@ -33,14 +33,14 @@ int main(int argc, char** argv) {
               "bipartite, girth >= 6)\n",
               lb.num_trees, lb.tree_size, lb.degree);
 
-  // The adversary's moves.
-  const auto x_s = safe_solution(lb.instance);
-  const auto delta = compute_delta(lb, x_s);
+  // The adversary's moves (solves routed through the engine registry).
+  engine::Session session_s(lb.instance);
+  const auto safe_s = engine::solve(session_s, {.algorithm = "safe"});
+  const auto delta = compute_delta(lb, safe_s.x);
   const std::int32_t p = select_p(delta);
   std::printf("safe run on S: omega = %.4f; adversary picks tree p = %d "
               "(delta(p) = %.4f >= 0)\n",
-              objective_omega(lb.instance, x_s), p,
-              delta[static_cast<std::size_t>(p)]);
+              safe_s.omega, p, delta[static_cast<std::size_t>(p)]);
 
   const auto sub = build_s_prime(lb, p);
   std::printf("S': %d agents (T_p plus radius-2 balls around its leaves)\n",
@@ -56,8 +56,9 @@ int main(int argc, char** argv) {
   // What any horizon-1 algorithm is forced into. The radius-1 views of
   // T_p agents are identical in S and S', so the safe algorithm repeats
   // its choices; running it on S' directly gives the same values.
-  const auto x_sub = safe_solution(sub.instance);
-  const double omega_local = objective_omega(sub.instance, x_sub);
+  engine::Session session_sub(sub.instance);
+  const double omega_local =
+      engine::solve(session_sub, {.algorithm = "safe"}).omega;
   std::printf("safe on S': omega = %.4f  =>  ratio >= %.4f\n", omega_local,
               1.0 / omega_local);
   std::printf("Theorem 1 bound: %.4f (finite-R: %.4f)\n",

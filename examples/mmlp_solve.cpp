@@ -5,6 +5,12 @@
 //   mmlp_solve --generate grid --side 8 --algorithm averaging --radius 2
 //   mmlp_solve --generate sensor --seed 3 --output /tmp/net.mmlp
 //
+// Algorithms are resolved through the engine::SolverRegistry — any
+// registered name works (--algorithm distributed-averaging, sublinear,
+// ...), "all" runs the standard comparison set, and every solve shares
+// one warm engine::Session so repeated algorithms reuse the cached
+// graph/ball structures.
+//
 // The instance format is the plain-text round-trip format of
 // Instance::serialize(): a header line `mmlp <agents> <resources>
 // <parties>`, then `a <i> <v> <value>` and `c <k> <v> <value>` records.
@@ -61,7 +67,8 @@ int main(int argc, char** argv) {
                 "grid");
   args.add_flag("side", "generator size parameter", "8");
   args.add_flag("seed", "generator seed", "1");
-  args.add_flag("algorithm", "safe|averaging|greedy|optimal|all", "all");
+  args.add_flag("algorithm", "a registry name (safe|averaging|greedy|...) or 'all'",
+                "all");
   args.add_flag("radius", "averaging view radius R", "1");
   args.add_flag("output", "write the instance to this file and exit", "");
   if (!args.parse(argc, argv)) {
@@ -86,32 +93,37 @@ int main(int argc, char** argv) {
             << " (D_V^I=" << bounds.delta_V_of_I
             << ", D_V^K=" << bounds.delta_V_of_K << ")\n\n";
 
+  // One warm session serves every requested algorithm; the registry
+  // resolves names (an unknown one fails with the registered list).
   const std::string algorithm = args.get_string("algorithm");
-  const bool all = algorithm == "all";
-  TableWriter table({"algorithm", "omega", "feasible"}, 6);
-  auto report = [&](const std::string& name, const std::vector<double>& x) {
-    const Evaluation eval = evaluate(instance, x);
-    table.add_row({name, eval.omega, std::string(eval.feasible() ? "yes" : "NO")});
-  };
+  const auto radius = static_cast<std::int32_t>(args.get_int("radius"));
+  const std::vector<std::string> selected =
+      algorithm == "all"
+          ? std::vector<std::string>{"safe", "averaging", "greedy", "optimal"}
+          : std::vector<std::string>{algorithm};
 
-  if (all || algorithm == "safe") {
-    report("safe", safe_solution(instance));
+  engine::Session session(instance);
+  TableWriter table({"algorithm", "omega", "feasible", "ms"}, 6);
+  for (const std::string& name : selected) {
+    const engine::SolveResult result =
+        engine::solve(session, {.algorithm = name, .R = radius});
+    std::string label = result.algorithm;
+    if (result.diagnostics.contains("R")) {
+      label += " R=" + std::to_string(radius);
+    }
+    if (result.has_solution) {
+      table.add_row({label, result.omega,
+                     std::string(result.feasible ? "yes" : "NO"),
+                     result.total_ms});
+    } else {
+      // Estimators carry their answer in the diagnostics.
+      for (const auto& [key, value] : result.diagnostics) {
+        std::cout << label << " " << key << " = " << value << '\n';
+      }
+    }
   }
-  if (all || algorithm == "averaging") {
-    const auto radius = static_cast<std::int32_t>(args.get_int("radius"));
-    const auto result = local_averaging(instance, {.R = radius});
-    report("averaging R=" + std::to_string(radius), result.x);
+  if (table.num_rows() > 0) {
+    table.print("Results");
   }
-  if (all || algorithm == "greedy") {
-    report("greedy", greedy_waterfill(instance).x);
-  }
-  if (all || algorithm == "optimal") {
-    const auto result = solve_optimal(instance);
-    report(result.exact ? "optimal (simplex)" : "optimal (mwu, approx)",
-           result.x);
-  }
-  MMLP_CHECK_MSG(table.num_rows() > 0,
-                 "unknown algorithm '" << algorithm << "'");
-  table.print("Results");
   return 0;
 }

@@ -1,4 +1,6 @@
-// Quickstart: define a max-min LP by hand, run all three solver tiers.
+// Quickstart: define a max-min LP by hand, open an engine::Session on
+// it, and run the three solver tiers through the unified
+// SolveRequest/SolveResult API.
 //
 //   maximise min(benefit of k0, benefit of k1)
 //   subject to shared resource budgets, x >= 0.
@@ -8,10 +10,8 @@
 #include <cstdio>
 
 #include "mmlp/core/instance.hpp"
-#include "mmlp/core/local_averaging.hpp"
-#include "mmlp/core/optimal.hpp"
-#include "mmlp/core/safe.hpp"
-#include "mmlp/core/solution.hpp"
+#include "mmlp/engine/session.hpp"
+#include "mmlp/engine/solver.hpp"
 
 int main() {
   using namespace mmlp;
@@ -37,31 +37,36 @@ int main() {
               instance.num_agents(), instance.num_resources(),
               instance.num_parties(), bounds.delta_V_of_I);
 
-  auto report = [&](const char* name, const std::vector<double>& x) {
-    const Evaluation eval = evaluate(instance, x);
+  // 2. Open a session: it owns the worker pool and caches every derived
+  // structure (communication graph, balls, growth sets, LP scratch), so
+  // each subsequent request pays only for its own algorithm.
+  engine::Session session(instance);
+
+  auto report = [&](const engine::SolveResult& result) {
     std::printf("%-22s x = (%.4f, %.4f, %.4f)  omega = %.4f  feasible = %s\n",
-                name, x[0], x[1], x[2], eval.omega,
-                eval.feasible() ? "yes" : "NO");
+                result.algorithm.c_str(), result.x[0], result.x[1],
+                result.x[2], result.omega, result.feasible ? "yes" : "NO");
+    return result;
   };
 
-  // 2. The safe algorithm (local, horizon 1, Delta_V^I-approximation).
-  report("safe (horizon 1)", safe_solution(instance));
+  // 3. The safe algorithm (local, horizon 1, Delta_V^I-approximation).
+  report(engine::solve(session, {.algorithm = "safe"}));
 
-  // 3. The Theorem 3 averaging algorithm (local, horizon 2R+1).
-  const auto averaging = local_averaging(instance, {.R = 1});
-  report("averaging (R = 1)", averaging.x);
+  // 4. The Theorem 3 averaging algorithm (local, horizon 2R+1).
+  const engine::SolveResult averaging =
+      report(engine::solve(session, {.algorithm = "averaging", .R = 1}));
   std::printf("%-22s a-priori ratio bound = %.4f\n", "",
-              averaging.ratio_bound);
+              averaging.diagnostics.at("ratio_bound"));
 
-  // 4. The global optimum (centralised LP).
-  const auto exact = solve_optimal(instance);
-  report("optimal (global LP)", exact.x);
+  // 5. The global optimum (centralised LP).
+  const engine::SolveResult exact =
+      report(engine::solve(session, {.algorithm = "optimal"}));
 
-  const double safe_omega = objective_omega(instance, safe_solution(instance));
+  const double safe_omega =
+      engine::solve(session, {.algorithm = "safe"}).omega;
   std::printf("\nmeasured ratios: safe %.3f, averaging %.3f "
               "(guarantees: %zu and %.3f)\n",
-              exact.omega / safe_omega,
-              exact.omega / objective_omega(instance, averaging.x),
-              bounds.delta_V_of_I, averaging.ratio_bound);
+              exact.omega / safe_omega, exact.omega / averaging.omega,
+              bounds.delta_V_of_I, averaging.diagnostics.at("ratio_bound"));
   return 0;
 }

@@ -4,10 +4,9 @@
 // per-area data rates and the bottleneck device.
 #include <cstdio>
 
-#include "mmlp/core/local_averaging.hpp"
-#include "mmlp/core/optimal.hpp"
-#include "mmlp/core/safe.hpp"
 #include "mmlp/core/solution.hpp"
+#include "mmlp/engine/session.hpp"
+#include "mmlp/engine/solver.hpp"
 #include "mmlp/gen/sensor.hpp"
 #include "mmlp/util/cli.hpp"
 #include "mmlp/util/table.hpp"
@@ -37,18 +36,19 @@ int main(int argc, char** argv) {
               net.links.size(), net.instance.num_resources(),
               net.instance.num_parties());
 
-  const auto x_safe = safe_solution(net.instance);
-  const auto averaging = local_averaging(net.instance, {.R = 1});
-  const auto exact = solve_optimal(net.instance);
+  // One session serves all three solver tiers.
+  engine::Session session(net.instance);
+  const auto safe = engine::solve(session, {.algorithm = "safe"});
+  const auto averaging =
+      engine::solve(session, {.algorithm = "averaging", .R = 1});
+  const auto exact = engine::solve(session, {.algorithm = "optimal"});
 
   TableWriter table({"algorithm", "horizon", "lifetime omega", "vs optimal"},
                     4);
-  const double safe_omega = objective_omega(net.instance, x_safe);
-  const double avg_omega = objective_omega(net.instance, averaging.x);
-  table.add_row({std::string("safe"), std::string("1"), safe_omega,
-                 safe_omega / exact.omega});
-  table.add_row({std::string("averaging R=1"), std::string("3"), avg_omega,
-                 avg_omega / exact.omega});
+  table.add_row({std::string("safe"), std::string("1"), safe.omega,
+                 safe.omega / exact.omega});
+  table.add_row({std::string("averaging R=1"), std::string("3"),
+                 averaging.omega, averaging.omega / exact.omega});
   table.add_row({std::string("optimal (global)"), std::string("-"),
                  exact.omega, 1.0});
   table.print("Guaranteed per-area data volume per battery unit");

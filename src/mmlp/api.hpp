@@ -16,6 +16,9 @@
 #include "mmlp/dist/algorithms.hpp"      // IWYU pragma: export
 #include "mmlp/dist/runtime.hpp"         // IWYU pragma: export
 #include "mmlp/dist/self_stabilize.hpp"  // IWYU pragma: export
+#include "mmlp/engine/session.hpp"       // IWYU pragma: export
+#include "mmlp/engine/solver.hpp"        // IWYU pragma: export
+#include "mmlp/engine/wire.hpp"          // IWYU pragma: export
 #include "mmlp/gen/geometric.hpp"        // IWYU pragma: export
 #include "mmlp/gen/grid.hpp"             // IWYU pragma: export
 #include "mmlp/gen/isp.hpp"              // IWYU pragma: export

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "mmlp/core/solution.hpp"
+#include "mmlp/engine/session.hpp"
 #include "mmlp/util/check.hpp"
 
 namespace mmlp {
@@ -90,6 +91,15 @@ GreedyResult greedy_waterfill(const Instance& instance,
   scale_to_feasible(instance, result.x);
   result.omega = objective_omega(instance, result.x);
   return result;
+}
+
+std::vector<double> uniform_solution_with(engine::Session& session) {
+  return uniform_solution(session.instance());
+}
+
+GreedyResult greedy_waterfill_with(engine::Session& session,
+                                   const GreedyOptions& options) {
+  return greedy_waterfill(session.instance(), options);
 }
 
 }  // namespace mmlp

@@ -15,8 +15,16 @@
 
 namespace mmlp {
 
+namespace engine {
+class Session;  // engine/session.hpp
+}
+
 /// x_v = t for all v with the largest feasible t = 1 / max_i Σ_v a_iv.
 std::vector<double> uniform_solution(const Instance& instance);
+
+/// Session-API variant (identical output; the baselines derive no
+/// cacheable state, the overload keeps the solver registry uniform).
+std::vector<double> uniform_solution_with(engine::Session& session);
 
 struct GreedyOptions {
   std::int64_t max_steps = 100000;
@@ -38,5 +46,9 @@ struct GreedyResult {
 /// slack, raise the one with the best benefit-per-congestion ratio.
 GreedyResult greedy_waterfill(const Instance& instance,
                               const GreedyOptions& options = {});
+
+/// Session-API variant of greedy_waterfill (identical output).
+GreedyResult greedy_waterfill_with(engine::Session& session,
+                                   const GreedyOptions& options = {});
 
 }  // namespace mmlp

@@ -4,12 +4,17 @@
 // the simplex tableau all reuse the same memory across the agents of a
 // chunk; the outputs (view_omega, view_x) are per-agent slots, so the
 // result is identical to the serial run.
+//
+// The implementation lives in local_averaging_with: every expensive
+// derived structure (communication graph, balls, growth sets, worker
+// scratch) is pulled from an engine::Session, and the classic free
+// function simply runs against a session that lives for one call.
 #include "mmlp/core/local_averaging.hpp"
 
 #include <algorithm>
 
 #include "mmlp/core/solution.hpp"
-#include "mmlp/graph/bfs.hpp"
+#include "mmlp/engine/session.hpp"
 #include "mmlp/util/check.hpp"
 #include "mmlp/util/parallel.hpp"
 
@@ -17,7 +22,14 @@ namespace mmlp {
 
 LocalAveragingResult local_averaging(const Instance& instance,
                                      const LocalAveragingOptions& options) {
+  engine::Session session(instance);
+  return local_averaging_with(session, options);
+}
+
+LocalAveragingResult local_averaging_with(engine::Session& session,
+                                          const LocalAveragingOptions& options) {
   MMLP_CHECK_GE(options.R, 1);
+  const Instance& instance = session.instance();
   const auto n = static_cast<std::size_t>(instance.num_agents());
   LocalAveragingResult result;
   result.x.assign(n, 0.0);
@@ -25,28 +37,31 @@ LocalAveragingResult local_averaging(const Instance& instance,
     return result;
   }
 
-  const Hypergraph h =
-      instance.communication_graph(options.collaboration_oblivious);
-  const auto balls = all_balls(h, options.R);
+  const std::vector<std::vector<AgentId>>& balls =
+      session.balls(options.R, options.collaboration_oblivious);
 
   // Solve the local LP (9) of every agent, in parallel; chunked so each
-  // task reuses one scratch workspace.
+  // task leases one scratch workspace from the session pool.
   std::vector<std::vector<double>> view_x(n);
   result.view_omega.assign(n, 0.0);
-  chunked_parallel_for(n, [&](std::size_t begin, std::size_t end) {
-    ViewScratch scratch;
-    LocalView view;
-    for (std::size_t u = begin; u < end; ++u) {
-      extract_view_into(instance, static_cast<AgentId>(u), options.R, balls[u],
-                        view, scratch);
-      ViewLpSolution solution = solve_view_lp(view, options.lp, scratch);
-      result.view_omega[u] = solution.omega;
-      view_x[u] = std::move(solution.x);
-    }
-  });
+  chunked_parallel_for(
+      n,
+      [&](std::size_t begin, std::size_t end) {
+        auto scratch = session.view_scratch().acquire();
+        LocalView view;
+        for (std::size_t u = begin; u < end; ++u) {
+          extract_view_into(instance, static_cast<AgentId>(u), options.R,
+                            balls[u], view, *scratch);
+          ViewLpSolution solution = solve_view_lp(view, options.lp, *scratch);
+          result.view_omega[u] = solution.omega;
+          view_x[u] = std::move(solution.x);
+        }
+      },
+      session.pool());
 
   // β_j from the growth sets (Figure 2 machinery).
-  const GrowthSets sets = compute_growth_sets(instance, balls);
+  const GrowthSets& sets =
+      session.growth_sets(options.R, options.collaboration_oblivious);
   result.beta = sets.beta;
   result.ball_size = sets.ball_size;
   result.ratio_bound = sets.ratio_bound();

@@ -24,6 +24,10 @@
 
 namespace mmlp {
 
+namespace engine {
+class Session;  // engine/session.hpp
+}
+
 /// Damping rule applied to the averaged view solutions (ablations of the
 /// paper's eq. (10); see bench/exp_ablation_damping).
 enum class AveragingDamping : std::uint8_t {
@@ -55,5 +59,13 @@ struct LocalAveragingResult {
 /// reported as +inf).
 LocalAveragingResult local_averaging(const Instance& instance,
                                      const LocalAveragingOptions& options = {});
+
+/// Warm-session variant: balls, growth sets and the per-worker view/LP
+/// scratch come from the session's caches, so repeat solves on the same
+/// instance skip the B_H(v, R) and Figure 2 recomputation entirely.
+/// Output is bitwise identical to local_averaging() — the free function
+/// is a thin wrapper running this against a throwaway session.
+LocalAveragingResult local_averaging_with(engine::Session& session,
+                                          const LocalAveragingOptions& options = {});
 
 }  // namespace mmlp

@@ -1,6 +1,7 @@
 #include "mmlp/core/optimal.hpp"
 
 #include "mmlp/core/solution.hpp"
+#include "mmlp/engine/session.hpp"
 #include "mmlp/lp/maxmin_reduction.hpp"
 #include "mmlp/util/check.hpp"
 
@@ -34,6 +35,11 @@ OptimalResult solve_optimal(const Instance& instance,
   result.method_used = OptimalMethod::kMwu;
   result.exact = false;
   return result;
+}
+
+OptimalResult solve_optimal_with(engine::Session& session,
+                                 const OptimalOptions& options) {
+  return solve_optimal(session.instance(), options);
 }
 
 }  // namespace mmlp

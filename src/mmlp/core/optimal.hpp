@@ -15,6 +15,10 @@
 
 namespace mmlp {
 
+namespace engine {
+class Session;  // engine/session.hpp
+}
+
 enum class OptimalMethod : std::uint8_t { kAuto, kSimplex, kMwu };
 
 struct OptimalOptions {
@@ -36,5 +40,10 @@ struct OptimalResult {
 /// Compute (or tightly lower-bound, for MWU) the optimum of (1).
 OptimalResult solve_optimal(const Instance& instance,
                             const OptimalOptions& options = {});
+
+/// Session-API variant (identical output; the global LP derives no
+/// session-cacheable state).
+OptimalResult solve_optimal_with(engine::Session& session,
+                                 const OptimalOptions& options = {});
 
 }  // namespace mmlp

@@ -7,10 +7,35 @@
 
 #include <limits>
 
+#include "mmlp/engine/session.hpp"
 #include "mmlp/util/check.hpp"
 #include "mmlp/util/parallel.hpp"
 
 namespace mmlp {
+
+namespace {
+
+std::vector<double> safe_solution_impl(const Instance& instance,
+                                       ThreadPool* pool) {
+  const auto n = static_cast<std::size_t>(instance.num_agents());
+  std::vector<double> x(n, 0.0);
+  parallel_for(
+      n,
+      [&](std::size_t v) {
+        double choice = std::numeric_limits<double>::infinity();
+        for (const Coef& entry :
+             instance.agent_resources(static_cast<AgentId>(v))) {
+          const auto size =
+              static_cast<double>(instance.resource_support_size(entry.id));
+          choice = std::min(choice, 1.0 / (entry.value * size));
+        }
+        x[v] = choice;
+      },
+      pool);
+  return x;
+}
+
+}  // namespace
 
 double safe_choice(CoefSpan agent_resources,
                    std::span<const std::size_t> support_sizes) {
@@ -28,18 +53,11 @@ double safe_choice(CoefSpan agent_resources,
 }
 
 std::vector<double> safe_solution(const Instance& instance) {
-  const auto n = static_cast<std::size_t>(instance.num_agents());
-  std::vector<double> x(n, 0.0);
-  parallel_for(n, [&](std::size_t v) {
-    double choice = std::numeric_limits<double>::infinity();
-    for (const Coef& entry : instance.agent_resources(static_cast<AgentId>(v))) {
-      const auto size =
-          static_cast<double>(instance.resource_support_size(entry.id));
-      choice = std::min(choice, 1.0 / (entry.value * size));
-    }
-    x[v] = choice;
-  });
-  return x;
+  return safe_solution_impl(instance, nullptr);
+}
+
+std::vector<double> safe_solution_with(engine::Session& session) {
+  return safe_solution_impl(session.instance(), session.pool());
 }
 
 }  // namespace mmlp

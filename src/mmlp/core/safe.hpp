@@ -15,10 +15,20 @@
 
 namespace mmlp {
 
+namespace engine {
+class Session;  // engine/session.hpp
+}
+
 /// The safe solution for the whole instance. The hot loop reads the CSR
 /// blocks directly (I_v scan plus O(1) |V_i| offset lookups) and performs
 /// no per-agent allocation.
 std::vector<double> safe_solution(const Instance& instance);
+
+/// Warm-session variant: identical output, run on the session's worker
+/// pool. The safe rule derives no cacheable state (horizon 1 reads the
+/// CSR blocks directly), so warm and cold cost the same — the overload
+/// exists so every registered solver speaks the Session API.
+std::vector<double> safe_solution_with(engine::Session& session);
 
 /// The single-agent rule, usable from per-agent (distributed) code:
 /// needs I_v with coefficients and |V_i| for each i ∈ I_v.

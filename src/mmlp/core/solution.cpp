@@ -36,11 +36,23 @@ double objective_omega(const Instance& instance, const std::vector<double>& x) {
 }
 
 Evaluation evaluate(const Instance& instance, const std::vector<double>& x) {
+  return evaluate(instance, x, nullptr);
+}
+
+Evaluation evaluate(const Instance& instance, const std::vector<double>& x,
+                    std::vector<double>* party_benefits) {
   MMLP_CHECK_EQ(x.size(), static_cast<std::size_t>(instance.num_agents()));
   Evaluation eval;
+  if (party_benefits != nullptr) {
+    party_benefits->clear();
+    party_benefits->reserve(static_cast<std::size_t>(instance.num_parties()));
+  }
   eval.omega = std::numeric_limits<double>::infinity();
   for (PartyId k = 0; k < instance.num_parties(); ++k) {
     const double benefit = party_benefit(instance, x, k);
+    if (party_benefits != nullptr) {
+      party_benefits->push_back(benefit);
+    }
     if (benefit < eval.omega) {
       eval.omega = benefit;
       eval.argmin_party = k;

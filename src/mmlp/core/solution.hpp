@@ -34,6 +34,12 @@ double objective_omega(const Instance& instance, const std::vector<double>& x);
 /// Full evaluation (objective + feasibility in one pass).
 Evaluation evaluate(const Instance& instance, const std::vector<double>& x);
 
+/// As above; when `party_benefits` is non-null it is filled with the
+/// per-party benefits the omega scan computes anyway (one pass, no
+/// second benefit sweep for callers that want both).
+Evaluation evaluate(const Instance& instance, const std::vector<double>& x,
+                    std::vector<double>* party_benefits);
+
 /// Scale x down (if needed) so that every resource constraint holds
 /// exactly; returns the scale factor applied (1 when already feasible).
 /// Negative entries are clamped to zero first.

@@ -6,6 +6,7 @@
 
 #include "mmlp/core/safe.hpp"
 #include "mmlp/core/view.hpp"
+#include "mmlp/engine/session.hpp"
 #include "mmlp/graph/bfs.hpp"
 #include "mmlp/util/check.hpp"
 #include "mmlp/util/rng.hpp"
@@ -61,8 +62,10 @@ double local_output_averaging(const Instance& instance, const Hypergraph& h,
   return beta * accumulated / static_cast<double>(my_ball.size());
 }
 
-SublinearEstimate estimate_mean_party_benefit(const Instance& instance,
-                                              const SublinearOptions& options) {
+namespace {
+
+SublinearEstimate estimate_impl(const Instance& instance, const Hypergraph& h,
+                                const SublinearOptions& options) {
   MMLP_CHECK_GT(instance.num_parties(), 0);
   MMLP_CHECK_GT(options.samples, 0);
   MMLP_CHECK_GT(options.confidence, 0.0);
@@ -89,7 +92,6 @@ SublinearEstimate estimate_mean_party_benefit(const Instance& instance,
     value_bound = std::max(value_bound, bound);
   }
 
-  const Hypergraph h = instance.communication_graph();
   LocalAveragingOptions averaging;
   averaging.R = options.R;
 
@@ -130,6 +132,21 @@ SublinearEstimate estimate_mean_party_benefit(const Instance& instance,
       value_bound * std::sqrt(std::log(2.0 / failure) /
                               (2.0 * static_cast<double>(options.samples)));
   return estimate;
+}
+
+}  // namespace
+
+SublinearEstimate estimate_mean_party_benefit(const Instance& instance,
+                                              const SublinearOptions& options) {
+  const Hypergraph h = instance.communication_graph();
+  return estimate_impl(instance, h, options);
+}
+
+SublinearEstimate estimate_mean_party_benefit_with(
+    engine::Session& session, const SublinearOptions& options) {
+  // The averaging outputs read radius-R balls of the *full* hypergraph
+  // (the estimator never runs collaboration-oblivious).
+  return estimate_impl(session.instance(), session.graph(false), options);
 }
 
 }  // namespace mmlp

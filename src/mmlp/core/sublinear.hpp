@@ -49,4 +49,10 @@ double local_output_averaging(const Instance& instance, const Hypergraph& h,
 SublinearEstimate estimate_mean_party_benefit(const Instance& instance,
                                               const SublinearOptions& options);
 
+/// Warm-session variant: the communication hypergraph the per-agent
+/// averaging outputs walk comes from the session cache instead of being
+/// rebuilt per estimate. Identical output for identical options.
+SublinearEstimate estimate_mean_party_benefit_with(
+    engine::Session& session, const SublinearOptions& options);
+
 }  // namespace mmlp

@@ -14,6 +14,7 @@
 #include "mmlp/core/safe.hpp"
 #include "mmlp/core/view.hpp"
 #include "mmlp/dist/runtime.hpp"
+#include "mmlp/engine/session.hpp"
 #include "mmlp/graph/bfs.hpp"
 #include "mmlp/util/check.hpp"
 #include "mmlp/util/parallel.hpp"
@@ -32,14 +33,27 @@ double safe_from_context(const AgentContext& ctx) {
 
 std::vector<double> distributed_safe(const Instance& instance,
                                      bool collaboration_oblivious) {
-  const LocalRuntime runtime(instance, collaboration_oblivious);
-  const auto knowledge = runtime.flood(1);
+  engine::Session session(instance);
+  return distributed_safe_with(session, collaboration_oblivious);
+}
+
+std::vector<double> distributed_safe_with(engine::Session& session,
+                                          bool collaboration_oblivious) {
+  const Instance& instance = session.instance();
+  // flood(1) produces exactly B_H(v, 1) per agent (the LocalRuntime
+  // simulator is tested against ball()), so the session's ball cache IS
+  // the flooded knowledge.
+  const std::vector<std::vector<AgentId>>& knowledge =
+      session.balls(1, collaboration_oblivious);
   const auto n = static_cast<std::size_t>(instance.num_agents());
   std::vector<double> x(n, 0.0);
-  parallel_for(n, [&](std::size_t v) {
-    const AgentContext ctx(instance, static_cast<AgentId>(v), knowledge[v]);
-    x[v] = safe_from_context(ctx);
-  });
+  parallel_for(
+      n,
+      [&](std::size_t v) {
+        const AgentContext ctx(instance, static_cast<AgentId>(v), knowledge[v]);
+        x[v] = safe_from_context(ctx);
+      },
+      session.pool());
   return x;
 }
 
@@ -96,28 +110,40 @@ double averaging_decision(const LocalWorld& world, const Hypergraph& h,
 
 std::vector<double> distributed_local_averaging(
     const Instance& instance, const LocalAveragingOptions& options) {
+  engine::Session session(instance);
+  return distributed_local_averaging_with(session, options);
+}
+
+std::vector<double> distributed_local_averaging_with(
+    engine::Session& session, const LocalAveragingOptions& options) {
   MMLP_CHECK_GE(options.R, 1);
   MMLP_CHECK_MSG(options.damping == AveragingDamping::kBetaPerAgent,
                  "only the per-agent damping of eq. (10) is a local rule");
+  const Instance& instance = session.instance();
   const std::int32_t horizon = 2 * options.R + 1;
-  const LocalRuntime runtime(instance, options.collaboration_oblivious);
-  const auto knowledge = runtime.flood(horizon);
+  // flood(2R+1) == B_H(v, 2R+1): serve the knowledge sets from the
+  // session ball cache (see distributed_safe_with).
+  const std::vector<std::vector<AgentId>>& knowledge =
+      session.balls(horizon, options.collaboration_oblivious);
   const auto n = static_cast<std::size_t>(instance.num_agents());
   std::vector<double> x(n, 0.0);
-  // Chunked so each worker amortises one materialization arena and one
-  // view/LP scratch across all its agents.
-  chunked_parallel_for(n, [&](std::size_t begin, std::size_t end) {
-    MaterializeArena arena;
-    LocalWorld world;
-    ViewScratch scratch;
-    for (std::size_t j = begin; j < end; ++j) {
-      const AgentContext ctx(instance, static_cast<AgentId>(j), knowledge[j]);
-      ctx.materialize_into(world, arena);
-      const Hypergraph h =
-          world.instance.communication_graph(options.collaboration_oblivious);
-      x[j] = averaging_decision(world, h, options, scratch);
-    }
-  });
+  // Chunked so each worker leases one materialization arena and one
+  // view/LP scratch for all its agents; leases come from the session
+  // pool so the buffers stay warm across solves.
+  chunked_parallel_for(
+      n,
+      [&](std::size_t begin, std::size_t end) {
+        auto scratch = session.dist_scratch().acquire();
+        for (std::size_t j = begin; j < end; ++j) {
+          const AgentContext ctx(instance, static_cast<AgentId>(j),
+                                 knowledge[j]);
+          ctx.materialize_into(scratch->world, scratch->arena);
+          const Hypergraph h = scratch->world.instance.communication_graph(
+              options.collaboration_oblivious);
+          x[j] = averaging_decision(scratch->world, h, options, scratch->view);
+        }
+      },
+      session.pool());
   return x;
 }
 

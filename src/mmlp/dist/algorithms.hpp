@@ -36,6 +36,14 @@ double safe_from_context(const AgentContext& ctx);
 std::vector<double> distributed_safe(const Instance& instance,
                                      bool collaboration_oblivious = false);
 
+/// Warm-session variant: the radius-1 knowledge sets come from the
+/// session's ball cache (flood(r) is defined — and tested — to equal
+/// B_H(v, r), so the cached balls ARE the flooded knowledge). Output is
+/// bitwise identical to distributed_safe(); the free function is a thin
+/// wrapper over a throwaway session.
+std::vector<double> distributed_safe_with(engine::Session& session,
+                                          bool collaboration_oblivious = false);
+
 /// The Theorem 3 averaging algorithm run distributedly: flood 2R+1
 /// rounds, then every agent j materializes its world, re-solves the view
 /// LP of every u ∈ V^j with the same deterministic simplex, and applies
@@ -43,5 +51,12 @@ std::vector<double> distributed_safe(const Instance& instance,
 /// a local rule, so options.damping must be kBetaPerAgent.
 std::vector<double> distributed_local_averaging(
     const Instance& instance, const LocalAveragingOptions& options = {});
+
+/// Warm-session variant: the radius-(2R+1) knowledge sets come from the
+/// session's ball cache and the per-worker materialization/view/LP
+/// bundles from its scratch pool. Bitwise identical to
+/// distributed_local_averaging().
+std::vector<double> distributed_local_averaging_with(
+    engine::Session& session, const LocalAveragingOptions& options = {});
 
 }  // namespace mmlp

@@ -1,0 +1,255 @@
+// The built-in solver registry and the common solve() shell.
+//
+// Each entry adapts one *_with(Session&) overload to the uniform
+// request/response shape; solve() wraps the dispatch with the shared
+// post-processing every caller wants — evaluation of the returned x
+// against eq. (1) and the timing/cache breakdown derived from session
+// stats deltas.
+#include "mmlp/engine/solver.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "mmlp/core/safe.hpp"
+#include "mmlp/core/solution.hpp"
+#include "mmlp/core/sublinear.hpp"
+#include "mmlp/dist/algorithms.hpp"
+#include "mmlp/util/check.hpp"
+#include "mmlp/util/timer.hpp"
+
+namespace mmlp::engine {
+
+namespace {
+
+LocalAveragingOptions averaging_options(const SolveRequest& request) {
+  LocalAveragingOptions options;
+  options.R = request.R;
+  options.collaboration_oblivious = request.collaboration_oblivious;
+  options.damping = request.damping;
+  options.lp = request.simplex;
+  return options;
+}
+
+void attach_averaging_diagnostics(const LocalAveragingResult& averaging,
+                                  SolveResult& result) {
+  result.diagnostics["ratio_bound"] = averaging.ratio_bound;
+  std::size_t peak_ball = 0;
+  for (const std::size_t size : averaging.ball_size) {
+    peak_ball = std::max(peak_ball, size);
+  }
+  result.diagnostics["peak_ball"] = static_cast<double>(peak_ball);
+}
+
+SolverRegistry make_builtin() {
+  SolverRegistry registry;
+  registry.add({
+      .name = "safe",
+      .description = "eq. (2) per-agent rule; horizon 1, Δ_I^V-approximation",
+      .local = true,
+      .run =
+          [](Session& session, const SolveRequest&, SolveResult& result) {
+            result.x = safe_solution_with(session);
+            result.has_solution = true;
+          },
+  });
+  registry.add({
+      .name = "averaging",
+      .description =
+          "Theorem 3 local averaging: view LPs + β damping (knobs: R, "
+          "damping, collaboration_oblivious, simplex)",
+      .local = true,
+      .run =
+          [](Session& session, const SolveRequest& request,
+             SolveResult& result) {
+            const LocalAveragingResult averaging =
+                local_averaging_with(session, averaging_options(request));
+            result.x = averaging.x;
+            result.has_solution = true;
+            attach_averaging_diagnostics(averaging, result);
+            result.diagnostics["R"] = static_cast<double>(request.R);
+          },
+  });
+  registry.add({
+      .name = "uniform",
+      .description = "centralised baseline: one global activity level",
+      .run =
+          [](Session& session, const SolveRequest&, SolveResult& result) {
+            result.x = uniform_solution_with(session);
+            result.has_solution = true;
+          },
+  });
+  registry.add({
+      .name = "greedy",
+      .description =
+          "centralised water-filling baseline (knobs: greedy.max_steps, "
+          "greedy.step_fraction, greedy.min_gain)",
+      .run =
+          [](Session& session, const SolveRequest& request,
+             SolveResult& result) {
+            GreedyResult greedy = greedy_waterfill_with(session, request.greedy);
+            result.x = std::move(greedy.x);
+            result.has_solution = true;
+            result.diagnostics["steps"] = static_cast<double>(greedy.steps);
+          },
+  });
+  registry.add({
+      .name = "optimal",
+      .description =
+          "global optimum ω* via dense simplex, MWU fallback at scale "
+          "(knobs: optimal.method, optimal.simplex_agent_limit, simplex)",
+      .run =
+          [](Session& session, const SolveRequest& request,
+             SolveResult& result) {
+            OptimalOptions options = request.optimal;
+            options.simplex = request.simplex;
+            OptimalResult optimal = solve_optimal_with(session, options);
+            result.x = std::move(optimal.x);
+            result.has_solution = true;
+            result.diagnostics["exact"] = optimal.exact ? 1.0 : 0.0;
+            result.diagnostics["used_simplex"] =
+                optimal.method_used == OptimalMethod::kSimplex ? 1.0 : 0.0;
+          },
+  });
+  registry.add({
+      .name = "sublinear",
+      .description =
+          "sublinear-time mean-party-benefit estimate (knobs: samples, "
+          "confidence, seed, R; no solution vector)",
+      .local = true,
+      .run =
+          [](Session& session, const SolveRequest& request,
+             SolveResult& result) {
+            SublinearOptions options;
+            options.algorithm = LocalAlgorithmKind::kSafe;
+            options.samples = request.samples;
+            options.R = request.R;
+            options.confidence = request.confidence;
+            options.seed = request.seed;
+            const SublinearEstimate estimate =
+                estimate_mean_party_benefit_with(session, options);
+            result.has_solution = false;
+            result.diagnostics["mean_benefit"] = estimate.mean_benefit;
+            result.diagnostics["half_width"] = estimate.half_width;
+            result.diagnostics["value_bound"] = estimate.value_bound;
+            result.diagnostics["agents_evaluated"] =
+                static_cast<double>(estimate.agents_evaluated);
+            result.diagnostics["samples"] =
+                static_cast<double>(estimate.samples);
+          },
+  });
+  registry.add({
+      .name = "distributed-safe",
+      .description =
+          "LOCAL-model safe: flood 1 round, per-agent eq. (2); bitwise "
+          "equal to safe (knobs: collaboration_oblivious)",
+      .local = true,
+      .run =
+          [](Session& session, const SolveRequest& request,
+             SolveResult& result) {
+            result.x = distributed_safe_with(session,
+                                             request.collaboration_oblivious);
+            result.has_solution = true;
+          },
+  });
+  registry.add({
+      .name = "distributed-averaging",
+      .description =
+          "LOCAL-model Theorem 3: flood 2R+1 rounds, per-agent re-solve; "
+          "bitwise equal to averaging (knobs: R, collaboration_oblivious, "
+          "simplex; damping fixed to the per-agent rule)",
+      .local = true,
+      .run =
+          [](Session& session, const SolveRequest& request,
+             SolveResult& result) {
+            result.x = distributed_local_averaging_with(
+                session, averaging_options(request));
+            result.has_solution = true;
+            result.diagnostics["R"] = static_cast<double>(request.R);
+          },
+  });
+  return registry;
+}
+
+}  // namespace
+
+void SolverRegistry::add(Entry entry) {
+  MMLP_CHECK_MSG(!entry.name.empty(), "solver entry must be named");
+  MMLP_CHECK_MSG(entry.run != nullptr,
+                 "solver entry '" << entry.name << "' has no run function");
+  const auto [it, inserted] = entries_.emplace(entry.name, std::move(entry));
+  MMLP_CHECK_MSG(inserted, "duplicate solver entry '" << it->first << "'");
+}
+
+bool SolverRegistry::contains(const std::string& name) const {
+  return entries_.find(name) != entries_.end();
+}
+
+const SolverRegistry::Entry& SolverRegistry::find(
+    const std::string& name) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    std::ostringstream known;
+    for (const auto& [key, entry] : entries_) {
+      known << (known.tellp() > 0 ? ", " : "") << key;
+    }
+    MMLP_CHECK_MSG(false, "unknown algorithm '" << name << "' (registered: "
+                                                << known.str() << ")");
+  }
+  return it->second;
+}
+
+std::vector<std::string> SolverRegistry::names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    names.push_back(key);
+  }
+  return names;  // std::map iteration is already sorted
+}
+
+const SolverRegistry& SolverRegistry::builtin() {
+  static const SolverRegistry registry = make_builtin();
+  return registry;
+}
+
+SolveResult solve(Session& session, const SolveRequest& request,
+                  const SolverRegistry& registry) {
+  const SolverRegistry::Entry& entry = registry.find(request.algorithm);
+  MMLP_CHECK_MSG(
+      request.threads == 0 || request.threads == session.thread_count(),
+      "request wants " << request.threads << " threads but the session pool "
+                       << "has " << session.thread_count()
+                       << " workers (size the session, not the request)");
+
+  SolveResult result;
+  result.algorithm = entry.name;
+
+  const SessionStats before = session.stats();
+  WallTimer timer;
+  entry.run(session, request, result);
+  result.total_ms = timer.milliseconds();
+  const SessionStats after = session.stats();
+  // Stats are session-global, so when solves overlap on one session a
+  // request may observe cache work another request paid for; clamp the
+  // derived solve_ms so the breakdown stays sane (see SolveResult docs).
+  result.cache_build_ms =
+      std::min(after.cache_build_ms - before.cache_build_ms, result.total_ms);
+  result.solve_ms = result.total_ms - result.cache_build_ms;
+  result.cache_hits = after.cache_hits - before.cache_hits;
+  result.cache_misses = after.cache_misses - before.cache_misses;
+
+  if (result.has_solution) {
+    const Evaluation evaluation =
+        evaluate(session.instance(), result.x, &result.party_benefit);
+    result.omega = evaluation.omega;
+    result.feasible = evaluation.feasible();
+  }
+  return result;
+}
+
+SolveResult solve(Session& session, const SolveRequest& request) {
+  return solve(session, request, SolverRegistry::builtin());
+}
+
+}  // namespace mmlp::engine

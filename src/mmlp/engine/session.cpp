@@ -1,0 +1,94 @@
+// Session cache implementation. Every accessor follows the same shape:
+// lock, serve a warm entry if present (counted as a hit), otherwise
+// build it under the lock with the build time charged to
+// cache_build_ms_. Building under the lock is deliberate: concurrent
+// solves on one session then build each entry exactly once, and the
+// per-agent parallel loops inside the builders run on pool workers, not
+// on threads that could re-enter the session.
+#include "mmlp/engine/session.hpp"
+
+#include "mmlp/graph/bfs.hpp"
+#include "mmlp/util/check.hpp"
+#include "mmlp/util/timer.hpp"
+
+namespace mmlp::engine {
+
+Session::Session(const Instance& instance, SessionOptions options)
+    : instance_(&instance), options_(options) {
+  if (options_.threads > 0) {
+    owned_pool_ = std::make_unique<ThreadPool>(options_.threads);
+  }
+}
+
+std::size_t Session::thread_count() const {
+  return owned_pool_ != nullptr ? owned_pool_->size()
+                                : ThreadPool::global().size();
+}
+
+const Hypergraph& Session::graph(bool collaboration_oblivious) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::optional<Hypergraph>& slot = graph_[collaboration_oblivious ? 1 : 0];
+  if (slot.has_value()) {
+    ++cache_hits_;
+    return *slot;
+  }
+  ++cache_misses_;
+  WallTimer timer;
+  slot.emplace(instance_->communication_graph(collaboration_oblivious));
+  cache_build_ms_ += timer.milliseconds();
+  return *slot;
+}
+
+const std::vector<std::vector<AgentId>>& Session::balls(
+    std::int32_t radius, bool collaboration_oblivious) {
+  MMLP_CHECK_GE(radius, 0);
+  // Resolve the graph first (its own lock scope) so the balls build
+  // below never re-enters the session mutex.
+  const Hypergraph& h = graph(collaboration_oblivious);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Key key{radius, collaboration_oblivious};
+  if (const auto it = balls_.find(key); it != balls_.end()) {
+    ++cache_hits_;
+    return it->second;
+  }
+  ++cache_misses_;
+  WallTimer timer;
+  auto [it, inserted] = balls_.emplace(key, all_balls(h, radius, pool()));
+  cache_build_ms_ += timer.milliseconds();
+  return it->second;
+}
+
+const GrowthSets& Session::growth_sets(std::int32_t radius,
+                                       bool collaboration_oblivious) {
+  const std::vector<std::vector<AgentId>>& cached_balls =
+      balls(radius, collaboration_oblivious);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Key key{radius, collaboration_oblivious};
+  if (const auto it = growth_.find(key); it != growth_.end()) {
+    ++cache_hits_;
+    return it->second;
+  }
+  ++cache_misses_;
+  WallTimer timer;
+  auto [it, inserted] =
+      growth_.emplace(key, compute_growth_sets(*instance_, cached_balls));
+  cache_build_ms_ += timer.milliseconds();
+  return it->second;
+}
+
+SessionStats Session::stats() const {
+  SessionStats stats;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats.cache_hits = cache_hits_;
+    stats.cache_misses = cache_misses_;
+    stats.cache_build_ms = cache_build_ms_;
+  }
+  stats.scratch_created = static_cast<std::int64_t>(view_scratch_.creations() +
+                                                    dist_scratch_.creations());
+  stats.scratch_reused = static_cast<std::int64_t>(view_scratch_.reuses() +
+                                                   dist_scratch_.reuses());
+  return stats;
+}
+
+}  // namespace mmlp::engine

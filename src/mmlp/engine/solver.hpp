@@ -1,0 +1,134 @@
+// The unified request/response solver API.
+//
+// Every algorithm in the repo — safe, local averaging, the centralized
+// baselines, the exact LP, the sublinear estimator, and the LOCAL-model
+// re-derivations — answers the same max-min LP instance, so the engine
+// exposes them behind one SolveRequest/SolveResult pair plus a
+// name-keyed SolverRegistry. A request names the algorithm and carries
+// the union of all tuning knobs (radius, damping, hypergraph mode,
+// simplex settings, thread count, sampling parameters); the result
+// carries the solution, the common evaluation (ω, feasibility,
+// per-party benefits), algorithm-specific diagnostics, and a timing
+// breakdown that separates the algorithm proper from session-cache
+// building — the observable that warm repeat solves drive to zero.
+//
+// solve(session, request) is the single entry point callers use; the
+// examples, the bench harness and tools/mmlp_batch all route through it
+// instead of dispatching on algorithm names by hand.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mmlp/core/baselines.hpp"
+#include "mmlp/core/local_averaging.hpp"
+#include "mmlp/core/optimal.hpp"
+#include "mmlp/engine/session.hpp"
+#include "mmlp/lp/simplex.hpp"
+
+namespace mmlp::engine {
+
+/// One solve request against the session's instance. Fields outside an
+/// algorithm's vocabulary are ignored by it (R means nothing to "safe");
+/// the registry entry documents which knobs each solver reads.
+struct SolveRequest {
+  std::string algorithm = "safe";  ///< registry key; see SolverRegistry::names()
+
+  std::int32_t R = 1;  ///< view radius (averaging, distributed-averaging, sublinear)
+  AveragingDamping damping = AveragingDamping::kBetaPerAgent;
+  bool collaboration_oblivious = false;  ///< drop party hyperedges from H
+  SimplexOptions simplex;  ///< LP settings for view LPs and the exact solver
+  /// Worker threads for this request: 0 = the session's pool. A nonzero
+  /// value must currently match the session pool (requests do not spin
+  /// up private pools); the engine checks and reports a CheckError on
+  /// mismatch so a mis-sized deployment fails loudly.
+  std::size_t threads = 0;
+
+  std::uint64_t seed = 1;        ///< sublinear party sampling
+  std::int32_t samples = 64;     ///< sublinear sample count
+  double confidence = 0.95;      ///< sublinear Hoeffding level
+  GreedyOptions greedy;          ///< greedy baseline tuning
+  OptimalOptions optimal;        ///< exact-solver tuning (simplex field
+                                 ///< overridden by `simplex` above)
+};
+
+/// The response. For estimator algorithms (sublinear) has_solution is
+/// false and x is empty — the estimate lives in `diagnostics`.
+struct SolveResult {
+  std::string algorithm;
+
+  bool has_solution = false;
+  std::vector<double> x;               ///< per-agent activities (when has_solution)
+  double omega = 0.0;                  ///< min_k benefit of x (0 without a solution)
+  bool feasible = false;               ///< evaluate(x).feasible()
+  std::vector<double> party_benefit;   ///< Σ_v c_kv x_v per party k
+
+  /// Algorithm diagnostics, e.g. averaging {"ratio_bound", "R"},
+  /// greedy {"steps"}, optimal {"exact"}, sublinear {"mean_benefit",
+  /// "half_width", "agents_evaluated"}.
+  std::map<std::string, double> diagnostics;
+
+  /// Timing breakdown. total_ms = cache_build_ms + solve_ms up to clock
+  /// granularity; cache_build_ms is the session-cache construction this
+  /// request paid for (0 on a warm session — the acceptance observable
+  /// of BENCH_engine.json). The cache numbers are derived from deltas
+  /// of session-global counters: exact when solves on a session run one
+  /// at a time (every current caller); when requests overlap on one
+  /// session they may attribute a concurrent request's cache build to
+  /// this one (cache_build_ms is clamped to total_ms, so solve_ms never
+  /// goes negative).
+  double total_ms = 0.0;
+  double cache_build_ms = 0.0;
+  double solve_ms = 0.0;
+  std::int64_t cache_hits = 0;    ///< warm cache lookups during this solve
+  std::int64_t cache_misses = 0;  ///< cache entries built during this solve
+};
+
+/// Name → solver dispatch. Entries wrap the *_with(Session&) overloads;
+/// the common post-processing (evaluation, timing) happens in solve().
+class SolverRegistry {
+ public:
+  /// Fills x/has_solution/diagnostics; solve() fills the rest.
+  using SolverFn = std::function<void(Session&, const SolveRequest&, SolveResult&)>;
+
+  struct Entry {
+    std::string name;
+    std::string description;  ///< one line, shown by tools and --help output
+    bool local = false;       ///< constant-horizon local algorithm?
+    SolverFn run;
+  };
+
+  SolverRegistry() = default;
+
+  /// Register an entry; throws CheckError on a duplicate name.
+  void add(Entry entry);
+
+  bool contains(const std::string& name) const;
+
+  /// Lookup; a CheckError on an unknown name spells out the requested
+  /// algorithm and the registered ones.
+  const Entry& find(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> names() const;
+
+  /// The built-in registry: safe, averaging, uniform, greedy, optimal,
+  /// sublinear, distributed-safe, distributed-averaging.
+  static const SolverRegistry& builtin();
+
+ private:
+  std::map<std::string, Entry> entries_;
+};
+
+/// Run one request on a session through `registry`, filling the common
+/// SolveResult fields (evaluation + timing/cache breakdown).
+SolveResult solve(Session& session, const SolveRequest& request,
+                  const SolverRegistry& registry);
+
+/// As above with the built-in registry.
+SolveResult solve(Session& session, const SolveRequest& request);
+
+}  // namespace mmlp::engine

@@ -1,0 +1,330 @@
+// Hand-rolled scanner for the flat JSONL request objects and the
+// matching response serialiser. The accepted grammar is deliberately a
+// subset of JSON — one object, string keys, scalar values (string /
+// number / true / false) — because a solve request has no nesting; the
+// subset keeps the tool dependency-free while every line it emits stays
+// valid JSON for downstream tooling.
+#include "mmlp/engine/wire.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "mmlp/util/check.hpp"
+
+namespace mmlp::engine {
+
+namespace {
+
+/// Cursor over one request line.
+struct Scanner {
+  const std::string& text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
+      ++pos;
+    }
+  }
+  bool done() {
+    skip_ws();
+    return pos >= text.size();
+  }
+  char peek() {
+    skip_ws();
+    MMLP_CHECK_MSG(pos < text.size(), "unexpected end of request line");
+    return text[pos];
+  }
+  void expect(char c) {
+    MMLP_CHECK_MSG(peek() == c, "expected '" << c << "' at offset " << pos
+                                             << " of request line");
+    ++pos;
+  }
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      MMLP_CHECK_MSG(pos < text.size(), "unterminated string in request line");
+      const char c = text[pos++];
+      if (c == '"') {
+        return out;
+      }
+      if (c == '\\') {
+        MMLP_CHECK_MSG(pos < text.size(), "unterminated escape in request line");
+        const char esc = text[pos++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          default:
+            MMLP_CHECK_MSG(false, "unsupported escape \\" << esc
+                                      << " in request line");
+        }
+        continue;
+      }
+      out += c;
+    }
+  }
+};
+
+/// A scalar value: exactly one of the alternatives is set.
+struct Scalar {
+  enum class Kind { kString, kNumber, kBool } kind = Kind::kString;
+  std::string string;
+  double number = 0.0;
+  bool boolean = false;
+  std::string raw;  ///< original JSON text (for verbatim echo)
+};
+
+Scalar parse_scalar(Scanner& scanner) {
+  Scalar value;
+  const char c = scanner.peek();
+  const std::size_t start = scanner.pos;
+  if (c == '"') {
+    value.kind = Scalar::Kind::kString;
+    value.string = scanner.parse_string();
+  } else if (std::isdigit(static_cast<unsigned char>(c)) != 0 || c == '-' ||
+             c == '+') {
+    value.kind = Scalar::Kind::kNumber;
+    std::size_t end = scanner.pos;
+    while (end < scanner.text.size() &&
+           (std::isdigit(static_cast<unsigned char>(scanner.text[end])) != 0 ||
+            scanner.text[end] == '-' || scanner.text[end] == '+' ||
+            scanner.text[end] == '.' || scanner.text[end] == 'e' ||
+            scanner.text[end] == 'E')) {
+      ++end;
+    }
+    const std::string token = scanner.text.substr(scanner.pos, end - scanner.pos);
+    char* parsed_end = nullptr;
+    value.number = std::strtod(token.c_str(), &parsed_end);
+    MMLP_CHECK_MSG(parsed_end != nullptr && *parsed_end == '\0',
+                   "malformed number '" << token << "' in request line");
+    scanner.pos = end;
+  } else if (scanner.text.compare(scanner.pos, 4, "true") == 0) {
+    value.kind = Scalar::Kind::kBool;
+    value.boolean = true;
+    scanner.pos += 4;
+  } else if (scanner.text.compare(scanner.pos, 5, "false") == 0) {
+    value.kind = Scalar::Kind::kBool;
+    value.boolean = false;
+    scanner.pos += 5;
+  } else {
+    MMLP_CHECK_MSG(false, "unsupported value at offset "
+                              << scanner.pos
+                              << " of request line (scalars only)");
+  }
+  value.raw = scanner.text.substr(start, scanner.pos - start);
+  return value;
+}
+
+std::int64_t as_int(const Scalar& value, const std::string& key) {
+  MMLP_CHECK_MSG(value.kind == Scalar::Kind::kNumber,
+                 "request key '" << key << "' wants a number");
+  const double rounded = std::nearbyint(value.number);
+  MMLP_CHECK_MSG(rounded == value.number,
+                 "request key '" << key << "' wants an integer, got "
+                                 << value.number);
+  // Reject magnitudes the int64 cast cannot represent (the cast would
+  // be undefined behaviour, not a loud error). 2^63 is exact in double.
+  MMLP_CHECK_MSG(rounded >= -9223372036854775808.0 &&
+                     rounded < 9223372036854775808.0,
+                 "request key '" << key << "' is out of integer range: "
+                                 << rounded);
+  return static_cast<std::int64_t>(rounded);
+}
+
+double as_number(const Scalar& value, const std::string& key) {
+  MMLP_CHECK_MSG(value.kind == Scalar::Kind::kNumber,
+                 "request key '" << key << "' wants a number");
+  return value.number;
+}
+
+bool as_bool(const Scalar& value, const std::string& key) {
+  MMLP_CHECK_MSG(value.kind == Scalar::Kind::kBool,
+                 "request key '" << key << "' wants true/false");
+  return value.boolean;
+}
+
+std::string as_string(const Scalar& value, const std::string& key) {
+  MMLP_CHECK_MSG(value.kind == Scalar::Kind::kString,
+                 "request key '" << key << "' wants a string");
+  return value.string;
+}
+
+void append_escaped(std::ostringstream& oss, const std::string& text) {
+  oss << '"' << json_escape(text) << '"';
+}
+
+void append_number(std::ostringstream& oss, double value) {
+  MMLP_CHECK_MSG(std::isfinite(value), "non-finite metric: " << value);
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  oss << buffer;
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          // JSON strings may not contain raw control characters.
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+AveragingDamping damping_from_name(const std::string& name) {
+  if (name == "beta-per-agent") {
+    return AveragingDamping::kBetaPerAgent;
+  }
+  if (name == "beta-global") {
+    return AveragingDamping::kBetaGlobal;
+  }
+  if (name == "none") {
+    return AveragingDamping::kNone;
+  }
+  if (name == "none-then-scale") {
+    return AveragingDamping::kNoneThenScale;
+  }
+  MMLP_CHECK_MSG(false, "unknown damping '"
+                            << name
+                            << "' (beta-per-agent, beta-global, none, "
+                               "none-then-scale)");
+}
+
+const char* to_name(AveragingDamping damping) {
+  switch (damping) {
+    case AveragingDamping::kBetaPerAgent: return "beta-per-agent";
+    case AveragingDamping::kBetaGlobal: return "beta-global";
+    case AveragingDamping::kNone: return "none";
+    case AveragingDamping::kNoneThenScale: return "none-then-scale";
+  }
+  return "beta-per-agent";
+}
+
+WireRequest parse_request_line(const std::string& line) {
+  WireRequest wire;
+  Scanner scanner{line};
+  scanner.expect('{');
+  bool first = true;
+  while (scanner.peek() != '}') {
+    if (!first) {
+      scanner.expect(',');
+    }
+    first = false;
+    const std::string key = scanner.parse_string();
+    scanner.expect(':');
+    const Scalar value = parse_scalar(scanner);
+
+    SolveRequest& request = wire.request;
+    if (key == "algorithm") {
+      request.algorithm = as_string(value, key);
+    } else if (key == "R") {
+      request.R = static_cast<std::int32_t>(as_int(value, key));
+    } else if (key == "damping") {
+      request.damping = damping_from_name(as_string(value, key));
+    } else if (key == "collaboration_oblivious") {
+      request.collaboration_oblivious = as_bool(value, key);
+    } else if (key == "threads") {
+      request.threads = static_cast<std::size_t>(as_int(value, key));
+    } else if (key == "seed") {
+      request.seed = static_cast<std::uint64_t>(as_int(value, key));
+    } else if (key == "samples") {
+      request.samples = static_cast<std::int32_t>(as_int(value, key));
+    } else if (key == "confidence") {
+      request.confidence = as_number(value, key);
+    } else if (key == "greedy_max_steps") {
+      request.greedy.max_steps = as_int(value, key);
+    } else if (key == "greedy_step_fraction") {
+      request.greedy.step_fraction = as_number(value, key);
+    } else if (key == "greedy_min_gain") {
+      request.greedy.min_gain = as_number(value, key);
+    } else if (key == "simplex_max_iterations") {
+      request.simplex.max_iterations = as_int(value, key);
+    } else if (key == "id") {
+      wire.id = value.raw;
+    } else {
+      MMLP_CHECK_MSG(false, "unknown request key '" << key << "'");
+    }
+  }
+  scanner.expect('}');
+  MMLP_CHECK_MSG(scanner.done(),
+                 "trailing content after request object: '"
+                     << line.substr(scanner.pos) << "'");
+  return wire;
+}
+
+std::string result_to_json_line(const SolveResult& result,
+                                const std::string& id, bool emit_x) {
+  std::ostringstream oss;
+  oss << '{';
+  if (!id.empty()) {
+    oss << "\"id\": " << id << ", ";
+  }
+  oss << "\"algorithm\": ";
+  append_escaped(oss, result.algorithm);
+  if (result.has_solution) {
+    oss << ", \"omega\": ";
+    append_number(oss, result.omega);
+    oss << ", \"feasible\": " << (result.feasible ? "true" : "false");
+    oss << ", \"agents\": " << result.x.size();
+  }
+  oss << ", \"total_ms\": ";
+  append_number(oss, result.total_ms);
+  oss << ", \"cache_build_ms\": ";
+  append_number(oss, result.cache_build_ms);
+  oss << ", \"solve_ms\": ";
+  append_number(oss, result.solve_ms);
+  oss << ", \"cache_hits\": " << result.cache_hits
+      << ", \"cache_misses\": " << result.cache_misses;
+  if (!result.diagnostics.empty()) {
+    oss << ", \"diagnostics\": {";
+    bool first = true;
+    for (const auto& [key, value] : result.diagnostics) {
+      if (!first) {
+        oss << ", ";
+      }
+      first = false;
+      append_escaped(oss, key);
+      oss << ": ";
+      append_number(oss, value);
+    }
+    oss << '}';
+  }
+  if (emit_x && result.has_solution) {
+    oss << ", \"x\": [";
+    for (std::size_t v = 0; v < result.x.size(); ++v) {
+      if (v > 0) {
+        oss << ", ";
+      }
+      append_number(oss, result.x[v]);
+    }
+    oss << ']';
+  }
+  oss << '}';
+  return oss.str();
+}
+
+}  // namespace mmlp::engine

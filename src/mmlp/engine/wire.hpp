@@ -1,0 +1,60 @@
+// JSONL wire format of the batch front-end (tools/mmlp_batch).
+//
+// Requests arrive one JSON object per line, flat key → scalar:
+//
+//   {"algorithm": "averaging", "R": 2, "simplex_max_iterations": 100000}
+//
+// Recognised keys (all optional except algorithm):
+//   algorithm               string   registry name
+//   R                       int      view radius
+//   damping                 string   beta-per-agent | beta-global | none |
+//                                    none-then-scale
+//   collaboration_oblivious bool
+//   threads                 int      must match the session pool when set
+//   seed                    int      sublinear sampling seed
+//   samples                 int      sublinear sample count
+//   confidence              number   sublinear Hoeffding level
+//   greedy_max_steps        int
+//   greedy_step_fraction    number
+//   greedy_min_gain         number
+//   simplex_max_iterations  int
+//   id                      any scalar, echoed verbatim into the response
+//
+// Unknown keys are a CheckError (typos in request streams fail loudly,
+// matching the ArgParser convention). Responses are emitted one JSON
+// object per line with the evaluation, diagnostics and the timing/cache
+// breakdown; the solution vector rides along only when asked (emit_x) —
+// at 10^5 agents it dominates the payload.
+#pragma once
+
+#include <string>
+
+#include "mmlp/engine/solver.hpp"
+
+namespace mmlp::engine {
+
+/// A parsed request line: the solve parameters plus the echoed id.
+struct WireRequest {
+  SolveRequest request;
+  std::string id;  ///< raw JSON scalar text ("" when absent)
+};
+
+/// Parse one JSONL request line. Throws CheckError on malformed JSON,
+/// non-scalar values, bad enum names, or unknown keys.
+WireRequest parse_request_line(const std::string& line);
+
+/// Serialise one response line (no trailing newline). `emit_x` includes
+/// the full solution vector.
+std::string result_to_json_line(const SolveResult& result,
+                                const std::string& id, bool emit_x);
+
+/// Names accepted by the "damping" request key, mapped to the enum.
+AveragingDamping damping_from_name(const std::string& name);
+const char* to_name(AveragingDamping damping);
+
+/// JSON string escaping (quotes, backslashes, and control characters —
+/// a CheckError message with a tab in it must still serialise to a
+/// parseable line). Returns the escaped body without surrounding quotes.
+std::string json_escape(const std::string& text);
+
+}  // namespace mmlp::engine

@@ -90,19 +90,23 @@ std::int32_t BallCollector::last_distance(NodeId u) const {
 }
 
 std::vector<std::vector<NodeId>> all_balls(const Hypergraph& h,
-                                           std::int32_t radius) {
+                                           std::int32_t radius,
+                                           ThreadPool* pool) {
   const auto n = static_cast<std::size_t>(h.num_nodes());
   std::vector<std::vector<NodeId>> balls(n);
   if (n == 0) {
     return balls;
   }
   // Chunk the node range so each task amortises one BallCollector.
-  chunked_parallel_for(n, [&](std::size_t begin, std::size_t end) {
-    BallCollector collector(h);
-    for (std::size_t v = begin; v < end; ++v) {
-      balls[v] = collector.collect(static_cast<NodeId>(v), radius);
-    }
-  });
+  chunked_parallel_for(
+      n,
+      [&](std::size_t begin, std::size_t end) {
+        BallCollector collector(h);
+        for (std::size_t v = begin; v < end; ++v) {
+          balls[v] = collector.collect(static_cast<NodeId>(v), radius);
+        }
+      },
+      pool);
   return balls;
 }
 

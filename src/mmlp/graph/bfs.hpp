@@ -14,6 +14,8 @@
 
 namespace mmlp {
 
+class ThreadPool;  // util/parallel.hpp
+
 /// Distances from `source` to every node; -1 for unreachable.
 /// If max_radius >= 0, the search stops expanding past that radius
 /// (farther nodes keep -1).
@@ -48,9 +50,11 @@ class BallCollector {
 };
 
 /// B_H(v, r) for every node v, computed in parallel (chunked so each
-/// worker reuses one BallCollector).
+/// worker reuses one BallCollector). `pool` follows the parallel_for
+/// convention: nullptr = the process-global pool.
 std::vector<std::vector<NodeId>> all_balls(const Hypergraph& h,
-                                           std::int32_t radius);
+                                           std::int32_t radius,
+                                           ThreadPool* pool = nullptr);
 
 /// Shortest-path distance between two nodes (-1 if disconnected).
 std::int32_t hypergraph_distance(const Hypergraph& h, NodeId u, NodeId v);

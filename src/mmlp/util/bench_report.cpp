@@ -2,12 +2,14 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <limits>
 #include <sstream>
 
 #include "mmlp/util/check.hpp"
 #include "mmlp/util/cli.hpp"
+#include "mmlp/util/parallel.hpp"
 #include "mmlp/util/timer.hpp"
 
 namespace mmlp::bench {
@@ -85,6 +87,9 @@ std::string Report::to_json() const {
   append_escaped(oss, name_);
   oss << ",\n  \"scale\": ";
   append_escaped(oss, scale_);
+  if (threads_ > 0) {
+    oss << ",\n  \"threads\": " << threads_;
+  }
   oss << ",\n  \"cases\": [";
   for (std::size_t idx = 0; idx < cases_.size(); ++idx) {
     const CaseResult& entry = cases_[idx];
@@ -128,6 +133,8 @@ int bench_main(int argc, const char* const* argv, const std::string& name,
   parser.add_flag("out", "output JSON path", "BENCH_" + name + ".json");
   parser.add_flag("scale", "problem sizes: smoke | small | full", "full");
   parser.add_flag("reps", "timed repetitions per case (min is kept)", "3");
+  parser.add_flag("threads",
+                  "worker threads (0 = MMLP_THREADS env, else hardware)", "0");
   if (!parser.parse(argc, argv)) {
     return 1;
   }
@@ -143,7 +150,30 @@ int bench_main(int argc, const char* const* argv, const std::string& name,
     return 1;
   }
 
+  // Size the global pool before any timed code touches it: the flag
+  // wins, then the MMLP_THREADS environment override, then hardware
+  // concurrency. The resolved count lands in the report so runs from
+  // differently sized pools are never compared by accident.
+  std::int64_t threads = parser.get_int("threads");
+  if (threads < 0) {
+    std::fprintf(stderr, "--threads must be >= 0\n");
+    return 1;
+  }
+  if (threads == 0) {
+    if (const char* env = std::getenv("MMLP_THREADS");
+        env != nullptr && *env != '\0') {
+      char* end = nullptr;
+      threads = std::strtol(env, &end, 10);
+      if (end == nullptr || *end != '\0' || threads < 0) {
+        std::fprintf(stderr, "invalid MMLP_THREADS '%s'\n", env);
+        return 1;
+      }
+    }
+  }
+  set_global_thread_count(static_cast<std::size_t>(threads));
+
   Report report(name, scale);
+  report.set_threads(static_cast<std::int64_t>(ThreadPool::global().size()));
   body(report, scale, reps);
 
   const std::string out = parser.get_string("out");

@@ -15,8 +15,10 @@
 //   --out PATH    (default BENCH_<name>.json)
 //   --scale SIZE  (smoke | small | full; default full)
 //   --reps N      (default 3)
-// runs the benchmark body, writes the JSON, and prints a one-line
-// human summary per case to stdout.
+//   --threads N   (default 0 = MMLP_THREADS env, else hardware)
+// sizes the global worker pool, runs the benchmark body, writes the
+// JSON (recording the resolved thread count so runs stay comparable),
+// and prints a one-line human summary per case to stdout.
 #pragma once
 
 #include <cstdint>
@@ -49,6 +51,13 @@ class Report {
   const std::string& scale() const { return scale_; }
   const std::vector<CaseResult>& cases() const { return cases_; }
 
+  /// Worker threads the timed code ran on; recorded as a top-level JSON
+  /// field when set (> 0), so BENCH series from differently sized pools
+  /// are never compared by accident. bench_main() fills this with the
+  /// resolved --threads / MMLP_THREADS / hardware value.
+  void set_threads(std::int64_t threads) { threads_ = threads; }
+  std::int64_t threads() const { return threads_; }
+
   /// Time fn() `reps` times (reps >= 1) and append a case with the
   /// minimum wall time. Returns the stored case so the caller can attach
   /// counters; the reference is invalidated by the next
@@ -69,6 +78,7 @@ class Report {
  private:
   std::string name_;
   std::string scale_;
+  std::int64_t threads_ = 0;
   std::vector<CaseResult> cases_;
 };
 

@@ -12,6 +12,13 @@ namespace {
 // Set while a pool worker is running a task; nested parallel_for calls
 // from inside a task run serially instead of deadlocking on wait_idle().
 thread_local bool tls_inside_worker = false;
+
+// Size requested for the global pool before its construction; 0 means
+// hardware concurrency. Guarded by global_config_mutex so a configure
+// racing the first global() use is well-defined.
+std::mutex global_config_mutex;
+std::size_t global_requested_threads = 0;
+bool global_pool_created = false;
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
@@ -76,8 +83,29 @@ void ThreadPool::worker_loop() {
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+  static ThreadPool& pool = []() -> ThreadPool& {
+    std::lock_guard<std::mutex> lock(global_config_mutex);
+    static ThreadPool instance(global_requested_threads);
+    global_pool_created = true;
+    return instance;
+  }();
   return pool;
+}
+
+void set_global_thread_count(std::size_t num_threads) {
+  std::lock_guard<std::mutex> lock(global_config_mutex);
+  if (global_pool_created) {
+    const std::size_t resolved =
+        num_threads == 0
+            ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+            : num_threads;
+    MMLP_CHECK_MSG(ThreadPool::global().size() == resolved,
+                   "global thread pool already created with "
+                       << ThreadPool::global().size()
+                       << " workers; cannot resize to " << resolved);
+    return;
+  }
+  global_requested_threads = num_threads;
 }
 
 void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,

@@ -31,13 +31,21 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
-  /// Enqueue a task. Tasks must not throw; exceptions terminate.
+  /// Enqueue a task. CONTRACT: tasks must not let exceptions escape — a
+  /// throw from a raw submitted task crosses the worker's noexcept
+  /// boundary and std::terminates the process. Callers that need
+  /// exception propagation must go through parallel_for /
+  /// chunked_parallel_for, which wrap every body invocation, abandon the
+  /// remaining chunks, and rethrow the first exception in the caller
+  /// (contract tested in tests/test_parallel.cpp).
   void submit(std::function<void()> task);
 
   /// Block until every submitted task has finished.
   void wait_idle();
 
-  /// Process-wide pool, sized to the hardware. Lazily constructed.
+  /// Process-wide pool. Lazily constructed on first use, sized by
+  /// set_global_thread_count() when that was called earlier, otherwise to
+  /// the hardware.
   static ThreadPool& global();
 
  private:
@@ -64,11 +72,23 @@ void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
 /// Serial fallback used by tests to compare against parallel runs.
 void serial_for(std::size_t count, const std::function<void(std::size_t)>& fn);
 
+/// Configure the worker count of ThreadPool::global() before its first
+/// use (0 = hardware concurrency). Throws CheckError when the global
+/// pool already exists with a different size — the pool cannot be
+/// resized once workers hold references to it. Used by the bench
+/// harness's --threads flag / MMLP_THREADS override.
+void set_global_thread_count(std::size_t num_threads);
+
 /// Chunked variant for loops whose bodies amortise per-worker scratch
 /// (ball collectors, view/LP workspaces, materialization arenas):
 /// body(begin, end) is called once per chunk, with the range [0, count)
 /// split into ~8 chunks per pool worker. The body must only write
-/// per-index state, exactly as with parallel_for.
+/// per-index state, exactly as with parallel_for; count == 0 returns
+/// without invoking the body. Exceptions thrown inside the body follow
+/// the parallel_for contract: remaining chunks are abandoned and the
+/// first exception is rethrown in the caller — including when the throw
+/// happens in the last chunk or when count is smaller than the worker
+/// count (tested edge cases in tests/test_parallel.cpp).
 template <typename Body>
 void chunked_parallel_for(std::size_t count, Body&& body,
                           ThreadPool* pool = nullptr) {

@@ -1,0 +1,87 @@
+// Checkout pool of per-worker scratch objects.
+//
+// The per-agent solve loops amortise expensive workspaces (ViewScratch,
+// MaterializeArena, simplex tableaus) by creating one per parallel chunk.
+// A ScratchPool lifts that reuse across *calls*: workers lease an object
+// for the duration of a chunk and return it on scope exit, so a
+// long-lived engine::Session keeps the warmed buffers alive between
+// solves instead of reallocating them per request. Scratch objects only
+// donate capacity (never state), so which lease a worker happens to get
+// cannot affect results.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace mmlp {
+
+template <typename T>
+class ScratchPool {
+ public:
+  /// RAII lease: returns the object to the pool on destruction.
+  class Lease {
+   public:
+    Lease(ScratchPool* pool, std::unique_ptr<T> object)
+        : pool_(pool), object_(std::move(object)) {}
+    ~Lease() {
+      if (object_ != nullptr) {
+        pool_->release(std::move(object_));
+      }
+    }
+    Lease(Lease&& other) noexcept
+        : pool_(other.pool_), object_(std::move(other.object_)) {}
+    Lease& operator=(Lease&&) = delete;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    T& operator*() { return *object_; }
+    T* operator->() { return object_.get(); }
+
+   private:
+    ScratchPool* pool_;
+    std::unique_ptr<T> object_;
+  };
+
+  /// Check out a scratch object (an idle one when available, otherwise a
+  /// freshly constructed one). Safe to call from any worker thread.
+  Lease acquire() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!idle_.empty()) {
+        std::unique_ptr<T> object = std::move(idle_.back());
+        idle_.pop_back();
+        ++reuses_;
+        return Lease(this, std::move(object));
+      }
+      ++creations_;
+    }
+    // Construction happens outside the lock; T may allocate heavily.
+    return Lease(this, std::make_unique<T>());
+  }
+
+  /// Diagnostics: how many leases were served by construction vs reuse.
+  std::size_t creations() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return creations_;
+  }
+  std::size_t reuses() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return reuses_;
+  }
+
+ private:
+  void release(std::unique_ptr<T> object) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    idle_.push_back(std::move(object));
+  }
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<T>> idle_;
+  std::size_t creations_ = 0;
+  std::size_t reuses_ = 0;
+};
+
+}  // namespace mmlp

@@ -1,15 +1,18 @@
 // mmlp::bench report layer: case timing, counters, and the
 // mmlp-bench-v1 JSON serialisation the CI smoke job validates.
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <limits>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "mmlp/util/bench_report.hpp"
 #include "mmlp/util/check.hpp"
+#include "mmlp/util/parallel.hpp"
 
 namespace mmlp::bench {
 namespace {
@@ -48,6 +51,16 @@ TEST(BenchReport, JsonCarriesSchemaNameScaleAndCounters) {
   EXPECT_NE(json.find("\"peak_support\": 15"), std::string::npos);
 }
 
+TEST(BenchReport, JsonRecordsThreadsOnlyWhenSet) {
+  Report report("pooled", "smoke");
+  report.run_case("grid_torus", 16, 1, [] {});
+  EXPECT_EQ(report.to_json().find("\"threads\""), std::string::npos);
+
+  report.set_threads(4);
+  EXPECT_EQ(report.threads(), 4);
+  EXPECT_NE(report.to_json().find("\"threads\": 4"), std::string::npos);
+}
+
 TEST(BenchReport, JsonEscapesStringsAndRejectsNonFiniteMetrics) {
   Report report("quo\"te", "smoke");
   const std::string json = report.to_json();
@@ -75,6 +88,67 @@ TEST(BenchReport, WriteProducesAReadableFile) {
 TEST(BenchReport, WriteToUnwritablePathThrows) {
   Report report("nowhere", "smoke");
   EXPECT_THROW(report.write("/nonexistent-dir/BENCH_x.json"), CheckError);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int run_bench_main(const std::vector<std::string>& extra_args,
+                   const std::string& out_path) {
+  std::vector<std::string> args = {"bench_unit", "--out=" + out_path,
+                                   "--scale=smoke", "--reps=1"};
+  args.insert(args.end(), extra_args.begin(), extra_args.end());
+  std::vector<const char*> argv;
+  for (const std::string& arg : args) {
+    argv.push_back(arg.c_str());
+  }
+  return bench_main(static_cast<int>(argv.size()), argv.data(), "unit",
+                    [](Report& report, const std::string&, int reps) {
+                      report.run_case("noop", 1, reps, [] {});
+                    });
+}
+
+TEST(BenchMain, ThreadsFlagWinsOverEnvAndLandsInTheJson) {
+  // The global pool exists by the time tests run, so the only accepted
+  // sizes are its current one — which is exactly what makes precedence
+  // observable: the bogus MMLP_THREADS below would abort the run if the
+  // flag did not shadow it.
+  const std::size_t current = ThreadPool::global().size();
+  const std::string path = ::testing::TempDir() + "BENCH_unit_flag.json";
+  ::setenv("MMLP_THREADS", "9999", 1);
+  const int code =
+      run_bench_main({"--threads=" + std::to_string(current)}, path);
+  ::unsetenv("MMLP_THREADS");
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(
+      read_file(path).find("\"threads\": " + std::to_string(current)),
+      std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(BenchMain, MmlpThreadsEnvIsHonouredWhenNoFlagIsGiven) {
+  const std::size_t current = ThreadPool::global().size();
+  const std::string path = ::testing::TempDir() + "BENCH_unit_env.json";
+  ::setenv("MMLP_THREADS", std::to_string(current).c_str(), 1);
+  const int code = run_bench_main({}, path);
+  ::unsetenv("MMLP_THREADS");
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(
+      read_file(path).find("\"threads\": " + std::to_string(current)),
+      std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(BenchMain, RejectsMalformedMmlpThreadsEnv) {
+  const std::string path = ::testing::TempDir() + "BENCH_unit_bad.json";
+  ::setenv("MMLP_THREADS", "lots", 1);
+  const int code = run_bench_main({}, path);
+  ::unsetenv("MMLP_THREADS");
+  EXPECT_EQ(code, 1);
 }
 
 }  // namespace

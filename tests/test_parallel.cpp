@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "mmlp/util/check.hpp"
+
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
@@ -85,6 +87,83 @@ TEST(ParallelFor, UsesGlobalPoolByDefault) {
   EXPECT_EQ(counter.load(), 64);
 }
 
+TEST(ChunkedParallelFor, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(1000);
+  chunked_parallel_for(
+      1000,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          visits[i].fetch_add(1);
+        }
+      },
+      &pool);
+  for (const auto& count : visits) {
+    EXPECT_EQ(count.load(), 1);
+  }
+}
+
+TEST(ChunkedParallelFor, ZeroCountNeverInvokesBody) {
+  ThreadPool pool(2);
+  bool touched = false;
+  chunked_parallel_for(
+      0, [&](std::size_t, std::size_t) { touched = true; }, &pool);
+  EXPECT_FALSE(touched);
+}
+
+TEST(ChunkedParallelFor, ExceptionPropagatesWhenCountBelowWorkerCount) {
+  // count < workers: every chunk is a single index and some workers stay
+  // idle; the throw must still reach the caller.
+  ThreadPool pool(8);
+  EXPECT_THROW(chunked_parallel_for(
+                   3,
+                   [](std::size_t begin, std::size_t) {
+                     if (begin == 1) {
+                       throw std::runtime_error("small-range boom");
+                     }
+                   },
+                   &pool),
+               std::runtime_error);
+  // The pool survives for subsequent work.
+  std::atomic<int> counter{0};
+  chunked_parallel_for(
+      16,
+      [&](std::size_t begin, std::size_t end) {
+        counter.fetch_add(static_cast<int>(end - begin));
+      },
+      &pool);
+  EXPECT_EQ(counter.load(), 16);
+}
+
+TEST(ChunkedParallelFor, ExceptionInLastChunkPropagates) {
+  // The last chunk is the one whose range ends at count; by the time it
+  // throws, every other chunk may already have drained — the rethrow
+  // must not be lost to the pool going idle.
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 1000;
+  EXPECT_THROW(chunked_parallel_for(
+                   kCount,
+                   [](std::size_t, std::size_t end) {
+                     if (end == kCount) {
+                       throw std::runtime_error("last-chunk boom");
+                     }
+                   },
+                   &pool),
+               std::runtime_error);
+}
+
+TEST(ChunkedParallelFor, ExceptionCarriesTheThrownMessage) {
+  ThreadPool pool(2);
+  try {
+    chunked_parallel_for(
+        64, [](std::size_t, std::size_t) { throw std::runtime_error("boom"); },
+        &pool);
+    FAIL() << "expected the body's exception to reach the caller";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "boom");
+  }
+}
+
 TEST(ParallelFor, ExceptionFromBodyIsRethrownInCaller) {
   // Pool tasks must not throw, but parallel_for traps exceptions from
   // the body and rethrows the first in the caller — a CheckError inside
@@ -104,6 +183,16 @@ TEST(ParallelFor, ExceptionFromBodyIsRethrownInCaller) {
   std::atomic<int> counter{0};
   parallel_for(100, [&](std::size_t) { counter.fetch_add(1); }, &pool);
   EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(GlobalThreadCount, ReconfigureAfterCreationOnlyAcceptsSameSize) {
+  // The global pool exists by now (earlier tests used it), so the only
+  // legal set_global_thread_count calls are the ones matching its size;
+  // anything else must fail loudly instead of silently keeping the old
+  // pool.
+  const std::size_t current = ThreadPool::global().size();
+  EXPECT_NO_THROW(set_global_thread_count(current));
+  EXPECT_THROW(set_global_thread_count(current + 7), CheckError);
 }
 
 }  // namespace

@@ -1,0 +1,142 @@
+// mmlp_batch — the "many requests, one hot session" front-end.
+//
+// Loads (or generates) one max-min LP instance, opens a persistent
+// engine::Session on it, then reads JSONL solve requests (stdin or
+// --requests FILE) and streams one JSONL result per request to stdout.
+// The session caches balls/growth sets/worker scratch across requests,
+// so request #2..#N on the same radius pay only for the algorithm
+// proper — the cache_build_ms field of each result line shows exactly
+// what the request paid for.
+//
+//   # two averaging solves; the second is warm
+//   printf '{"algorithm": "averaging"}\n%.0s' 1 2 |
+//     mmlp_batch --generate grid_torus --agents 10000
+//
+//   # run a whole request file against a serialized instance
+//   mmlp_batch --input net.mmlp --requests load.jsonl --out results.jsonl
+//
+// Request/response wire format: src/mmlp/engine/wire.hpp. Blank lines
+// and lines starting with '#' are skipped, so request files can carry
+// comments. By default a malformed or failing request produces an
+// {"error": ...} result line and processing continues (a long batch is
+// not lost to one typo); --strict turns the first failure fatal.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "mmlp/engine/session.hpp"
+#include "mmlp/engine/solver.hpp"
+#include "mmlp/engine/wire.hpp"
+#include "mmlp/util/check.hpp"
+#include "mmlp/util/cli.hpp"
+#include "mmlp/util/parallel.hpp"
+#include "mmlp/util/timer.hpp"
+
+#include "scenarios.hpp"
+
+namespace {
+
+mmlp::Instance load_or_generate(const mmlp::ArgParser& args) {
+  using namespace mmlp;
+  const std::string input = args.get_string("input");
+  if (!input.empty()) {
+    std::ifstream in(input);
+    MMLP_CHECK_MSG(static_cast<bool>(in), "cannot open " << input);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return Instance::deserialize(buffer.str());
+  }
+  return bench_scenarios::make_scenario(args.get_string("generate"),
+                                        args.get_int("agents"));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mmlp;
+  ArgParser args(
+      "Serve JSONL solve requests against one instance over a hot "
+      "engine::Session.");
+  args.add_flag("input", "instance file (mmlp text format); empty = generate",
+                "");
+  args.add_flag("generate",
+                "generator when no input: grid_torus|random|geometric|isp|"
+                "regular_bipartite",
+                "grid_torus");
+  args.add_flag("agents", "approximate agent count for the generator", "10000");
+  args.add_flag("requests", "JSONL request file; '-' = stdin", "-");
+  args.add_flag("out", "JSONL result file; '-' = stdout", "-");
+  args.add_flag("threads",
+                "worker threads for the session pool (0 = hardware)", "0");
+  args.add_switch("emit-x", "include the full solution vector per result");
+  args.add_switch("strict", "abort on the first malformed/failing request");
+  if (!args.parse(argc, argv)) {
+    return 1;
+  }
+
+  const Instance instance = load_or_generate(args);
+  const auto threads = static_cast<std::size_t>(args.get_int("threads"));
+  engine::Session session(instance, {.threads = threads});
+  std::cerr << "mmlp_batch: instance with " << instance.num_agents()
+            << " agents, " << instance.num_resources() << " resources, "
+            << instance.num_parties() << " parties; session pool "
+            << session.thread_count() << " thread(s)\n";
+
+  const std::string requests_path = args.get_string("requests");
+  std::ifstream requests_file;
+  if (requests_path != "-") {
+    requests_file.open(requests_path);
+    MMLP_CHECK_MSG(static_cast<bool>(requests_file),
+                   "cannot open " << requests_path);
+  }
+  std::istream& requests =
+      requests_path == "-" ? std::cin : requests_file;
+
+  const std::string out_path = args.get_string("out");
+  std::ofstream out_file;
+  if (out_path != "-") {
+    out_file.open(out_path);
+    MMLP_CHECK_MSG(static_cast<bool>(out_file), "cannot write " << out_path);
+  }
+  std::ostream& out = out_path == "-" ? std::cout : out_file;
+
+  const bool emit_x = args.get_bool("emit-x");
+  const bool strict = args.get_bool("strict");
+  std::int64_t served = 0;
+  std::int64_t failed = 0;
+  WallTimer batch_timer;
+  std::string line;
+  while (std::getline(requests, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    try {
+      const engine::WireRequest wire = engine::parse_request_line(line);
+      const engine::SolveResult result = engine::solve(session, wire.request);
+      out << engine::result_to_json_line(result, wire.id, emit_x) << '\n';
+      ++served;
+    } catch (const CheckError& error) {
+      ++failed;
+      out << "{\"error\": \"" << engine::json_escape(error.what()) << "\"}\n";
+      if (strict) {
+        out.flush();
+        std::cerr << "mmlp_batch: aborting on failed request (--strict): "
+                  << error.what() << '\n';
+        return 1;
+      }
+    }
+  }
+  out.flush();
+
+  const engine::SessionStats stats = session.stats();
+  std::cerr << "mmlp_batch: served " << served << " request(s), " << failed
+            << " failed, " << batch_timer.milliseconds() << " ms total; "
+            << "session caches: " << stats.cache_hits << " hit(s), "
+            << stats.cache_misses << " miss(es), " << stats.cache_build_ms
+            << " ms building; scratch: " << stats.scratch_reused
+            << " reuse(s), " << stats.scratch_created << " creation(s)\n";
+  // --strict already exited inside the loop on the first failure;
+  // non-strict batches report failures per line and exit clean.
+  return 0;
+}

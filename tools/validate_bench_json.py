@@ -122,6 +122,15 @@ def validate_report(path):
         errors,
         f"scale: one of {sorted(SCALES)} required, got {report.get('scale')!r}",
     )
+    if "threads" in report:
+        threads = report.get("threads")
+        check(
+            isinstance(threads, int)
+            and not isinstance(threads, bool)
+            and threads >= 1,
+            errors,
+            f"threads: integer >= 1 required when present, got {threads!r}",
+        )
     cases = report.get("cases")
     check(
         isinstance(cases, list) and cases,
