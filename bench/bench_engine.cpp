@@ -1,18 +1,28 @@
 // Engine session economics: what does a request pay on a cold session
-// vs. request #2..#N on a hot one?  For every scenario/size the harness
-// times the same registry request twice:
+// vs. request #2..#N on a hot one — and what does view deduplication
+// shave off the hot path?  For every scenario/size the harness times
+// the same registry request:
 //
-//   <scenario>_cold : a fresh engine::Session per solve — every repeat
-//                     rebuilds balls, growth sets and worker scratch
-//                     (the pre-engine free-function cost);
-//   <scenario>_warm : one persistent Session primed once — repeats hit
-//                     the caches, so only the algorithm proper remains.
+//   <scenario>_cold       : a fresh engine::Session per solve — every
+//                           repeat rebuilds balls, growth sets and
+//                           worker scratch (the pre-engine cost);
+//   <scenario>_warm       : one persistent Session primed once —
+//                           repeats hit the caches, so only the
+//                           algorithm proper remains;
+//   <scenario>_dedup_warm : the same warm request with
+//                           deduplicate=true — one view LP per
+//                           isomorphism class instead of one per agent
+//                           (averaging cases only; output bitwise equal
+//                           to the _warm case).
 //
-// The counters carry the proof that the cache actually engaged:
+// The counters carry the proof that the machinery actually engaged:
 // cache_build_ms / cache_misses from the request's timing breakdown
-// (≈0 on warm cases), plus the warm/cold wall ratio. The acceptance
-// criterion of the engine PR reads this file at --scale full
-// (1e5 agents): warm averaging must sit measurably below cold.
+// (≈0 on warm cases), the warm/cold wall ratio, and on dedup cases
+// view_classes / lp_solves / dedup_ratio plus speedup_vs_off (warm
+// dedup-off ms over warm dedup-on ms). The acceptance criterion of the
+// dedup PR reads this file at --scale full (1e5 agents): the grid
+// scenario must report dedup_ratio >= 0.9 and speedup_vs_off >= 3,
+// with the random scenario not regressing.
 #include "mmlp/engine/session.hpp"
 #include "mmlp/engine/solver.hpp"
 #include "mmlp/util/bench_report.hpp"
@@ -25,9 +35,11 @@ using mmlp::engine::Session;
 using mmlp::engine::SolveRequest;
 using mmlp::engine::SolveResult;
 
-void run_pair(mmlp::bench::Report& report, const std::string& scenario,
-              const mmlp::Instance& instance, const SolveRequest& request,
-              int reps) {
+/// Runs the cold/warm pair; returns the warm wall time so the dedup
+/// case can report its speedup against it.
+double run_pair(mmlp::bench::Report& report, const std::string& scenario,
+                const mmlp::Instance& instance, const SolveRequest& request,
+                int reps) {
   SolveResult last;
 
   auto& cold = report.run_case(scenario + "_cold", instance.num_agents(), reps,
@@ -49,6 +61,31 @@ void run_pair(mmlp::bench::Report& report, const std::string& scenario,
   warm.counters["cache_hits"] = static_cast<double>(last.cache_hits);
   warm.counters["cold_over_warm"] =
       warm.wall_ms > 0.0 ? cold_ms / warm.wall_ms : 0.0;
+  return warm.wall_ms;
+}
+
+/// Times the deduplicated request on a session whose caches — including
+/// the view-class partition — are already hot, so the case isolates the
+/// per-solve dedup economics (class build cost shows up once, in the
+/// priming solve, exactly like the other session caches).
+void run_dedup(mmlp::bench::Report& report, const std::string& scenario,
+               const mmlp::Instance& instance, SolveRequest request, int reps,
+               double warm_off_ms) {
+  request.deduplicate = true;
+  SolveResult last;
+  Session session(instance);
+  (void)mmlp::engine::solve(session, request);  // prime caches + classes
+  auto& dedup = report.run_case(
+      scenario + "_dedup_warm", instance.num_agents(), reps,
+      [&] { last = mmlp::engine::solve(session, request); });
+  dedup.counters["cache_build_ms"] = last.cache_build_ms;
+  dedup.counters["cache_misses"] = static_cast<double>(last.cache_misses);
+  dedup.counters["view_classes"] = last.diagnostics.at("view_classes");
+  dedup.counters["lp_solves"] = last.diagnostics.at("lp_solves");
+  dedup.counters["dedup_ratio"] = last.diagnostics.at("dedup_ratio");
+  dedup.counters["warm_off_ms"] = warm_off_ms;
+  dedup.counters["speedup_vs_off"] =
+      dedup.wall_ms > 0.0 ? warm_off_ms / dedup.wall_ms : 0.0;
 }
 
 }  // namespace
@@ -65,8 +102,15 @@ int main(int argc, char** argv) {
                 bench_scenarios::make_scenario(scenario, n);
             // The averaging request is where the session caches carry
             // real weight (balls + growth sets + per-worker LP scratch).
-            run_pair(report, scenario + "_averaging", instance,
-                     {.algorithm = "averaging", .R = 1}, reps);
+            const double warm_averaging_ms =
+                run_pair(report, scenario + "_averaging", instance,
+                         {.algorithm = "averaging", .R = 1}, reps);
+            // Dedup economics on the same request: the grid scenario
+            // collapses to O(1) view classes, the random scenario is
+            // the no-symmetry stress case (ratio ~0, expected ~parity).
+            run_dedup(report, scenario + "_averaging", instance,
+                      {.algorithm = "averaging", .R = 1}, reps,
+                      warm_averaging_ms);
             // The safe request derives no cacheable state: warm ≈ cold
             // by design, which keeps the comparison honest.
             run_pair(report, scenario + "_safe", instance,

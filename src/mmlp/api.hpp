@@ -13,6 +13,7 @@
 #include "mmlp/core/sublinear.hpp"       // IWYU pragma: export
 #include "mmlp/core/transform.hpp"       // IWYU pragma: export
 #include "mmlp/core/view.hpp"            // IWYU pragma: export
+#include "mmlp/core/view_class.hpp"      // IWYU pragma: export
 #include "mmlp/dist/algorithms.hpp"      // IWYU pragma: export
 #include "mmlp/dist/runtime.hpp"         // IWYU pragma: export
 #include "mmlp/dist/self_stabilize.hpp"  // IWYU pragma: export

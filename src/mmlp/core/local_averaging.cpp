@@ -5,10 +5,26 @@
 // chunk; the outputs (view_omega, view_x) are per-agent slots, so the
 // result is identical to the serial run.
 //
+// With options.deduplicate the LP loop runs over view-class
+// representatives instead of agents (view_class.hpp): the view LP is a
+// pure function of the view's local structure, so agents in the same
+// class provably solve the same LP, and the representative's solution
+// is reused for every member (copied verbatim for exact-structure
+// orbits, permuted through the canonical labeling in kCanonical mode).
+//
+// The eq. (10) accumulation is a parallel *gather*: agent j sums
+// x^u_j over u ∈ V^j in ascending u, which is exactly the addition
+// order of the former serial scatter loop (u ∈ V^j ⇔ j ∈ V^u, and the
+// scatter visited u ascending) — so the parallel result is bitwise
+// identical to the serial one for any thread count. A scatter with
+// per-worker partial buffers could not offer that: merging per-chunk
+// partial sums regroups the additions, which changes the rounding.
+//
 // The implementation lives in local_averaging_with: every expensive
-// derived structure (communication graph, balls, growth sets, worker
-// scratch) is pulled from an engine::Session, and the classic free
-// function simply runs against a session that lives for one call.
+// derived structure (communication graph, balls, growth sets, view
+// classes, worker scratch) is pulled from an engine::Session, and the
+// classic free function simply runs against a session that lives for
+// one call.
 #include "mmlp/core/local_averaging.hpp"
 
 #include <algorithm>
@@ -40,24 +56,102 @@ LocalAveragingResult local_averaging_with(engine::Session& session,
   const std::vector<std::vector<AgentId>>& balls =
       session.balls(options.R, options.collaboration_oblivious);
 
-  // Solve the local LP (9) of every agent, in parallel; chunked so each
-  // task leases one scratch workspace from the session pool.
+  // Solve the local LP (9) — once per agent, or once per view class
+  // when deduplicating. Parallel loops are chunked so each task leases
+  // one scratch workspace from the session pool.
   std::vector<std::vector<double>> view_x(n);
   result.view_omega.assign(n, 0.0);
-  chunked_parallel_for(
-      n,
-      [&](std::size_t begin, std::size_t end) {
-        auto scratch = session.view_scratch().acquire();
-        LocalView view;
-        for (std::size_t u = begin; u < end; ++u) {
-          extract_view_into(instance, static_cast<AgentId>(u), options.R,
-                            balls[u], view, *scratch);
-          ViewLpSolution solution = solve_view_lp(view, options.lp, *scratch);
-          result.view_omega[u] = solution.omega;
-          view_x[u] = std::move(solution.x);
-        }
-      },
-      session.pool());
+  if (!options.deduplicate) {
+    result.lp_solves = n;
+    chunked_parallel_for(
+        n,
+        [&](std::size_t begin, std::size_t end) {
+          auto scratch = session.view_scratch().acquire();
+          LocalView view;
+          for (std::size_t u = begin; u < end; ++u) {
+            extract_view_into(instance, static_cast<AgentId>(u), options.R,
+                              balls[u], view, *scratch);
+            ViewLpSolution solution = solve_view_lp(view, options.lp, *scratch);
+            result.view_omega[u] = solution.omega;
+            view_x[u] = std::move(solution.x);
+          }
+        },
+        session.pool());
+  } else {
+    const ViewClassIndex& classes =
+        session.view_classes(options.R, options.collaboration_oblivious);
+    const bool canonical = options.dedup_scatter == DedupScatter::kCanonical;
+    const std::vector<AgentId>& reps =
+        canonical ? classes.class_rep : classes.orbit_rep;
+    result.lp_solves = reps.size();
+    result.view_classes = classes.num_classes();
+    result.dedup_ratio = classes.dedup_ratio(options.dedup_scatter);
+
+    // One representative LP per group, solved exactly as the per-agent
+    // path would solve it (same extraction, same scratch, same simplex).
+    std::vector<std::vector<double>> rep_x(reps.size());
+    std::vector<double> rep_omega(reps.size(), 0.0);
+    chunked_parallel_for(
+        reps.size(),
+        [&](std::size_t begin, std::size_t end) {
+          auto scratch = session.view_scratch().acquire();
+          LocalView view;
+          for (std::size_t g = begin; g < end; ++g) {
+            const auto u = static_cast<std::size_t>(reps[g]);
+            extract_view_into(instance, reps[g], options.R, balls[u], view,
+                              *scratch);
+            ViewLpSolution solution = solve_view_lp(view, options.lp, *scratch);
+            rep_omega[g] = solution.omega;
+            rep_x[g] = std::move(solution.x);
+          }
+        },
+        session.pool());
+
+    // Scatter each representative solution to its members. Members of
+    // the representative's own orbit share its exact local structure,
+    // so a verbatim copy is the bitwise per-agent result; the remaining
+    // members (kCanonical only) receive the solution permuted through
+    // local -> canonical -> local, which is exactly optimal for their
+    // relabeled — identical — LP.
+    const std::vector<std::int32_t>& group_sizes =
+        canonical ? classes.class_size : classes.orbit_size;
+    chunked_parallel_for(
+        n,
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t u = begin; u < end; ++u) {
+            const std::int32_t g = canonical
+                                       ? classes.class_of[u]
+                                       : classes.orbit_of[u];
+            const AgentId rep = reps[static_cast<std::size_t>(g)];
+            result.view_omega[u] = rep_omega[static_cast<std::size_t>(g)];
+            std::vector<double>& source = rep_x[static_cast<std::size_t>(g)];
+            if (group_sizes[static_cast<std::size_t>(g)] == 1) {
+              // Singleton group: u is its only member (and its rep), so
+              // the solution can move — no-symmetry instances then pay
+              // no copy overhead over the per-agent path.
+              view_x[u] = std::move(source);
+              continue;
+            }
+            if (!canonical ||
+                classes.orbit_of[u] ==
+                    classes.orbit_of[static_cast<std::size_t>(rep)]) {
+              view_x[u] = source;
+              continue;
+            }
+            const std::span<const std::int32_t> perm_u =
+                classes.perm(static_cast<AgentId>(u));
+            const std::span<const std::int32_t> perm_rep = classes.perm(rep);
+            MMLP_CHECK_EQ(perm_u.size(), source.size());
+            std::vector<double>& target = view_x[u];
+            target.resize(source.size());
+            for (std::size_t c = 0; c < perm_u.size(); ++c) {
+              target[static_cast<std::size_t>(perm_u[c])] =
+                  source[static_cast<std::size_t>(perm_rep[c])];
+            }
+          }
+        },
+        session.pool());
+  }
 
   // β_j from the growth sets (Figure 2 machinery).
   const GrowthSets& sets =
@@ -66,19 +160,34 @@ LocalAveragingResult local_averaging_with(engine::Session& session,
   result.ball_size = sets.ball_size;
   result.ratio_bound = sets.ratio_bound();
 
-  // x̃_j = (β_j / |V^j|) Σ_{u∈V^j} x^u_j. Accumulate over views: each
-  // view u contributes x^u_j to every member j. u ∈ V^j ⇔ j ∈ V^u
-  // (balls are symmetric), so iterating members of V^u covers exactly
-  // the sums of eq. (10).
-  std::vector<double> accumulated(n, 0.0);
+  // x̃_j = (β_j / |V^j|) Σ_{u∈V^j} x^u_j, gathered in parallel: agent j
+  // owns its own sum and reads x^u_j for u ∈ V^j (u ∈ V^j ⇔ j ∈ V^u —
+  // balls are symmetric — so j's local index inside V^u exists and is
+  // found by binary search in the sorted ball). Adding in ascending u is
+  // the exact addition order of the former serial scatter loop, so the
+  // result is bitwise identical to it regardless of the thread count.
   for (std::size_t u = 0; u < n; ++u) {
-    const auto& members = balls[u];
-    const auto& x_u = view_x[u];
-    MMLP_CHECK_EQ(members.size(), x_u.size());
-    for (std::size_t local = 0; local < members.size(); ++local) {
-      accumulated[static_cast<std::size_t>(members[local])] += x_u[local];
-    }
+    MMLP_CHECK_EQ(balls[u].size(), view_x[u].size());
   }
+  std::vector<double> accumulated(n, 0.0);
+  chunked_parallel_for(
+      n,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t j = begin; j < end; ++j) {
+          const AgentId self = static_cast<AgentId>(j);
+          double sum = 0.0;
+          for (const AgentId u : balls[j]) {
+            const auto& ball_u = balls[static_cast<std::size_t>(u)];
+            const auto it =
+                std::lower_bound(ball_u.begin(), ball_u.end(), self);
+            MMLP_CHECK(it != ball_u.end() && *it == self);
+            sum += view_x[static_cast<std::size_t>(u)]
+                         [static_cast<std::size_t>(it - ball_u.begin())];
+          }
+          accumulated[j] = sum;
+        }
+      },
+      session.pool());
   double beta_global = 1.0;
   for (const double beta : result.beta) {
     beta_global = std::min(beta_global, beta);

@@ -24,11 +24,24 @@ class Session;  // engine/session.hpp
 /// no per-agent allocation.
 std::vector<double> safe_solution(const Instance& instance);
 
+struct SafeOptions {
+  /// Evaluate eq. (2) once per distinct radius-1 profile instead of once
+  /// per agent: x_v depends only on the multiset {(a_iv, |V_i|) : i∈I_v},
+  /// so agents with equal profiles provably compute the same value —
+  /// bitwise, since min over a multiset is order-independent. Note this
+  /// is an API-uniformity knob, not a speedup: building a profile reads
+  /// the same entries the rule itself reads, so expect parity at best
+  /// (eq. (2) is the one solver cheaper than any grouping of it). The
+  /// LP-backed solvers are where deduplication pays (LocalAveragingOptions).
+  bool deduplicate = false;
+};
+
 /// Warm-session variant: identical output, run on the session's worker
 /// pool. The safe rule derives no cacheable state (horizon 1 reads the
 /// CSR blocks directly), so warm and cold cost the same — the overload
 /// exists so every registered solver speaks the Session API.
-std::vector<double> safe_solution_with(engine::Session& session);
+std::vector<double> safe_solution_with(engine::Session& session,
+                                       const SafeOptions& options = {});
 
 /// The single-agent rule, usable from per-agent (distributed) code:
 /// needs I_v with coefficients and |V_i| for each i ∈ I_v.

@@ -1,0 +1,387 @@
+// Canonical labeling of local views (see view_class.hpp for the model).
+//
+// The refinement works on the view's bipartite incidence structure:
+// agents on one side, rows (truncated resource constraints and fully
+// visible party rows) on the other. Colors are dense ranks over sorted
+// signature tuples, so two isomorphic views walk through identical
+// color sequences; the only non-invariant step is the documented
+// smallest-local-index individualization, which can split truly
+// isomorphic views into separate classes but never merges
+// non-isomorphic ones — the serialized key is the complete relabeled
+// structure, not a hash.
+#include "mmlp/core/view_class.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <string_view>
+#include <unordered_map>
+
+#include "mmlp/util/check.hpp"
+#include "mmlp/util/parallel.hpp"
+
+namespace mmlp {
+
+namespace {
+
+void put_i32(std::string& out, std::int32_t value) {
+  char bytes[sizeof value];
+  std::memcpy(bytes, &value, sizeof value);
+  out.append(bytes, sizeof value);
+}
+
+void put_u64(std::string& out, std::uint64_t value) {
+  char bytes[sizeof value];
+  std::memcpy(bytes, &value, sizeof value);
+  out.append(bytes, sizeof value);
+}
+
+std::uint64_t coef_bits(double value) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof bits);
+  return bits;
+}
+
+/// Rank a batch of signature tuples: each signature becomes its index in
+/// the sorted-unique order, so equal tuples share a rank and the ranks
+/// are invariant under any reordering of the batch.
+std::vector<std::int32_t> rank_signatures(
+    std::vector<std::vector<std::int64_t>>& signatures) {
+  std::vector<const std::vector<std::int64_t>*> sorted;
+  sorted.reserve(signatures.size());
+  for (const auto& signature : signatures) {
+    sorted.push_back(&signature);
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto* a, const auto* b) { return *a < *b; });
+  sorted.erase(std::unique(sorted.begin(), sorted.end(),
+                           [](const auto* a, const auto* b) { return *a == *b; }),
+               sorted.end());
+  std::vector<std::int32_t> ranks(signatures.size());
+  for (std::size_t i = 0; i < signatures.size(); ++i) {
+    const auto it = std::lower_bound(
+        sorted.begin(), sorted.end(), &signatures[i],
+        [](const auto* a, const auto* b) { return *a < *b; });
+    ranks[i] = static_cast<std::int32_t>(it - sorted.begin());
+  }
+  return ranks;
+}
+
+std::int32_t distinct_count(const std::vector<std::int32_t>& colors) {
+  std::vector<std::int32_t> sorted = colors;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  return static_cast<std::int32_t>(sorted.size());
+}
+
+}  // namespace
+
+double ViewClassIndex::dedup_ratio(DedupScatter scatter) const {
+  if (num_agents() == 0) {
+    return 0.0;
+  }
+  return 1.0 - static_cast<double>(num_groups(scatter)) /
+                   static_cast<double>(num_agents());
+}
+
+ViewCanonicalForm canonicalize_view(const LocalView& view) {
+  const auto num_locals = static_cast<std::int32_t>(view.agents.size());
+  const std::int32_t center_local = view.local_index(view.center);
+  MMLP_CHECK_GE(center_local, 0);
+  const auto num_resources = static_cast<std::int32_t>(view.resources.size());
+  const auto num_parties = static_cast<std::int32_t>(view.parties.size());
+  const std::int32_t num_rows = num_resources + num_parties;
+
+  // Row accessor over the unified row index space: resources first
+  // (type 0), then parties (type 1).
+  const auto row_type = [&](std::int32_t r) -> std::int64_t {
+    return r < num_resources ? 0 : 1;
+  };
+  const auto row_entries = [&](std::int32_t r) -> CoefSpan {
+    return r < num_resources
+               ? view.resource_entries(static_cast<std::size_t>(r))
+               : view.party_entries(static_cast<std::size_t>(r - num_resources));
+  };
+
+  ViewCanonicalForm form;
+
+  // ---- exact key: the local structure verbatim -------------------------
+  std::string& exact = form.exact_key;
+  exact.reserve(64 + static_cast<std::size_t>(num_rows) * 16);
+  put_i32(exact, num_locals);
+  put_i32(exact, center_local);
+  put_i32(exact, num_resources);
+  put_i32(exact, num_parties);
+  for (std::int32_t r = 0; r < num_rows; ++r) {
+    const CoefSpan entries = row_entries(r);
+    put_i32(exact, static_cast<std::int32_t>(entries.size()));
+    for (const Coef& entry : entries) {
+      put_i32(exact, entry.id);
+      put_u64(exact, coef_bits(entry.value));
+    }
+  }
+
+  // ---- incidence structure --------------------------------------------
+  std::vector<std::vector<std::int32_t>> rows_of(
+      static_cast<std::size_t>(num_locals));
+  for (std::int32_t r = 0; r < num_rows; ++r) {
+    for (const Coef& entry : row_entries(r)) {
+      rows_of[static_cast<std::size_t>(entry.id)].push_back(r);
+    }
+  }
+
+  // ---- BFS layers from the center over the view's hypergraph ----------
+  // Layer −1 marks agents the view's own rows cannot reach (possible in
+  // non-oblivious mode: a partial party edge of the global graph is not
+  // part of the view). The layer is a pure function of the structure, so
+  // it stays isomorphism-invariant either way.
+  std::vector<std::int64_t> layer(static_cast<std::size_t>(num_locals), -1);
+  {
+    std::vector<std::int32_t> frontier{center_local};
+    layer[static_cast<std::size_t>(center_local)] = 0;
+    std::vector<std::int32_t> next;
+    std::int64_t depth = 0;
+    while (!frontier.empty()) {
+      next.clear();
+      ++depth;
+      for (const std::int32_t a : frontier) {
+        for (const std::int32_t r : rows_of[static_cast<std::size_t>(a)]) {
+          for (const Coef& entry : row_entries(r)) {
+            if (layer[static_cast<std::size_t>(entry.id)] == -1) {
+              layer[static_cast<std::size_t>(entry.id)] = depth;
+              next.push_back(entry.id);
+            }
+          }
+        }
+      }
+      frontier.swap(next);
+    }
+  }
+
+  // ---- seed colors: (layer, sorted own (row type, coefficient)) -------
+  std::vector<std::vector<std::int64_t>> agent_signature(
+      static_cast<std::size_t>(num_locals));
+  for (std::int32_t a = 0; a < num_locals; ++a) {
+    agent_signature[static_cast<std::size_t>(a)].push_back(layer[a]);
+  }
+  for (std::int32_t r = 0; r < num_rows; ++r) {
+    for (const Coef& entry : row_entries(r)) {
+      auto& signature = agent_signature[static_cast<std::size_t>(entry.id)];
+      signature.push_back(row_type(r));
+      signature.push_back(static_cast<std::int64_t>(coef_bits(entry.value)));
+    }
+  }
+  for (auto& signature : agent_signature) {
+    // Sort the flattened (type, coef) pairs after the leading layer entry.
+    std::vector<std::pair<std::int64_t, std::int64_t>> pairs;
+    for (std::size_t i = 1; i + 1 < signature.size(); i += 2) {
+      pairs.emplace_back(signature[i], signature[i + 1]);
+    }
+    std::sort(pairs.begin(), pairs.end());
+    signature.resize(1);
+    for (const auto& [type, bits] : pairs) {
+      signature.push_back(type);
+      signature.push_back(bits);
+    }
+  }
+  std::vector<std::int32_t> agent_color = rank_signatures(agent_signature);
+
+  // ---- refinement + individualization ---------------------------------
+  std::vector<std::int32_t> row_color(static_cast<std::size_t>(num_rows), 0);
+  std::vector<std::vector<std::int64_t>> row_signature(
+      static_cast<std::size_t>(num_rows));
+  std::int32_t distinct = distinct_count(agent_color);
+  while (true) {
+    // Refine until the agent partition stops splitting.
+    while (true) {
+      for (std::int32_t r = 0; r < num_rows; ++r) {
+        auto& signature = row_signature[static_cast<std::size_t>(r)];
+        signature.clear();
+        signature.push_back(row_type(r));
+        std::vector<std::pair<std::int64_t, std::int64_t>> members;
+        for (const Coef& entry : row_entries(r)) {
+          members.emplace_back(agent_color[static_cast<std::size_t>(entry.id)],
+                               static_cast<std::int64_t>(coef_bits(entry.value)));
+        }
+        std::sort(members.begin(), members.end());
+        for (const auto& [color, bits] : members) {
+          signature.push_back(color);
+          signature.push_back(bits);
+        }
+      }
+      row_color = rank_signatures(row_signature);
+
+      for (std::int32_t a = 0; a < num_locals; ++a) {
+        auto& signature = agent_signature[static_cast<std::size_t>(a)];
+        signature.clear();
+        signature.push_back(agent_color[static_cast<std::size_t>(a)]);
+        std::vector<std::int64_t> incident;
+        for (const std::int32_t r : rows_of[static_cast<std::size_t>(a)]) {
+          incident.push_back(row_color[static_cast<std::size_t>(r)]);
+        }
+        std::sort(incident.begin(), incident.end());
+        signature.insert(signature.end(), incident.begin(), incident.end());
+      }
+      agent_color = rank_signatures(agent_signature);
+      const std::int32_t refined = distinct_count(agent_color);
+      if (refined == distinct) {
+        break;
+      }
+      distinct = refined;
+    }
+    if (distinct == num_locals) {
+      break;
+    }
+    // Individualize: smallest still-shared color, smallest local index.
+    // This is the one non-invariant (heuristic) choice — see header.
+    std::vector<std::int32_t> count(static_cast<std::size_t>(distinct), 0);
+    for (const std::int32_t color : agent_color) {
+      ++count[static_cast<std::size_t>(color)];
+    }
+    std::int32_t target = -1;
+    for (std::int32_t color = 0; color < distinct; ++color) {
+      if (count[static_cast<std::size_t>(color)] > 1) {
+        target = color;
+        break;
+      }
+    }
+    MMLP_CHECK_GE(target, 0);
+    for (std::int32_t a = 0; a < num_locals; ++a) {
+      if (agent_color[static_cast<std::size_t>(a)] == target) {
+        agent_color[static_cast<std::size_t>(a)] = distinct;
+        break;
+      }
+    }
+    ++distinct;
+  }
+
+  // ---- canonical order -------------------------------------------------
+  // Colors are now distinct; the canonical index of an agent is the rank
+  // of its color.
+  form.canon_to_local.assign(static_cast<std::size_t>(num_locals), -1);
+  std::vector<std::int32_t> local_to_canon(static_cast<std::size_t>(num_locals));
+  {
+    std::vector<std::pair<std::int32_t, std::int32_t>> order;
+    order.reserve(static_cast<std::size_t>(num_locals));
+    for (std::int32_t a = 0; a < num_locals; ++a) {
+      order.emplace_back(agent_color[static_cast<std::size_t>(a)], a);
+    }
+    std::sort(order.begin(), order.end());
+    for (std::int32_t c = 0; c < num_locals; ++c) {
+      form.canon_to_local[static_cast<std::size_t>(c)] = order[c].second;
+      local_to_canon[static_cast<std::size_t>(order[c].second)] = c;
+    }
+  }
+
+  // ---- canonical key: relabeled structure, rows sorted ----------------
+  std::vector<std::string> row_bytes(static_cast<std::size_t>(num_rows));
+  for (std::int32_t r = 0; r < num_rows; ++r) {
+    std::string& bytes = row_bytes[static_cast<std::size_t>(r)];
+    const CoefSpan entries = row_entries(r);
+    put_i32(bytes, static_cast<std::int32_t>(row_type(r)));
+    put_i32(bytes, static_cast<std::int32_t>(entries.size()));
+    std::vector<std::pair<std::int32_t, std::uint64_t>> relabeled;
+    relabeled.reserve(entries.size());
+    for (const Coef& entry : entries) {
+      relabeled.emplace_back(local_to_canon[static_cast<std::size_t>(entry.id)],
+                             coef_bits(entry.value));
+    }
+    std::sort(relabeled.begin(), relabeled.end());
+    for (const auto& [canon, bits] : relabeled) {
+      put_i32(bytes, canon);
+      put_u64(bytes, bits);
+    }
+  }
+  std::sort(row_bytes.begin(), row_bytes.end());
+
+  std::string& canonical = form.canonical_key;
+  canonical.reserve(exact.size());
+  put_i32(canonical, num_locals);
+  put_i32(canonical, local_to_canon[static_cast<std::size_t>(center_local)]);
+  put_i32(canonical, num_resources);
+  put_i32(canonical, num_parties);
+  for (const std::string& bytes : row_bytes) {
+    canonical += bytes;
+  }
+  return form;
+}
+
+ViewClassIndex build_view_class_index(
+    const Instance& instance, const std::vector<std::vector<AgentId>>& balls,
+    std::int32_t radius, bool collaboration_oblivious, ThreadPool* pool) {
+  const auto n = static_cast<std::size_t>(instance.num_agents());
+  MMLP_CHECK_EQ(balls.size(), n);
+
+  ViewClassIndex index;
+  index.radius = radius;
+  index.collaboration_oblivious = collaboration_oblivious;
+  index.class_of.assign(n, -1);
+  index.orbit_of.assign(n, -1);
+  index.perm_offset.assign(n + 1, 0);
+  if (n == 0) {
+    return index;
+  }
+
+  // Canonicalize every view in parallel; one scratch per chunk.
+  std::vector<ViewCanonicalForm> forms(n);
+  chunked_parallel_for(
+      n,
+      [&](std::size_t begin, std::size_t end) {
+        ViewScratch scratch;
+        LocalView view;
+        for (std::size_t u = begin; u < end; ++u) {
+          extract_view_into(instance, static_cast<AgentId>(u), radius, balls[u],
+                            view, scratch);
+          forms[u] = canonicalize_view(view);
+        }
+      },
+      pool);
+
+  // Group by key, ascending agent id, so class/orbit ids and
+  // representatives are deterministic. The maps hold views into the
+  // per-agent key strings, which stay alive in `forms` until the end.
+  for (std::size_t u = 0; u < n; ++u) {
+    index.perm_offset[u + 1] =
+        index.perm_offset[u] +
+        static_cast<std::int64_t>(forms[u].canon_to_local.size());
+  }
+  index.perms.resize(static_cast<std::size_t>(index.perm_offset[n]));
+
+  std::unordered_map<std::string_view, std::int32_t> class_ids;
+  std::unordered_map<std::string_view, std::int32_t> orbit_ids;
+  class_ids.reserve(n);
+  orbit_ids.reserve(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    const ViewCanonicalForm& form = forms[u];
+    const auto [class_it, class_inserted] = class_ids.emplace(
+        std::string_view(form.canonical_key),
+        static_cast<std::int32_t>(index.class_rep.size()));
+    if (class_inserted) {
+      index.class_rep.push_back(static_cast<AgentId>(u));
+      index.class_size.push_back(0);
+    }
+    index.class_of[u] = class_it->second;
+    ++index.class_size[static_cast<std::size_t>(class_it->second)];
+
+    const auto [orbit_it, orbit_inserted] = orbit_ids.emplace(
+        std::string_view(form.exact_key),
+        static_cast<std::int32_t>(index.orbit_rep.size()));
+    if (orbit_inserted) {
+      index.orbit_rep.push_back(static_cast<AgentId>(u));
+      index.orbit_size.push_back(0);
+      index.orbit_class.push_back(class_it->second);
+    }
+    index.orbit_of[u] = orbit_it->second;
+    ++index.orbit_size[static_cast<std::size_t>(orbit_it->second)];
+    // Identical structures canonicalize identically, so an orbit can
+    // never straddle two classes.
+    MMLP_CHECK_EQ(index.orbit_class[static_cast<std::size_t>(orbit_it->second)],
+                  class_it->second);
+
+    std::copy(form.canon_to_local.begin(), form.canon_to_local.end(),
+              index.perms.begin() +
+                  static_cast<std::ptrdiff_t>(index.perm_offset[u]));
+  }
+  return index;
+}
+
+}  // namespace mmlp

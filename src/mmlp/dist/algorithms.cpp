@@ -115,7 +115,8 @@ std::vector<double> distributed_local_averaging(
 }
 
 std::vector<double> distributed_local_averaging_with(
-    engine::Session& session, const LocalAveragingOptions& options) {
+    engine::Session& session, const LocalAveragingOptions& options,
+    DistAveragingStats* stats) {
   MMLP_CHECK_GE(options.R, 1);
   MMLP_CHECK_MSG(options.damping == AveragingDamping::kBetaPerAgent,
                  "only the per-agent damping of eq. (10) is a local rule");
@@ -127,14 +128,41 @@ std::vector<double> distributed_local_averaging_with(
       session.balls(horizon, options.collaboration_oblivious);
   const auto n = static_cast<std::size_t>(instance.num_agents());
   std::vector<double> x(n, 0.0);
+
+  // Which agents run the full materialize-and-solve pipeline: everyone,
+  // or one representative per radius-(2R+1) view class (the world an
+  // agent materializes is exactly the structure its horizon view
+  // records, so the scalar decision is shared across a class — see the
+  // header comment on the dedup contract).
+  const ViewClassIndex* classes = nullptr;
+  const std::vector<AgentId>* reps = nullptr;
+  if (options.deduplicate) {
+    classes =
+        &session.view_classes(horizon, options.collaboration_oblivious);
+    reps = options.dedup_scatter == DedupScatter::kCanonical
+               ? &classes->class_rep
+               : &classes->orbit_rep;
+  }
+  const std::size_t worker_count = reps != nullptr ? reps->size() : n;
+  if (stats != nullptr) {
+    *stats = DistAveragingStats{};
+    stats->decisions = worker_count;
+    if (classes != nullptr) {
+      stats->view_classes = classes->num_classes();
+      stats->dedup_ratio = classes->dedup_ratio(options.dedup_scatter);
+    }
+  }
+
   // Chunked so each worker leases one materialization arena and one
   // view/LP scratch for all its agents; leases come from the session
   // pool so the buffers stay warm across solves.
   chunked_parallel_for(
-      n,
+      worker_count,
       [&](std::size_t begin, std::size_t end) {
         auto scratch = session.dist_scratch().acquire();
-        for (std::size_t j = begin; j < end; ++j) {
+        for (std::size_t task = begin; task < end; ++task) {
+          const std::size_t j =
+              reps != nullptr ? static_cast<std::size_t>((*reps)[task]) : task;
           const AgentContext ctx(instance, static_cast<AgentId>(j),
                                  knowledge[j]);
           ctx.materialize_into(scratch->world, scratch->arena);
@@ -144,6 +172,22 @@ std::vector<double> distributed_local_averaging_with(
         }
       },
       session.pool());
+
+  if (reps != nullptr) {
+    const bool canonical = options.dedup_scatter == DedupScatter::kCanonical;
+    parallel_for(
+        n,
+        [&](std::size_t j) {
+          const std::int32_t g = canonical ? classes->class_of[j]
+                                           : classes->orbit_of[j];
+          const auto rep =
+              static_cast<std::size_t>((*reps)[static_cast<std::size_t>(g)]);
+          if (j != rep) {  // representatives already hold their decision
+            x[j] = x[rep];
+          }
+        },
+        session.pool());
+  }
   return x;
 }
 

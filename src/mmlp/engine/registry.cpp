@@ -28,6 +28,7 @@ LocalAveragingOptions averaging_options(const SolveRequest& request) {
   options.collaboration_oblivious = request.collaboration_oblivious;
   options.damping = request.damping;
   options.lp = request.simplex;
+  options.deduplicate = request.deduplicate;
   return options;
 }
 
@@ -39,6 +40,12 @@ void attach_averaging_diagnostics(const LocalAveragingResult& averaging,
     peak_ball = std::max(peak_ball, size);
   }
   result.diagnostics["peak_ball"] = static_cast<double>(peak_ball);
+  result.diagnostics["lp_solves"] = static_cast<double>(averaging.lp_solves);
+  if (averaging.view_classes > 0) {
+    result.diagnostics["view_classes"] =
+        static_cast<double>(averaging.view_classes);
+    result.diagnostics["dedup_ratio"] = averaging.dedup_ratio;
+  }
 }
 
 SolverRegistry make_builtin() {
@@ -48,8 +55,10 @@ SolverRegistry make_builtin() {
       .description = "eq. (2) per-agent rule; horizon 1, Δ_I^V-approximation",
       .local = true,
       .run =
-          [](Session& session, const SolveRequest&, SolveResult& result) {
-            result.x = safe_solution_with(session);
+          [](Session& session, const SolveRequest& request,
+             SolveResult& result) {
+            result.x = safe_solution_with(
+                session, SafeOptions{.deduplicate = request.deduplicate});
             result.has_solution = true;
           },
   });
@@ -162,10 +171,18 @@ SolverRegistry make_builtin() {
       .run =
           [](Session& session, const SolveRequest& request,
              SolveResult& result) {
+            DistAveragingStats stats;
             result.x = distributed_local_averaging_with(
-                session, averaging_options(request));
+                session, averaging_options(request), &stats);
             result.has_solution = true;
             result.diagnostics["R"] = static_cast<double>(request.R);
+            result.diagnostics["lp_solves"] =
+                static_cast<double>(stats.decisions);
+            if (request.deduplicate) {
+              result.diagnostics["view_classes"] =
+                  static_cast<double>(stats.view_classes);
+              result.diagnostics["dedup_ratio"] = stats.dedup_ratio;
+            }
           },
   });
   return registry;

@@ -53,7 +53,53 @@ const std::vector<std::vector<AgentId>>& Session::balls(
   }
   ++cache_misses_;
   WallTimer timer;
-  auto [it, inserted] = balls_.emplace(key, all_balls(h, radius, pool()));
+  // Incremental build: expand the largest cached same-mode balls of a
+  // smaller radius instead of re-running BFS from scratch. When the
+  // next-smaller radius is cached too, its difference gives the exact
+  // BFS frontier, so only the ball boundary is rescanned. The expanded
+  // result is element-for-element identical to a from-scratch build.
+  const std::vector<std::vector<AgentId>>* from = nullptr;
+  std::int32_t from_radius = -1;
+  for (const auto& [cached_key, cached_balls] : balls_) {
+    if (cached_key.second == collaboration_oblivious &&
+        cached_key.first < radius && cached_key.first > from_radius) {
+      from = &cached_balls;
+      from_radius = cached_key.first;
+    }
+  }
+  std::vector<std::vector<AgentId>> built;
+  if (from != nullptr) {
+    const std::vector<std::vector<AgentId>>* inner = nullptr;
+    if (from_radius > 0) {
+      if (const auto it = balls_.find(Key{from_radius - 1, collaboration_oblivious});
+          it != balls_.end()) {
+        inner = &it->second;
+      }
+    }
+    built = expand_balls(h, *from, from_radius, inner, radius, pool());
+  } else {
+    built = all_balls(h, radius, pool());
+  }
+  auto [it, inserted] = balls_.emplace(key, std::move(built));
+  cache_build_ms_ += timer.milliseconds();
+  return it->second;
+}
+
+const ViewClassIndex& Session::view_classes(std::int32_t radius,
+                                            bool collaboration_oblivious) {
+  const std::vector<std::vector<AgentId>>& cached_balls =
+      balls(radius, collaboration_oblivious);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Key key{radius, collaboration_oblivious};
+  if (const auto it = view_classes_.find(key); it != view_classes_.end()) {
+    ++cache_hits_;
+    return it->second;
+  }
+  ++cache_misses_;
+  WallTimer timer;
+  auto [it, inserted] = view_classes_.emplace(
+      key, build_view_class_index(*instance_, cached_balls, radius,
+                                  collaboration_oblivious, pool()));
   cache_build_ms_ += timer.milliseconds();
   return it->second;
 }

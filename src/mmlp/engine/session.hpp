@@ -12,8 +12,11 @@
 //
 // Cache keys:
 //   graph        : collaboration_oblivious           (2 slots)
-//   balls        : (radius, collaboration_oblivious) (map)
+//   balls        : (radius, collaboration_oblivious) (map; larger radii
+//                  are built incrementally by expanding the largest
+//                  cached smaller radius instead of re-running BFS)
 //   growth sets  : (radius, collaboration_oblivious) (map; balls implied)
+//   view classes : (radius, collaboration_oblivious) (map; balls implied)
 //   scratch      : pooled, unkeyed — objects only donate capacity
 //
 // Thread-safety: the cache accessors are serialised by an internal
@@ -35,6 +38,7 @@
 
 #include "mmlp/core/instance.hpp"
 #include "mmlp/core/view.hpp"
+#include "mmlp/core/view_class.hpp"
 #include "mmlp/dist/runtime.hpp"
 #include "mmlp/graph/hypergraph.hpp"
 #include "mmlp/util/parallel.hpp"
@@ -90,13 +94,24 @@ class Session {
   /// Communication hypergraph H (Section 1.4), cached per mode.
   const Hypergraph& graph(bool collaboration_oblivious);
 
-  /// B_H(v, radius) for every agent, cached per (radius, mode).
+  /// B_H(v, radius) for every agent, cached per (radius, mode). A miss
+  /// with a smaller same-mode radius already cached is served
+  /// incrementally: the largest cached balls are expanded level by level
+  /// (graph/bfs expand_balls) instead of re-running BFS from scratch —
+  /// the result is element-for-element identical either way.
   const std::vector<std::vector<AgentId>>& balls(std::int32_t radius,
                                                  bool collaboration_oblivious);
 
   /// The Figure 2 growth sets for the balls of (radius, mode), cached.
   const GrowthSets& growth_sets(std::int32_t radius,
                                 bool collaboration_oblivious);
+
+  /// The view isomorphism-class partition for (radius, mode), cached.
+  /// Built from the cached balls; the dedup solve paths of
+  /// local_averaging_with / distributed_local_averaging_with key their
+  /// one-solve-per-class loops on it.
+  const ViewClassIndex& view_classes(std::int32_t radius,
+                                     bool collaboration_oblivious);
 
   /// Per-worker scratch pools (see ScratchPool): view extraction + LP
   /// solving, and the distributed solvers' materialization bundles.
@@ -117,6 +132,7 @@ class Session {
   std::optional<Hypergraph> graph_[2];  // [collaboration_oblivious]
   std::map<Key, std::vector<std::vector<AgentId>>> balls_;
   std::map<Key, GrowthSets> growth_;
+  std::map<Key, ViewClassIndex> view_classes_;
   std::int64_t cache_hits_ = 0;
   std::int64_t cache_misses_ = 0;
   double cache_build_ms_ = 0.0;

@@ -40,6 +40,13 @@ struct SolveRequest {
   std::int32_t R = 1;  ///< view radius (averaging, distributed-averaging, sublinear)
   AveragingDamping damping = AveragingDamping::kBetaPerAgent;
   bool collaboration_oblivious = false;  ///< drop party hyperedges from H
+  /// Solve one view LP per isomorphism class of views instead of one per
+  /// agent (safe, averaging, distributed-averaging). Exact-structure
+  /// groups only, so the output stays bitwise identical to the
+  /// non-deduplicated solve; the session caches the class partition per
+  /// (radius, mode). The averaging solvers' diagnostics gain
+  /// view_classes and dedup_ratio (lp_solves is reported always).
+  bool deduplicate = false;
   SimplexOptions simplex;  ///< LP settings for view LPs and the exact solver
   /// Worker threads for this request: 0 = the session's pool. A nonzero
   /// value must currently match the session pool (requests do not spin

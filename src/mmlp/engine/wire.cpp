@@ -247,6 +247,8 @@ WireRequest parse_request_line(const std::string& line) {
       request.damping = damping_from_name(as_string(value, key));
     } else if (key == "collaboration_oblivious") {
       request.collaboration_oblivious = as_bool(value, key);
+    } else if (key == "deduplicate") {
+      request.deduplicate = as_bool(value, key);
     } else if (key == "threads") {
       request.threads = static_cast<std::size_t>(as_int(value, key));
     } else if (key == "seed") {

@@ -10,6 +10,8 @@
 //   damping                 string   beta-per-agent | beta-global | none |
 //                                    none-then-scale
 //   collaboration_oblivious bool
+//   deduplicate             bool     one LP per view class (bitwise-equal
+//                                    output; safe/averaging/dist-averaging)
 //   threads                 int      must match the session pool when set
 //   seed                    int      sublinear sampling seed
 //   samples                 int      sublinear sample count

@@ -40,7 +40,32 @@ std::vector<NodeId> ball(const Hypergraph& h, NodeId v, std::int32_t radius) {
 }
 
 std::size_t ball_size(const Hypergraph& h, NodeId v, std::int32_t radius) {
-  return ball(h, v, radius).size();
+  MMLP_CHECK_GE(radius, 0);
+  MMLP_CHECK_GE(v, 0);
+  MMLP_CHECK_LT(v, h.num_nodes());
+  // Counting-only BFS: same traversal as BallCollector::collect, but no
+  // membership vector is built and nothing is sorted.
+  std::vector<bool> seen(static_cast<std::size_t>(h.num_nodes()), false);
+  std::vector<NodeId> frontier{v};
+  std::vector<NodeId> next;
+  seen[static_cast<std::size_t>(v)] = true;
+  std::size_t count = 1;
+  for (std::int32_t level = 0; level < radius && !frontier.empty(); ++level) {
+    next.clear();
+    for (const NodeId w : frontier) {
+      for (const EdgeId e : h.edges_of(w)) {
+        for (const NodeId u : h.edge(e)) {
+          if (!seen[static_cast<std::size_t>(u)]) {
+            seen[static_cast<std::size_t>(u)] = true;
+            ++count;
+            next.push_back(u);
+          }
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return count;
 }
 
 BallCollector::BallCollector(const Hypergraph& h)
@@ -104,6 +129,75 @@ std::vector<std::vector<NodeId>> all_balls(const Hypergraph& h,
         BallCollector collector(h);
         for (std::size_t v = begin; v < end; ++v) {
           balls[v] = collector.collect(static_cast<NodeId>(v), radius);
+        }
+      },
+      pool);
+  return balls;
+}
+
+std::vector<std::vector<NodeId>> expand_balls(
+    const Hypergraph& h, const std::vector<std::vector<NodeId>>& from_balls,
+    std::int32_t from_radius,
+    const std::vector<std::vector<NodeId>>* inner_balls, std::int32_t to_radius,
+    ThreadPool* pool) {
+  MMLP_CHECK_GE(from_radius, 0);
+  MMLP_CHECK_GE(to_radius, from_radius);
+  const auto n = static_cast<std::size_t>(h.num_nodes());
+  MMLP_CHECK_EQ(from_balls.size(), n);
+  if (inner_balls != nullptr) {
+    MMLP_CHECK_EQ(inner_balls->size(), n);
+  }
+  std::vector<std::vector<NodeId>> balls(n);
+  if (n == 0) {
+    return balls;
+  }
+  chunked_parallel_for(
+      n,
+      [&](std::size_t begin, std::size_t end) {
+        // Per-worker membership stamp (plain bytes — vector<bool> bit
+        // masking costs more than the BFS itself at small radii), reset
+        // via the result itself.
+        std::vector<char> member(n, 0);
+        std::vector<NodeId> frontier;
+        std::vector<NodeId> next;
+        for (std::size_t v = begin; v < end; ++v) {
+          std::vector<NodeId>& result = balls[v];
+          result = from_balls[v];  // grow in place from the cached ball
+          for (const NodeId u : result) {
+            member[static_cast<std::size_t>(u)] = 1;
+          }
+          // First step: the exact distance-from_radius frontier when the
+          // inner ball is known, otherwise the whole cached ball
+          // (interior nodes only rediscover members).
+          frontier.clear();
+          if (inner_balls != nullptr) {
+            std::set_difference(from_balls[v].begin(), from_balls[v].end(),
+                                (*inner_balls)[v].begin(),
+                                (*inner_balls)[v].end(),
+                                std::back_inserter(frontier));
+          } else {
+            frontier = from_balls[v];
+          }
+          for (std::int32_t level = from_radius;
+               level < to_radius && !frontier.empty(); ++level) {
+            next.clear();
+            for (const NodeId w : frontier) {
+              for (const EdgeId e : h.edges_of(w)) {
+                for (const NodeId u : h.edge(e)) {
+                  if (member[static_cast<std::size_t>(u)] == 0) {
+                    member[static_cast<std::size_t>(u)] = 1;
+                    result.push_back(u);
+                    next.push_back(u);
+                  }
+                }
+              }
+            }
+            frontier.swap(next);
+          }
+          for (const NodeId u : result) {
+            member[static_cast<std::size_t>(u)] = 0;
+          }
+          std::sort(result.begin(), result.end());
         }
       },
       pool);

@@ -25,7 +25,8 @@ std::vector<std::int32_t> bfs_distances(const Hypergraph& h, NodeId source,
 /// B_H(v, r): all nodes within distance r of v, sorted ascending.
 std::vector<NodeId> ball(const Hypergraph& h, NodeId v, std::int32_t radius);
 
-/// |B_H(v, r)| without materialising the ball.
+/// |B_H(v, r)| via a counting-only traversal: no result vector is
+/// materialised and nothing is sorted.
 std::size_t ball_size(const Hypergraph& h, NodeId v, std::int32_t radius);
 
 /// Reusable-buffer ball enumerator for hot loops.
@@ -55,6 +56,23 @@ class BallCollector {
 std::vector<std::vector<NodeId>> all_balls(const Hypergraph& h,
                                            std::int32_t radius,
                                            ThreadPool* pool = nullptr);
+
+/// Incremental variant of all_balls: grow every B_H(v, from_radius) —
+/// given in `from_balls` — out to `to_radius` by continuing the BFS from
+/// the cached membership instead of re-running it from scratch. When
+/// `inner_balls` (the radius from_radius−1 balls) is provided, the first
+/// expansion step starts from the exact frontier
+/// from_balls[v] \ inner_balls[v], so only the boundary is rescanned;
+/// without it the first step conservatively rescans the whole cached
+/// ball (interior nodes discover nothing new). The result is identical
+/// — element for element — to all_balls(h, to_radius): membership is a
+/// set and the output is sorted. engine::Session uses this to turn its
+/// radius-keyed ball cache into an incremental one.
+std::vector<std::vector<NodeId>> expand_balls(
+    const Hypergraph& h, const std::vector<std::vector<NodeId>>& from_balls,
+    std::int32_t from_radius,
+    const std::vector<std::vector<NodeId>>* inner_balls, std::int32_t to_radius,
+    ThreadPool* pool = nullptr);
 
 /// Shortest-path distance between two nodes (-1 if disconnected).
 std::int32_t hypergraph_distance(const Hypergraph& h, NodeId u, NodeId v);

@@ -222,10 +222,55 @@ TEST(SessionCache, SharedAcrossSolverFamilies) {
   EXPECT_EQ(oblivious.x, local_averaging(instance, cold_options).x);
 }
 
+TEST(SessionCache, BallsBuildIncrementallyFromSmallerRadii) {
+  // Requesting a larger radius after a smaller one goes through the
+  // expand_balls path; the result must be element-for-element identical
+  // to a cold from-scratch build.
+  const Instance instance = make_grid_instance({.dims = {6, 6}, .torus = true});
+  for (const bool oblivious : {false, true}) {
+    engine::Session incremental(instance);
+    (void)incremental.balls(1, oblivious);  // seeds the expansion base
+    (void)incremental.balls(2, oblivious);  // frontier = r2 \ r1 next time
+    const auto& expanded = incremental.balls(3, oblivious);
+    engine::Session cold(instance);
+    EXPECT_EQ(expanded, cold.balls(3, oblivious));
+  }
+}
+
+TEST(EngineSolve, DeduplicateRequestMatchesBitwiseAndReportsDiagnostics) {
+  const Instance instance =
+      make_grid_instance({.dims = {16, 16}, .torus = true});
+  engine::Session session(instance);
+  for (const char* const name :
+       {"safe", "averaging", "distributed-averaging"}) {
+    const std::string algorithm(name);
+    const engine::SolveResult off =
+        engine::solve(session, {.algorithm = algorithm, .R = 1});
+    const engine::SolveResult on = engine::solve(
+        session, {.algorithm = algorithm, .R = 1, .deduplicate = true});
+    EXPECT_EQ(on.x, off.x) << algorithm;
+    if (algorithm != "safe") {
+      EXPECT_GT(on.diagnostics.at("view_classes"), 0.0) << algorithm;
+      // The exact-orbit count is side-independent (49 at radius 1, 225
+      // at the distributed horizon 3), so the ratio grows with the
+      // torus; at 16x16 the radius-1 solves already dedup strongly,
+      // the horizon-3 worlds mildly.
+      EXPECT_GT(on.diagnostics.at("dedup_ratio"),
+                algorithm == "averaging" ? 0.5 : 0.05)
+          << algorithm;
+    }
+  }
+  // The class partition is cached: a repeat dedup solve misses nothing.
+  const engine::SolveResult again = engine::solve(
+      session, {.algorithm = "averaging", .R = 1, .deduplicate = true});
+  EXPECT_EQ(again.cache_misses, 0);
+}
+
 TEST(Wire, ParsesEveryDocumentedKey) {
   const engine::WireRequest wire = engine::parse_request_line(
       R"({"algorithm": "averaging", "R": 2, "damping": "beta-global", )"
-      R"("collaboration_oblivious": true, "threads": 0, "seed": 7, )"
+      R"("collaboration_oblivious": true, "deduplicate": true, )"
+      R"("threads": 0, "seed": 7, )"
       R"("samples": 128, "confidence": 0.99, "greedy_max_steps": 500, )"
       R"("greedy_step_fraction": 0.25, "greedy_min_gain": 0.001, )"
       R"("simplex_max_iterations": 1000, "id": "req-1"})");
@@ -233,6 +278,7 @@ TEST(Wire, ParsesEveryDocumentedKey) {
   EXPECT_EQ(wire.request.R, 2);
   EXPECT_EQ(wire.request.damping, AveragingDamping::kBetaGlobal);
   EXPECT_TRUE(wire.request.collaboration_oblivious);
+  EXPECT_TRUE(wire.request.deduplicate);
   EXPECT_EQ(wire.request.seed, 7u);
   EXPECT_EQ(wire.request.samples, 128);
   EXPECT_DOUBLE_EQ(wire.request.confidence, 0.99);

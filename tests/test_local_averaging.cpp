@@ -5,6 +5,7 @@
 #include "mmlp/util/check.hpp"
 
 #include "mmlp/core/solution.hpp"
+#include "mmlp/engine/session.hpp"
 #include "mmlp/gen/grid.hpp"
 #include "mmlp/gen/random_instance.hpp"
 #include "mmlp/graph/growth.hpp"
@@ -106,6 +107,24 @@ TEST(LocalAveraging, ViewOmegaUpperBoundsOptimum) {
   const auto result = local_averaging(instance, {.R = 1});
   for (const double view_omega : result.view_omega) {
     EXPECT_GE(view_omega, exact.omega - 1e-7);
+  }
+}
+
+TEST(LocalAveraging, AccumulationIsThreadCountInvariantBitwise) {
+  // The eq. (10) accumulation runs as a parallel gather whose per-agent
+  // addition order is fixed (ascending u), so the output must not move
+  // by a single bit across pool sizes — with and without dedup.
+  const auto instance = make_grid_instance(
+      {.dims = {7, 7}, .torus = true, .randomize = true, .seed = 3});
+  engine::Session one(instance, {.threads = 1});
+  engine::Session many(instance, {.threads = 3});
+  for (const bool dedup : {false, true}) {
+    const auto a =
+        local_averaging_with(one, {.R = 1, .deduplicate = dedup});
+    const auto b =
+        local_averaging_with(many, {.R = 1, .deduplicate = dedup});
+    EXPECT_EQ(a.x, b.x) << "dedup " << dedup;
+    EXPECT_EQ(a.view_omega, b.view_omega) << "dedup " << dedup;
   }
 }
 

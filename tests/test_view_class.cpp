@@ -1,0 +1,317 @@
+// The view-canonicalization layer (core/view_class): key soundness
+// (equal canonical keys must come with a genuine center-preserving view
+// isomorphism — the keys are serialized structures, not hashes, so this
+// is provable per pair), class collapse on symmetric instances, and the
+// dedup solve paths' equality contracts: kExact output is bitwise equal
+// to the dedup-off run on *every* instance, kCanonical output is exactly
+// feasible and keeps the Theorem 3 guarantee.
+#include "mmlp/core/view_class.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "mmlp/core/local_averaging.hpp"
+#include "mmlp/core/safe.hpp"
+#include "mmlp/core/solution.hpp"
+#include "mmlp/dist/algorithms.hpp"
+#include "mmlp/engine/session.hpp"
+#include "mmlp/gen/grid.hpp"
+#include "mmlp/gen/random_instance.hpp"
+#include "mmlp/lp/maxmin_reduction.hpp"
+#include "test_helpers.hpp"
+
+namespace mmlp {
+namespace {
+
+/// Rows of a view as a sorted multiset of (is_party, entries) with the
+/// local agent ids relabeled through `relabel` (identity = the view's
+/// own indexing). The comparison object behind the isomorphism check.
+using Row = std::pair<int, std::vector<std::pair<std::int32_t, double>>>;
+
+std::vector<Row> relabeled_rows(const LocalView& view,
+                                const std::vector<std::int32_t>& relabel) {
+  std::vector<Row> rows;
+  const auto relabeled = [&](CoefSpan entries, int is_party) {
+    Row row{is_party, {}};
+    for (const Coef& entry : entries) {
+      row.second.emplace_back(relabel[static_cast<std::size_t>(entry.id)],
+                              entry.value);
+    }
+    std::sort(row.second.begin(), row.second.end());
+    return row;
+  };
+  for (std::size_t r = 0; r < view.resources.size(); ++r) {
+    rows.push_back(relabeled(view.resource_entries(r), 0));
+  }
+  for (std::size_t p = 0; p < view.parties.size(); ++p) {
+    rows.push_back(relabeled(view.party_entries(p), 1));
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+std::vector<std::int32_t> identity_relabel(std::size_t n) {
+  std::vector<std::int32_t> relabel(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    relabel[i] = static_cast<std::int32_t>(i);
+  }
+  return relabel;
+}
+
+TEST(CanonicalizeView, DeterministicAndPermutationValid) {
+  const Instance instance = make_grid_instance({.dims = {5, 5}, .torus = true});
+  const Hypergraph h = instance.communication_graph();
+  const LocalView view = extract_view(instance, h, 12, 1);
+  const ViewCanonicalForm a = canonicalize_view(view);
+  const ViewCanonicalForm b = canonicalize_view(view);
+  EXPECT_EQ(a.exact_key, b.exact_key);
+  EXPECT_EQ(a.canonical_key, b.canonical_key);
+  EXPECT_EQ(a.canon_to_local, b.canon_to_local);
+  // canon_to_local is a permutation of the local indices.
+  std::vector<std::int32_t> sorted = a.canon_to_local;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, identity_relabel(view.agents.size()));
+}
+
+TEST(ViewClassIndex, GridTorusCollapsesToFewClasses) {
+  const Instance instance =
+      make_grid_instance({.dims = {20, 20}, .torus = true});
+  engine::Session session(instance);
+  const ViewClassIndex& index = session.view_classes(1, false);
+  ASSERT_EQ(index.num_agents(), 400u);
+  // A uniform torus is vertex-transitive: every view is isomorphic, so
+  // the canonical labeling should land on O(1) classes. The exact
+  // orbits split further by the sorted-global-id ordering patterns near
+  // the wrap — into a side-independent number of categories (measured:
+  // 49 for the R=1 von-Neumann structure), so the exact dedup ratio
+  // approaches 1 as the torus grows.
+  EXPECT_LE(index.num_classes(), 8u);
+  EXPECT_LE(index.num_orbits(), 64u);
+  EXPECT_LE(index.num_classes(), index.num_orbits());
+  EXPECT_GE(index.dedup_ratio(DedupScatter::kExact), 0.85);
+  // Orbit structure: sizes sum to n, representatives are members.
+  std::int64_t total = 0;
+  for (const std::int32_t size : index.orbit_size) {
+    total += size;
+  }
+  EXPECT_EQ(total, 400);
+  for (std::size_t g = 0; g < index.num_orbits(); ++g) {
+    EXPECT_EQ(index.orbit_of[static_cast<std::size_t>(index.orbit_rep[g])],
+              static_cast<std::int32_t>(g));
+  }
+}
+
+TEST(ViewClassIndex, OrbitCountIsSideIndependentOnTori) {
+  // The wrap-ordering orbit categories do not multiply with the torus
+  // size — the lever behind the 1e5-agent dedup ratio in BENCH_engine.
+  std::size_t orbits_small = 0;
+  std::size_t orbits_large = 0;
+  {
+    const Instance instance =
+        make_grid_instance({.dims = {12, 12}, .torus = true});
+    engine::Session session(instance);
+    orbits_small = session.view_classes(1, false).num_orbits();
+  }
+  {
+    const Instance instance =
+        make_grid_instance({.dims = {24, 24}, .torus = true});
+    engine::Session session(instance);
+    orbits_large = session.view_classes(1, false).num_orbits();
+  }
+  EXPECT_EQ(orbits_small, orbits_large);
+}
+
+TEST(ViewClassIndex, OrbitsNestInsideClasses) {
+  const Instance instance = make_random_instance({.num_agents = 60, .seed = 3});
+  engine::Session session(instance);
+  const ViewClassIndex& index = session.view_classes(1, false);
+  for (std::size_t u = 0; u < index.num_agents(); ++u) {
+    EXPECT_EQ(index.orbit_class[static_cast<std::size_t>(index.orbit_of[u])],
+              index.class_of[u]);
+  }
+}
+
+// Equal canonical keys must certify a genuine center-preserving
+// isomorphism — the anti-false-sharing property. For every non-rep
+// member, relabel both the representative's view and the member's view
+// into canonical indexing via their stored permutations and compare the
+// full row multisets plus the center position.
+TEST(ViewClassIndex, EqualKeysImplyGenuineIsomorphism) {
+  for (const std::uint64_t seed : {1u, 7u, 23u}) {
+    const Instance instance = make_random_instance({
+        .num_agents = 70,
+        .resources_per_agent = 2,
+        .parties_per_agent = 2,
+        .max_support = 3,
+        .seed = seed,
+    });
+    engine::Session session(instance);
+    for (const std::int32_t radius : {1, 2}) {
+      const ViewClassIndex& index = session.view_classes(radius, false);
+      const auto& balls = session.balls(radius, false);
+      for (std::size_t u = 0; u < index.num_agents(); ++u) {
+        const AgentId rep =
+            index.class_rep[static_cast<std::size_t>(index.class_of[u])];
+        if (rep == static_cast<AgentId>(u)) {
+          continue;
+        }
+        const LocalView member_view = extract_view(
+            instance, static_cast<AgentId>(u), radius, balls[u]);
+        const LocalView rep_view =
+            extract_view(instance, rep, radius,
+                         balls[static_cast<std::size_t>(rep)]);
+        ASSERT_EQ(member_view.agents.size(), rep_view.agents.size());
+        // local -> canonical relabelings from the stored permutations.
+        const auto to_canon = [&](std::span<const std::int32_t> perm) {
+          std::vector<std::int32_t> relabel(perm.size());
+          for (std::size_t c = 0; c < perm.size(); ++c) {
+            relabel[static_cast<std::size_t>(perm[c])] =
+                static_cast<std::int32_t>(c);
+          }
+          return relabel;
+        };
+        const auto member_relabel = to_canon(index.perm(static_cast<AgentId>(u)));
+        const auto rep_relabel = to_canon(index.perm(rep));
+        EXPECT_EQ(relabeled_rows(member_view, member_relabel),
+                  relabeled_rows(rep_view, rep_relabel))
+            << "seed " << seed << " R " << radius << " agent " << u;
+        EXPECT_EQ(member_relabel[static_cast<std::size_t>(
+                      member_view.local_index(member_view.center))],
+                  rep_relabel[static_cast<std::size_t>(
+                      rep_view.local_index(rep_view.center))]);
+      }
+    }
+  }
+}
+
+// Members of one exact orbit carry bit-identical local structures (the
+// basis of the bitwise dedup guarantee).
+TEST(ViewClassIndex, OrbitMembersShareExactStructure) {
+  const Instance instance = make_grid_instance({.dims = {9, 9}, .torus = false});
+  engine::Session session(instance);
+  const ViewClassIndex& index = session.view_classes(1, false);
+  const auto& balls = session.balls(1, false);
+  for (std::size_t u = 0; u < index.num_agents(); ++u) {
+    const AgentId rep =
+        index.orbit_rep[static_cast<std::size_t>(index.orbit_of[u])];
+    const LocalView member_view =
+        extract_view(instance, static_cast<AgentId>(u), 1, balls[u]);
+    const LocalView rep_view = extract_view(
+        instance, rep, 1, balls[static_cast<std::size_t>(rep)]);
+    const auto identity = identity_relabel(member_view.agents.size());
+    EXPECT_EQ(relabeled_rows(member_view, identity),
+              relabeled_rows(rep_view, identity));
+    EXPECT_EQ(member_view.local_index(member_view.center),
+              rep_view.local_index(rep_view.center));
+  }
+}
+
+// The headline contract: deduplicated averaging with exact scatter is
+// bitwise equal to the per-agent run — on symmetric *and* unstructured
+// instances (orbit members share byte-identical LPs, and the
+// deterministic simplex maps identical input to identical output).
+TEST(DedupAveraging, ExactScatterBitwiseEqualEverywhere) {
+  std::vector<std::pair<const char*, Instance>> instances;
+  instances.emplace_back(
+      "grid", make_grid_instance({.dims = {7, 7}, .torus = false}));
+  instances.emplace_back(
+      "torus", make_grid_instance({.dims = {8, 8}, .torus = true}));
+  instances.emplace_back("random",
+                         make_random_instance({.num_agents = 60, .seed = 11}));
+  instances.emplace_back("path", testing::path_instance(12));
+  for (const auto& [name, instance] : instances) {
+    for (const std::int32_t R : {1, 2}) {
+      engine::Session session(instance);
+      const LocalAveragingResult off =
+          local_averaging_with(session, {.R = R});
+      const LocalAveragingResult on =
+          local_averaging_with(session, {.R = R, .deduplicate = true});
+      EXPECT_EQ(on.x, off.x) << name << " R=" << R;
+      EXPECT_EQ(on.view_omega, off.view_omega) << name << " R=" << R;
+      EXPECT_EQ(on.beta, off.beta) << name << " R=" << R;
+      EXPECT_LE(on.lp_solves, off.lp_solves) << name << " R=" << R;
+      EXPECT_GT(on.view_classes, 0u) << name << " R=" << R;
+    }
+  }
+}
+
+// Canonical scatter hands every member an exactly optimal, exactly
+// feasible solution of its own view LP, so x̃ stays feasible and the
+// Theorem 3 ratio guarantee still holds (the solution itself may differ
+// from the per-agent run within the degenerate-optimum freedom).
+TEST(DedupAveraging, CanonicalScatterKeepsTheorem3Guarantee) {
+  const Instance instance = make_grid_instance({.dims = {6, 6}, .torus = true});
+  const auto exact = solve_maxmin_simplex(instance);
+  ASSERT_EQ(exact.status, LpStatus::kOptimal);
+  engine::Session session(instance);
+  const LocalAveragingResult result = local_averaging_with(
+      session, {.R = 1,
+                .deduplicate = true,
+                .dedup_scatter = DedupScatter::kCanonical});
+  EXPECT_TRUE(evaluate(instance, result.x).feasible());
+  const double achieved = objective_omega(instance, result.x);
+  ASSERT_GT(achieved, 0.0);
+  EXPECT_LE(exact.omega / achieved, result.ratio_bound + 1e-6);
+  // Canonical grouping can only merge orbits further.
+  const ViewClassIndex& index = session.view_classes(1, false);
+  EXPECT_LE(index.num_classes(), index.num_orbits());
+  EXPECT_EQ(result.lp_solves, index.num_classes());
+}
+
+TEST(DedupAveraging, SingletonClassesFallBackToPerAgentSolves) {
+  // A random instance with large supports has essentially no view
+  // symmetry: dedup must degrade to ~per-agent solves and still match.
+  const Instance instance = make_random_instance({
+      .num_agents = 40,
+      .resources_per_agent = 3,
+      .parties_per_agent = 2,
+      .max_support = 5,
+      .seed = 29,
+  });
+  engine::Session session(instance);
+  const LocalAveragingResult off = local_averaging_with(session, {.R = 1});
+  const LocalAveragingResult on =
+      local_averaging_with(session, {.R = 1, .deduplicate = true});
+  EXPECT_EQ(on.x, off.x);
+  EXPECT_GE(on.lp_solves, on.view_classes);
+  EXPECT_LE(on.lp_solves, 40u);
+}
+
+TEST(DedupSafe, BitwiseEqualToPerAgentRule) {
+  for (const auto& instance :
+       {make_grid_instance({.dims = {10, 10}, .torus = true}),
+        make_random_instance({.num_agents = 80, .seed = 5})}) {
+    engine::Session session(instance);
+    EXPECT_EQ(safe_solution_with(session, {.deduplicate = true}),
+              safe_solution_with(session));
+  }
+}
+
+TEST(DedupDistributedAveraging, ExactScatterBitwiseEqual) {
+  const Instance instance = make_grid_instance({.dims = {6, 6}, .torus = true});
+  engine::Session session(instance);
+  const std::vector<double> off =
+      distributed_local_averaging_with(session, {.R = 1});
+  const std::vector<double> on = distributed_local_averaging_with(
+      session, {.R = 1, .deduplicate = true});
+  EXPECT_EQ(on, off);
+  // And both match the centralized algorithm, dedup or not.
+  EXPECT_EQ(on, local_averaging_with(session, {.R = 1, .deduplicate = true}).x);
+}
+
+TEST(DedupAveraging, ObliviousModeMatchesToo) {
+  const Instance instance = make_random_instance({.num_agents = 50, .seed = 13});
+  engine::Session session(instance);
+  const LocalAveragingResult off = local_averaging_with(
+      session, {.R = 1, .collaboration_oblivious = true});
+  const LocalAveragingResult on = local_averaging_with(
+      session,
+      {.R = 1, .collaboration_oblivious = true, .deduplicate = true});
+  EXPECT_EQ(on.x, off.x);
+}
+
+}  // namespace
+}  // namespace mmlp

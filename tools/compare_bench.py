@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json reports and flag wall-time regressions.
+
+Usage: compare_bench.py BASELINE.json CURRENT.json [--threshold 0.15]
+                        [--strict]
+
+Cases are matched by (scenario, agents). For every matched case the
+wall_ms ratio current/baseline is printed; a case is flagged as a
+regression when it is more than --threshold (default 15%) slower than
+the baseline. Cases present on only one side are reported as
+added/removed (informational — schema growth is expected as the bench
+suite expands).
+
+Exit status: 0 unless --strict is given and at least one regression (or
+a removed case) was found. CI runs this without --strict first — timing
+on shared runners is noisy, so the report is informational until a
+baseline refresh policy exists (docs/BENCHMARKS.md).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_cases(path):
+    with open(path) as handle:
+        report = json.load(handle)
+    cases = {}
+    for case in report.get("cases", []):
+        key = (case["scenario"], case["agents"])
+        # Duplicate (scenario, agents) keys keep the last entry; the
+        # bench binaries emit unique names per configuration.
+        cases[key] = case
+    return report, cases
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="relative slowdown that counts as a regression (default 0.15)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero when regressions (or removed cases) are found",
+    )
+    args = parser.parse_args()
+
+    baseline_report, baseline = load_cases(args.baseline)
+    current_report, current = load_cases(args.current)
+
+    if baseline_report.get("name") != current_report.get("name"):
+        print(
+            f"note: comparing different benchmarks "
+            f"({baseline_report.get('name')!r} vs {current_report.get('name')!r})"
+        )
+    if baseline_report.get("scale") != current_report.get("scale"):
+        print(
+            f"note: different scales "
+            f"({baseline_report.get('scale')!r} vs {current_report.get('scale')!r}) "
+            f"— ratios are not meaningful across scales"
+        )
+
+    regressions = []
+    improvements = []
+    width = max(
+        [len(f"{scenario} n={agents}") for scenario, agents in baseline] + [8]
+    )
+    print(f"{'case':<{width}}  {'base ms':>10}  {'cur ms':>10}  {'ratio':>7}")
+    for key in sorted(baseline):
+        scenario, agents = key
+        label = f"{scenario} n={agents}"
+        if key not in current:
+            print(f"{label:<{width}}  {'—':>10}  {'—':>10}  removed")
+            regressions.append((key, None))
+            continue
+        base_ms = baseline[key]["wall_ms"]
+        cur_ms = current[key]["wall_ms"]
+        ratio = cur_ms / base_ms if base_ms > 0 else float("inf")
+        flag = ""
+        if ratio > 1.0 + args.threshold:
+            flag = "  << REGRESSION"
+            regressions.append((key, ratio))
+        elif ratio < 1.0 - args.threshold:
+            flag = "  (faster)"
+            improvements.append((key, ratio))
+        print(
+            f"{label:<{width}}  {base_ms:>10.3f}  {cur_ms:>10.3f}  {ratio:>7.2f}{flag}"
+        )
+    added = sorted(set(current) - set(baseline))
+    for scenario, agents in added:
+        print(f"{scenario} n={agents}: new case (no baseline)")
+
+    print(
+        f"\n{len(regressions)} regression(s) over {args.threshold:.0%}, "
+        f"{len(improvements)} improvement(s), {len(added)} new case(s)."
+    )
+    if regressions and args.strict:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
