@@ -13,7 +13,17 @@
 //                           deduplicate=true — one view LP per
 //                           isomorphism class instead of one per agent
 //                           (averaging cases only; output bitwise equal
-//                           to the _warm case).
+//                           to the _warm case);
+//   <scenario>_update_resolve_k<k> : the streaming-update workload — k
+//                           random single-coefficient edits applied
+//                           through Session::apply followed by one
+//                           incremental re-solve, on a session whose
+//                           memo is primed. dirty_agents /
+//                           resolved_agents count the spliced region;
+//                           speedup_vs_cold is the warm full-solve wall
+//                           over the update+re-solve wall (the
+//                           acceptance bar: >= 10x for k=1 on the 1e5
+//                           grid).
 //
 // The counters carry the proof that the machinery actually engaged:
 // cache_build_ms / cache_misses from the request's timing breakdown
@@ -26,6 +36,7 @@
 #include "mmlp/engine/session.hpp"
 #include "mmlp/engine/solver.hpp"
 #include "mmlp/util/bench_report.hpp"
+#include "mmlp/util/rng.hpp"
 
 #include "scenarios.hpp"
 
@@ -88,6 +99,50 @@ void run_dedup(mmlp::bench::Report& report, const std::string& scenario,
       dedup.wall_ms > 0.0 ? warm_off_ms / dedup.wall_ms : 0.0;
 }
 
+/// The streaming-update workload: k random single-coefficient edits
+/// (each its own Session::apply) followed by one incremental re-solve,
+/// timed together — the end-to-end latency of absorbing k edits into a
+/// live solution. The session is mutable-bound to a private copy of the
+/// instance (edits must not leak into the other cases) and primed with
+/// one full incremental solve so the memo exists.
+void run_update_resolve(mmlp::bench::Report& report, const std::string& scenario,
+                        const mmlp::Instance& instance, SolveRequest request,
+                        int reps, double warm_full_ms) {
+  using namespace mmlp;
+  request.incremental = true;
+  for (const int k : {1, 16, 256}) {
+    Instance working = instance;
+    Session session(working);
+    (void)engine::solve(session, request);  // prime caches + memo
+    Rng rng(10007u + static_cast<std::uint64_t>(k));
+    SolveResult last;
+    auto& bench_case = report.run_case(
+        scenario + "_update_resolve_k" + std::to_string(k),
+        instance.num_agents(), reps, [&] {
+          for (int edit = 0; edit < k; ++edit) {
+            const auto i = static_cast<ResourceId>(
+                rng.next_below(static_cast<std::uint64_t>(
+                    working.num_resources())));
+            const CoefSpan support = working.resource_support(i);
+            const Coef& entry = support[static_cast<std::size_t>(
+                rng.next_below(support.size()))];
+            InstanceDelta delta;
+            delta.set_usage(i, entry.id, entry.value * rng.uniform(0.5, 1.5));
+            (void)session.apply(delta);
+          }
+          last = engine::solve(session, request);
+        });
+    bench_case.counters["edits"] = static_cast<double>(k);
+    bench_case.counters["incremental"] = last.diagnostics.at("incremental");
+    bench_case.counters["dirty_agents"] = last.diagnostics.at("dirty_agents");
+    bench_case.counters["resolved_agents"] =
+        last.diagnostics.at("resolved_agents");
+    bench_case.counters["warm_full_ms"] = warm_full_ms;
+    bench_case.counters["speedup_vs_cold"] =
+        bench_case.wall_ms > 0.0 ? warm_full_ms / bench_case.wall_ms : 0.0;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -111,6 +166,11 @@ int main(int argc, char** argv) {
             run_dedup(report, scenario + "_averaging", instance,
                       {.algorithm = "averaging", .R = 1}, reps,
                       warm_averaging_ms);
+            // The update workload: how much of the warm solve does
+            // locality let a k-edit re-solve skip?
+            run_update_resolve(report, scenario + "_averaging", instance,
+                               {.algorithm = "averaging", .R = 1}, reps,
+                               warm_averaging_ms);
             // The safe request derives no cacheable state: warm ≈ cold
             // by design, which keeps the comparison honest.
             run_pair(report, scenario + "_safe", instance,

@@ -1,0 +1,26 @@
+// Accounting shared by the incremental re-solve paths (the update
+// pipeline of engine::Session). An incremental solve either splices a
+// dirty region into the previous result (incremental = true) or — when
+// no usable memo exists, ids were remapped, or the options rule the
+// splice out — falls back to the full algorithm (incremental = false,
+// counters cover the whole instance). Either way the output is bitwise
+// identical to a cold full solve of the mutated instance; the stats
+// only say how much work that took.
+#pragma once
+
+#include <cstddef>
+
+namespace mmlp {
+
+struct IncrementalStats {
+  bool incremental = false;  ///< memo hit: only the dirty region re-ran
+  /// Agents whose per-agent computation (eq. (2) choice, view LP, or
+  /// LOCAL-model decision) was re-run.
+  std::size_t dirty_agents = 0;
+  /// Output entries recomputed and spliced (for the averaging gather
+  /// this is the radius-2R region around the edits, a superset of
+  /// dirty_agents).
+  std::size_t resolved_agents = 0;
+};
+
+}  // namespace mmlp

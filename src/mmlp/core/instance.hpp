@@ -55,6 +55,63 @@ struct DegreeBounds {
   std::size_t delta_V_of_K = 0;  ///< Δ_K^V = max_k |V_k|
 };
 
+/// A batch of edits against an existing Instance (the mutation unit of
+/// the engine's update pipeline). Coefficient edits with value > 0 set
+/// or insert the entry; erase_* record a removal. Entity additions
+/// append fresh ids at the end; agent removals compact the id space
+/// (see Instance::apply for the exact semantics and the remap).
+struct InstanceDelta {
+  /// One coefficient edit: row is a resource (usages) or party
+  /// (benefits) id; value == 0 marks an erase.
+  struct CoefEdit {
+    std::int32_t row = 0;
+    AgentId v = 0;
+    double value = 0.0;
+  };
+
+  std::vector<CoefEdit> usages;
+  std::vector<CoefEdit> benefits;
+  AgentId new_agents = 0;
+  ResourceId new_resources = 0;
+  PartyId new_parties = 0;
+  std::vector<AgentId> removed_agents;
+
+  InstanceDelta& set_usage(ResourceId i, AgentId v, double a);
+  InstanceDelta& erase_usage(ResourceId i, AgentId v);
+  InstanceDelta& set_benefit(PartyId k, AgentId v, double c);
+  InstanceDelta& erase_benefit(PartyId k, AgentId v);
+  InstanceDelta& add_agents(AgentId count);
+  InstanceDelta& add_resources(ResourceId count);
+  InstanceDelta& add_parties(PartyId count);
+  InstanceDelta& remove_agent(AgentId v);
+
+  bool empty() const {
+    return usages.empty() && benefits.empty() && new_agents == 0 &&
+           new_resources == 0 && new_parties == 0 && removed_agents.empty();
+  }
+};
+
+/// What Instance::apply did, in terms the caches above it need: the new
+/// revision, whether any support-set membership changed (the
+/// communication hypergraph differs), whether ids were remapped
+/// (removals compacted the id space), and the sorted set of agents
+/// incident to any edit — for a pure value edit just the edited agent;
+/// for a membership edit the agent plus the old and new members of
+/// every edited support row. `touched` is in post-apply ids and is
+/// constructed so that any vertex whose radius-r ball changed — under
+/// the old or the new hypergraph — lies within distance r of it (every
+/// removed adjacency has both endpoints in `touched`), which is what
+/// makes single-BFS dirty regions sound. Empty when `remapped` (callers
+/// fall back to full invalidation).
+struct DeltaEffect {
+  std::uint64_t revision = 0;
+  bool structural = false;
+  bool remapped = false;
+  std::vector<AgentId> touched;
+  /// Old agent id -> new id (-1 removed); filled only when `remapped`.
+  std::vector<AgentId> agent_remap;
+};
+
 class Instance {
  public:
   class Builder;
@@ -91,6 +148,28 @@ class Instance {
   /// Enforce the standing assumptions; throws CheckError on violation.
   void validate() const;
 
+  /// Monotonically increasing mutation counter: 0 for a freshly built
+  /// instance, bumped by every successful apply(). Caches key their
+  /// validity on it (engine::Session stamps every cached structure with
+  /// the revision it was derived from).
+  std::uint64_t revision() const { return revision_; }
+
+  /// Apply a batch of edits. Pure value changes of existing entries are
+  /// written into the CSR blocks in place (O(log row) per edit);
+  /// anything that changes support-set membership — insertions, erases,
+  /// entity additions or removals — goes through a compacting rebuild of
+  /// all four blocks (the same counting-sort path as Builder::build, so
+  /// the mutated instance is block-for-block identical to building the
+  /// edited coefficient set from scratch). Agent removals drop the
+  /// agent's entries, compact agent ids downwards order-preservingly,
+  /// and cascade-remove any resource or party whose support becomes
+  /// empty (their id spaces compact the same way). Throws CheckError —
+  /// before any mutation is committed — on out-of-range ids, erases of
+  /// absent entries, non-positive set_* values, or edits that would
+  /// leave a nonempty-support assumption violated; validate() holds
+  /// after every successful apply.
+  DeltaEffect apply(const InstanceDelta& delta);
+
   /// Total number of nonzero coefficients (|A| + |C| sparsity).
   std::size_t num_nonzeros() const;
 
@@ -121,6 +200,7 @@ class Instance {
   CsrBlock party_support_;     // k -> (v, c_kv)
   CsrBlock agent_resources_;   // v -> (i, a_iv)
   CsrBlock agent_parties_;     // v -> (k, c_kv)
+  std::uint64_t revision_ = 0;  // not part of equality/serialization
 };
 
 /// Incremental construction with validation at build().

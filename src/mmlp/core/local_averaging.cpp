@@ -28,6 +28,8 @@
 #include "mmlp/core/local_averaging.hpp"
 
 #include <algorithm>
+#include <optional>
+#include <sstream>
 
 #include "mmlp/core/solution.hpp"
 #include "mmlp/engine/session.hpp"
@@ -35,6 +37,14 @@
 #include "mmlp/util/parallel.hpp"
 
 namespace mmlp {
+
+namespace {
+
+LocalAveragingResult local_averaging_impl(
+    engine::Session& session, const LocalAveragingOptions& options,
+    std::vector<std::vector<double>>* keep_view_x);
+
+}  // namespace
 
 LocalAveragingResult local_averaging(const Instance& instance,
                                      const LocalAveragingOptions& options) {
@@ -44,6 +54,16 @@ LocalAveragingResult local_averaging(const Instance& instance,
 
 LocalAveragingResult local_averaging_with(engine::Session& session,
                                           const LocalAveragingOptions& options) {
+  return local_averaging_impl(session, options, nullptr);
+}
+
+namespace {
+
+/// The full algorithm; `keep_view_x` (optional) receives every agent's
+/// view-LP solution so an incremental memo can splice later edits.
+LocalAveragingResult local_averaging_impl(
+    engine::Session& session, const LocalAveragingOptions& options,
+    std::vector<std::vector<double>>* keep_view_x) {
   MMLP_CHECK_GE(options.R, 1);
   const Instance& instance = session.instance();
   const auto n = static_cast<std::size_t>(instance.num_agents());
@@ -212,7 +232,151 @@ LocalAveragingResult local_averaging_with(engine::Session& session,
   if (options.damping == AveragingDamping::kNoneThenScale) {
     scale_to_feasible(instance, result.x);
   }
+  if (keep_view_x != nullptr) {
+    *keep_view_x = std::move(view_x);
+  }
   return result;
+}
+
+/// Everything the memoized state depends on. deduplicate is excluded on
+/// purpose: the exact scatter is bitwise equal to dedup-off, so their
+/// memos are interchangeable (kCanonical never reaches the memo).
+std::string averaging_fingerprint(const LocalAveragingOptions& options) {
+  std::ostringstream key;
+  key << "averaging|R=" << options.R
+      << "|oblivious=" << options.collaboration_oblivious
+      << "|damping=" << static_cast<int>(options.damping)
+      << "|lp=" << fingerprint(options.lp);
+  return key.str();
+}
+
+}  // namespace
+
+LocalAveragingResult local_averaging_incremental(
+    engine::Session& session, const LocalAveragingOptions& options,
+    IncrementalStats* stats) {
+  MMLP_CHECK_GE(options.R, 1);
+  const Instance& instance = session.instance();
+  const auto n = static_cast<std::size_t>(instance.num_agents());
+  IncrementalStats accounting;
+  accounting.dirty_agents = n;
+  accounting.resolved_agents = n;
+
+  // Splicing needs per-agent locality. kBetaGlobal couples every output
+  // to the global β minimum and kNoneThenScale rescales through a global
+  // feasibility factor — one edit can move every coordinate, so those
+  // run the full algorithm. The kCanonical scatter is only equal up to
+  // degenerate-optimum freedom, so re-solving a dirty member per-agent
+  // would not splice bitwise; it is excluded the same way.
+  const bool spliceable =
+      (options.damping == AveragingDamping::kBetaPerAgent ||
+       options.damping == AveragingDamping::kNone) &&
+      !(options.deduplicate &&
+        options.dedup_scatter == DedupScatter::kCanonical);
+  if (!spliceable) {
+    LocalAveragingResult result = local_averaging_impl(session, options, nullptr);
+    if (stats != nullptr) {
+      *stats = accounting;
+    }
+    return result;
+  }
+
+  engine::AveragingMemo& memo =
+      session.averaging_memo(averaging_fingerprint(options));
+  std::optional<std::vector<AgentId>> dirty_view;
+  std::optional<std::vector<AgentId>> dirty_gather;
+  if (memo.valid) {
+    dirty_view = session.dirty_since(memo.revision, options.R,
+                                     options.collaboration_oblivious);
+    if (dirty_view.has_value()) {
+      dirty_gather = session.dirty_since(memo.revision, 2 * options.R,
+                                         options.collaboration_oblivious);
+    }
+  }
+  if (!memo.valid || !dirty_view.has_value()) {
+    memo.result = local_averaging_impl(session, options, &memo.view_x);
+    memo.revision = session.revision();
+    memo.valid = true;
+    if (stats != nullptr) {
+      *stats = accounting;
+    }
+    return memo.result;
+  }
+
+  const std::vector<std::vector<AgentId>>& balls =
+      session.balls(options.R, options.collaboration_oblivious);
+  const GrowthSets& sets =
+      session.growth_sets(options.R, options.collaboration_oblivious);
+  // Added agents are always inside the dirty region, so growing the
+  // memoized vectors leaves no stale slot unrepaired.
+  memo.view_x.resize(n);
+  memo.result.view_omega.resize(n, 0.0);
+  memo.result.x.resize(n, 0.0);
+
+  // 1. Re-solve the view LPs of B(T, R) — same extraction, scratch and
+  //    simplex as the full loop, so a re-solved unchanged view
+  //    reproduces its previous bits exactly.
+  const std::vector<AgentId>& resolve = *dirty_view;
+  chunked_parallel_for(
+      resolve.size(),
+      [&](std::size_t begin, std::size_t end) {
+        auto scratch = session.view_scratch().acquire();
+        LocalView view;
+        for (std::size_t idx = begin; idx < end; ++idx) {
+          const AgentId u = resolve[idx];
+          const auto uu = static_cast<std::size_t>(u);
+          extract_view_into(instance, u, options.R, balls[uu], view, *scratch);
+          ViewLpSolution solution = solve_view_lp(view, options.lp, *scratch);
+          memo.result.view_omega[uu] = solution.omega;
+          memo.view_x[uu] = std::move(solution.x);
+        }
+      },
+      session.pool());
+
+  // 2. The growth-derived fields were repaired in place by apply();
+  //    mirror them into the memoized result.
+  memo.result.beta = sets.beta;
+  memo.result.ball_size = sets.ball_size;
+  memo.result.ratio_bound = sets.ratio_bound();
+
+  // 3. Re-gather eq. (10) over B(T, 2R): the same ascending-u addition
+  //    order as the full gather, over the spliced view solutions.
+  const std::vector<AgentId>& regather = *dirty_gather;
+  chunked_parallel_for(
+      regather.size(),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t idx = begin; idx < end; ++idx) {
+          const AgentId j = regather[idx];
+          const auto jj = static_cast<std::size_t>(j);
+          double sum = 0.0;
+          for (const AgentId u : balls[jj]) {
+            const auto& ball_u = balls[static_cast<std::size_t>(u)];
+            const auto it = std::lower_bound(ball_u.begin(), ball_u.end(), j);
+            MMLP_CHECK(it != ball_u.end() && *it == j);
+            sum += memo.view_x[static_cast<std::size_t>(u)]
+                              [static_cast<std::size_t>(it - ball_u.begin())];
+          }
+          MMLP_CHECK_GT(memo.result.ball_size[jj], 0u);
+          const double average =
+              sum / static_cast<double>(memo.result.ball_size[jj]);
+          memo.result.x[jj] = options.damping == AveragingDamping::kBetaPerAgent
+                                  ? memo.result.beta[jj] * average
+                                  : average;
+        }
+      },
+      session.pool());
+
+  memo.result.lp_solves = resolve.size();
+  memo.result.view_classes = 0;
+  memo.result.dedup_ratio = 0.0;
+  memo.revision = session.revision();
+  accounting.incremental = true;
+  accounting.dirty_agents = resolve.size();
+  accounting.resolved_agents = regather.size();
+  if (stats != nullptr) {
+    *stats = accounting;
+  }
+  return memo.result;
 }
 
 }  // namespace mmlp

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "mmlp/core/incremental.hpp"
 #include "mmlp/core/instance.hpp"
 #include "mmlp/core/view.hpp"
 #include "mmlp/core/view_class.hpp"
@@ -91,5 +92,22 @@ LocalAveragingResult local_averaging(const Instance& instance,
 /// is a thin wrapper running this against a throwaway session.
 LocalAveragingResult local_averaging_with(engine::Session& session,
                                           const LocalAveragingOptions& options = {});
+
+/// Incremental re-solve against the session's edit log. Locality does
+/// the work: an edit with touched set T changes view LPs only inside
+/// B(T, R), and x̃_j only inside B(T, 2R) (x̃_j reads x^u for u ∈ V^j,
+/// and β_j moves only within B(T, R+1)); so the memoized previous run —
+/// which retains every agent's view solution — is re-solved on
+/// B(T, R) and re-gathered on B(T, 2R), everything else spliced
+/// through unchanged. Output is bitwise identical to local_averaging on
+/// the mutated instance. Falls back to the full algorithm (same output)
+/// on the first call, after id remaps, or for option combinations whose
+/// outputs are not per-agent local: kBetaGlobal / kNoneThenScale
+/// damping couple every agent to every edit, and the kCanonical scatter
+/// is only equal up to degenerate-optimum freedom. The result's
+/// lp_solves reports the LPs actually solved this run.
+LocalAveragingResult local_averaging_incremental(
+    engine::Session& session, const LocalAveragingOptions& options = {},
+    IncrementalStats* stats = nullptr);
 
 }  // namespace mmlp

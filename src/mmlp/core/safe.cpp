@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cstring>
 #include <limits>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -118,6 +119,46 @@ std::vector<double> safe_solution_with(engine::Session& session,
   return options.deduplicate
              ? safe_solution_dedup(session.instance(), session.pool())
              : safe_solution_impl(session.instance(), session.pool());
+}
+
+std::vector<double> safe_solution_incremental(engine::Session& session,
+                                              const SafeOptions& options,
+                                              IncrementalStats* stats) {
+  const Instance& instance = session.instance();
+  const auto n = static_cast<std::size_t>(instance.num_agents());
+  // One memo regardless of the dedup knob: the dedup path is bitwise
+  // equal to the per-agent one, so their solutions are interchangeable.
+  engine::SolutionMemo& memo = session.solution_memo("safe");
+  IncrementalStats accounting;
+
+  // Radius 0: eq. (2) for agent u reads a_iu for i ∈ I_u and |V_i|, and
+  // every delta's touched closure contains each agent one of those
+  // inputs changed for (the edited agent; all members of a
+  // membership-edited row).
+  std::optional<std::vector<AgentId>> dirty;
+  if (memo.valid) {
+    dirty = session.dirty_since(memo.revision, 0, false);
+  }
+  if (memo.valid && dirty.has_value()) {
+    memo.x.resize(n, 0.0);  // added agents are always in the dirty set
+    for (const AgentId v : *dirty) {
+      memo.x[static_cast<std::size_t>(v)] =
+          safe_choice_unchecked(instance, v);
+    }
+    accounting.incremental = true;
+    accounting.dirty_agents = dirty->size();
+    accounting.resolved_agents = dirty->size();
+  } else {
+    memo.x = safe_solution_with(session, options);
+    accounting.dirty_agents = n;
+    accounting.resolved_agents = n;
+  }
+  memo.revision = session.revision();
+  memo.valid = true;
+  if (stats != nullptr) {
+    *stats = accounting;
+  }
+  return memo.x;
 }
 
 }  // namespace mmlp

@@ -11,6 +11,7 @@
 #include <span>
 #include <vector>
 
+#include "mmlp/core/incremental.hpp"
 #include "mmlp/core/instance.hpp"
 
 namespace mmlp {
@@ -42,6 +43,18 @@ struct SafeOptions {
 /// exists so every registered solver speaks the Session API.
 std::vector<double> safe_solution_with(engine::Session& session,
                                        const SafeOptions& options = {});
+
+/// Incremental re-solve against the session's edit log: re-evaluates
+/// eq. (2) only for agents the deltas since the last safe solve could
+/// have reached (the touched set itself — the rule reads radius-1 data,
+/// and an edit's touched closure already contains every agent whose
+/// a_iv or |V_i| inputs moved) and splices them into the memoized
+/// previous solution. Falls back to a full solve on the first call, on
+/// id remaps, or when no memo exists; either way the result is bitwise
+/// identical to safe_solution on the mutated instance.
+std::vector<double> safe_solution_incremental(engine::Session& session,
+                                              const SafeOptions& options = {},
+                                              IncrementalStats* stats = nullptr);
 
 /// The single-agent rule, usable from per-agent (distributed) code:
 /// needs I_v with coefficients and |V_i| for each i ∈ I_v.

@@ -321,4 +321,109 @@ GrowthSets compute_growth_sets(const Instance& instance,
   return sets;
 }
 
+void repair_growth_sets(const Instance& instance,
+                        const std::vector<std::vector<AgentId>>& balls,
+                        std::span<const AgentId> dirty, GrowthSets& sets) {
+  const auto n = static_cast<std::size_t>(instance.num_agents());
+  MMLP_CHECK_EQ(balls.size(), n);
+  const std::size_t old_parties = sets.m_k.size();
+  const std::size_t old_resources = sets.N_i.size();
+  MMLP_CHECK_MSG(sets.ball_size.size() <= n &&
+                     old_parties <= static_cast<std::size_t>(instance.num_parties()) &&
+                     old_resources <= static_cast<std::size_t>(instance.num_resources()),
+                 "repair_growth_sets: cached sets are larger than the "
+                 "instance (entity removal needs a full recompute)");
+
+  std::vector<char> is_dirty(n, 0);
+  for (const AgentId d : dirty) {
+    MMLP_CHECK_GE(d, 0);
+    MMLP_CHECK_LT(static_cast<std::size_t>(d), n);
+    is_dirty[static_cast<std::size_t>(d)] = 1;
+  }
+  sets.ball_size.resize(n);
+  for (const AgentId d : dirty) {
+    sets.ball_size[static_cast<std::size_t>(d)] =
+        balls[static_cast<std::size_t>(d)].size();
+  }
+
+  // Same running-set scratch and per-row loops as compute_growth_sets,
+  // run only for the affected rows so the recomputed entries are
+  // bitwise what the from-scratch pass would produce.
+  std::vector<AgentId> current;
+  std::vector<AgentId> next;
+
+  sets.m_k.resize(static_cast<std::size_t>(instance.num_parties()));
+  sets.M_k.resize(static_cast<std::size_t>(instance.num_parties()));
+  for (PartyId k = 0; k < instance.num_parties(); ++k) {
+    const CoefSpan support = instance.party_support(k);
+    bool affected = static_cast<std::size_t>(k) >= old_parties;
+    for (const Coef& entry : support) {
+      affected = affected || is_dirty[static_cast<std::size_t>(entry.id)] != 0;
+    }
+    if (!affected) {
+      continue;
+    }
+    const auto& first_ball = balls[static_cast<std::size_t>(support.front().id)];
+    current.assign(first_ball.begin(), first_ball.end());
+    std::size_t max_ball = 0;
+    for (const Coef& entry : support) {
+      const auto& ball_j = balls[static_cast<std::size_t>(entry.id)];
+      max_ball = std::max(max_ball, ball_j.size());
+      next.clear();
+      std::set_intersection(current.begin(), current.end(), ball_j.begin(),
+                            ball_j.end(), std::back_inserter(next));
+      current.swap(next);
+    }
+    sets.m_k[static_cast<std::size_t>(k)] = current.size();
+    sets.M_k[static_cast<std::size_t>(k)] = max_ball;
+  }
+
+  sets.N_i.resize(static_cast<std::size_t>(instance.num_resources()));
+  sets.n_i.resize(static_cast<std::size_t>(instance.num_resources()));
+  std::vector<char> beta_dirty(n, 0);
+  for (const AgentId d : dirty) {
+    beta_dirty[static_cast<std::size_t>(d)] = 1;  // covers I_v changes
+  }
+  for (ResourceId i = 0; i < instance.num_resources(); ++i) {
+    const CoefSpan support = instance.resource_support(i);
+    bool affected = static_cast<std::size_t>(i) >= old_resources;
+    for (const Coef& entry : support) {
+      affected = affected || is_dirty[static_cast<std::size_t>(entry.id)] != 0;
+    }
+    if (!affected) {
+      continue;
+    }
+    current.clear();
+    std::size_t min_ball = std::numeric_limits<std::size_t>::max();
+    for (const Coef& entry : support) {
+      const auto& ball_j = balls[static_cast<std::size_t>(entry.id)];
+      min_ball = std::min(min_ball, ball_j.size());
+      next.clear();
+      std::set_union(current.begin(), current.end(), ball_j.begin(),
+                     ball_j.end(), std::back_inserter(next));
+      current.swap(next);
+    }
+    sets.N_i[static_cast<std::size_t>(i)] = current.size();
+    sets.n_i[static_cast<std::size_t>(i)] = min_ball;
+    // n_i/N_i moved: every member's β_j reads them.
+    for (const Coef& entry : support) {
+      beta_dirty[static_cast<std::size_t>(entry.id)] = 1;
+    }
+  }
+
+  sets.beta.resize(n, 1.0);
+  for (AgentId j = 0; j < instance.num_agents(); ++j) {
+    if (beta_dirty[static_cast<std::size_t>(j)] == 0) {
+      continue;
+    }
+    double beta = std::numeric_limits<double>::infinity();
+    for (const Coef& entry : instance.agent_resources(j)) {
+      const auto i = static_cast<std::size_t>(entry.id);
+      beta = std::min(beta, static_cast<double>(sets.n_i[i]) /
+                                static_cast<double>(sets.N_i[i]));
+    }
+    sets.beta[static_cast<std::size_t>(j)] = beta;
+  }
+}
+
 }  // namespace mmlp

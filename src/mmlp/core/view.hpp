@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "mmlp/core/instance.hpp"
@@ -142,5 +143,19 @@ struct GrowthSets {
 /// collaboration-oblivious one) — then S_k ⊇ V_k is nonempty.
 GrowthSets compute_growth_sets(const Instance& instance,
                                const std::vector<std::vector<AgentId>>& balls);
+
+/// Surgical repair of a cached GrowthSets after an instance delta.
+/// `balls` is the repaired ball cache of the same radius; `dirty` is the
+/// sorted dirty region (every agent whose ball or incident support
+/// membership changed — the multi_source_ball of the delta's touched set
+/// at this radius). Only party/resource rows whose support intersects
+/// `dirty` are recomputed, plus the β_j of agents adjacent to a
+/// recomputed resource; all other entries are reused. The result is
+/// element-for-element identical to compute_growth_sets on the mutated
+/// instance. Entity additions grow the vectors (new rows are always
+/// recomputed); removals need a from-scratch recompute instead.
+void repair_growth_sets(const Instance& instance,
+                        const std::vector<std::vector<AgentId>>& balls,
+                        std::span<const AgentId> dirty, GrowthSets& sets);
 
 }  // namespace mmlp

@@ -305,18 +305,72 @@ ViewCanonicalForm canonicalize_view(const LocalView& view) {
   return form;
 }
 
+namespace {
+
+/// Rebuild the class/orbit grouping arrays from the per-agent keys in
+/// ascending agent order, so class/orbit ids and representatives are
+/// deterministic. Shared by build (keys just computed) and repair (keys
+/// spliced); the maps hold views into the index's key strings.
+void regroup(ViewClassIndex& index) {
+  const std::size_t n = index.exact_keys.size();
+  index.class_of.assign(n, -1);
+  index.orbit_of.assign(n, -1);
+  index.class_rep.clear();
+  index.class_size.clear();
+  index.orbit_rep.clear();
+  index.orbit_size.clear();
+  index.orbit_class.clear();
+
+  std::unordered_map<std::string_view, std::int32_t> class_ids;
+  std::unordered_map<std::string_view, std::int32_t> orbit_ids;
+  class_ids.reserve(n);
+  orbit_ids.reserve(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    const auto [class_it, class_inserted] = class_ids.emplace(
+        std::string_view(index.canonical_keys[u]),
+        static_cast<std::int32_t>(index.class_rep.size()));
+    if (class_inserted) {
+      index.class_rep.push_back(static_cast<AgentId>(u));
+      index.class_size.push_back(0);
+    }
+    index.class_of[u] = class_it->second;
+    ++index.class_size[static_cast<std::size_t>(class_it->second)];
+
+    const auto [orbit_it, orbit_inserted] = orbit_ids.emplace(
+        std::string_view(index.exact_keys[u]),
+        static_cast<std::int32_t>(index.orbit_rep.size()));
+    if (orbit_inserted) {
+      index.orbit_rep.push_back(static_cast<AgentId>(u));
+      index.orbit_size.push_back(0);
+      index.orbit_class.push_back(class_it->second);
+    }
+    index.orbit_of[u] = orbit_it->second;
+    ++index.orbit_size[static_cast<std::size_t>(orbit_it->second)];
+    // Identical structures canonicalize identically, so an orbit can
+    // never straddle two classes.
+    MMLP_CHECK_EQ(index.orbit_class[static_cast<std::size_t>(orbit_it->second)],
+                  class_it->second);
+  }
+}
+
+}  // namespace
+
 ViewClassIndex build_view_class_index(
     const Instance& instance, const std::vector<std::vector<AgentId>>& balls,
-    std::int32_t radius, bool collaboration_oblivious, ThreadPool* pool) {
+    std::int32_t radius, bool collaboration_oblivious, ThreadPool* pool,
+    bool keep_keys) {
   const auto n = static_cast<std::size_t>(instance.num_agents());
   MMLP_CHECK_EQ(balls.size(), n);
 
   ViewClassIndex index;
   index.radius = radius;
   index.collaboration_oblivious = collaboration_oblivious;
+  index.repairable = keep_keys;
   index.class_of.assign(n, -1);
   index.orbit_of.assign(n, -1);
   index.perm_offset.assign(n + 1, 0);
+  index.exact_keys.resize(n);
+  index.canonical_keys.resize(n);
   if (n == 0) {
     return index;
   }
@@ -336,52 +390,101 @@ ViewClassIndex build_view_class_index(
       },
       pool);
 
-  // Group by key, ascending agent id, so class/orbit ids and
-  // representatives are deterministic. The maps hold views into the
-  // per-agent key strings, which stay alive in `forms` until the end.
   for (std::size_t u = 0; u < n; ++u) {
     index.perm_offset[u + 1] =
         index.perm_offset[u] +
         static_cast<std::int64_t>(forms[u].canon_to_local.size());
   }
   index.perms.resize(static_cast<std::size_t>(index.perm_offset[n]));
-
-  std::unordered_map<std::string_view, std::int32_t> class_ids;
-  std::unordered_map<std::string_view, std::int32_t> orbit_ids;
-  class_ids.reserve(n);
-  orbit_ids.reserve(n);
   for (std::size_t u = 0; u < n; ++u) {
-    const ViewCanonicalForm& form = forms[u];
-    const auto [class_it, class_inserted] = class_ids.emplace(
-        std::string_view(form.canonical_key),
-        static_cast<std::int32_t>(index.class_rep.size()));
-    if (class_inserted) {
-      index.class_rep.push_back(static_cast<AgentId>(u));
-      index.class_size.push_back(0);
-    }
-    index.class_of[u] = class_it->second;
-    ++index.class_size[static_cast<std::size_t>(class_it->second)];
-
-    const auto [orbit_it, orbit_inserted] = orbit_ids.emplace(
-        std::string_view(form.exact_key),
-        static_cast<std::int32_t>(index.orbit_rep.size()));
-    if (orbit_inserted) {
-      index.orbit_rep.push_back(static_cast<AgentId>(u));
-      index.orbit_size.push_back(0);
-      index.orbit_class.push_back(class_it->second);
-    }
-    index.orbit_of[u] = orbit_it->second;
-    ++index.orbit_size[static_cast<std::size_t>(orbit_it->second)];
-    // Identical structures canonicalize identically, so an orbit can
-    // never straddle two classes.
-    MMLP_CHECK_EQ(index.orbit_class[static_cast<std::size_t>(orbit_it->second)],
-                  class_it->second);
-
+    ViewCanonicalForm& form = forms[u];
     std::copy(form.canon_to_local.begin(), form.canon_to_local.end(),
               index.perms.begin() +
                   static_cast<std::ptrdiff_t>(index.perm_offset[u]));
+    index.exact_keys[u] = std::move(form.exact_key);
+    index.canonical_keys[u] = std::move(form.canonical_key);
+  }
+  regroup(index);
+  if (!keep_keys) {
+    index.exact_keys = {};
+    index.canonical_keys = {};
   }
   return index;
+}
+
+void repair_view_class_index(const Instance& instance,
+                             const std::vector<std::vector<AgentId>>& balls,
+                             std::span<const AgentId> dirty,
+                             ViewClassIndex& index, ThreadPool* pool) {
+  MMLP_CHECK_MSG(index.repairable,
+                 "view-class index was built without keep_keys; rebuild it "
+                 "instead of repairing");
+  const auto n = static_cast<std::size_t>(instance.num_agents());
+  const std::size_t n_old = index.exact_keys.size();
+  MMLP_CHECK_EQ(balls.size(), n);
+  MMLP_CHECK_MSG(n_old <= n,
+                 "agent removal shrank the instance; the index needs a full "
+                 "rebuild, not a repair");
+  MMLP_CHECK(std::is_sorted(dirty.begin(), dirty.end()));
+  for (std::size_t u = n_old; u < n; ++u) {
+    MMLP_CHECK_MSG(
+        std::binary_search(dirty.begin(), dirty.end(), static_cast<AgentId>(u)),
+        "added agent " << u << " must be in the dirty set");
+  }
+
+  // Re-canonicalize the dirty views only.
+  std::vector<ViewCanonicalForm> forms(dirty.size());
+  chunked_parallel_for(
+      dirty.size(),
+      [&](std::size_t begin, std::size_t end) {
+        ViewScratch scratch;
+        LocalView view;
+        for (std::size_t idx = begin; idx < end; ++idx) {
+          const auto u = static_cast<std::size_t>(dirty[idx]);
+          extract_view_into(instance, dirty[idx], index.radius, balls[u], view,
+                            scratch);
+          forms[idx] = canonicalize_view(view);
+        }
+      },
+      pool);
+
+  // Splice the permutations (lengths may have changed) and the keys.
+  std::vector<std::int32_t> dirty_slot(n, -1);
+  for (std::size_t idx = 0; idx < dirty.size(); ++idx) {
+    dirty_slot[static_cast<std::size_t>(dirty[idx])] =
+        static_cast<std::int32_t>(idx);
+  }
+  std::vector<std::int64_t> offsets(n + 1, 0);
+  for (std::size_t u = 0; u < n; ++u) {
+    const std::int32_t slot = dirty_slot[u];
+    const std::int64_t length =
+        slot >= 0 ? static_cast<std::int64_t>(
+                        forms[static_cast<std::size_t>(slot)].canon_to_local.size())
+                  : index.perm_offset[u + 1] - index.perm_offset[u];
+    offsets[u + 1] = offsets[u] + length;
+  }
+  std::vector<std::int32_t> perms(static_cast<std::size_t>(offsets[n]));
+  index.exact_keys.resize(n);
+  index.canonical_keys.resize(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    const std::int32_t slot = dirty_slot[u];
+    if (slot >= 0) {
+      ViewCanonicalForm& form = forms[static_cast<std::size_t>(slot)];
+      std::copy(form.canon_to_local.begin(), form.canon_to_local.end(),
+                perms.begin() + static_cast<std::ptrdiff_t>(offsets[u]));
+      index.exact_keys[u] = std::move(form.exact_key);
+      index.canonical_keys[u] = std::move(form.canonical_key);
+    } else {
+      std::copy(index.perms.begin() +
+                    static_cast<std::ptrdiff_t>(index.perm_offset[u]),
+                index.perms.begin() +
+                    static_cast<std::ptrdiff_t>(index.perm_offset[u + 1]),
+                perms.begin() + static_cast<std::ptrdiff_t>(offsets[u]));
+    }
+  }
+  index.perm_offset = std::move(offsets);
+  index.perms = std::move(perms);
+  regroup(index);
 }
 
 }  // namespace mmlp

@@ -95,6 +95,16 @@ struct ViewClassIndex {
   std::vector<std::int64_t> perm_offset;  ///< agent -> start in perms (n+1 entries)
   std::vector<std::int32_t> perms;        ///< concatenated canon_to_local maps
 
+  /// Per-agent canonical-form keys, retained only when the index was
+  /// built with keep_keys (engine::Session does so for mutable-bound
+  /// sessions): they make the partition repairable after an instance
+  /// delta — dirty agents re-canonicalize, everyone else regroups from
+  /// the stored key, and key equality still *proves* shared structure.
+  /// Costs memory proportional to the serialized views.
+  bool repairable = false;
+  std::vector<std::string> exact_keys;
+  std::vector<std::string> canonical_keys;
+
   // Per class / per orbit, in first-appearance (ascending rep id) order.
   std::vector<AgentId> class_rep;    ///< smallest member of each class
   std::vector<AgentId> orbit_rep;    ///< smallest member of each orbit
@@ -134,6 +144,20 @@ struct ViewClassIndex {
 ViewClassIndex build_view_class_index(
     const Instance& instance, const std::vector<std::vector<AgentId>>& balls,
     std::int32_t radius, bool collaboration_oblivious,
-    ThreadPool* pool = nullptr);
+    ThreadPool* pool = nullptr, bool keep_keys = false);
+
+/// Surgical repair of a keep_keys index after an instance delta: only
+/// the `dirty` agents (sorted; every agent whose radius-`index.radius`
+/// view structure could have changed, i.e. the dirty ball of the delta)
+/// are re-canonicalized; the partition is then regrouped from the
+/// per-agent keys, so class/orbit ids, representatives and sizes come
+/// out exactly as a from-scratch build on the mutated instance would
+/// produce them. `balls` is the repaired ball cache of the index's
+/// (radius, mode). Agent additions grow the index (new agents must be
+/// dirty); removals need a full rebuild.
+void repair_view_class_index(const Instance& instance,
+                             const std::vector<std::vector<AgentId>>& balls,
+                             std::span<const AgentId> dirty,
+                             ViewClassIndex& index, ThreadPool* pool = nullptr);
 
 }  // namespace mmlp

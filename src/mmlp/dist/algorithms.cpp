@@ -10,6 +10,8 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
+#include <sstream>
 
 #include "mmlp/core/safe.hpp"
 #include "mmlp/core/view.hpp"
@@ -106,6 +108,21 @@ double averaging_decision(const LocalWorld& world, const Hypergraph& h,
   return beta * average;
 }
 
+/// One agent's full pipeline: materialize the radius-(2R+1) world from
+/// its knowledge set, then run the Section 5.1 rule inside it. Shared
+/// by the full loop and the incremental dirty-region loop, so both
+/// produce the same bits for the same world.
+double averaging_pipeline(const Instance& instance, AgentId j,
+                          const std::vector<AgentId>& knowledge_j,
+                          const LocalAveragingOptions& options,
+                          engine::DistScratch& scratch) {
+  const AgentContext ctx(instance, j, knowledge_j);
+  ctx.materialize_into(scratch.world, scratch.arena);
+  const Hypergraph h = scratch.world.instance.communication_graph(
+      options.collaboration_oblivious);
+  return averaging_decision(scratch.world, h, options, scratch.view);
+}
+
 }  // namespace
 
 std::vector<double> distributed_local_averaging(
@@ -163,12 +180,8 @@ std::vector<double> distributed_local_averaging_with(
         for (std::size_t task = begin; task < end; ++task) {
           const std::size_t j =
               reps != nullptr ? static_cast<std::size_t>((*reps)[task]) : task;
-          const AgentContext ctx(instance, static_cast<AgentId>(j),
-                                 knowledge[j]);
-          ctx.materialize_into(scratch->world, scratch->arena);
-          const Hypergraph h = scratch->world.instance.communication_graph(
-              options.collaboration_oblivious);
-          x[j] = averaging_decision(scratch->world, h, options, scratch->view);
+          x[j] = averaging_pipeline(instance, static_cast<AgentId>(j),
+                                    knowledge[j], options, *scratch);
         }
       },
       session.pool());
@@ -189,6 +202,80 @@ std::vector<double> distributed_local_averaging_with(
         session.pool());
   }
   return x;
+}
+
+std::vector<double> distributed_local_averaging_incremental(
+    engine::Session& session, const LocalAveragingOptions& options,
+    DistAveragingStats* stats, IncrementalStats* inc_stats) {
+  MMLP_CHECK_GE(options.R, 1);
+  MMLP_CHECK_MSG(options.damping == AveragingDamping::kBetaPerAgent,
+                 "only the per-agent damping of eq. (10) is a local rule");
+  const Instance& instance = session.instance();
+  const auto n = static_cast<std::size_t>(instance.num_agents());
+  IncrementalStats accounting;
+  accounting.dirty_agents = n;
+  accounting.resolved_agents = n;
+
+  // The kCanonical scatter is only equal up to degenerate-optimum
+  // freedom, so a per-agent re-solve of a dirty member would not splice
+  // bitwise into it; dedup-off and the exact scatter are
+  // interchangeable and share the memo.
+  const bool spliceable = !(options.deduplicate &&
+                            options.dedup_scatter == DedupScatter::kCanonical);
+  if (!spliceable) {
+    std::vector<double> x =
+        distributed_local_averaging_with(session, options, stats);
+    if (inc_stats != nullptr) {
+      *inc_stats = accounting;
+    }
+    return x;
+  }
+
+  std::ostringstream key;
+  key << "dist-averaging|R=" << options.R
+      << "|oblivious=" << options.collaboration_oblivious
+      << "|lp=" << fingerprint(options.lp);
+  engine::SolutionMemo& memo = session.solution_memo(key.str());
+
+  const std::int32_t horizon = 2 * options.R + 1;
+  std::optional<std::vector<AgentId>> dirty;
+  if (memo.valid) {
+    dirty = session.dirty_since(memo.revision, horizon,
+                                options.collaboration_oblivious);
+  }
+  if (memo.valid && dirty.has_value()) {
+    const std::vector<std::vector<AgentId>>& knowledge =
+        session.balls(horizon, options.collaboration_oblivious);
+    memo.x.resize(n, 0.0);  // added agents are always in the dirty region
+    const std::vector<AgentId>& resolve = *dirty;
+    chunked_parallel_for(
+        resolve.size(),
+        [&](std::size_t begin, std::size_t end) {
+          auto scratch = session.dist_scratch().acquire();
+          for (std::size_t idx = begin; idx < end; ++idx) {
+            const AgentId j = resolve[idx];
+            memo.x[static_cast<std::size_t>(j)] = averaging_pipeline(
+                instance, j, knowledge[static_cast<std::size_t>(j)], options,
+                *scratch);
+          }
+        },
+        session.pool());
+    accounting.incremental = true;
+    accounting.dirty_agents = resolve.size();
+    accounting.resolved_agents = resolve.size();
+    if (stats != nullptr) {
+      *stats = DistAveragingStats{};
+      stats->decisions = resolve.size();
+    }
+  } else {
+    memo.x = distributed_local_averaging_with(session, options, stats);
+  }
+  memo.revision = session.revision();
+  memo.valid = true;
+  if (inc_stats != nullptr) {
+    *inc_stats = accounting;
+  }
+  return memo.x;
 }
 
 }  // namespace mmlp

@@ -19,6 +19,7 @@
 
 #include <vector>
 
+#include "mmlp/core/incremental.hpp"
 #include "mmlp/core/instance.hpp"
 #include "mmlp/core/local_averaging.hpp"
 #include "mmlp/dist/runtime.hpp"
@@ -80,5 +81,18 @@ struct DistAveragingStats {
 std::vector<double> distributed_local_averaging_with(
     engine::Session& session, const LocalAveragingOptions& options = {},
     DistAveragingStats* stats = nullptr);
+
+/// Incremental re-solve against the session's edit log: agent j's
+/// decision is a pure function of its radius-(2R+1) world, so only
+/// agents inside B(T, 2R+1) of the edits' touched set T re-run the
+/// materialize-and-solve pipeline; everyone else keeps the memoized
+/// previous decision. Bitwise identical to distributed_local_averaging
+/// on the mutated instance. Falls back to the full algorithm on the
+/// first call, after id remaps, or with the kCanonical scatter (whose
+/// outputs are only equal up to degenerate-optimum freedom).
+/// `stats->decisions` then reports the pipelines actually run.
+std::vector<double> distributed_local_averaging_incremental(
+    engine::Session& session, const LocalAveragingOptions& options = {},
+    DistAveragingStats* stats = nullptr, IncrementalStats* inc_stats = nullptr);
 
 }  // namespace mmlp

@@ -32,6 +32,14 @@ LocalAveragingOptions averaging_options(const SolveRequest& request) {
   return options;
 }
 
+void attach_incremental_diagnostics(const IncrementalStats& stats,
+                                    SolveResult& result) {
+  result.diagnostics["incremental"] = stats.incremental ? 1.0 : 0.0;
+  result.diagnostics["dirty_agents"] = static_cast<double>(stats.dirty_agents);
+  result.diagnostics["resolved_agents"] =
+      static_cast<double>(stats.resolved_agents);
+}
+
 void attach_averaging_diagnostics(const LocalAveragingResult& averaging,
                                   SolveResult& result) {
   result.diagnostics["ratio_bound"] = averaging.ratio_bound;
@@ -57,8 +65,14 @@ SolverRegistry make_builtin() {
       .run =
           [](Session& session, const SolveRequest& request,
              SolveResult& result) {
-            result.x = safe_solution_with(
-                session, SafeOptions{.deduplicate = request.deduplicate});
+            const SafeOptions options{.deduplicate = request.deduplicate};
+            if (request.incremental) {
+              IncrementalStats stats;
+              result.x = safe_solution_incremental(session, options, &stats);
+              attach_incremental_diagnostics(stats, result);
+            } else {
+              result.x = safe_solution_with(session, options);
+            }
             result.has_solution = true;
           },
   });
@@ -71,8 +85,16 @@ SolverRegistry make_builtin() {
       .run =
           [](Session& session, const SolveRequest& request,
              SolveResult& result) {
-            const LocalAveragingResult averaging =
-                local_averaging_with(session, averaging_options(request));
+            LocalAveragingResult averaging;
+            if (request.incremental) {
+              IncrementalStats stats;
+              averaging = local_averaging_incremental(
+                  session, averaging_options(request), &stats);
+              attach_incremental_diagnostics(stats, result);
+            } else {
+              averaging =
+                  local_averaging_with(session, averaging_options(request));
+            }
             result.x = averaging.x;
             result.has_solution = true;
             attach_averaging_diagnostics(averaging, result);
@@ -172,8 +194,15 @@ SolverRegistry make_builtin() {
           [](Session& session, const SolveRequest& request,
              SolveResult& result) {
             DistAveragingStats stats;
-            result.x = distributed_local_averaging_with(
-                session, averaging_options(request), &stats);
+            if (request.incremental) {
+              IncrementalStats inc;
+              result.x = distributed_local_averaging_incremental(
+                  session, averaging_options(request), &stats, &inc);
+              attach_incremental_diagnostics(inc, result);
+            } else {
+              result.x = distributed_local_averaging_with(
+                  session, averaging_options(request), &stats);
+            }
             result.has_solution = true;
             result.diagnostics["R"] = static_cast<double>(request.R);
             result.diagnostics["lp_solves"] =

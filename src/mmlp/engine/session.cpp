@@ -1,11 +1,21 @@
 // Session cache implementation. Every accessor follows the same shape:
-// lock, serve a warm entry if present (counted as a hit), otherwise
-// build it under the lock with the build time charged to
-// cache_build_ms_. Building under the lock is deliberate: concurrent
-// solves on one session then build each entry exactly once, and the
-// per-agent parallel loops inside the builders run on pool workers, not
-// on threads that could re-enter the session.
+// lock, serve a warm entry if present (counted as a hit, with its
+// revision stamp asserted), otherwise build it under the lock with the
+// build time charged to cache_build_ms_. Building under the lock is
+// deliberate: concurrent solves on one session then build each entry
+// exactly once, and the per-agent parallel loops inside the builders
+// run on pool workers, not on threads that could re-enter the session.
+//
+// apply() is the update pipeline's hub: route the delta into the
+// instance, append it to the edit log, then repair every cached entry
+// in place — rebuild the communication graphs only on membership
+// changes, re-BFS only the dirty region of each cached ball set,
+// recompute only the growth-set rows the dirty region touches, and
+// re-canonicalize only the dirty agents of each view-class partition —
+// and restamp everything with the new revision.
 #include "mmlp/engine/session.hpp"
+
+#include <algorithm>
 
 #include "mmlp/graph/bfs.hpp"
 #include "mmlp/util/check.hpp"
@@ -14,10 +24,20 @@
 namespace mmlp::engine {
 
 Session::Session(const Instance& instance, SessionOptions options)
-    : instance_(&instance), options_(options) {
+    : instance_(&instance), options_(options), revision_(instance.revision()) {
   if (options_.threads > 0) {
     owned_pool_ = std::make_unique<ThreadPool>(options_.threads);
   }
+}
+
+Session::Session(Instance& instance, SessionOptions options)
+    : Session(static_cast<const Instance&>(instance), options) {
+  mutable_instance_ = &instance;
+}
+
+std::uint64_t Session::revision() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return revision_;
 }
 
 std::size_t Session::thread_count() const {
@@ -25,18 +45,32 @@ std::size_t Session::thread_count() const {
                                 : ThreadPool::global().size();
 }
 
+void Session::assert_fresh(std::uint64_t entry_revision) const {
+  // A mismatch means the instance was mutated without going through
+  // apply() — the cached structure describes an instance that no longer
+  // exists, and serving it would silently corrupt a solve.
+  MMLP_CHECK_MSG(entry_revision == instance_->revision(),
+                 "stale session cache: entry revision "
+                     << entry_revision << " vs instance revision "
+                     << instance_->revision()
+                     << " (mutate the instance via Session::apply)");
+}
+
 const Hypergraph& Session::graph(bool collaboration_oblivious) {
   std::lock_guard<std::mutex> lock(mutex_);
-  std::optional<Hypergraph>& slot = graph_[collaboration_oblivious ? 1 : 0];
+  auto& slot = graph_[collaboration_oblivious ? 1 : 0];
   if (slot.has_value()) {
     ++cache_hits_;
-    return *slot;
+    assert_fresh(slot->revision);
+    return slot->value;
   }
   ++cache_misses_;
   WallTimer timer;
-  slot.emplace(instance_->communication_graph(collaboration_oblivious));
+  slot.emplace(Stamped<Hypergraph>{
+      instance_->communication_graph(collaboration_oblivious),
+      instance_->revision()});
   cache_build_ms_ += timer.milliseconds();
-  return *slot;
+  return slot->value;
 }
 
 const std::vector<std::vector<AgentId>>& Session::balls(
@@ -49,7 +83,8 @@ const std::vector<std::vector<AgentId>>& Session::balls(
   const Key key{radius, collaboration_oblivious};
   if (const auto it = balls_.find(key); it != balls_.end()) {
     ++cache_hits_;
-    return it->second;
+    assert_fresh(it->second.revision);
+    return it->second.value;
   }
   ++cache_misses_;
   WallTimer timer;
@@ -63,7 +98,7 @@ const std::vector<std::vector<AgentId>>& Session::balls(
   for (const auto& [cached_key, cached_balls] : balls_) {
     if (cached_key.second == collaboration_oblivious &&
         cached_key.first < radius && cached_key.first > from_radius) {
-      from = &cached_balls;
+      from = &cached_balls.value;
       from_radius = cached_key.first;
     }
   }
@@ -73,16 +108,18 @@ const std::vector<std::vector<AgentId>>& Session::balls(
     if (from_radius > 0) {
       if (const auto it = balls_.find(Key{from_radius - 1, collaboration_oblivious});
           it != balls_.end()) {
-        inner = &it->second;
+        inner = &it->second.value;
       }
     }
     built = expand_balls(h, *from, from_radius, inner, radius, pool());
   } else {
     built = all_balls(h, radius, pool());
   }
-  auto [it, inserted] = balls_.emplace(key, std::move(built));
+  auto [it, inserted] = balls_.emplace(
+      key, Stamped<std::vector<std::vector<AgentId>>>{std::move(built),
+                                                      instance_->revision()});
   cache_build_ms_ += timer.milliseconds();
-  return it->second;
+  return it->second.value;
 }
 
 const ViewClassIndex& Session::view_classes(std::int32_t radius,
@@ -93,15 +130,22 @@ const ViewClassIndex& Session::view_classes(std::int32_t radius,
   const Key key{radius, collaboration_oblivious};
   if (const auto it = view_classes_.find(key); it != view_classes_.end()) {
     ++cache_hits_;
-    return it->second;
+    assert_fresh(it->second.revision);
+    return it->second.value;
   }
   ++cache_misses_;
   WallTimer timer;
+  // Mutable-bound sessions retain the per-agent canonical keys so
+  // apply() can repair the partition instead of rebuilding it.
+  const bool keep_keys = mutable_instance_ != nullptr;
   auto [it, inserted] = view_classes_.emplace(
-      key, build_view_class_index(*instance_, cached_balls, radius,
-                                  collaboration_oblivious, pool()));
+      key, Stamped<ViewClassIndex>{
+               build_view_class_index(*instance_, cached_balls, radius,
+                                      collaboration_oblivious, pool(),
+                                      keep_keys),
+               instance_->revision()});
   cache_build_ms_ += timer.milliseconds();
-  return it->second;
+  return it->second.value;
 }
 
 const GrowthSets& Session::growth_sets(std::int32_t radius,
@@ -112,14 +156,196 @@ const GrowthSets& Session::growth_sets(std::int32_t radius,
   const Key key{radius, collaboration_oblivious};
   if (const auto it = growth_.find(key); it != growth_.end()) {
     ++cache_hits_;
-    return it->second;
+    assert_fresh(it->second.revision);
+    return it->second.value;
   }
   ++cache_misses_;
   WallTimer timer;
-  auto [it, inserted] =
-      growth_.emplace(key, compute_growth_sets(*instance_, cached_balls));
+  auto [it, inserted] = growth_.emplace(
+      key, Stamped<GrowthSets>{compute_growth_sets(*instance_, cached_balls),
+                               instance_->revision()});
   cache_build_ms_ += timer.milliseconds();
-  return it->second;
+  return it->second.value;
+}
+
+Session::ApplyReport Session::apply(const InstanceDelta& delta) {
+  MMLP_CHECK_MSG(mutable_instance_ != nullptr,
+                 "session is bound to a const Instance; construct it with a "
+                 "mutable Instance& to apply deltas");
+  WallTimer timer;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const DeltaEffect effect = mutable_instance_->apply(delta);
+
+  ApplyReport report;
+  report.revision = effect.revision;
+  report.structural = effect.structural;
+  report.touched_agents = effect.touched.size();
+  if (effect.revision == revision_) {
+    // Empty delta: nothing changed, nothing to repair.
+    report.apply_ms = timer.milliseconds();
+    return report;
+  }
+
+  if (effect.remapped) {
+    // Ids moved: cached structures are not addressable in the new id
+    // space. Drop them wholesale (rebuilt lazily, still correct) and
+    // invalidate the incremental memos the same way.
+    report.rebuilt = true;
+    graph_[0].reset();
+    graph_[1].reset();
+    balls_.clear();
+    growth_.clear();
+    view_classes_.clear();
+    for (auto& [key, memo] : solution_memos_) {
+      memo->valid = false;
+    }
+    for (auto& [key, memo] : averaging_memos_) {
+      memo->valid = false;
+    }
+    log_.push_back({effect.revision, true, {}});
+    revision_ = effect.revision;
+    prune_log_locked();  // every memo is invalid now: drops the log
+    report.apply_ms = timer.milliseconds();
+    return report;
+  }
+
+  log_.push_back({effect.revision, false, effect.touched});
+
+  // Communication graphs: membership changes rebuild the cached modes;
+  // pure value edits leave them untouched (hyperedges carry no values).
+  for (int mode = 0; mode < 2; ++mode) {
+    auto& slot = graph_[mode];
+    if (!slot.has_value()) {
+      continue;
+    }
+    if (effect.structural) {
+      slot->value = instance_->communication_graph(mode == 1);
+      ++report.repaired_entries;
+    }
+    slot->revision = effect.revision;
+  }
+
+  // Dirty region per (radius, mode), shared by the repairs below. The
+  // touched set is closed over every changed adjacency (both endpoints
+  // are in it), so one BFS on the *new* graph covers the old reach too.
+  std::map<Key, std::vector<AgentId>> dirty_memo;
+  const auto dirty_for = [&](const Key& key) -> const std::vector<AgentId>& {
+    auto [it, inserted] = dirty_memo.try_emplace(key);
+    if (inserted) {
+      it->second = multi_source_ball(graph_[key.second ? 1 : 0]->value,
+                                     effect.touched, key.first);
+    }
+    return it->second;
+  };
+
+  for (auto& [key, entry] : balls_) {
+    if (effect.structural) {
+      repair_balls(graph_[key.second ? 1 : 0]->value, key.first,
+                   dirty_for(key), entry.value, pool());
+      ++report.repaired_entries;
+    }
+    entry.revision = effect.revision;
+  }
+  for (auto& [key, entry] : growth_) {
+    if (effect.structural) {
+      repair_growth_sets(*instance_, balls_.at(key).value, dirty_for(key),
+                         entry.value);
+      ++report.repaired_entries;
+    }
+    entry.revision = effect.revision;
+  }
+  // View classes hash coefficient *values*, so they are dirty under
+  // value-only edits too.
+  for (auto& [key, entry] : view_classes_) {
+    repair_view_class_index(*instance_, balls_.at(key).value, dirty_for(key),
+                            entry.value, pool());
+    ++report.repaired_entries;
+    entry.revision = effect.revision;
+  }
+
+  revision_ = effect.revision;
+  prune_log_locked();
+  report.apply_ms = timer.milliseconds();
+  return report;
+}
+
+void Session::prune_log_locked() {
+  // Records at or below every valid memo's revision can never be
+  // queried again; drop them. The hard cap bounds the log even when a
+  // memo goes permanently stale — dirty_since then answers nullopt for
+  // it and its next solve falls back to full, which re-stamps it.
+  std::uint64_t needed = revision_;
+  for (const auto& [key, memo] : solution_memos_) {
+    if (memo->valid) {
+      needed = std::min(needed, memo->revision);
+    }
+  }
+  for (const auto& [key, memo] : averaging_memos_) {
+    if (memo->valid) {
+      needed = std::min(needed, memo->revision);
+    }
+  }
+  std::size_t drop = 0;
+  while (drop < log_.size() && log_[drop].revision <= needed) {
+    ++drop;
+  }
+  constexpr std::size_t kMaxLogRecords = 1024;
+  if (log_.size() - drop > kMaxLogRecords) {
+    drop = log_.size() - kMaxLogRecords;
+  }
+  if (drop > 0) {
+    log_floor_ = log_[drop - 1].revision;
+    log_.erase(log_.begin(),
+               log_.begin() + static_cast<std::ptrdiff_t>(drop));
+  }
+}
+
+std::optional<std::vector<AgentId>> Session::dirty_since(
+    std::uint64_t since_revision, std::int32_t radius,
+    bool collaboration_oblivious) {
+  MMLP_CHECK_GE(radius, 0);
+  std::vector<AgentId> touched;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (since_revision < log_floor_) {
+      // Edits after since_revision were already pruned: the union
+      // would be incomplete, so report "too old" instead.
+      return std::nullopt;
+    }
+    for (auto it = log_.rbegin();
+         it != log_.rend() && it->revision > since_revision; ++it) {
+      if (it->full) {
+        return std::nullopt;
+      }
+      touched.insert(touched.end(), it->touched.begin(), it->touched.end());
+    }
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  if (touched.empty() || radius == 0) {
+    return touched;
+  }
+  // graph() takes its own lock scope; the BFS itself runs lock-free.
+  const Hypergraph& h = graph(collaboration_oblivious);
+  return multi_source_ball(h, touched, radius);
+}
+
+SolutionMemo& Session::solution_memo(const std::string& fingerprint) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = solution_memos_[fingerprint];
+  if (slot == nullptr) {
+    slot = std::make_unique<SolutionMemo>();
+  }
+  return *slot;
+}
+
+AveragingMemo& Session::averaging_memo(const std::string& fingerprint) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = averaging_memos_[fingerprint];
+  if (slot == nullptr) {
+    slot = std::make_unique<AveragingMemo>();
+  }
+  return *slot;
 }
 
 SessionStats Session::stats() const {

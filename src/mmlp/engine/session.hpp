@@ -19,13 +19,32 @@
 //   view classes : (radius, collaboration_oblivious) (map; balls implied)
 //   scratch      : pooled, unkeyed — objects only donate capacity
 //
+// Mutation: a session constructed over a mutable Instance& additionally
+// owns the update pipeline. apply(InstanceDelta) routes the edit into
+// the instance and then *repairs* every cached structure surgically
+// instead of dropping it: the communication graphs are rebuilt only on
+// membership changes, cached balls are re-BFSed only inside the dirty
+// region (repair_balls), growth sets recompute only the rows whose
+// supports intersect it, and view-class partitions re-canonicalize only
+// the dirty agents. Every cache entry carries the instance revision it
+// was derived from and accessors assert the stamp before serving, so a
+// stale structure can never reach a solver (mutating the instance
+// behind the session's back trips the same assert). Deltas that remap
+// agent ids (removals) fall back to dropping the caches wholesale —
+// still correct, just cold. Incremental re-solves additionally keep
+// per-algorithm memos (previous solution + per-view state) keyed by an
+// options fingerprint; dirty_since() turns the edit log into the ball
+// around everything edited after a given revision.
+//
 // Thread-safety: the cache accessors are serialised by an internal
 // mutex, so concurrent solves on one session are safe; the scratch
 // pools are lock-protected checkouts designed for exactly that. Cached
-// references remain valid for the session's lifetime (entries are never
-// evicted). Results are bitwise identical to the cold free-function
-// paths: the cached structures are the very objects those paths compute
-// internally, and scratch reuse never carries state between solves.
+// references remain valid for the session's lifetime — repairs mutate
+// entries in place — EXCEPT after an apply() that remapped agent ids,
+// which invalidates previously returned references. apply() itself and
+// incremental solves must not run concurrently with other solves on the
+// same session (they mutate the instance and the memos those solves
+// read). Results are bitwise identical to the cold free-function paths.
 #pragma once
 
 #include <cstdint>
@@ -33,10 +52,12 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "mmlp/core/instance.hpp"
+#include "mmlp/core/local_averaging.hpp"
 #include "mmlp/core/view.hpp"
 #include "mmlp/core/view_class.hpp"
 #include "mmlp/dist/runtime.hpp"
@@ -72,16 +93,76 @@ struct DistScratch {
   ViewScratch view;
 };
 
+/// Previous solution retained for incremental re-solves whose per-agent
+/// outputs are scalars (safe, distributed averaging).
+struct SolutionMemo {
+  bool valid = false;
+  std::uint64_t revision = 0;  ///< instance revision the solution matches
+  std::vector<double> x;
+};
+
+/// Previous local-averaging run retained for incremental re-solves: the
+/// full result plus every agent's view-LP solution x^u (the gather of
+/// eq. (10) needs x^u_j for *unchanged* u ∈ V^j too, so the per-view
+/// state must outlive the solve that produced it).
+struct AveragingMemo {
+  bool valid = false;
+  std::uint64_t revision = 0;
+  LocalAveragingResult result;
+  std::vector<std::vector<double>> view_x;
+};
+
 class Session {
  public:
   /// Binds to `instance` without copying it; the caller keeps the
-  /// instance alive for the session's lifetime.
+  /// instance alive for the session's lifetime. A session constructed
+  /// over a const instance cannot apply() deltas.
   explicit Session(const Instance& instance, SessionOptions options = {});
+
+  /// Mutable binding: as above, plus apply() is available.
+  explicit Session(Instance& instance, SessionOptions options = {});
 
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
 
   const Instance& instance() const { return *instance_; }
+
+  /// The instance revision this session's caches are valid for (equals
+  /// instance().revision() unless someone mutated the instance behind
+  /// the session's back — which the cache accessors then assert on).
+  std::uint64_t revision() const;
+
+  /// What apply() did to the session's caches.
+  struct ApplyReport {
+    std::uint64_t revision = 0;  ///< instance revision after the delta
+    bool structural = false;     ///< support membership changed
+    bool rebuilt = false;        ///< ids remapped: caches dropped wholesale
+    std::size_t touched_agents = 0;    ///< |touched| of the delta
+    std::size_t repaired_entries = 0;  ///< cache entries surgically repaired
+    double apply_ms = 0.0;
+  };
+
+  /// Apply a delta to the bound instance and repair every cached
+  /// structure in place (see the header comment). Requires the mutable
+  /// constructor. Must not run concurrently with solves.
+  ApplyReport apply(const InstanceDelta& delta);
+
+  /// The sorted set of agents within `radius` of anything edited after
+  /// `since_revision` — the dirty region an incremental solver with that
+  /// knowledge horizon must re-solve. Empty when nothing was edited.
+  /// nullopt when an intervening delta remapped agent ids: the previous
+  /// solution is not addressable any more and callers must fall back to
+  /// a full solve.
+  std::optional<std::vector<AgentId>> dirty_since(std::uint64_t since_revision,
+                                                  std::int32_t radius,
+                                                  bool collaboration_oblivious);
+
+  /// Incremental-solve memos, keyed by an options fingerprint the
+  /// solver chooses. The reference stays valid for the session's
+  /// lifetime; contents are owned by the solver (single incremental
+  /// solve at a time per session).
+  SolutionMemo& solution_memo(const std::string& fingerprint);
+  AveragingMemo& averaging_memo(const std::string& fingerprint);
 
   /// The pool parallel loops should run on: the session-owned pool, or
   /// nullptr meaning "use ThreadPool::global()" (the convention of
@@ -109,7 +190,8 @@ class Session {
   /// The view isomorphism-class partition for (radius, mode), cached.
   /// Built from the cached balls; the dedup solve paths of
   /// local_averaging_with / distributed_local_averaging_with key their
-  /// one-solve-per-class loops on it.
+  /// one-solve-per-class loops on it. Mutable-bound sessions build it
+  /// with retained keys so apply() can repair it surgically.
   const ViewClassIndex& view_classes(std::int32_t radius,
                                      bool collaboration_oblivious);
 
@@ -124,15 +206,44 @@ class Session {
  private:
   using Key = std::pair<std::int32_t, bool>;  // (radius, oblivious)
 
+  /// A cache entry plus the instance revision it was derived from;
+  /// accessors assert the stamp before serving.
+  template <typename T>
+  struct Stamped {
+    T value;
+    std::uint64_t revision = 0;
+  };
+
+  /// One applied delta, as dirty_since needs it.
+  struct EditRecord {
+    std::uint64_t revision = 0;
+    bool full = false;  ///< remapped ids: no surgical dirty set exists
+    std::vector<AgentId> touched;
+  };
+
+  void assert_fresh(std::uint64_t entry_revision) const;
+  void prune_log_locked();
+
   const Instance* instance_;
+  Instance* mutable_instance_ = nullptr;
   SessionOptions options_;
   std::unique_ptr<ThreadPool> owned_pool_;
 
   mutable std::mutex mutex_;
-  std::optional<Hypergraph> graph_[2];  // [collaboration_oblivious]
-  std::map<Key, std::vector<std::vector<AgentId>>> balls_;
-  std::map<Key, GrowthSets> growth_;
-  std::map<Key, ViewClassIndex> view_classes_;
+  std::uint64_t revision_ = 0;  // instance revision the caches match
+  /// Edit log for dirty_since. Pruned on every apply: records no valid
+  /// memo can query any more are dropped, and a hard cap bounds the
+  /// log on sessions whose memos go stale — log_floor_ records the
+  /// highest pruned revision, below which dirty_since reports nullopt
+  /// (the caller then falls back to a full solve).
+  std::vector<EditRecord> log_;
+  std::uint64_t log_floor_ = 0;
+  std::optional<Stamped<Hypergraph>> graph_[2];  // [collaboration_oblivious]
+  std::map<Key, Stamped<std::vector<std::vector<AgentId>>>> balls_;
+  std::map<Key, Stamped<GrowthSets>> growth_;
+  std::map<Key, Stamped<ViewClassIndex>> view_classes_;
+  std::map<std::string, std::unique_ptr<SolutionMemo>> solution_memos_;
+  std::map<std::string, std::unique_ptr<AveragingMemo>> averaging_memos_;
   std::int64_t cache_hits_ = 0;
   std::int64_t cache_misses_ = 0;
   double cache_build_ms_ = 0.0;

@@ -47,6 +47,15 @@ struct SolveRequest {
   /// (radius, mode). The averaging solvers' diagnostics gain
   /// view_classes and dedup_ratio (lp_solves is reported always).
   bool deduplicate = false;
+  /// Re-solve only the dirty region of the deltas applied (via
+  /// Session::apply) since the previous solve of the same shape, and
+  /// splice into the memoized result (safe, averaging,
+  /// distributed-averaging). Bitwise identical to a full solve of the
+  /// mutated instance; the first solve, id-remapping deltas, and
+  /// non-local option combinations fall back to the full algorithm.
+  /// Diagnostics gain incremental / dirty_agents / resolved_agents.
+  /// Incremental requests must not run concurrently on one session.
+  bool incremental = false;
   SimplexOptions simplex;  ///< LP settings for view LPs and the exact solver
   /// Worker threads for this request: 0 = the session's pool. A nonzero
   /// value must currently match the session pool (requests do not spin

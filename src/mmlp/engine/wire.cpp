@@ -224,8 +224,205 @@ const char* to_name(AveragingDamping damping) {
   return "beta-per-agent";
 }
 
-WireRequest parse_request_line(const std::string& line) {
-  WireRequest wire;
+namespace {
+
+/// One level of array nesting — the only nesting the grammar accepts:
+/// an array of scalars (remove_agents) or of flat objects (the
+/// coefficient edit lists). Element kinds may not mix.
+struct ArrayValue {
+  bool objects = false;
+  std::vector<Scalar> scalars;
+  std::vector<std::vector<std::pair<std::string, Scalar>>> object_items;
+};
+
+ArrayValue parse_array(Scanner& scanner) {
+  ArrayValue out;
+  scanner.expect('[');
+  if (scanner.peek() == ']') {
+    ++scanner.pos;
+    return out;
+  }
+  bool first = true;
+  bool decided = false;
+  while (true) {
+    if (!first) {
+      scanner.expect(',');
+    }
+    first = false;
+    if (scanner.peek() == '{') {
+      MMLP_CHECK_MSG(!decided || out.objects,
+                     "mixed element kinds in a request-line array");
+      out.objects = true;
+      decided = true;
+      scanner.expect('{');
+      std::vector<std::pair<std::string, Scalar>> fields;
+      bool first_field = true;
+      while (scanner.peek() != '}') {
+        if (!first_field) {
+          scanner.expect(',');
+        }
+        first_field = false;
+        std::string key = scanner.parse_string();
+        scanner.expect(':');
+        fields.emplace_back(std::move(key), parse_scalar(scanner));
+      }
+      scanner.expect('}');
+      out.object_items.push_back(std::move(fields));
+    } else {
+      MMLP_CHECK_MSG(!(decided && out.objects),
+                     "mixed element kinds in a request-line array");
+      decided = true;
+      out.scalars.push_back(parse_scalar(scanner));
+    }
+    if (scanner.peek() == ']') {
+      ++scanner.pos;
+      return out;
+    }
+  }
+}
+
+/// Field lookup inside one edit object, with the unknown-field check
+/// the flat keys get from the main dispatch.
+std::int64_t object_int(
+    const std::vector<std::pair<std::string, Scalar>>& fields,
+    const char* name, const char* context) {
+  for (const auto& [key, value] : fields) {
+    if (key == name) {
+      return as_int(value, name);
+    }
+  }
+  MMLP_CHECK_MSG(false, context << " entry is missing '" << name << "'");
+}
+
+double object_number(const std::vector<std::pair<std::string, Scalar>>& fields,
+                     const char* name, const char* context) {
+  for (const auto& [key, value] : fields) {
+    if (key == name) {
+      return as_number(value, name);
+    }
+  }
+  MMLP_CHECK_MSG(false, context << " entry is missing '" << name << "'");
+}
+
+void check_object_fields(
+    const std::vector<std::pair<std::string, Scalar>>& fields,
+    std::initializer_list<const char*> allowed, const char* context) {
+  for (const auto& [key, value] : fields) {
+    bool known = false;
+    for (const char* name : allowed) {
+      known = known || key == name;
+    }
+    MMLP_CHECK_MSG(known, "unknown field '" << key << "' in a " << context
+                                            << " entry");
+  }
+}
+
+void apply_solve_key(SolveRequest& request, const std::string& key,
+                     const Scalar& value) {
+  if (key == "algorithm") {
+    request.algorithm = as_string(value, key);
+  } else if (key == "R") {
+    request.R = static_cast<std::int32_t>(as_int(value, key));
+  } else if (key == "damping") {
+    request.damping = damping_from_name(as_string(value, key));
+  } else if (key == "collaboration_oblivious") {
+    request.collaboration_oblivious = as_bool(value, key);
+  } else if (key == "deduplicate") {
+    request.deduplicate = as_bool(value, key);
+  } else if (key == "incremental") {
+    request.incremental = as_bool(value, key);
+  } else if (key == "threads") {
+    request.threads = static_cast<std::size_t>(as_int(value, key));
+  } else if (key == "seed") {
+    request.seed = static_cast<std::uint64_t>(as_int(value, key));
+  } else if (key == "samples") {
+    request.samples = static_cast<std::int32_t>(as_int(value, key));
+  } else if (key == "confidence") {
+    request.confidence = as_number(value, key);
+  } else if (key == "greedy_max_steps") {
+    request.greedy.max_steps = as_int(value, key);
+  } else if (key == "greedy_step_fraction") {
+    request.greedy.step_fraction = as_number(value, key);
+  } else if (key == "greedy_min_gain") {
+    request.greedy.min_gain = as_number(value, key);
+  } else if (key == "simplex_max_iterations") {
+    request.simplex.max_iterations = as_int(value, key);
+  } else {
+    MMLP_CHECK_MSG(false, "unknown request key '" << key << "'");
+  }
+}
+
+void apply_update_key(InstanceDelta& delta, const std::string& key,
+                      bool is_array, const Scalar& scalar,
+                      const ArrayValue& array) {
+  const auto want_objects = [&](const char* context) {
+    MMLP_CHECK_MSG(is_array && array.scalars.empty(),
+                   "update key '" << context
+                                  << "' wants an array of objects");
+  };
+  if (key == "set_usage") {
+    want_objects("set_usage");
+    for (const auto& fields : array.object_items) {
+      check_object_fields(fields, {"i", "v", "a"}, "set_usage");
+      delta.set_usage(
+          static_cast<ResourceId>(object_int(fields, "i", "set_usage")),
+          static_cast<AgentId>(object_int(fields, "v", "set_usage")),
+          object_number(fields, "a", "set_usage"));
+    }
+  } else if (key == "erase_usage") {
+    want_objects("erase_usage");
+    for (const auto& fields : array.object_items) {
+      check_object_fields(fields, {"i", "v"}, "erase_usage");
+      delta.erase_usage(
+          static_cast<ResourceId>(object_int(fields, "i", "erase_usage")),
+          static_cast<AgentId>(object_int(fields, "v", "erase_usage")));
+    }
+  } else if (key == "set_benefit") {
+    want_objects("set_benefit");
+    for (const auto& fields : array.object_items) {
+      check_object_fields(fields, {"k", "v", "c"}, "set_benefit");
+      delta.set_benefit(
+          static_cast<PartyId>(object_int(fields, "k", "set_benefit")),
+          static_cast<AgentId>(object_int(fields, "v", "set_benefit")),
+          object_number(fields, "c", "set_benefit"));
+    }
+  } else if (key == "erase_benefit") {
+    want_objects("erase_benefit");
+    for (const auto& fields : array.object_items) {
+      check_object_fields(fields, {"k", "v"}, "erase_benefit");
+      delta.erase_benefit(
+          static_cast<PartyId>(object_int(fields, "k", "erase_benefit")),
+          static_cast<AgentId>(object_int(fields, "v", "erase_benefit")));
+    }
+  } else if (key == "remove_agents") {
+    MMLP_CHECK_MSG(is_array && array.object_items.empty(),
+                   "update key 'remove_agents' wants an array of ints");
+    for (const Scalar& value : array.scalars) {
+      delta.remove_agent(static_cast<AgentId>(as_int(value, key)));
+    }
+  } else if (key == "add_agents") {
+    delta.add_agents(static_cast<AgentId>(as_int(scalar, key)));
+  } else if (key == "add_resources") {
+    delta.add_resources(static_cast<ResourceId>(as_int(scalar, key)));
+  } else if (key == "add_parties") {
+    delta.add_parties(static_cast<PartyId>(as_int(scalar, key)));
+  } else {
+    MMLP_CHECK_MSG(false, "unknown update key '" << key << "'");
+  }
+}
+
+}  // namespace
+
+WireCommand parse_command_line(const std::string& line) {
+  // First pass: collect every (key, value) — "op" may appear anywhere
+  // in the object, so dispatch happens after the scan.
+  struct Item {
+    std::string key;
+    bool is_array = false;
+    Scalar scalar;
+    ArrayValue array;
+  };
+  std::vector<Item> items;
   Scanner scanner{line};
   scanner.expect('{');
   bool first = true;
@@ -234,48 +431,89 @@ WireRequest parse_request_line(const std::string& line) {
       scanner.expect(',');
     }
     first = false;
-    const std::string key = scanner.parse_string();
+    Item item;
+    item.key = scanner.parse_string();
     scanner.expect(':');
-    const Scalar value = parse_scalar(scanner);
-
-    SolveRequest& request = wire.request;
-    if (key == "algorithm") {
-      request.algorithm = as_string(value, key);
-    } else if (key == "R") {
-      request.R = static_cast<std::int32_t>(as_int(value, key));
-    } else if (key == "damping") {
-      request.damping = damping_from_name(as_string(value, key));
-    } else if (key == "collaboration_oblivious") {
-      request.collaboration_oblivious = as_bool(value, key);
-    } else if (key == "deduplicate") {
-      request.deduplicate = as_bool(value, key);
-    } else if (key == "threads") {
-      request.threads = static_cast<std::size_t>(as_int(value, key));
-    } else if (key == "seed") {
-      request.seed = static_cast<std::uint64_t>(as_int(value, key));
-    } else if (key == "samples") {
-      request.samples = static_cast<std::int32_t>(as_int(value, key));
-    } else if (key == "confidence") {
-      request.confidence = as_number(value, key);
-    } else if (key == "greedy_max_steps") {
-      request.greedy.max_steps = as_int(value, key);
-    } else if (key == "greedy_step_fraction") {
-      request.greedy.step_fraction = as_number(value, key);
-    } else if (key == "greedy_min_gain") {
-      request.greedy.min_gain = as_number(value, key);
-    } else if (key == "simplex_max_iterations") {
-      request.simplex.max_iterations = as_int(value, key);
-    } else if (key == "id") {
-      wire.id = value.raw;
+    if (scanner.peek() == '[') {
+      item.is_array = true;
+      item.array = parse_array(scanner);
     } else {
-      MMLP_CHECK_MSG(false, "unknown request key '" << key << "'");
+      item.scalar = parse_scalar(scanner);
     }
+    items.push_back(std::move(item));
   }
   scanner.expect('}');
   MMLP_CHECK_MSG(scanner.done(),
                  "trailing content after request object: '"
                      << line.substr(scanner.pos) << "'");
-  return wire;
+
+  std::string op = "solve";
+  for (const Item& item : items) {
+    if (item.key == "op") {
+      MMLP_CHECK_MSG(!item.is_array, "request key 'op' wants a string");
+      op = as_string(item.scalar, "op");
+    }
+  }
+
+  WireCommand command;
+  if (op == "solve") {
+    command.kind = WireCommand::Kind::kSolve;
+    for (const Item& item : items) {
+      if (item.key == "op") {
+        continue;
+      }
+      if (item.key == "id") {
+        MMLP_CHECK_MSG(!item.is_array, "request key 'id' wants a scalar");
+        command.id = item.scalar.raw;
+        continue;
+      }
+      MMLP_CHECK_MSG(!item.is_array, "solve request key '"
+                                         << item.key << "' wants a scalar");
+      apply_solve_key(command.request, item.key, item.scalar);
+    }
+  } else if (op == "update") {
+    command.kind = WireCommand::Kind::kUpdate;
+    for (const Item& item : items) {
+      if (item.key == "op") {
+        continue;
+      }
+      if (item.key == "id") {
+        MMLP_CHECK_MSG(!item.is_array, "request key 'id' wants a scalar");
+        command.id = item.scalar.raw;
+        continue;
+      }
+      apply_update_key(command.delta, item.key, item.is_array, item.scalar,
+                       item.array);
+    }
+  } else {
+    MMLP_CHECK_MSG(false, "unknown op '" << op << "' (solve, update)");
+  }
+  return command;
+}
+
+WireRequest parse_request_line(const std::string& line) {
+  WireCommand command = parse_command_line(line);
+  MMLP_CHECK_MSG(command.kind == WireCommand::Kind::kSolve,
+                 "expected a solve request, got an update command");
+  return {std::move(command.request), std::move(command.id)};
+}
+
+std::string apply_report_to_json_line(const Session::ApplyReport& report,
+                                      const std::string& id) {
+  std::ostringstream oss;
+  oss << '{';
+  if (!id.empty()) {
+    oss << "\"id\": " << id << ", ";
+  }
+  oss << "\"op\": \"update\", \"revision\": " << report.revision
+      << ", \"structural\": " << (report.structural ? "true" : "false")
+      << ", \"rebuilt\": " << (report.rebuilt ? "true" : "false")
+      << ", \"touched_agents\": " << report.touched_agents
+      << ", \"repaired_entries\": " << report.repaired_entries
+      << ", \"apply_ms\": ";
+  append_number(oss, report.apply_ms);
+  oss << '}';
+  return oss.str();
 }
 
 std::string result_to_json_line(const SolveResult& result,

@@ -1,10 +1,11 @@
 // JSONL wire format of the batch front-end (tools/mmlp_batch).
 //
-// Requests arrive one JSON object per line, flat key → scalar:
+// Commands arrive one JSON object per line. A *solve* line is flat
+// key → scalar:
 //
 //   {"algorithm": "averaging", "R": 2, "simplex_max_iterations": 100000}
 //
-// Recognised keys (all optional except algorithm):
+// Recognised solve keys (all optional except algorithm):
 //   algorithm               string   registry name
 //   R                       int      view radius
 //   damping                 string   beta-per-agent | beta-global | none |
@@ -12,6 +13,8 @@
 //   collaboration_oblivious bool
 //   deduplicate             bool     one LP per view class (bitwise-equal
 //                                    output; safe/averaging/dist-averaging)
+//   incremental             bool     splice the dirty region of applied
+//                                    updates into the previous result
 //   threads                 int      must match the session pool when set
 //   seed                    int      sublinear sampling seed
 //   samples                 int      sublinear sample count
@@ -21,6 +24,21 @@
 //   greedy_min_gain         number
 //   simplex_max_iterations  int
 //   id                      any scalar, echoed verbatim into the response
+//
+// An *update* line carries "op": "update" plus an InstanceDelta; the
+// coefficient edits are arrays of flat objects and the removals an
+// array of ints (the only nesting the grammar accepts — one level, no
+// recursion):
+//
+//   {"op": "update", "set_usage": [{"i": 3, "v": 7, "a": 0.5}],
+//    "erase_benefit": [{"k": 1, "v": 2}], "add_agents": 1,
+//    "remove_agents": [4], "id": 9}
+//
+// Update keys: set_usage [{i,v,a}], erase_usage [{i,v}], set_benefit
+// [{k,v,c}], erase_benefit [{k,v}], add_agents, add_resources,
+// add_parties (ints), remove_agents ([ints]), id. A hot batch session
+// interleaves updates and (incremental) solves: mmlp_batch routes
+// updates through Session::apply, which repairs the caches surgically.
 //
 // Unknown keys are a CheckError (typos in request streams fail loudly,
 // matching the ArgParser convention). Responses are emitted one JSON
@@ -41,9 +59,27 @@ struct WireRequest {
   std::string id;  ///< raw JSON scalar text ("" when absent)
 };
 
+/// A parsed command line: a solve request or an instance update.
+struct WireCommand {
+  enum class Kind { kSolve, kUpdate };
+  Kind kind = Kind::kSolve;
+  SolveRequest request;  ///< kSolve
+  InstanceDelta delta;   ///< kUpdate
+  std::string id;        ///< raw JSON scalar text ("" when absent)
+};
+
+/// Parse one JSONL command line (solve or update). Throws CheckError on
+/// malformed JSON, bad enum names, unknown keys, or solve keys on an
+/// update line (and vice versa).
+WireCommand parse_command_line(const std::string& line);
+
 /// Parse one JSONL request line. Throws CheckError on malformed JSON,
-/// non-scalar values, bad enum names, or unknown keys.
+/// non-scalar values, bad enum names, unknown keys — or an update line.
 WireRequest parse_request_line(const std::string& line);
+
+/// Serialise the response to an applied update (no trailing newline).
+std::string apply_report_to_json_line(const Session::ApplyReport& report,
+                                      const std::string& id);
 
 /// Serialise one response line (no trailing newline). `emit_x` includes
 /// the full solution vector.

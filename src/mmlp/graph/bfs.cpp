@@ -204,6 +204,73 @@ std::vector<std::vector<NodeId>> expand_balls(
   return balls;
 }
 
+std::vector<NodeId> multi_source_ball(const Hypergraph& h,
+                                      std::span<const NodeId> sources,
+                                      std::int32_t radius) {
+  MMLP_CHECK_GE(radius, 0);
+  std::vector<char> seen(static_cast<std::size_t>(h.num_nodes()), 0);
+  std::vector<NodeId> result;
+  std::vector<NodeId> frontier;
+  for (const NodeId s : sources) {
+    MMLP_CHECK_GE(s, 0);
+    MMLP_CHECK_LT(s, h.num_nodes());
+    if (seen[static_cast<std::size_t>(s)] == 0) {
+      seen[static_cast<std::size_t>(s)] = 1;
+      result.push_back(s);
+      frontier.push_back(s);
+    }
+  }
+  std::vector<NodeId> next;
+  for (std::int32_t level = 0; level < radius && !frontier.empty(); ++level) {
+    next.clear();
+    for (const NodeId w : frontier) {
+      for (const EdgeId e : h.edges_of(w)) {
+        for (const NodeId u : h.edge(e)) {
+          if (seen[static_cast<std::size_t>(u)] == 0) {
+            seen[static_cast<std::size_t>(u)] = 1;
+            result.push_back(u);
+            next.push_back(u);
+          }
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+void repair_balls(const Hypergraph& h, std::int32_t radius,
+                  std::span<const NodeId> dirty,
+                  std::vector<std::vector<NodeId>>& balls,
+                  ThreadPool* pool) {
+  MMLP_CHECK_GE(radius, 0);
+  const auto n = static_cast<std::size_t>(h.num_nodes());
+  MMLP_CHECK_MSG(balls.size() <= n,
+                 "repair_balls: cache has " << balls.size() << " balls but the "
+                                            << "hypergraph has " << n
+                                            << " nodes (node removal needs a "
+                                               "full rebuild)");
+  balls.resize(n);
+  if (dirty.empty()) {
+    return;
+  }
+  // Chunk over the dirty list only; each task amortises one collector,
+  // exactly like all_balls.
+  chunked_parallel_for(
+      dirty.size(),
+      [&](std::size_t begin, std::size_t end) {
+        BallCollector collector(h);
+        for (std::size_t idx = begin; idx < end; ++idx) {
+          const NodeId v = dirty[idx];
+          MMLP_CHECK_GE(v, 0);
+          MMLP_CHECK_LT(v, h.num_nodes());
+          balls[static_cast<std::size_t>(v)] = collector.collect(v, radius);
+        }
+      },
+      pool);
+}
+
 std::int32_t hypergraph_distance(const Hypergraph& h, NodeId u, NodeId v) {
   const auto dist = bfs_distances(h, u);
   return dist[static_cast<std::size_t>(v)];

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "mmlp/graph/hypergraph.hpp"
@@ -73,6 +74,29 @@ std::vector<std::vector<NodeId>> expand_balls(
     std::int32_t from_radius,
     const std::vector<std::vector<NodeId>>* inner_balls, std::int32_t to_radius,
     ThreadPool* pool = nullptr);
+
+/// ∪_{s∈sources} B_H(s, radius): every node within distance `radius` of
+/// some source, sorted ascending. One multi-source BFS, not |sources|
+/// single-source ones. This is the dirty-region primitive of the update
+/// pipeline: the agents whose radius-`radius` knowledge an edit with
+/// touched-set `sources` can reach.
+std::vector<NodeId> multi_source_ball(const Hypergraph& h,
+                                      std::span<const NodeId> sources,
+                                      std::int32_t radius);
+
+/// Dirty-region repair of an all_balls cache after the hypergraph
+/// changed: recompute B_H(v, radius) from scratch only for v ∈ `dirty`
+/// (sorted ascending), keep every other cached ball. `balls` is resized
+/// to h.num_nodes() — newly added nodes must therefore be listed dirty.
+/// Sound whenever `dirty` contains every node whose ball differs between
+/// the old and new hypergraph (the caller derives it via
+/// multi_source_ball from a touched set in which every changed adjacency
+/// has both endpoints); the repaired cache is then element-for-element
+/// identical to all_balls(h, radius).
+void repair_balls(const Hypergraph& h, std::int32_t radius,
+                  std::span<const NodeId> dirty,
+                  std::vector<std::vector<NodeId>>& balls,
+                  ThreadPool* pool = nullptr);
 
 /// Shortest-path distance between two nodes (-1 if disconnected).
 std::int32_t hypergraph_distance(const Hypergraph& h, NodeId u, NodeId v);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <sstream>
 
 #include "mmlp/lp/matrix.hpp"
 #include "mmlp/util/check.hpp"
@@ -34,6 +35,14 @@ void LpProblem::validate() const {
       MMLP_CHECK_LT(var, num_vars);
     }
   }
+}
+
+std::string fingerprint(const SimplexOptions& options) {
+  std::ostringstream oss;
+  oss.precision(17);
+  oss << options.pivot_tol << ',' << options.feas_tol << ','
+      << options.max_iterations << ',' << options.degeneracy_window;
+  return oss.str();
 }
 
 const char* to_string(LpStatus status) {

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "mmlp/lp/matrix.hpp"
@@ -58,6 +59,13 @@ struct SimplexOptions {
   /// switch from Dantzig to Bland pricing to break cycles.
   std::int64_t degeneracy_window = 64;
 };
+
+/// Stable serialization of every SimplexOptions field that can change
+/// solver output. The incremental-solve memo fingerprints
+/// (engine::Session) embed it, so two option sets that could pivot
+/// differently never share a memoized solution — keep it in sync with
+/// the struct when fields are added.
+std::string fingerprint(const SimplexOptions& options);
 
 /// Reusable tableau memory for solve_lp. Passing the same workspace to
 /// consecutive solves recycles every internal buffer (the dense tableau,

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 namespace mmlp {
@@ -140,6 +141,76 @@ TEST(ExpandBalls, MatchesFromScratchBuildOnCliqueEdge) {
   EXPECT_EQ(expand_balls(h, r1, 1, nullptr, 2), all_balls(h, 2));
   // Degenerate expansion (to == from) returns the input unchanged.
   EXPECT_EQ(expand_balls(h, r1, 1, nullptr, 1), r1);
+}
+
+TEST(MultiSourceBall, MatchesUnionOfSingleSourceBalls) {
+  const auto h = path5();
+  const std::vector<NodeId> sources = {0, 3};
+  for (std::int32_t r = 0; r <= 4; ++r) {
+    std::vector<NodeId> expected;
+    for (const NodeId s : sources) {
+      const auto b = ball(h, s, r);
+      expected.insert(expected.end(), b.begin(), b.end());
+    }
+    std::sort(expected.begin(), expected.end());
+    expected.erase(std::unique(expected.begin(), expected.end()),
+                   expected.end());
+    EXPECT_EQ(multi_source_ball(h, sources, r), expected) << "r=" << r;
+  }
+}
+
+TEST(MultiSourceBall, RadiusZeroIsTheDedupedSourceSet) {
+  const auto h = path5();
+  const std::vector<NodeId> sources = {4, 1, 1};
+  EXPECT_EQ(multi_source_ball(h, sources, 0), (std::vector<NodeId>{1, 4}));
+  EXPECT_TRUE(multi_source_ball(h, {}, 2).empty());
+}
+
+TEST(RepairBalls, DirtyRegionRepairMatchesFromScratch) {
+  // Path 0-1-2-3-4 gains a chord hyperedge {0, 4}: both endpoints of the
+  // new adjacency form the touched set, and the radius-r dirty region
+  // around it is exactly what repair must recompute.
+  const auto h_old = path5();
+  const Hypergraph h_new =
+      Hypergraph::from_edges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}});
+  const std::vector<NodeId> touched = {0, 4};
+  for (std::int32_t r = 0; r <= 4; ++r) {
+    auto balls = all_balls(h_old, r);
+    const auto dirty = multi_source_ball(h_new, touched, r);
+    repair_balls(h_new, r, dirty, balls);
+    EXPECT_EQ(balls, all_balls(h_new, r)) << "r=" << r;
+  }
+}
+
+TEST(RepairBalls, EdgeRemovalIsCoveredByTheTouchedClosure) {
+  // Reverse direction: the chord disappears. A single BFS on the *new*
+  // graph from the removed edge's members still covers every node whose
+  // ball shrank, because both endpoints of every removed adjacency are
+  // sources.
+  const Hypergraph h_old =
+      Hypergraph::from_edges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}});
+  const auto h_new = path5();
+  const std::vector<NodeId> touched = {0, 4};
+  for (std::int32_t r = 0; r <= 4; ++r) {
+    auto balls = all_balls(h_old, r);
+    const auto dirty = multi_source_ball(h_new, touched, r);
+    repair_balls(h_new, r, dirty, balls);
+    EXPECT_EQ(balls, all_balls(h_new, r)) << "r=" << r;
+  }
+}
+
+TEST(RepairBalls, GrowsTheCacheForAddedNodes) {
+  const auto h_old = path5();
+  // Node 5 joins via a new hyperedge {4, 5}.
+  const Hypergraph h_new =
+      Hypergraph::from_edges(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}});
+  const std::vector<NodeId> touched = {4, 5};
+  for (std::int32_t r = 0; r <= 3; ++r) {
+    auto balls = all_balls(h_old, r);
+    const auto dirty = multi_source_ball(h_new, touched, r);
+    repair_balls(h_new, r, dirty, balls);
+    EXPECT_EQ(balls, all_balls(h_new, r)) << "r=" << r;
+  }
 }
 
 TEST(Distance, PairwiseDistances) {

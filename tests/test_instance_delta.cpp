@@ -1,0 +1,236 @@
+// InstanceDelta / Instance::apply: the mutation layer under the update
+// pipeline. The ground truth throughout is Builder::build — a mutated
+// instance must be block-for-block identical to building the edited
+// coefficient set from scratch (serialize → deserialize round-trips
+// through the Builder, so equality against the round-trip pins exactly
+// that), revisions must be monotone, and invalid deltas must throw
+// before anything is committed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "mmlp/core/instance.hpp"
+#include "mmlp/gen/grid.hpp"
+#include "mmlp/util/check.hpp"
+
+namespace mmlp {
+namespace {
+
+/// 2 resources, 3 agents, 2 parties:
+///   a(0,0)=1, a(0,1)=2, a(1,1)=1, a(1,2)=3
+///   c(0,0)=1, c(0,2)=2, c(1,1)=1
+Instance small_instance() {
+  Instance::Builder builder;
+  builder.set_usage(0, 0, 1.0).set_usage(0, 1, 2.0);
+  builder.set_usage(1, 1, 1.0).set_usage(1, 2, 3.0);
+  builder.set_benefit(0, 0, 1.0).set_benefit(0, 2, 2.0);
+  builder.set_benefit(1, 1, 1.0);
+  return std::move(builder).build();
+}
+
+/// The mutated blocks must equal a from-scratch build of the same
+/// coefficient set (deserialize runs the Builder).
+void expect_consistent(const Instance& instance) {
+  instance.validate();
+  EXPECT_TRUE(instance == Instance::deserialize(instance.serialize()));
+}
+
+TEST(InstanceDelta, EmptyDeltaIsANoOp) {
+  Instance instance = small_instance();
+  const DeltaEffect effect = instance.apply({});
+  EXPECT_EQ(effect.revision, 0u);
+  EXPECT_FALSE(effect.structural);
+  EXPECT_TRUE(effect.touched.empty());
+  EXPECT_EQ(instance.revision(), 0u);
+}
+
+TEST(InstanceDelta, ValueEditWritesInPlaceInBothDirections) {
+  Instance instance = small_instance();
+  InstanceDelta delta;
+  delta.set_usage(0, 1, 5.0).set_benefit(1, 1, 0.25);
+  const DeltaEffect effect = instance.apply(delta);
+
+  EXPECT_EQ(effect.revision, 1u);
+  EXPECT_EQ(instance.revision(), 1u);
+  EXPECT_FALSE(effect.structural);
+  EXPECT_FALSE(effect.remapped);
+  EXPECT_EQ(effect.touched, (std::vector<AgentId>{1}));
+  EXPECT_EQ(instance.usage(0, 1), 5.0);
+  EXPECT_EQ(instance.benefit(1, 1), 0.25);
+  // The agent-side CSR mirrors see the same values.
+  EXPECT_EQ(instance.agent_resources(1)[0].value, 5.0);
+  EXPECT_EQ(instance.agent_parties(1)[0].value, 0.25);
+  expect_consistent(instance);
+}
+
+TEST(InstanceDelta, InsertionRebuildsAndMatchesFromScratchBuild) {
+  Instance instance = small_instance();
+  InstanceDelta delta;
+  delta.set_usage(0, 2, 0.5);  // absent entry: membership changes
+  const DeltaEffect effect = instance.apply(delta);
+
+  EXPECT_TRUE(effect.structural);
+  EXPECT_FALSE(effect.remapped);
+  // Touched closure: the edited agent plus the row's members.
+  EXPECT_EQ(effect.touched, (std::vector<AgentId>{0, 1, 2}));
+  EXPECT_EQ(instance.usage(0, 2), 0.5);
+  EXPECT_EQ(instance.resource_support_size(0), 3u);
+  expect_consistent(instance);
+
+  Instance::Builder builder;
+  builder.set_usage(0, 0, 1.0).set_usage(0, 1, 2.0).set_usage(0, 2, 0.5);
+  builder.set_usage(1, 1, 1.0).set_usage(1, 2, 3.0);
+  builder.set_benefit(0, 0, 1.0).set_benefit(0, 2, 2.0);
+  builder.set_benefit(1, 1, 1.0);
+  EXPECT_TRUE(instance == std::move(builder).build());
+}
+
+TEST(InstanceDelta, EraseRemovesTheEntry) {
+  Instance instance = small_instance();
+  InstanceDelta delta;
+  delta.erase_usage(0, 1);
+  const DeltaEffect effect = instance.apply(delta);
+
+  EXPECT_TRUE(effect.structural);
+  EXPECT_EQ(instance.usage(0, 1), 0.0);
+  EXPECT_EQ(instance.resource_support_size(0), 1u);
+  // Agent 1 still holds resource 1, so I_1 stays nonempty.
+  EXPECT_EQ(instance.agent_resources(1).size(), 1u);
+  expect_consistent(instance);
+}
+
+TEST(InstanceDelta, AdditionsAppendFreshIds) {
+  Instance instance = small_instance();
+  InstanceDelta delta;
+  delta.add_agents(1).add_resources(1).add_parties(1);
+  delta.set_usage(2, 3, 1.5);      // new resource 2, new agent 3
+  delta.set_usage(0, 3, 0.25);     // new agent joins an old resource
+  delta.set_benefit(2, 3, 2.0);    // new party 2
+  const DeltaEffect effect = instance.apply(delta);
+
+  EXPECT_TRUE(effect.structural);
+  EXPECT_FALSE(effect.remapped);
+  EXPECT_EQ(instance.num_agents(), 4);
+  EXPECT_EQ(instance.num_resources(), 3);
+  EXPECT_EQ(instance.num_parties(), 3);
+  EXPECT_EQ(instance.usage(2, 3), 1.5);
+  EXPECT_EQ(instance.usage(0, 3), 0.25);
+  EXPECT_EQ(instance.benefit(2, 3), 2.0);
+  // The new agent is in the touched closure.
+  EXPECT_TRUE(std::binary_search(effect.touched.begin(), effect.touched.end(),
+                                 AgentId{3}));
+  expect_consistent(instance);
+}
+
+TEST(InstanceDelta, AgentRemovalCompactsIdsAndCascades) {
+  Instance instance = small_instance();
+  InstanceDelta delta;
+  delta.remove_agent(0);
+  const DeltaEffect effect = instance.apply(delta);
+
+  EXPECT_TRUE(effect.structural);
+  EXPECT_TRUE(effect.remapped);
+  ASSERT_EQ(effect.agent_remap.size(), 3u);
+  EXPECT_EQ(effect.agent_remap[0], -1);
+  EXPECT_EQ(effect.agent_remap[1], 0);
+  EXPECT_EQ(effect.agent_remap[2], 1);
+  EXPECT_EQ(instance.num_agents(), 2);
+  // Old agents 1, 2 are now 0, 1; resource/party ids are stable here
+  // (nothing was emptied — resource 0 keeps old agent 1, party 0 keeps
+  // old agent 2).
+  EXPECT_EQ(instance.usage(0, 0), 2.0);   // was a(0,1)
+  EXPECT_EQ(instance.usage(1, 1), 3.0);   // was a(1,2)
+  EXPECT_EQ(instance.benefit(0, 1), 2.0); // was c(0,2)
+  expect_consistent(instance);
+}
+
+TEST(InstanceDelta, RemovalCascadesEmptiedResourcesAndParties) {
+  // Agent 1 is party 1's only member; removing it must drop the party
+  // and compact the party ids.
+  Instance instance = small_instance();
+  InstanceDelta delta;
+  delta.remove_agent(1);
+  const DeltaEffect effect = instance.apply(delta);
+
+  EXPECT_TRUE(effect.remapped);
+  EXPECT_EQ(instance.num_agents(), 2);
+  EXPECT_EQ(instance.num_resources(), 2);  // both kept a member
+  EXPECT_EQ(instance.num_parties(), 1);    // party 1 cascaded away
+  expect_consistent(instance);
+}
+
+TEST(InstanceDelta, RevisionIsMonotone) {
+  Instance instance = small_instance();
+  InstanceDelta value_edit;
+  value_edit.set_usage(0, 0, 2.0);
+  EXPECT_EQ(instance.apply(value_edit).revision, 1u);
+  InstanceDelta structural;
+  structural.set_usage(1, 0, 1.0);
+  EXPECT_EQ(instance.apply(structural).revision, 2u);
+  EXPECT_EQ(instance.revision(), 2u);
+}
+
+TEST(InstanceDelta, InvalidDeltasThrowWithoutMutating) {
+  Instance instance = small_instance();
+  const Instance before = instance;
+
+  InstanceDelta absent_erase;
+  absent_erase.erase_usage(0, 2);
+  EXPECT_THROW(instance.apply(absent_erase), CheckError);
+
+  InstanceDelta out_of_range;
+  out_of_range.set_usage(7, 0, 1.0);
+  EXPECT_THROW(instance.apply(out_of_range), CheckError);
+
+  InstanceDelta duplicate;
+  duplicate.set_usage(0, 0, 1.0).set_usage(0, 0, 2.0);
+  EXPECT_THROW(instance.apply(duplicate), CheckError);
+
+  // Erasing agent 2's only resource entry would empty I_2.
+  InstanceDelta empties_agent;
+  empties_agent.erase_usage(1, 2);
+  EXPECT_THROW(instance.apply(empties_agent), CheckError);
+
+  // An added resource with no coefficients violates V_i nonempty.
+  InstanceDelta empty_resource;
+  empty_resource.add_resources(1);
+  EXPECT_THROW(instance.apply(empty_resource), CheckError);
+
+  // An explicit erase may not empty a support row.
+  InstanceDelta empties_party;
+  empties_party.erase_benefit(1, 1);
+  EXPECT_THROW(instance.apply(empties_party), CheckError);
+
+  EXPECT_TRUE(instance == before);
+  EXPECT_EQ(instance.revision(), 0u);
+}
+
+TEST(InstanceDelta, TouchedClosureOnAGrid) {
+  // On a structured instance a value edit touches only the edited
+  // agent; a membership edit pulls in the whole support row.
+  Instance instance = make_grid_instance({.dims = {4, 4}});
+  InstanceDelta value_edit;
+  const Coef first = instance.resource_support(0)[0];
+  value_edit.set_usage(0, first.id, first.value * 2.0);
+  const DeltaEffect value_effect = instance.apply(value_edit);
+  EXPECT_EQ(value_effect.touched, (std::vector<AgentId>{first.id}));
+
+  // Snapshot the members before the apply (the rebuild invalidates
+  // spans into the old blocks).
+  std::vector<AgentId> expected;
+  for (const Coef& entry : instance.resource_support(0)) {
+    expected.push_back(entry.id);
+  }
+  std::sort(expected.begin(), expected.end());
+  ASSERT_GT(expected.size(), 1u);
+  InstanceDelta erase;
+  erase.erase_usage(0, expected.front());
+  const DeltaEffect erase_effect = instance.apply(erase);
+  // Touched = the erased agent plus every remaining member of the row.
+  EXPECT_EQ(erase_effect.touched, expected);
+  expect_consistent(instance);
+}
+
+}  // namespace
+}  // namespace mmlp

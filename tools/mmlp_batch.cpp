@@ -15,11 +15,21 @@
 //   # run a whole request file against a serialized instance
 //   mmlp_batch --input net.mmlp --requests load.jsonl --out results.jsonl
 //
-// Request/response wire format: src/mmlp/engine/wire.hpp. Blank lines
-// and lines starting with '#' are skipped, so request files can carry
-// comments. By default a malformed or failing request produces an
-// {"error": ...} result line and processing continues (a long batch is
-// not lost to one typo); --strict turns the first failure fatal.
+// Request/response wire format: src/mmlp/engine/wire.hpp. Lines with
+// "op": "update" are routed through Session::apply, which edits the
+// instance in place and surgically repairs the session caches — so a
+// hot batch can interleave edits with (incremental) solves:
+//
+//   {"algorithm": "averaging", "incremental": true, "id": 1}
+//   {"op": "update", "set_usage": [{"i": 5, "v": 9, "a": 0.25}], "id": 2}
+//   {"algorithm": "averaging", "incremental": true, "id": 3}
+//
+// Blank lines and lines starting with '#' are skipped, so request files
+// can carry comments. By default a malformed or failing request
+// produces an {"error": ..., "line": N} result line — N is the
+// 1-based input line number of the offending request — and processing
+// continues (a long batch is not lost to one typo); --fail-fast (alias
+// --strict) turns the first failure fatal.
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -71,11 +81,12 @@ int main(int argc, char** argv) {
                 "worker threads for the session pool (0 = hardware)", "0");
   args.add_switch("emit-x", "include the full solution vector per result");
   args.add_switch("strict", "abort on the first malformed/failing request");
+  args.add_switch("fail-fast", "alias of --strict");
   if (!args.parse(argc, argv)) {
     return 1;
   }
 
-  const Instance instance = load_or_generate(args);
+  Instance instance = load_or_generate(args);  // mutable: updates edit it
   const auto threads = static_cast<std::size_t>(args.get_int("threads"));
   engine::Session session(instance, {.threads = threads});
   std::cerr << "mmlp_batch: instance with " << instance.num_agents()
@@ -102,27 +113,37 @@ int main(int argc, char** argv) {
   std::ostream& out = out_path == "-" ? std::cout : out_file;
 
   const bool emit_x = args.get_bool("emit-x");
-  const bool strict = args.get_bool("strict");
+  const bool fail_fast = args.get_bool("strict") || args.get_bool("fail-fast");
   std::int64_t served = 0;
   std::int64_t failed = 0;
+  std::int64_t line_number = 0;
   WallTimer batch_timer;
   std::string line;
   while (std::getline(requests, line)) {
+    ++line_number;
     if (line.empty() || line[0] == '#') {
       continue;
     }
     try {
-      const engine::WireRequest wire = engine::parse_request_line(line);
-      const engine::SolveResult result = engine::solve(session, wire.request);
-      out << engine::result_to_json_line(result, wire.id, emit_x) << '\n';
+      const engine::WireCommand command = engine::parse_command_line(line);
+      if (command.kind == engine::WireCommand::Kind::kUpdate) {
+        const engine::Session::ApplyReport report =
+            session.apply(command.delta);
+        out << engine::apply_report_to_json_line(report, command.id) << '\n';
+      } else {
+        const engine::SolveResult result =
+            engine::solve(session, command.request);
+        out << engine::result_to_json_line(result, command.id, emit_x) << '\n';
+      }
       ++served;
     } catch (const CheckError& error) {
       ++failed;
-      out << "{\"error\": \"" << engine::json_escape(error.what()) << "\"}\n";
-      if (strict) {
+      out << "{\"error\": \"" << engine::json_escape(error.what())
+          << "\", \"line\": " << line_number << "}\n";
+      if (fail_fast) {
         out.flush();
-        std::cerr << "mmlp_batch: aborting on failed request (--strict): "
-                  << error.what() << '\n';
+        std::cerr << "mmlp_batch: aborting on failed request at line "
+                  << line_number << " (--fail-fast): " << error.what() << '\n';
         return 1;
       }
     }
@@ -136,7 +157,7 @@ int main(int argc, char** argv) {
             << stats.cache_misses << " miss(es), " << stats.cache_build_ms
             << " ms building; scratch: " << stats.scratch_reused
             << " reuse(s), " << stats.scratch_created << " creation(s)\n";
-  // --strict already exited inside the loop on the first failure;
-  // non-strict batches report failures per line and exit clean.
+  // --fail-fast already exited inside the loop on the first failure;
+  // other batches report failures per line and exit clean.
   return 0;
 }
