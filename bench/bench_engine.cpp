@@ -14,6 +14,22 @@
 //                           isomorphism class instead of one per agent
 //                           (averaging cases only; output bitwise equal
 //                           to the _warm case);
+//   <scenario>_dedup_warm_nosym : the same dedup-on measurement on the
+//                           no-symmetry stress scenario (random), where
+//                           every view class is a singleton — the case
+//                           exists to prove the dedup path bails out to
+//                           the plain per-agent loop and stays at
+//                           parity with dedup-off (speedup_vs_off ≈ 1)
+//                           instead of paying for staging + scatter;
+//   <scenario>_latency    : ~16 individually timed warm repeats of the
+//                           averaging request plus a k=16 update +
+//                           incremental re-solve between samples, fed
+//                           into an obs::Histogram — surfaced as
+//                           latency_p50_ms / latency_p90_ms /
+//                           latency_p99_ms counters, alongside the
+//                           per-request obs counter deltas
+//                           (simplex_solves, simplex_pivots,
+//                           scratch_leases);
 //   <scenario>_update_resolve_k<k> : the streaming-update workload — k
 //                           random single-coefficient edits applied
 //                           through Session::apply followed by one
@@ -33,9 +49,12 @@
 // dedup PR reads this file at --scale full (1e5 agents): the grid
 // scenario must report dedup_ratio >= 0.9 and speedup_vs_off >= 3,
 // with the random scenario not regressing.
+#include <algorithm>
+
 #include "mmlp/engine/session.hpp"
 #include "mmlp/engine/solver.hpp"
 #include "mmlp/util/bench_report.hpp"
+#include "mmlp/util/obs.hpp"
 #include "mmlp/util/rng.hpp"
 
 #include "scenarios.hpp"
@@ -72,7 +91,65 @@ double run_pair(mmlp::bench::Report& report, const std::string& scenario,
   warm.counters["cache_hits"] = static_cast<double>(last.cache_hits);
   warm.counters["cold_over_warm"] =
       warm.wall_ms > 0.0 ? cold_ms / warm.wall_ms : 0.0;
+  if (const auto it = last.diagnostics.find("lp_solves");
+      it != last.diagnostics.end()) {
+    warm.counters["lp_solves"] = it->second;
+  }
   return warm.wall_ms;
+}
+
+/// The latency-distribution case: ~16 individually timed warm repeats
+/// of the request, interleaved with a k=16 random-edit update +
+/// incremental re-solve (the streaming workload of the acceptance
+/// criterion), every per-request total_ms observed into an
+/// obs::Histogram. Reported as percentile counters rather than the
+/// harness's min-wall estimator — the histogram is exactly what the
+/// metrics registry exports, so the bench doubles as a check that the
+/// observability plumbing produces sane numbers.
+void run_latency(mmlp::bench::Report& report, const std::string& scenario,
+                 const mmlp::Instance& instance, SolveRequest request) {
+  using namespace mmlp;
+  Instance working = instance;  // mutated by the interleaved updates
+  Session session(working);
+  (void)engine::solve(session, request);  // prime the caches
+  SolveRequest incremental = request;
+  incremental.incremental = true;
+  (void)engine::solve(session, incremental);  // prime the memo
+  Rng rng(40013u);
+  obs::Histogram hist;
+  SolveResult last;
+  constexpr int kSamples = 16;
+  auto& bench_case = report.run_case(
+      scenario + "_latency", instance.num_agents(), 1, [&] {
+        for (int sample = 0; sample < kSamples; ++sample) {
+          last = engine::solve(session, request);
+          hist.observe(last.total_ms);
+          for (int edit = 0; edit < 16; ++edit) {
+            const auto i = static_cast<ResourceId>(rng.next_below(
+                static_cast<std::uint64_t>(working.num_resources())));
+            const CoefSpan support = working.resource_support(i);
+            const Coef& entry = support[static_cast<std::size_t>(
+                rng.next_below(support.size()))];
+            InstanceDelta delta;
+            delta.set_usage(i, entry.id, entry.value * rng.uniform(0.5, 1.5));
+            (void)session.apply(delta);
+          }
+          last = engine::solve(session, incremental);
+          hist.observe(last.total_ms);
+        }
+      });
+  bench_case.counters["samples"] = static_cast<double>(hist.count());
+  bench_case.counters["latency_p50_ms"] = hist.percentile(0.50);
+  bench_case.counters["latency_p90_ms"] = hist.percentile(0.90);
+  bench_case.counters["latency_p99_ms"] = hist.percentile(0.99);
+  // Per-request obs counter deltas of the last (incremental) solve.
+  for (const char* key :
+       {"simplex_solves", "simplex_pivots", "scratch_leases",
+        "bfs_ball_expansions"}) {
+    if (const auto it = last.counters.find(key); it != last.counters.end()) {
+      bench_case.counters[key] = static_cast<double>(it->second);
+    }
+  }
 }
 
 /// Times the deduplicated request on a session whose caches — including
@@ -81,13 +158,13 @@ double run_pair(mmlp::bench::Report& report, const std::string& scenario,
 /// priming solve, exactly like the other session caches).
 void run_dedup(mmlp::bench::Report& report, const std::string& scenario,
                const mmlp::Instance& instance, SolveRequest request, int reps,
-               double warm_off_ms) {
+               double warm_off_ms, const char* case_suffix = "_dedup_warm") {
   request.deduplicate = true;
   SolveResult last;
   Session session(instance);
   (void)mmlp::engine::solve(session, request);  // prime caches + classes
   auto& dedup = report.run_case(
-      scenario + "_dedup_warm", instance.num_agents(), reps,
+      scenario + case_suffix, instance.num_agents(), reps,
       [&] { last = mmlp::engine::solve(session, request); });
   dedup.counters["cache_build_ms"] = last.cache_build_ms;
   dedup.counters["cache_misses"] = static_cast<double>(last.cache_misses);
@@ -161,11 +238,18 @@ int main(int argc, char** argv) {
                 run_pair(report, scenario + "_averaging", instance,
                          {.algorithm = "averaging", .R = 1}, reps);
             // Dedup economics on the same request: the grid scenario
-            // collapses to O(1) view classes, the random scenario is
-            // the no-symmetry stress case (ratio ~0, expected ~parity).
+            // collapses to O(1) view classes; the random scenario is
+            // the no-symmetry stress case (ratio ~0) whose case name
+            // records that it proves singleton-bailout parity.
             run_dedup(report, scenario + "_averaging", instance,
                       {.algorithm = "averaging", .R = 1}, reps,
-                      warm_averaging_ms);
+                      warm_averaging_ms,
+                      scenario == "random" ? "_dedup_warm_nosym"
+                                           : "_dedup_warm");
+            // The per-request latency distribution of the streaming
+            // solve/update mix, as obs::Histogram percentiles.
+            run_latency(report, scenario + "_averaging", instance,
+                        {.algorithm = "averaging", .R = 1});
             // The update workload: how much of the warm solve does
             // locality let a k-edit re-solve skip?
             run_update_resolve(report, scenario + "_averaging", instance,

@@ -15,6 +15,7 @@
 #include <unordered_map>
 
 #include "mmlp/util/check.hpp"
+#include "mmlp/util/obs.hpp"
 
 namespace mmlp {
 
@@ -357,6 +358,7 @@ DeltaEffect Instance::apply(const InstanceDelta& delta) {
     effect.revision = revision_;
     return effect;
   }
+  obs::ObsSpan span("instance.apply", "core");
   const AgentId old_agents = num_agents();
   const ResourceId old_resources = num_resources();
   const PartyId old_parties = num_parties();

@@ -34,6 +34,7 @@
 #include "mmlp/core/solution.hpp"
 #include "mmlp/engine/session.hpp"
 #include "mmlp/util/check.hpp"
+#include "mmlp/util/obs.hpp"
 #include "mmlp/util/parallel.hpp"
 
 namespace mmlp {
@@ -81,11 +82,12 @@ LocalAveragingResult local_averaging_impl(
   // one scratch workspace from the session pool.
   std::vector<std::vector<double>> view_x(n);
   result.view_omega.assign(n, 0.0);
-  if (!options.deduplicate) {
-    result.lp_solves = n;
+  const auto solve_all_agents = [&] {
+    obs::ObsSpan stage("averaging.view_lps", "solver");
     chunked_parallel_for(
         n,
         [&](std::size_t begin, std::size_t end) {
+          obs::ObsSpan chunk("averaging.view_lp.chunk", "solver");
           auto scratch = session.view_scratch().acquire();
           LocalView view;
           for (std::size_t u = begin; u < end; ++u) {
@@ -97,6 +99,10 @@ LocalAveragingResult local_averaging_impl(
           }
         },
         session.pool());
+  };
+  if (!options.deduplicate) {
+    result.lp_solves = n;
+    solve_all_agents();
   } else {
     const ViewClassIndex& classes =
         session.view_classes(options.R, options.collaboration_oblivious);
@@ -106,71 +112,87 @@ LocalAveragingResult local_averaging_impl(
     result.lp_solves = reps.size();
     result.view_classes = classes.num_classes();
     result.dedup_ratio = classes.dedup_ratio(options.dedup_scatter);
+    if (reps.size() == n) {
+      // Every group is a singleton (no symmetry to exploit — typical on
+      // random instances): representatives ARE the agents in ascending
+      // order, so the plain per-agent loop produces bitwise the same
+      // result while skipping the rep_x staging and the scatter pass.
+      // This is the early-bail that keeps dedup from ever being a loss
+      // (ROADMAP item 3; bench case dedup_warm_nosym proves parity).
+      solve_all_agents();
+    } else {
+      // One representative LP per group, solved exactly as the per-agent
+      // path would solve it (same extraction, same scratch, same simplex).
+      std::vector<std::vector<double>> rep_x(reps.size());
+      std::vector<double> rep_omega(reps.size(), 0.0);
+      {
+        obs::ObsSpan stage("averaging.rep_lps", "solver");
+        chunked_parallel_for(
+            reps.size(),
+            [&](std::size_t begin, std::size_t end) {
+              obs::ObsSpan chunk("averaging.rep_lp.chunk", "solver");
+              auto scratch = session.view_scratch().acquire();
+              LocalView view;
+              for (std::size_t g = begin; g < end; ++g) {
+                const auto u = static_cast<std::size_t>(reps[g]);
+                extract_view_into(instance, reps[g], options.R, balls[u], view,
+                                  *scratch);
+                ViewLpSolution solution =
+                    solve_view_lp(view, options.lp, *scratch);
+                rep_omega[g] = solution.omega;
+                rep_x[g] = std::move(solution.x);
+              }
+            },
+            session.pool());
+      }
 
-    // One representative LP per group, solved exactly as the per-agent
-    // path would solve it (same extraction, same scratch, same simplex).
-    std::vector<std::vector<double>> rep_x(reps.size());
-    std::vector<double> rep_omega(reps.size(), 0.0);
-    chunked_parallel_for(
-        reps.size(),
-        [&](std::size_t begin, std::size_t end) {
-          auto scratch = session.view_scratch().acquire();
-          LocalView view;
-          for (std::size_t g = begin; g < end; ++g) {
-            const auto u = static_cast<std::size_t>(reps[g]);
-            extract_view_into(instance, reps[g], options.R, balls[u], view,
-                              *scratch);
-            ViewLpSolution solution = solve_view_lp(view, options.lp, *scratch);
-            rep_omega[g] = solution.omega;
-            rep_x[g] = std::move(solution.x);
-          }
-        },
-        session.pool());
-
-    // Scatter each representative solution to its members. Members of
-    // the representative's own orbit share its exact local structure,
-    // so a verbatim copy is the bitwise per-agent result; the remaining
-    // members (kCanonical only) receive the solution permuted through
-    // local -> canonical -> local, which is exactly optimal for their
-    // relabeled — identical — LP.
-    const std::vector<std::int32_t>& group_sizes =
-        canonical ? classes.class_size : classes.orbit_size;
-    chunked_parallel_for(
-        n,
-        [&](std::size_t begin, std::size_t end) {
-          for (std::size_t u = begin; u < end; ++u) {
-            const std::int32_t g = canonical
-                                       ? classes.class_of[u]
-                                       : classes.orbit_of[u];
-            const AgentId rep = reps[static_cast<std::size_t>(g)];
-            result.view_omega[u] = rep_omega[static_cast<std::size_t>(g)];
-            std::vector<double>& source = rep_x[static_cast<std::size_t>(g)];
-            if (group_sizes[static_cast<std::size_t>(g)] == 1) {
-              // Singleton group: u is its only member (and its rep), so
-              // the solution can move — no-symmetry instances then pay
-              // no copy overhead over the per-agent path.
-              view_x[u] = std::move(source);
-              continue;
+      // Scatter each representative solution to its members. Members of
+      // the representative's own orbit share its exact local structure,
+      // so a verbatim copy is the bitwise per-agent result; the remaining
+      // members (kCanonical only) receive the solution permuted through
+      // local -> canonical -> local, which is exactly optimal for their
+      // relabeled — identical — LP.
+      const std::vector<std::int32_t>& group_sizes =
+          canonical ? classes.class_size : classes.orbit_size;
+      obs::ObsSpan stage("averaging.scatter", "solver");
+      chunked_parallel_for(
+          n,
+          [&](std::size_t begin, std::size_t end) {
+            obs::ObsSpan chunk("averaging.scatter.chunk", "solver");
+            for (std::size_t u = begin; u < end; ++u) {
+              const std::int32_t g = canonical
+                                         ? classes.class_of[u]
+                                         : classes.orbit_of[u];
+              const AgentId rep = reps[static_cast<std::size_t>(g)];
+              result.view_omega[u] = rep_omega[static_cast<std::size_t>(g)];
+              std::vector<double>& source = rep_x[static_cast<std::size_t>(g)];
+              if (group_sizes[static_cast<std::size_t>(g)] == 1) {
+                // Singleton group: u is its only member (and its rep), so
+                // the solution can move — no-symmetry instances then pay
+                // no copy overhead over the per-agent path.
+                view_x[u] = std::move(source);
+                continue;
+              }
+              if (!canonical ||
+                  classes.orbit_of[u] ==
+                      classes.orbit_of[static_cast<std::size_t>(rep)]) {
+                view_x[u] = source;
+                continue;
+              }
+              const std::span<const std::int32_t> perm_u =
+                  classes.perm(static_cast<AgentId>(u));
+              const std::span<const std::int32_t> perm_rep = classes.perm(rep);
+              MMLP_CHECK_EQ(perm_u.size(), source.size());
+              std::vector<double>& target = view_x[u];
+              target.resize(source.size());
+              for (std::size_t c = 0; c < perm_u.size(); ++c) {
+                target[static_cast<std::size_t>(perm_u[c])] =
+                    source[static_cast<std::size_t>(perm_rep[c])];
+              }
             }
-            if (!canonical ||
-                classes.orbit_of[u] ==
-                    classes.orbit_of[static_cast<std::size_t>(rep)]) {
-              view_x[u] = source;
-              continue;
-            }
-            const std::span<const std::int32_t> perm_u =
-                classes.perm(static_cast<AgentId>(u));
-            const std::span<const std::int32_t> perm_rep = classes.perm(rep);
-            MMLP_CHECK_EQ(perm_u.size(), source.size());
-            std::vector<double>& target = view_x[u];
-            target.resize(source.size());
-            for (std::size_t c = 0; c < perm_u.size(); ++c) {
-              target[static_cast<std::size_t>(perm_u[c])] =
-                  source[static_cast<std::size_t>(perm_rep[c])];
-            }
-          }
-        },
-        session.pool());
+          },
+          session.pool());
+    }
   }
 
   // β_j from the growth sets (Figure 2 machinery).
@@ -190,9 +212,11 @@ LocalAveragingResult local_averaging_impl(
     MMLP_CHECK_EQ(balls[u].size(), view_x[u].size());
   }
   std::vector<double> accumulated(n, 0.0);
+  obs::ObsSpan gather_stage("averaging.gather", "solver");
   chunked_parallel_for(
       n,
       [&](std::size_t begin, std::size_t end) {
+        obs::ObsSpan chunk("averaging.gather.chunk", "solver");
         for (std::size_t j = begin; j < end; ++j) {
           const AgentId self = static_cast<AgentId>(j);
           double sum = 0.0;
@@ -317,9 +341,11 @@ LocalAveragingResult local_averaging_incremental(
   //    simplex as the full loop, so a re-solved unchanged view
   //    reproduces its previous bits exactly.
   const std::vector<AgentId>& resolve = *dirty_view;
+  obs::ObsSpan incremental_span("averaging.incremental", "solver");
   chunked_parallel_for(
       resolve.size(),
       [&](std::size_t begin, std::size_t end) {
+        obs::ObsSpan chunk("averaging.incremental.view_lp.chunk", "solver");
         auto scratch = session.view_scratch().acquire();
         LocalView view;
         for (std::size_t idx = begin; idx < end; ++idx) {
@@ -345,6 +371,7 @@ LocalAveragingResult local_averaging_incremental(
   chunked_parallel_for(
       regather.size(),
       [&](std::size_t begin, std::size_t end) {
+        obs::ObsSpan chunk("averaging.incremental.gather.chunk", "solver");
         for (std::size_t idx = begin; idx < end; ++idx) {
           const AgentId j = regather[idx];
           const auto jj = static_cast<std::size_t>(j);

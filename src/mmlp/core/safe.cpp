@@ -15,6 +15,7 @@
 
 #include "mmlp/engine/session.hpp"
 #include "mmlp/util/check.hpp"
+#include "mmlp/util/obs.hpp"
 #include "mmlp/util/parallel.hpp"
 
 namespace mmlp {
@@ -33,6 +34,7 @@ double safe_choice_unchecked(const Instance& instance, AgentId v) {
 
 std::vector<double> safe_solution_impl(const Instance& instance,
                                        ThreadPool* pool) {
+  obs::ObsSpan span("safe.solve", "core");
   const auto n = static_cast<std::size_t>(instance.num_agents());
   std::vector<double> x(n, 0.0);
   parallel_for(
@@ -48,6 +50,7 @@ std::vector<double> safe_solution_impl(const Instance& instance,
 /// grouped evaluation is bitwise equal to the per-agent one.
 std::vector<double> safe_solution_dedup(const Instance& instance,
                                         ThreadPool* pool) {
+  obs::ObsSpan span("safe.solve_dedup", "core");
   const auto n = static_cast<std::size_t>(instance.num_agents());
   std::vector<double> x(n, 0.0);
   if (n == 0) {

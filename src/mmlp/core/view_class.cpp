@@ -13,15 +13,24 @@
 
 #include <algorithm>
 #include <cstring>
+#include <numeric>
 #include <string_view>
 #include <unordered_map>
 
 #include "mmlp/util/check.hpp"
+#include "mmlp/util/obs.hpp"
 #include "mmlp/util/parallel.hpp"
 
 namespace mmlp {
 
 namespace {
+
+/// Canonical keys carry a one-byte tag so the two key families can
+/// never collide inside one partition map: agents proven unique by the
+/// structural pre-hash store a placeholder key (their exact key behind
+/// the tag) instead of paying for the full canonical labeling.
+constexpr char kPlaceholderKeyTag = '\0';
+constexpr char kCanonicalKeyTag = '\1';
 
 void put_i32(std::string& out, std::int32_t value) {
   char bytes[sizeof value];
@@ -73,6 +82,122 @@ std::int32_t distinct_count(const std::vector<std::int32_t>& colors) {
   return static_cast<std::int32_t>(sorted.size());
 }
 
+/// splitmix64 finalizer — the bit mixer under the structural pre-hash.
+std::uint64_t mix_u64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// The view's local structure serialized verbatim — the exact key of
+/// ViewCanonicalForm, computable without any canonical labeling.
+std::string serialize_exact_key(const LocalView& view) {
+  const auto num_locals = static_cast<std::int32_t>(view.agents.size());
+  const std::int32_t center_local = view.local_index(view.center);
+  MMLP_CHECK_GE(center_local, 0);
+  const auto num_resources = static_cast<std::int32_t>(view.resources.size());
+  const auto num_parties = static_cast<std::int32_t>(view.parties.size());
+  const std::int32_t num_rows = num_resources + num_parties;
+  std::string exact;
+  exact.reserve(64 + static_cast<std::size_t>(num_rows) * 16);
+  put_i32(exact, num_locals);
+  put_i32(exact, center_local);
+  put_i32(exact, num_resources);
+  put_i32(exact, num_parties);
+  for (std::int32_t r = 0; r < num_rows; ++r) {
+    const CoefSpan entries =
+        r < num_resources
+            ? view.resource_entries(static_cast<std::size_t>(r))
+            : view.party_entries(static_cast<std::size_t>(r - num_resources));
+    put_i32(exact, static_cast<std::int32_t>(entries.size()));
+    for (const Coef& entry : entries) {
+      put_i32(exact, entry.id);
+      put_u64(exact, coef_bits(entry.value));
+    }
+  }
+  return exact;
+}
+
+/// num_locals back out of a serialized exact key (its first field).
+std::int32_t exact_key_num_locals(const std::string& exact_key) {
+  std::int32_t value = 0;
+  MMLP_CHECK_GE(exact_key.size(), sizeof value);
+  std::memcpy(&value, exact_key.data(), sizeof value);
+  return value;
+}
+
+/// A cheap isomorphism invariant of the view: every ingredient is a
+/// commutative sum over relabeling-permuted collections (row (type,
+/// coefficient) multisets, per-agent incidence profiles, the center's
+/// own profile), so center-preserving isomorphic views hash equal.
+/// Views that hash differently are provably non-isomorphic — an agent
+/// alone in its hash bucket therefore forms a singleton class and can
+/// skip the expensive canonical labeling entirely. Collisions only
+/// merge buckets (forcing a labeling that was skippable), never split.
+std::uint64_t view_invariant_hash(const LocalView& view) {
+  const auto num_locals = static_cast<std::int32_t>(view.agents.size());
+  const std::int32_t center_local = view.local_index(view.center);
+  const auto num_resources = static_cast<std::int32_t>(view.resources.size());
+  const auto num_parties = static_cast<std::int32_t>(view.parties.size());
+  const std::int32_t num_rows = num_resources + num_parties;
+
+  std::vector<std::uint64_t> agent_acc(static_cast<std::size_t>(num_locals),
+                                       0);
+  std::uint64_t rows_acc = 0;
+  for (std::int32_t r = 0; r < num_rows; ++r) {
+    const std::uint64_t type = r < num_resources ? 0 : 1;
+    const CoefSpan entries =
+        r < num_resources
+            ? view.resource_entries(static_cast<std::size_t>(r))
+            : view.party_entries(static_cast<std::size_t>(r - num_resources));
+    std::uint64_t row_acc = 0;
+    for (const Coef& entry : entries) {
+      const std::uint64_t e =
+          mix_u64(coef_bits(entry.value) + type * 0x9e3779b97f4a7c15ULL);
+      row_acc += e;
+      agent_acc[static_cast<std::size_t>(entry.id)] += e;
+    }
+    rows_acc += mix_u64(row_acc ^ mix_u64(type + (entries.size() << 1)));
+  }
+  std::uint64_t agents_acc = 0;
+  for (const std::uint64_t acc : agent_acc) {
+    agents_acc += mix_u64(acc);
+  }
+
+  std::uint64_t h = mix_u64(static_cast<std::uint64_t>(num_locals));
+  h = mix_u64(h ^ mix_u64((static_cast<std::uint64_t>(num_resources) << 32) |
+                          static_cast<std::uint32_t>(num_parties)));
+  h = mix_u64(h ^ rows_acc);
+  h = mix_u64(h ^ agents_acc);
+  h = mix_u64(h ^
+              mix_u64(agent_acc[static_cast<std::size_t>(center_local)] + 1));
+  return h;
+}
+
+/// The placeholder canonical form of a pre-hash-unique agent: tagged
+/// exact key plus the identity permutation. Used identically by build
+/// and repair so the two always produce the same index.
+void make_placeholder_form(const std::string& exact_key,
+                           ViewCanonicalForm& form) {
+  form.canonical_key.clear();
+  form.canonical_key.reserve(exact_key.size() + 1);
+  form.canonical_key.push_back(kPlaceholderKeyTag);
+  form.canonical_key += exact_key;
+  form.canon_to_local.resize(
+      static_cast<std::size_t>(exact_key_num_locals(exact_key)));
+  std::iota(form.canon_to_local.begin(), form.canon_to_local.end(), 0);
+}
+
+void count_canonicalizations(std::int64_t full, std::int64_t skipped) {
+  static obs::Counter& canonicalized =
+      obs::Registry::global().counter("view_class.canonicalizations");
+  static obs::Counter& prehash_skips =
+      obs::Registry::global().counter("view_class.prehash_skips");
+  canonicalized.add(full);
+  prehash_skips.add(skipped);
+}
+
 }  // namespace
 
 double ViewClassIndex::dedup_ratio(DedupScatter scatter) const {
@@ -105,20 +230,7 @@ ViewCanonicalForm canonicalize_view(const LocalView& view) {
   ViewCanonicalForm form;
 
   // ---- exact key: the local structure verbatim -------------------------
-  std::string& exact = form.exact_key;
-  exact.reserve(64 + static_cast<std::size_t>(num_rows) * 16);
-  put_i32(exact, num_locals);
-  put_i32(exact, center_local);
-  put_i32(exact, num_resources);
-  put_i32(exact, num_parties);
-  for (std::int32_t r = 0; r < num_rows; ++r) {
-    const CoefSpan entries = row_entries(r);
-    put_i32(exact, static_cast<std::int32_t>(entries.size()));
-    for (const Coef& entry : entries) {
-      put_i32(exact, entry.id);
-      put_u64(exact, coef_bits(entry.value));
-    }
-  }
+  form.exact_key = serialize_exact_key(view);
 
   // ---- incidence structure --------------------------------------------
   std::vector<std::vector<std::int32_t>> rows_of(
@@ -294,7 +406,7 @@ ViewCanonicalForm canonicalize_view(const LocalView& view) {
   std::sort(row_bytes.begin(), row_bytes.end());
 
   std::string& canonical = form.canonical_key;
-  canonical.reserve(exact.size());
+  canonical.reserve(form.exact_key.size());
   put_i32(canonical, num_locals);
   put_i32(canonical, local_to_canon[static_cast<std::size_t>(center_local)]);
   put_i32(canonical, num_resources);
@@ -371,12 +483,15 @@ ViewClassIndex build_view_class_index(
   index.perm_offset.assign(n + 1, 0);
   index.exact_keys.resize(n);
   index.canonical_keys.resize(n);
+  index.invariants.assign(n, 0);
   if (n == 0) {
     return index;
   }
 
-  // Canonicalize every view in parallel; one scratch per chunk.
-  std::vector<ViewCanonicalForm> forms(n);
+  obs::ObsSpan span("view_class.build", "core");
+
+  // Pass 1 (cheap, linear in view size): serialize each view's exact
+  // key and compute its structural pre-hash — no canonical labeling.
   chunked_parallel_for(
       n,
       [&](std::size_t begin, std::size_t end) {
@@ -385,10 +500,47 @@ ViewClassIndex build_view_class_index(
         for (std::size_t u = begin; u < end; ++u) {
           extract_view_into(instance, static_cast<AgentId>(u), radius, balls[u],
                             view, scratch);
-          forms[u] = canonicalize_view(view);
+          index.exact_keys[u] = serialize_exact_key(view);
+          index.invariants[u] = view_invariant_hash(view);
         }
       },
       pool);
+
+  // Hash-bucket sizes decide who pays for the full labeling: an agent
+  // alone in its bucket is non-isomorphic to every other agent, so its
+  // class is provably a singleton (this is what keeps dedup from ever
+  // being a loss on symmetry-free instances — ROADMAP item 3).
+  std::unordered_map<std::uint64_t, std::int32_t> bucket_size;
+  bucket_size.reserve(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    ++bucket_size[index.invariants[u]];
+  }
+
+  // Pass 2: canonicalize shared-bucket agents, placeholder the rest.
+  std::vector<ViewCanonicalForm> forms(n);
+  chunked_parallel_for(
+      n,
+      [&](std::size_t begin, std::size_t end) {
+        ViewScratch scratch;
+        LocalView view;
+        for (std::size_t u = begin; u < end; ++u) {
+          if (bucket_size.find(index.invariants[u])->second > 1) {
+            extract_view_into(instance, static_cast<AgentId>(u), radius,
+                              balls[u], view, scratch);
+            forms[u] = canonicalize_view(view);
+            forms[u].canonical_key.insert(forms[u].canonical_key.begin(),
+                                          kCanonicalKeyTag);
+          } else {
+            make_placeholder_form(index.exact_keys[u], forms[u]);
+          }
+        }
+      },
+      pool);
+  std::int64_t full = 0;
+  for (std::size_t u = 0; u < n; ++u) {
+    full += bucket_size.find(index.invariants[u])->second > 1 ? 1 : 0;
+  }
+  count_canonicalizations(full, static_cast<std::int64_t>(n) - full);
 
   for (std::size_t u = 0; u < n; ++u) {
     index.perm_offset[u + 1] =
@@ -401,13 +553,13 @@ ViewClassIndex build_view_class_index(
     std::copy(form.canon_to_local.begin(), form.canon_to_local.end(),
               index.perms.begin() +
                   static_cast<std::ptrdiff_t>(index.perm_offset[u]));
-    index.exact_keys[u] = std::move(form.exact_key);
     index.canonical_keys[u] = std::move(form.canonical_key);
   }
   regroup(index);
   if (!keep_keys) {
     index.exact_keys = {};
     index.canonical_keys = {};
+    index.invariants = {};
   }
   return index;
 }
@@ -431,9 +583,13 @@ void repair_view_class_index(const Instance& instance,
         std::binary_search(dirty.begin(), dirty.end(), static_cast<AgentId>(u)),
         "added agent " << u << " must be in the dirty set");
   }
+  MMLP_CHECK_EQ(index.invariants.size(), n_old);
 
-  // Re-canonicalize the dirty views only.
-  std::vector<ViewCanonicalForm> forms(dirty.size());
+  obs::ObsSpan span("view_class.repair", "core");
+
+  // Cheap pass over the dirty agents: fresh exact keys and pre-hashes.
+  std::vector<std::string> dirty_exact(dirty.size());
+  std::vector<std::uint64_t> dirty_invariant(dirty.size());
   chunked_parallel_for(
       dirty.size(),
       [&](std::size_t begin, std::size_t end) {
@@ -443,43 +599,115 @@ void repair_view_class_index(const Instance& instance,
           const auto u = static_cast<std::size_t>(dirty[idx]);
           extract_view_into(instance, dirty[idx], index.radius, balls[u], view,
                             scratch);
-          forms[idx] = canonicalize_view(view);
+          dirty_exact[idx] = serialize_exact_key(view);
+          dirty_invariant[idx] = view_invariant_hash(view);
         }
       },
       pool);
 
-  // Splice the permutations (lengths may have changed) and the keys.
   std::vector<std::int32_t> dirty_slot(n, -1);
   for (std::size_t idx = 0; idx < dirty.size(); ++idx) {
     dirty_slot[static_cast<std::size_t>(dirty[idx])] =
         static_cast<std::int32_t>(idx);
   }
+  index.exact_keys.resize(n);
+  index.canonical_keys.resize(n);
+  index.invariants.resize(n, 0);
+  for (std::size_t idx = 0; idx < dirty.size(); ++idx) {
+    const auto u = static_cast<std::size_t>(dirty[idx]);
+    index.exact_keys[u] = std::move(dirty_exact[idx]);
+    index.invariants[u] = dirty_invariant[idx];
+  }
+
+  // Re-derive the pre-hash bucket decision for EVERY agent, exactly as
+  // a from-scratch build would: a delta can pull a clean agent into a
+  // shared bucket (its stored placeholder must be promoted to a real
+  // labeling) or leave a once-shared agent alone (demote to
+  // placeholder), and repair == rebuild is the contract the engine's
+  // incremental tests pin bit-for-bit.
+  std::unordered_map<std::uint64_t, std::int32_t> bucket_size;
+  bucket_size.reserve(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    ++bucket_size[index.invariants[u]];
+  }
+  std::vector<char> placeholder(n, 0);
+  std::vector<AgentId> recanon;
+  for (std::size_t u = 0; u < n; ++u) {
+    if (bucket_size.find(index.invariants[u])->second <= 1) {
+      placeholder[u] = 1;
+      continue;
+    }
+    const bool stored_is_real =
+        dirty_slot[u] < 0 && !index.canonical_keys[u].empty() &&
+        index.canonical_keys[u][0] == kCanonicalKeyTag;
+    if (!stored_is_real) {
+      recanon.push_back(static_cast<AgentId>(u));
+    }
+  }
+
+  // Full canonical labeling only where the bucket demands a fresh one.
+  std::vector<ViewCanonicalForm> forms(recanon.size());
+  chunked_parallel_for(
+      recanon.size(),
+      [&](std::size_t begin, std::size_t end) {
+        ViewScratch scratch;
+        LocalView view;
+        for (std::size_t idx = begin; idx < end; ++idx) {
+          const auto u = static_cast<std::size_t>(recanon[idx]);
+          extract_view_into(instance, recanon[idx], index.radius, balls[u],
+                            view, scratch);
+          forms[idx] = canonicalize_view(view);
+          forms[idx].canonical_key.insert(forms[idx].canonical_key.begin(),
+                                          kCanonicalKeyTag);
+        }
+      },
+      pool);
+  std::int64_t dirty_skipped = 0;
+  for (const AgentId u : dirty) {
+    dirty_skipped += placeholder[static_cast<std::size_t>(u)] != 0 ? 1 : 0;
+  }
+  count_canonicalizations(static_cast<std::int64_t>(recanon.size()),
+                          dirty_skipped);
+
+  // Splice permutations (lengths may have changed) and keys.
+  std::vector<std::int32_t> recanon_slot(n, -1);
+  for (std::size_t idx = 0; idx < recanon.size(); ++idx) {
+    recanon_slot[static_cast<std::size_t>(recanon[idx])] =
+        static_cast<std::int32_t>(idx);
+  }
   std::vector<std::int64_t> offsets(n + 1, 0);
   for (std::size_t u = 0; u < n; ++u) {
-    const std::int32_t slot = dirty_slot[u];
-    const std::int64_t length =
-        slot >= 0 ? static_cast<std::int64_t>(
-                        forms[static_cast<std::size_t>(slot)].canon_to_local.size())
-                  : index.perm_offset[u + 1] - index.perm_offset[u];
+    std::int64_t length = 0;
+    if (recanon_slot[u] >= 0) {
+      length = static_cast<std::int64_t>(
+          forms[static_cast<std::size_t>(recanon_slot[u])]
+              .canon_to_local.size());
+    } else if (placeholder[u] != 0) {
+      length = exact_key_num_locals(index.exact_keys[u]);
+    } else {
+      length = index.perm_offset[u + 1] - index.perm_offset[u];
+    }
     offsets[u + 1] = offsets[u] + length;
   }
   std::vector<std::int32_t> perms(static_cast<std::size_t>(offsets[n]));
-  index.exact_keys.resize(n);
-  index.canonical_keys.resize(n);
   for (std::size_t u = 0; u < n; ++u) {
-    const std::int32_t slot = dirty_slot[u];
-    if (slot >= 0) {
-      ViewCanonicalForm& form = forms[static_cast<std::size_t>(slot)];
-      std::copy(form.canon_to_local.begin(), form.canon_to_local.end(),
-                perms.begin() + static_cast<std::ptrdiff_t>(offsets[u]));
-      index.exact_keys[u] = std::move(form.exact_key);
+    const auto out =
+        perms.begin() + static_cast<std::ptrdiff_t>(offsets[u]);
+    if (recanon_slot[u] >= 0) {
+      ViewCanonicalForm& form = forms[static_cast<std::size_t>(recanon_slot[u])];
+      std::copy(form.canon_to_local.begin(), form.canon_to_local.end(), out);
+      index.canonical_keys[u] = std::move(form.canonical_key);
+    } else if (placeholder[u] != 0) {
+      ViewCanonicalForm form;
+      make_placeholder_form(index.exact_keys[u], form);
+      std::copy(form.canon_to_local.begin(), form.canon_to_local.end(), out);
       index.canonical_keys[u] = std::move(form.canonical_key);
     } else {
       std::copy(index.perms.begin() +
                     static_cast<std::ptrdiff_t>(index.perm_offset[u]),
                 index.perms.begin() +
                     static_cast<std::ptrdiff_t>(index.perm_offset[u + 1]),
-                perms.begin() + static_cast<std::ptrdiff_t>(offsets[u]));
+                out);
     }
   }
   index.perm_offset = std::move(offsets);

@@ -104,6 +104,15 @@ struct ViewClassIndex {
   bool repairable = false;
   std::vector<std::string> exact_keys;
   std::vector<std::string> canonical_keys;
+  /// Per-agent isomorphism-invariant pre-hash (kept with the keys when
+  /// repairable): agents alone in their hash bucket provably form
+  /// singleton classes, so the build skips their expensive canonical
+  /// labeling (identity permutation + a placeholder key derived from
+  /// the exact key). Repair recomputes dirty hashes and re-derives the
+  /// bucket decision for everyone, so a repaired index is identical to
+  /// a from-scratch build. Hash collisions only merge buckets — they
+  /// cost a canonicalization, never correctness or dedup ratio.
+  std::vector<std::uint64_t> invariants;
 
   // Per class / per orbit, in first-appearance (ascending rep id) order.
   std::vector<AgentId> class_rep;    ///< smallest member of each class

@@ -169,6 +169,14 @@ std::vector<double> distributed_local_averaging_with(
       stats->dedup_ratio = classes->dedup_ratio(options.dedup_scatter);
     }
   }
+  if (reps != nullptr && reps->size() == n) {
+    // Every group is a singleton: the representatives are the agents
+    // themselves in ascending order, so the per-agent loop is bitwise
+    // identical and the scatter pass below becomes pure overhead — drop
+    // to the dedup-off path (diagnostics above already recorded the
+    // dedup attempt).
+    reps = nullptr;
+  }
 
   // Chunked so each worker leases one materialization arena and one
   // view/LP scratch for all its agents; leases come from the session

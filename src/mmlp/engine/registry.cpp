@@ -16,6 +16,7 @@
 #include "mmlp/core/sublinear.hpp"
 #include "mmlp/dist/algorithms.hpp"
 #include "mmlp/util/check.hpp"
+#include "mmlp/util/obs.hpp"
 #include "mmlp/util/timer.hpp"
 
 namespace mmlp::engine {
@@ -217,6 +218,46 @@ SolverRegistry make_builtin() {
   return registry;
 }
 
+/// The obs counters surfaced as SolveResult.counters, as
+/// (registry name, diagnostics key) pairs.
+constexpr std::pair<const char*, const char*> kSurfacedCounters[] = {
+    {"simplex.solves", "simplex_solves"},
+    {"simplex.pivots", "simplex_pivots"},
+    {"bfs.ball_expansions", "bfs_ball_expansions"},
+    {"view_class.canonicalizations", "view_class_canonicalizations"},
+    {"view_class.prehash_skips", "view_class_prehash_skips"},
+    {"scratch.leases", "scratch_leases"},
+};
+
+std::int64_t counter_value(const obs::MetricsSnapshot& snapshot,
+                           const char* name) {
+  const auto it = snapshot.counters.find(name);
+  return it != snapshot.counters.end() ? it->second : 0;
+}
+
+/// Turns the tracer on for one request and restores it on scope exit; a
+/// no-op when tracing is already enabled (or not requested), so nested
+/// or batch-level enablement wins.
+class ScopedTraceEnable {
+ public:
+  explicit ScopedTraceEnable(bool want)
+      : owns_(want && !obs::tracing_enabled()) {
+    if (owns_) {
+      obs::Tracer::instance().set_enabled(true);
+    }
+  }
+  ~ScopedTraceEnable() {
+    if (owns_) {
+      obs::Tracer::instance().set_enabled(false);
+    }
+  }
+  ScopedTraceEnable(const ScopedTraceEnable&) = delete;
+  ScopedTraceEnable& operator=(const ScopedTraceEnable&) = delete;
+
+ private:
+  bool owns_;
+};
+
 }  // namespace
 
 void SolverRegistry::add(Entry entry) {
@@ -271,11 +312,27 @@ SolveResult solve(Session& session, const SolveRequest& request,
   SolveResult result;
   result.algorithm = entry.name;
 
+  const ScopedTraceEnable trace_scope(request.trace);
+  obs::Registry& metrics = obs::Registry::global();
+  static obs::Counter& requests = metrics.counter("engine.requests");
+  requests.increment();
+  const obs::MetricsSnapshot counters_before = metrics.snapshot();
+
   const SessionStats before = session.stats();
   WallTimer timer;
-  entry.run(session, request, result);
+  {
+    obs::ObsSpan span(entry.name.c_str(), "engine.solve");
+    entry.run(session, request, result);
+  }
   result.total_ms = timer.milliseconds();
   const SessionStats after = session.stats();
+
+  metrics.histogram("engine.request_ms").observe(result.total_ms);
+  const obs::MetricsSnapshot counters_after = metrics.snapshot();
+  for (const auto& [name, key] : kSurfacedCounters) {
+    result.counters[key] = counter_value(counters_after, name) -
+                           counter_value(counters_before, name);
+  }
   // Stats are session-global, so when solves overlap on one session a
   // request may observe cache work another request paid for; clamp the
   // derived solve_ms so the breakdown stays sane (see SolveResult docs).

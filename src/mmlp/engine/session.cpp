@@ -19,9 +19,43 @@
 
 #include "mmlp/graph/bfs.hpp"
 #include "mmlp/util/check.hpp"
+#include "mmlp/util/obs.hpp"
 #include "mmlp/util/timer.hpp"
 
 namespace mmlp::engine {
+
+namespace {
+
+/// Per-cache-kind hit/miss counters in the global registry. One pair of
+/// relaxed adds per accessor call; lookups resolve once per kind.
+struct CacheKindCounters {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  explicit CacheKindCounters(const char* kind)
+      : hits(obs::Registry::global().counter(std::string("session.") + kind +
+                                             ".hits")),
+        misses(obs::Registry::global().counter(std::string("session.") + kind +
+                                               ".misses")) {}
+};
+
+CacheKindCounters& graph_counters() {
+  static CacheKindCounters counters("graph");
+  return counters;
+}
+CacheKindCounters& balls_counters() {
+  static CacheKindCounters counters("balls");
+  return counters;
+}
+CacheKindCounters& growth_counters() {
+  static CacheKindCounters counters("growth");
+  return counters;
+}
+CacheKindCounters& view_class_counters() {
+  static CacheKindCounters counters("view_classes");
+  return counters;
+}
+
+}  // namespace
 
 Session::Session(const Instance& instance, SessionOptions options)
     : instance_(&instance), options_(options), revision_(instance.revision()) {
@@ -61,10 +95,13 @@ const Hypergraph& Session::graph(bool collaboration_oblivious) {
   auto& slot = graph_[collaboration_oblivious ? 1 : 0];
   if (slot.has_value()) {
     ++cache_hits_;
+    graph_counters().hits.increment();
     assert_fresh(slot->revision);
     return slot->value;
   }
   ++cache_misses_;
+  graph_counters().misses.increment();
+  obs::ObsSpan span("session.build_graph", "engine");
   WallTimer timer;
   slot.emplace(Stamped<Hypergraph>{
       instance_->communication_graph(collaboration_oblivious),
@@ -83,10 +120,13 @@ const std::vector<std::vector<AgentId>>& Session::balls(
   const Key key{radius, collaboration_oblivious};
   if (const auto it = balls_.find(key); it != balls_.end()) {
     ++cache_hits_;
+    balls_counters().hits.increment();
     assert_fresh(it->second.revision);
     return it->second.value;
   }
   ++cache_misses_;
+  balls_counters().misses.increment();
+  obs::ObsSpan span("session.build_balls", "engine");
   WallTimer timer;
   // Incremental build: expand the largest cached same-mode balls of a
   // smaller radius instead of re-running BFS from scratch. When the
@@ -130,10 +170,13 @@ const ViewClassIndex& Session::view_classes(std::int32_t radius,
   const Key key{radius, collaboration_oblivious};
   if (const auto it = view_classes_.find(key); it != view_classes_.end()) {
     ++cache_hits_;
+    view_class_counters().hits.increment();
     assert_fresh(it->second.revision);
     return it->second.value;
   }
   ++cache_misses_;
+  view_class_counters().misses.increment();
+  obs::ObsSpan span("session.build_view_classes", "engine");
   WallTimer timer;
   // Mutable-bound sessions retain the per-agent canonical keys so
   // apply() can repair the partition instead of rebuilding it.
@@ -156,10 +199,13 @@ const GrowthSets& Session::growth_sets(std::int32_t radius,
   const Key key{radius, collaboration_oblivious};
   if (const auto it = growth_.find(key); it != growth_.end()) {
     ++cache_hits_;
+    growth_counters().hits.increment();
     assert_fresh(it->second.revision);
     return it->second.value;
   }
   ++cache_misses_;
+  growth_counters().misses.increment();
+  obs::ObsSpan span("session.build_growth", "engine");
   WallTimer timer;
   auto [it, inserted] = growth_.emplace(
       key, Stamped<GrowthSets>{compute_growth_sets(*instance_, cached_balls),
@@ -172,6 +218,10 @@ Session::ApplyReport Session::apply(const InstanceDelta& delta) {
   MMLP_CHECK_MSG(mutable_instance_ != nullptr,
                  "session is bound to a const Instance; construct it with a "
                  "mutable Instance& to apply deltas");
+  static obs::Counter& delta_counter =
+      obs::Registry::global().counter("session.deltas");
+  delta_counter.increment();
+  obs::ObsSpan span("session.apply", "engine");
   WallTimer timer;
   std::lock_guard<std::mutex> lock(mutex_);
   const DeltaEffect effect = mutable_instance_->apply(delta);
@@ -355,6 +405,26 @@ SessionStats Session::stats() const {
     stats.cache_hits = cache_hits_;
     stats.cache_misses = cache_misses_;
     stats.cache_build_ms = cache_build_ms_;
+    // Refresh the registry gauges while the lock pins the cache maps:
+    // entry counts and memo sizes are instantaneous values, sampled
+    // whenever someone asks for stats (op:"stats", batch epilogue).
+    obs::Registry& registry = obs::Registry::global();
+    std::int64_t graphs = 0;
+    graphs += graph_[0].has_value() ? 1 : 0;
+    graphs += graph_[1].has_value() ? 1 : 0;
+    registry.gauge("session.graph.entries").set(graphs);
+    registry.gauge("session.balls.entries")
+        .set(static_cast<std::int64_t>(balls_.size()));
+    registry.gauge("session.growth.entries")
+        .set(static_cast<std::int64_t>(growth_.size()));
+    registry.gauge("session.view_classes.entries")
+        .set(static_cast<std::int64_t>(view_classes_.size()));
+    registry.gauge("session.solution_memos")
+        .set(static_cast<std::int64_t>(solution_memos_.size()));
+    registry.gauge("session.averaging_memos")
+        .set(static_cast<std::int64_t>(averaging_memos_.size()));
+    registry.gauge("session.edit_log_records")
+        .set(static_cast<std::int64_t>(log_.size()));
   }
   stats.scratch_created = static_cast<std::int64_t>(view_scratch_.creations() +
                                                     dist_scratch_.creations());

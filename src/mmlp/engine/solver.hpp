@@ -56,6 +56,11 @@ struct SolveRequest {
   /// Diagnostics gain incremental / dirty_agents / resolved_agents.
   /// Incremental requests must not run concurrently on one session.
   bool incremental = false;
+  /// Enable the mmlp::obs span tracer for the duration of this request
+  /// (no-op when a caller — e.g. mmlp_batch --trace-out — already turned
+  /// it on globally). The collected spans stay in the process-wide
+  /// Tracer; export them with obs::Tracer::instance().to_chrome_json().
+  bool trace = false;
   SimplexOptions simplex;  ///< LP settings for view LPs and the exact solver
   /// Worker threads for this request: 0 = the session's pool. A nonzero
   /// value must currently match the session pool (requests do not spin
@@ -101,6 +106,13 @@ struct SolveResult {
   double solve_ms = 0.0;
   std::int64_t cache_hits = 0;    ///< warm cache lookups during this solve
   std::int64_t cache_misses = 0;  ///< cache entries built during this solve
+
+  /// Deltas of the global obs::Registry counters across this request:
+  /// simplex_solves / simplex_pivots, bfs_ball_expansions,
+  /// view_class_canonicalizations / view_class_prehash_skips, and
+  /// scratch_leases. Session-global like the cache numbers above, with
+  /// the same caveat under overlapping solves.
+  std::map<std::string, std::int64_t> counters;
 };
 
 /// Name → solver dispatch. Entries wrap the *_with(Session&) overloads;

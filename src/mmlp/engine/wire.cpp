@@ -13,6 +13,8 @@
 #include <sstream>
 
 #include "mmlp/util/check.hpp"
+#include "mmlp/util/obs.hpp"
+#include "mmlp/util/parallel.hpp"
 
 namespace mmlp::engine {
 
@@ -347,6 +349,8 @@ void apply_solve_key(SolveRequest& request, const std::string& key,
     request.greedy.min_gain = as_number(value, key);
   } else if (key == "simplex_max_iterations") {
     request.simplex.max_iterations = as_int(value, key);
+  } else if (key == "trace") {
+    request.trace = as_bool(value, key);
   } else {
     MMLP_CHECK_MSG(false, "unknown request key '" << key << "'");
   }
@@ -485,8 +489,22 @@ WireCommand parse_command_line(const std::string& line) {
       apply_update_key(command.delta, item.key, item.is_array, item.scalar,
                        item.array);
     }
+  } else if (op == "stats") {
+    command.kind = WireCommand::Kind::kStats;
+    for (const Item& item : items) {
+      if (item.key == "op") {
+        continue;
+      }
+      if (item.key == "id") {
+        MMLP_CHECK_MSG(!item.is_array, "request key 'id' wants a scalar");
+        command.id = item.scalar.raw;
+        continue;
+      }
+      MMLP_CHECK_MSG(false, "unknown stats key '" << item.key
+                                                  << "' (only id)");
+    }
   } else {
-    MMLP_CHECK_MSG(false, "unknown op '" << op << "' (solve, update)");
+    MMLP_CHECK_MSG(false, "unknown op '" << op << "' (solve, update, stats)");
   }
   return command;
 }
@@ -516,6 +534,41 @@ std::string apply_report_to_json_line(const Session::ApplyReport& report,
   return oss.str();
 }
 
+std::string stats_to_json_line(Session& session, const std::string& id) {
+  const SessionStats stats = session.stats();
+  ThreadPool& pool =
+      session.pool() != nullptr ? *session.pool() : ThreadPool::global();
+  const std::vector<ThreadPool::WorkerStats> workers = pool.worker_stats();
+
+  std::ostringstream oss;
+  oss << '{';
+  if (!id.empty()) {
+    oss << "\"id\": " << id << ", ";
+  }
+  oss << "\"op\": \"stats\", \"revision\": " << session.revision()
+      << ", \"agents\": " << session.instance().num_agents()
+      << ", \"cache_hits\": " << stats.cache_hits
+      << ", \"cache_misses\": " << stats.cache_misses
+      << ", \"cache_build_ms\": ";
+  append_number(oss, stats.cache_build_ms);
+  oss << ", \"scratch_created\": " << stats.scratch_created
+      << ", \"scratch_reused\": " << stats.scratch_reused;
+  oss << ", \"workers\": [";
+  for (std::size_t w = 0; w < workers.size(); ++w) {
+    if (w > 0) {
+      oss << ", ";
+    }
+    oss << "{\"busy_ns\": " << workers[w].busy_ns
+        << ", \"idle_ns\": " << workers[w].idle_ns
+        << ", \"tasks\": " << workers[w].tasks << '}';
+  }
+  oss << ']';
+  // The registry snapshot is already one JSON object; embed it verbatim.
+  oss << ", \"metrics\": " << obs::Registry::global().to_json_line();
+  oss << '}';
+  return oss.str();
+}
+
 std::string result_to_json_line(const SolveResult& result,
                                 const std::string& id, bool emit_x) {
   std::ostringstream oss;
@@ -539,6 +592,19 @@ std::string result_to_json_line(const SolveResult& result,
   append_number(oss, result.solve_ms);
   oss << ", \"cache_hits\": " << result.cache_hits
       << ", \"cache_misses\": " << result.cache_misses;
+  if (!result.counters.empty()) {
+    oss << ", \"counters\": {";
+    bool first = true;
+    for (const auto& [key, value] : result.counters) {
+      if (!first) {
+        oss << ", ";
+      }
+      first = false;
+      append_escaped(oss, key);
+      oss << ": " << value;
+    }
+    oss << '}';
+  }
   if (!result.diagnostics.empty()) {
     oss << ", \"diagnostics\": {";
     bool first = true;

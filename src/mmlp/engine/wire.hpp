@@ -23,6 +23,7 @@
 //   greedy_step_fraction    number
 //   greedy_min_gain         number
 //   simplex_max_iterations  int
+//   trace                   bool     span tracer on for this request
 //   id                      any scalar, echoed verbatim into the response
 //
 // An *update* line carries "op": "update" plus an InstanceDelta; the
@@ -39,6 +40,12 @@
 // add_parties (ints), remove_agents ([ints]), id. A hot batch session
 // interleaves updates and (incremental) solves: mmlp_batch routes
 // updates through Session::apply, which repairs the caches surgically.
+//
+// A *stats* line — {"op": "stats", "id": 7} — takes no other keys and
+// answers with the observability state of the process: the session's
+// cache/scratch stats, the per-worker busy/idle/task counts of its
+// thread pool, and the global obs::Registry metrics (counters, gauges,
+// histogram percentiles).
 //
 // Unknown keys are a CheckError (typos in request streams fail loudly,
 // matching the ArgParser convention). Responses are emitted one JSON
@@ -59,18 +66,19 @@ struct WireRequest {
   std::string id;  ///< raw JSON scalar text ("" when absent)
 };
 
-/// A parsed command line: a solve request or an instance update.
+/// A parsed command line: a solve request, an instance update, or a
+/// metrics snapshot query.
 struct WireCommand {
-  enum class Kind { kSolve, kUpdate };
+  enum class Kind { kSolve, kUpdate, kStats };
   Kind kind = Kind::kSolve;
   SolveRequest request;  ///< kSolve
   InstanceDelta delta;   ///< kUpdate
   std::string id;        ///< raw JSON scalar text ("" when absent)
 };
 
-/// Parse one JSONL command line (solve or update). Throws CheckError on
-/// malformed JSON, bad enum names, unknown keys, or solve keys on an
-/// update line (and vice versa).
+/// Parse one JSONL command line (solve, update, or stats). Throws
+/// CheckError on malformed JSON, bad enum names, unknown keys, or solve
+/// keys on an update line (and vice versa).
 WireCommand parse_command_line(const std::string& line);
 
 /// Parse one JSONL request line. Throws CheckError on malformed JSON,
@@ -80,6 +88,11 @@ WireRequest parse_request_line(const std::string& line);
 /// Serialise the response to an applied update (no trailing newline).
 std::string apply_report_to_json_line(const Session::ApplyReport& report,
                                       const std::string& id);
+
+/// Serialise the response to an op:"stats" query (no trailing newline):
+/// session cache/scratch stats, per-worker pool stats, and the global
+/// obs::Registry snapshot.
+std::string stats_to_json_line(Session& session, const std::string& id);
 
 /// Serialise one response line (no trailing newline). `emit_x` includes
 /// the full solution vector.

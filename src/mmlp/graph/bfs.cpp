@@ -3,9 +3,20 @@
 #include <algorithm>
 
 #include "mmlp/util/check.hpp"
+#include "mmlp/util/obs.hpp"
 #include "mmlp/util/parallel.hpp"
 
 namespace mmlp {
+
+namespace {
+/// Count once per call, outside the parallel loop — per-node atomics in
+/// the BFS hot path would cost more than the expansion itself.
+void count_ball_expansions(std::size_t n) {
+  static obs::Counter& counter =
+      obs::Registry::global().counter("bfs.ball_expansions");
+  counter.add(static_cast<std::int64_t>(n));
+}
+}  // namespace
 
 std::vector<std::int32_t> bfs_distances(const Hypergraph& h, NodeId source,
                                         std::int32_t max_radius) {
@@ -122,6 +133,8 @@ std::vector<std::vector<NodeId>> all_balls(const Hypergraph& h,
   if (n == 0) {
     return balls;
   }
+  obs::ObsSpan span("bfs.all_balls", "graph");
+  count_ball_expansions(n);
   // Chunk the node range so each task amortises one BallCollector.
   chunked_parallel_for(
       n,
@@ -151,6 +164,8 @@ std::vector<std::vector<NodeId>> expand_balls(
   if (n == 0) {
     return balls;
   }
+  obs::ObsSpan span("bfs.expand_balls", "graph");
+  count_ball_expansions(n);
   chunked_parallel_for(
       n,
       [&](std::size_t begin, std::size_t end) {
@@ -255,6 +270,8 @@ void repair_balls(const Hypergraph& h, std::int32_t radius,
   if (dirty.empty()) {
     return;
   }
+  obs::ObsSpan span("bfs.repair_balls", "graph");
+  count_ball_expansions(dirty.size());
   // Chunk over the dirty list only; each task amortises one collector,
   // exactly like all_balls.
   chunked_parallel_for(

@@ -7,6 +7,7 @@
 
 #include "mmlp/lp/matrix.hpp"
 #include "mmlp/util/check.hpp"
+#include "mmlp/util/obs.hpp"
 
 namespace mmlp {
 
@@ -434,6 +435,14 @@ LpResult solve_lp(const LpProblem& problem, const SimplexOptions& options,
   objective.resize(static_cast<std::size_t>(problem.num_vars), 0.0);
   result.status = tableau.run(objective, workspace.cost);
   result.iterations = tableau.iterations();
+  // Registry lookups resolve once; two relaxed adds per LP solve is
+  // noise next to a single pivot.
+  static obs::Counter& lp_solves =
+      obs::Registry::global().counter("simplex.solves");
+  static obs::Counter& lp_pivots =
+      obs::Registry::global().counter("simplex.pivots");
+  lp_solves.increment();
+  lp_pivots.add(result.iterations);
   if (result.status == LpStatus::kOptimal) {
     result.x = tableau.extract();
     double z = 0.0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 
 #include "mmlp/util/check.hpp"
@@ -21,13 +22,14 @@ std::size_t global_requested_threads = 0;
 bool global_pool_created = false;
 }  // namespace
 
-ThreadPool::ThreadPool(std::size_t num_threads) {
-  if (num_threads == 0) {
-    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  }
-  workers_.reserve(num_threads);
-  for (std::size_t t = 0; t < num_threads; ++t) {
-    workers_.emplace_back([this] { worker_loop(); });
+ThreadPool::ThreadPool(std::size_t num_threads)
+    : counters_(num_threads == 0 ? std::max<std::size_t>(
+                                       1, std::thread::hardware_concurrency())
+                                 : num_threads) {
+  const std::size_t resolved = counters_.size();
+  workers_.reserve(resolved);
+  for (std::size_t t = 0; t < resolved; ++t) {
+    workers_.emplace_back([this, t] { worker_loop(t); });
   }
 }
 
@@ -57,12 +59,33 @@ void ThreadPool::wait_idle() {
   cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
-void ThreadPool::worker_loop() {
+std::vector<ThreadPool::WorkerStats> ThreadPool::worker_stats() const {
+  std::vector<WorkerStats> out(counters_.size());
+  for (std::size_t t = 0; t < counters_.size(); ++t) {
+    out[t].busy_ns = counters_[t].busy_ns.load(std::memory_order_relaxed);
+    out[t].idle_ns = counters_[t].idle_ns.load(std::memory_order_relaxed);
+    out[t].tasks = counters_[t].tasks.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  using clock = std::chrono::steady_clock;
+  WorkerCounters& counters = counters_[worker_index];
+  auto elapsed_ns = [](clock::time_point since) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                             since)
+            .count());
+  };
   while (true) {
     std::function<void()> task;
     {
+      const clock::time_point wait_start = clock::now();
       std::unique_lock<std::mutex> lock(mutex_);
       cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      counters.idle_ns.fetch_add(elapsed_ns(wait_start),
+                                 std::memory_order_relaxed);
       if (stop_ && queue_.empty()) {
         return;
       }
@@ -70,7 +93,11 @@ void ThreadPool::worker_loop() {
       queue_.pop();
     }
     tls_inside_worker = true;
+    const clock::time_point task_start = clock::now();
     task();
+    counters.busy_ns.fetch_add(elapsed_ns(task_start),
+                               std::memory_order_relaxed);
+    counters.tasks.fetch_add(1, std::memory_order_relaxed);
     tls_inside_worker = false;
     {
       std::lock_guard<std::mutex> lock(mutex_);

@@ -9,8 +9,10 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -31,6 +33,21 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
+  /// Cumulative per-worker activity since pool construction. busy_ns is
+  /// time spent inside submitted tasks, idle_ns time blocked waiting for
+  /// work, tasks the number executed. The observability surface for
+  /// ROADMAP item 3: a scaling-efficiency loss shows up directly as
+  /// idle_ns growing faster than busy_ns on some workers.
+  struct WorkerStats {
+    std::uint64_t busy_ns = 0;
+    std::uint64_t idle_ns = 0;
+    std::uint64_t tasks = 0;
+  };
+
+  /// Snapshot of every worker's stats, indexed by worker. Relaxed reads
+  /// — concurrent with running tasks, values are monotone but may lag.
+  std::vector<WorkerStats> worker_stats() const;
+
   /// Enqueue a task. CONTRACT: tasks must not let exceptions escape — a
   /// throw from a raw submitted task crosses the worker's noexcept
   /// boundary and std::terminates the process. Callers that need
@@ -49,8 +66,17 @@ class ThreadPool {
   static ThreadPool& global();
 
  private:
-  void worker_loop();
+  // Padded so two workers bumping their own counters never share a
+  // cache line; written only by the owning worker, read by anyone.
+  struct alignas(64) WorkerCounters {
+    std::atomic<std::uint64_t> busy_ns{0};
+    std::atomic<std::uint64_t> idle_ns{0};
+    std::atomic<std::uint64_t> tasks{0};
+  };
 
+  void worker_loop(std::size_t worker_index);
+
+  std::vector<WorkerCounters> counters_;
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;
   std::mutex mutex_;

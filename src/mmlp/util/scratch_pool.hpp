@@ -16,6 +16,8 @@
 #include <utility>
 #include <vector>
 
+#include "mmlp/util/obs.hpp"
+
 namespace mmlp {
 
 template <typename T>
@@ -48,6 +50,9 @@ class ScratchPool {
   /// Check out a scratch object (an idle one when available, otherwise a
   /// freshly constructed one). Safe to call from any worker thread.
   Lease acquire() {
+    static obs::Counter& lease_counter =
+        obs::Registry::global().counter("scratch.leases");
+    lease_counter.increment();
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (!idle_.empty()) {

@@ -6,7 +6,9 @@
 // capacity, never state).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "mmlp/core/baselines.hpp"
@@ -22,6 +24,7 @@
 #include "mmlp/gen/random_instance.hpp"
 #include "mmlp/graph/hypertree.hpp"
 #include "mmlp/util/check.hpp"
+#include "mmlp/util/obs.hpp"
 
 namespace mmlp {
 namespace {
@@ -273,7 +276,7 @@ TEST(Wire, ParsesEveryDocumentedKey) {
       R"("threads": 0, "seed": 7, )"
       R"("samples": 128, "confidence": 0.99, "greedy_max_steps": 500, )"
       R"("greedy_step_fraction": 0.25, "greedy_min_gain": 0.001, )"
-      R"("simplex_max_iterations": 1000, "id": "req-1"})");
+      R"("simplex_max_iterations": 1000, "trace": true, "id": "req-1"})");
   EXPECT_EQ(wire.request.algorithm, "averaging");
   EXPECT_EQ(wire.request.R, 2);
   EXPECT_EQ(wire.request.damping, AveragingDamping::kBetaGlobal);
@@ -286,7 +289,81 @@ TEST(Wire, ParsesEveryDocumentedKey) {
   EXPECT_DOUBLE_EQ(wire.request.greedy.step_fraction, 0.25);
   EXPECT_DOUBLE_EQ(wire.request.greedy.min_gain, 0.001);
   EXPECT_EQ(wire.request.simplex.max_iterations, 1000);
+  EXPECT_TRUE(wire.request.trace);
   EXPECT_EQ(wire.id, "\"req-1\"");  // echoed verbatim, quotes included
+}
+
+TEST(Wire, StatsOpRoundTrips) {
+  const engine::WireCommand command =
+      engine::parse_command_line(R"({"op": "stats", "id": 42})");
+  EXPECT_EQ(command.kind, engine::WireCommand::Kind::kStats);
+  EXPECT_EQ(command.id, "42");
+  // Solve keys on a stats line fail loudly, like everywhere else.
+  EXPECT_THROW(engine::parse_command_line(R"({"op": "stats", "R": 2})"),
+               CheckError);
+
+  Instance instance = make_grid_instance({.dims = {6, 6}, .torus = true});
+  engine::Session session(instance);
+  (void)engine::solve(session, {.algorithm = "averaging", .R = 1});
+  const std::string line = engine::stats_to_json_line(session, "42");
+  EXPECT_NE(line.find("\"id\": 42"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"op\": \"stats\""), std::string::npos);
+  EXPECT_NE(line.find("\"cache_hits\": "), std::string::npos);
+  EXPECT_NE(line.find("\"workers\": ["), std::string::npos);
+  // The embedded registry snapshot carries the engine's own metrics.
+  EXPECT_NE(line.find("\"metrics\": {"), std::string::npos);
+  EXPECT_NE(line.find("\"engine.requests\""), std::string::npos);
+  // Balanced braces — the line must embed the snapshot as valid JSON.
+  EXPECT_EQ(std::count(line.begin(), line.end(), '{'),
+            std::count(line.begin(), line.end(), '}'));
+}
+
+TEST(Engine, SolveSurfacesObsCounterDeltas) {
+  Instance instance = make_grid_instance({.dims = {6, 6}, .torus = true});
+  engine::Session session(instance);
+  const engine::SolveResult result =
+      engine::solve(session, {.algorithm = "averaging", .R = 1});
+  // An averaging solve runs one view LP per agent, so the per-request
+  // simplex delta must cover all of them (the counters are process-wide
+  // and monotone, so concurrent tests can only push the delta up).
+  ASSERT_TRUE(result.counters.count("simplex_solves"));
+  EXPECT_GE(result.counters.at("simplex_solves"),
+            static_cast<std::int64_t>(instance.num_agents()));
+  ASSERT_TRUE(result.counters.count("bfs_ball_expansions"));
+  EXPECT_GE(result.counters.at("bfs_ball_expansions"),
+            static_cast<std::int64_t>(instance.num_agents()));
+
+  const std::string line =
+      engine::result_to_json_line(result, "", /*emit_x=*/false);
+  EXPECT_NE(line.find("\"counters\": {"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"simplex_solves\": "), std::string::npos);
+}
+
+TEST(Engine, TraceRequestCollectsSpansAndRestoresTheSwitch) {
+  obs::Tracer::instance().set_enabled(false);
+  obs::Tracer::instance().clear();
+  Instance instance = make_grid_instance({.dims = {6, 6}, .torus = true});
+  engine::Session session(instance);
+  ASSERT_FALSE(obs::tracing_enabled());
+  (void)engine::solve(session,
+                      {.algorithm = "averaging", .R = 1, .trace = true});
+  // The scoped enable turned tracing off again on exit...
+  EXPECT_FALSE(obs::tracing_enabled());
+  // ...but the spans of the traced request were collected: the cold
+  // solve builds caches and runs the view-LP stage.
+  const auto events = obs::Tracer::instance().events();
+  ASSERT_FALSE(events.empty());
+  bool saw_view_lps = false;
+  bool saw_build = false;
+  for (const auto& [tid, event] : events) {
+    saw_view_lps = saw_view_lps ||
+                   std::string_view(event.name) == "averaging.view_lps";
+    saw_build = saw_build ||
+                std::string_view(event.name) == "session.build_balls";
+  }
+  EXPECT_TRUE(saw_view_lps);
+  EXPECT_TRUE(saw_build);
+  obs::Tracer::instance().clear();
 }
 
 TEST(Wire, RejectsUnknownKeysAndMalformedLines) {

@@ -1,0 +1,223 @@
+// The observability subsystem: tracer spans and Chrome Trace export,
+// histogram percentiles against the exact quantile of util/stats.hpp,
+// and registry thread-safety under the repo's own parallel loops. The
+// tracer tests run serialized against each other (the tracer and the
+// registry are process-global) — gtest runs tests in one thread, so
+// that holds by construction.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "mmlp/util/obs.hpp"
+#include "mmlp/util/parallel.hpp"
+#include "mmlp/util/rng.hpp"
+#include "mmlp/util/stats.hpp"
+
+namespace mmlp {
+namespace {
+
+/// RAII guard: every tracer test leaves the global tracer disabled and
+/// empty so later tests (and the engine tests) see a clean slate.
+class TracerSandbox {
+ public:
+  TracerSandbox() {
+    obs::Tracer::instance().set_enabled(false);
+    obs::Tracer::instance().clear();
+  }
+  ~TracerSandbox() {
+    obs::Tracer::instance().set_enabled(false);
+    obs::Tracer::instance().clear();
+  }
+};
+
+TEST(ObsTracer, DisabledSpansRecordNothing) {
+  TracerSandbox sandbox;
+  {
+    obs::ObsSpan outer("outer", "test");
+    obs::ObsSpan inner("inner", "test");
+  }
+  EXPECT_TRUE(obs::Tracer::instance().events().empty());
+}
+
+TEST(ObsTracer, RecordsNestedSpansInnermostFirst) {
+  TracerSandbox sandbox;
+  obs::Tracer::instance().set_enabled(true);
+  {
+    obs::ObsSpan outer("outer", "test");
+    {
+      obs::ObsSpan inner("inner", "test");
+    }
+  }
+  obs::Tracer::instance().set_enabled(false);
+
+  const auto events = obs::Tracer::instance().events();
+  ASSERT_EQ(events.size(), 2u);
+  // RAII order: the inner span destructs (and records) first.
+  const obs::TraceEvent& inner = events[0].second;
+  const obs::TraceEvent& outer = events[1].second;
+  EXPECT_STREQ(inner.name, "inner");
+  EXPECT_STREQ(outer.name, "outer");
+  EXPECT_STREQ(inner.category, "test");
+  // Proper nesting: the inner span lies inside the outer one.
+  EXPECT_GE(inner.start_ns, outer.start_ns);
+  EXPECT_LE(inner.start_ns + inner.dur_ns, outer.start_ns + outer.dur_ns);
+  // Both spans ran on this thread, so they share a thread index.
+  EXPECT_EQ(events[0].first, events[1].first);
+}
+
+TEST(ObsTracer, ChromeJsonIsWellFormedAndCarriesTheSpans) {
+  TracerSandbox sandbox;
+  obs::Tracer::instance().set_enabled(true);
+  {
+    obs::ObsSpan span("chrome_span", "test");
+  }
+  obs::Tracer::instance().set_enabled(false);
+
+  const std::string json = obs::Tracer::instance().to_chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\": \"chrome_span\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cat\": \"test\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\": "), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": "), std::string::npos);
+  EXPECT_NE(json.find("\"tid\": "), std::string::npos);
+  // Balanced braces/brackets — the cheap well-formedness proxy a C++
+  // test can check without a JSON parser (the Python validator in
+  // tools/validate_trace_json.py does the real parse in CI).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(ObsTracer, ClearDropsCollectedEvents) {
+  TracerSandbox sandbox;
+  obs::Tracer::instance().set_enabled(true);
+  {
+    obs::ObsSpan span("to_be_cleared", "test");
+  }
+  obs::Tracer::instance().set_enabled(false);
+  ASSERT_FALSE(obs::Tracer::instance().events().empty());
+  obs::Tracer::instance().clear();
+  EXPECT_TRUE(obs::Tracer::instance().events().empty());
+  EXPECT_EQ(obs::Tracer::instance().dropped(), 0u);
+}
+
+TEST(ObsHistogram, PercentilesTrackTheExactQuantile) {
+  // A log-uniform latency-like sample across four decades: the
+  // histogram's geometric interpolation must land within one bucket
+  // width (factor 10^(1/8)) of the exact linear-interpolation quantile.
+  Rng rng(4242u);
+  obs::Histogram hist;
+  std::vector<double> values;
+  for (int i = 0; i < 20000; ++i) {
+    const double value = std::pow(10.0, rng.uniform(-2.0, 2.0));
+    values.push_back(value);
+    hist.observe(value);
+  }
+  const double bucket_factor =
+      std::pow(10.0, 1.0 / obs::Histogram::kBucketsPerDecade);
+  for (const double q : {0.50, 0.90, 0.99}) {
+    const double exact = percentile(values, q);
+    const double approx = hist.percentile(q);
+    EXPECT_LE(approx, exact * bucket_factor) << "q=" << q;
+    EXPECT_GE(approx, exact / bucket_factor) << "q=" << q;
+  }
+  // The extreme quantiles return the recorded min/max exactly.
+  const auto [min_it, max_it] = std::minmax_element(values.begin(),
+                                                    values.end());
+  EXPECT_DOUBLE_EQ(hist.percentile(0.0), *min_it);
+  EXPECT_DOUBLE_EQ(hist.percentile(1.0), *max_it);
+  EXPECT_EQ(hist.count(), 20000);
+}
+
+TEST(ObsHistogram, PercentilesAreMonotoneAndEmptyIsZero) {
+  const obs::Histogram empty;
+  EXPECT_EQ(empty.count(), 0);
+  EXPECT_DOUBLE_EQ(empty.percentile(0.5), 0.0);
+
+  obs::Histogram hist;
+  for (const double v : {0.5, 1.0, 2.0, 4.0, 100.0}) {
+    hist.observe(v);
+  }
+  double previous = 0.0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double value = hist.percentile(q);
+    EXPECT_GE(value, previous) << "q=" << q;
+    previous = value;
+  }
+}
+
+TEST(ObsHistogram, ClampsOutOfRangeSamplesInsteadOfLosingThem) {
+  obs::Histogram hist;
+  hist.observe(1e-9);   // below the grid: clamps into bucket 0
+  hist.observe(1e9);    // above the grid: clamps into the last bucket
+  hist.observe(-3.0);   // non-positive: bucket 0
+  EXPECT_EQ(hist.count(), 3);
+  const std::vector<std::int64_t> buckets = hist.bucket_counts();
+  EXPECT_EQ(buckets.front(), 2);
+  EXPECT_EQ(buckets.back(), 1);
+  EXPECT_DOUBLE_EQ(hist.min(), -3.0);
+  EXPECT_DOUBLE_EQ(hist.max(), 1e9);
+}
+
+TEST(ObsRegistry, CountersSurviveChunkedParallelHammering) {
+  obs::Registry registry;
+  obs::Counter& total = registry.counter("test.total");
+  obs::Histogram& hist = registry.histogram("test.hist");
+  constexpr std::size_t kItems = 100000;
+  // Every iteration bumps the shared counter and observes into the
+  // shared histogram — the loss-free contract of the relaxed atomics.
+  chunked_parallel_for(kItems, [&](std::size_t begin, std::size_t end) {
+    // Lookup from inside workers too: registration is mutex-guarded.
+    obs::Counter& chunk_counter = registry.counter("test.chunks");
+    chunk_counter.increment();
+    for (std::size_t i = begin; i < end; ++i) {
+      total.increment();
+      hist.observe(1.0);
+    }
+  });
+  EXPECT_EQ(total.value(), static_cast<std::int64_t>(kItems));
+  EXPECT_EQ(hist.count(), static_cast<std::int64_t>(kItems));
+  const obs::MetricsSnapshot snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.counters.at("test.total"),
+            static_cast<std::int64_t>(kItems));
+  EXPECT_GE(snapshot.counters.at("test.chunks"), 1);
+}
+
+TEST(ObsRegistry, ResetZeroesValuesButKeepsReferencesValid) {
+  obs::Registry registry;
+  obs::Counter& counter = registry.counter("reset.counter");
+  obs::Gauge& gauge = registry.gauge("reset.gauge");
+  obs::Histogram& hist = registry.histogram("reset.hist");
+  counter.add(7);
+  gauge.set(9);
+  hist.observe(1.5);
+  registry.reset();
+  EXPECT_EQ(counter.value(), 0);
+  EXPECT_EQ(gauge.value(), 0);
+  EXPECT_EQ(hist.count(), 0);
+  // The same references keep working after reset.
+  counter.increment();
+  EXPECT_EQ(registry.snapshot().counters.at("reset.counter"), 1);
+}
+
+TEST(ObsRegistry, JsonLineCarriesAllThreeMetricKinds) {
+  obs::Registry registry;
+  registry.counter("json.counter").add(3);
+  registry.gauge("json.gauge").set(-2);
+  registry.histogram("json.hist").observe(10.0);
+  const std::string json = registry.to_json_line();
+  EXPECT_NE(json.find("\"json.counter\": 3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"json.gauge\": -2"), std::string::npos);
+  EXPECT_NE(json.find("\"json.hist\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+}  // namespace
+}  // namespace mmlp

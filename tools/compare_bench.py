@@ -11,6 +11,13 @@ the baseline. Cases present on only one side are reported as
 added/removed (informational — schema growth is expected as the bench
 suite expands).
 
+Work counters (cache_misses, lp_solves, dedup_ratio, simplex_pivots and
+the latency percentiles) are diffed too when both sides carry them:
+unlike wall time they are deterministic, so a change is a real
+behavioural difference, not noise. Counter-only changes are printed but
+never flagged as regressions — interpreting the direction (fewer
+lp_solves: better; lower dedup_ratio: worse) is the reviewer's job.
+
 Exit status: 0 unless --strict is given and at least one regression (or
 a removed case) was found. CI runs this without --strict first — timing
 on shared runners is noisy, so the report is informational until a
@@ -20,6 +27,37 @@ baseline refresh policy exists (docs/BENCHMARKS.md).
 import argparse
 import json
 import sys
+
+# Deterministic work counters worth diffing case by case. Timing-derived
+# counters (cache_build_ms, speedup_*, cold_over_warm) are deliberately
+# absent — they are as noisy as wall_ms itself.
+TRACKED_COUNTERS = (
+    "cache_misses",
+    "cache_hits",
+    "lp_solves",
+    "dedup_ratio",
+    "view_classes",
+    "simplex_pivots",
+    "dirty_agents",
+    "resolved_agents",
+    "latency_p50_ms",
+    "latency_p90_ms",
+    "latency_p99_ms",
+)
+
+
+def counter_diffs(base_case, cur_case):
+    """Yield (name, base, cur) for tracked counters that changed."""
+    base_counters = base_case.get("counters", {})
+    cur_counters = cur_case.get("counters", {})
+    for name in TRACKED_COUNTERS:
+        if name not in base_counters or name not in cur_counters:
+            continue
+        base_value = base_counters[name]
+        cur_value = cur_counters[name]
+        tolerance = 1e-9 * max(1.0, abs(base_value))
+        if abs(cur_value - base_value) > tolerance:
+            yield name, base_value, cur_value
 
 
 def load_cases(path):
@@ -68,6 +106,7 @@ def main():
 
     regressions = []
     improvements = []
+    counter_changes = 0
     width = max(
         [len(f"{scenario} n={agents}") for scenario, agents in baseline] + [8]
     )
@@ -92,13 +131,22 @@ def main():
         print(
             f"{label:<{width}}  {base_ms:>10.3f}  {cur_ms:>10.3f}  {ratio:>7.2f}{flag}"
         )
+        for name, base_value, cur_value in counter_diffs(
+            baseline[key], current[key]
+        ):
+            counter_changes += 1
+            print(
+                f"{'':<{width}}    counter {name}: "
+                f"{base_value:g} -> {cur_value:g}"
+            )
     added = sorted(set(current) - set(baseline))
     for scenario, agents in added:
         print(f"{scenario} n={agents}: new case (no baseline)")
 
     print(
         f"\n{len(regressions)} regression(s) over {args.threshold:.0%}, "
-        f"{len(improvements)} improvement(s), {len(added)} new case(s)."
+        f"{len(improvements)} improvement(s), {len(added)} new case(s), "
+        f"{counter_changes} counter change(s)."
     )
     if regressions and args.strict:
         return 1

@@ -24,6 +24,12 @@
 //   {"op": "update", "set_usage": [{"i": 5, "v": 9, "a": 0.25}], "id": 2}
 //   {"algorithm": "averaging", "incremental": true, "id": 3}
 //
+// {"op": "stats"} lines answer with the process observability state
+// (session caches, per-worker pool activity, obs::Registry metrics);
+// --trace-out FILE records every span of the batch as Chrome Trace
+// Event JSON (load in Perfetto / chrome://tracing) and --metrics-out
+// FILE dumps the final metrics snapshot.
+//
 // Blank lines and lines starting with '#' are skipped, so request files
 // can carry comments. By default a malformed or failing request
 // produces an {"error": ..., "line": N} result line — N is the
@@ -40,6 +46,7 @@
 #include "mmlp/engine/wire.hpp"
 #include "mmlp/util/check.hpp"
 #include "mmlp/util/cli.hpp"
+#include "mmlp/util/obs.hpp"
 #include "mmlp/util/parallel.hpp"
 #include "mmlp/util/timer.hpp"
 
@@ -82,8 +89,22 @@ int main(int argc, char** argv) {
   args.add_switch("emit-x", "include the full solution vector per result");
   args.add_switch("strict", "abort on the first malformed/failing request");
   args.add_switch("fail-fast", "alias of --strict");
+  args.add_flag("trace-out",
+                "enable the span tracer for the whole batch and write the "
+                "Chrome Trace Event JSON (load in Perfetto) to FILE",
+                "");
+  args.add_flag("metrics-out",
+                "write the final obs::Registry metrics snapshot (counters, "
+                "gauges, histogram percentiles) as one JSON object to FILE",
+                "");
   if (!args.parse(argc, argv)) {
     return 1;
+  }
+
+  const std::string trace_out = args.get_string("trace-out");
+  const std::string metrics_out = args.get_string("metrics-out");
+  if (!trace_out.empty()) {
+    obs::Tracer::instance().set_enabled(true);
   }
 
   Instance instance = load_or_generate(args);  // mutable: updates edit it
@@ -130,6 +151,8 @@ int main(int argc, char** argv) {
         const engine::Session::ApplyReport report =
             session.apply(command.delta);
         out << engine::apply_report_to_json_line(report, command.id) << '\n';
+      } else if (command.kind == engine::WireCommand::Kind::kStats) {
+        out << engine::stats_to_json_line(session, command.id) << '\n';
       } else {
         const engine::SolveResult result =
             engine::solve(session, command.request);
@@ -149,6 +172,30 @@ int main(int argc, char** argv) {
     }
   }
   out.flush();
+
+  if (!trace_out.empty()) {
+    obs::Tracer::instance().set_enabled(false);
+    std::ofstream trace_file(trace_out);
+    MMLP_CHECK_MSG(static_cast<bool>(trace_file),
+                   "cannot write " << trace_out);
+    trace_file << obs::Tracer::instance().to_chrome_json() << '\n';
+    std::cerr << "mmlp_batch: wrote trace to " << trace_out;
+    if (const std::uint64_t dropped = obs::Tracer::instance().dropped();
+        dropped > 0) {
+      std::cerr << " (" << dropped << " span(s) dropped on full buffers)";
+    }
+    std::cerr << '\n';
+  }
+  if (!metrics_out.empty()) {
+    // Refresh the session gauges so the snapshot carries final cache
+    // entry counts, not whatever the last stats query left behind.
+    (void)session.stats();
+    std::ofstream metrics_file(metrics_out);
+    MMLP_CHECK_MSG(static_cast<bool>(metrics_file),
+                   "cannot write " << metrics_out);
+    metrics_file << obs::Registry::global().to_json_line() << '\n';
+    std::cerr << "mmlp_batch: wrote metrics to " << metrics_out << '\n';
+  }
 
   const engine::SessionStats stats = session.stats();
   std::cerr << "mmlp_batch: served " << served << " request(s), " << failed

@@ -94,6 +94,42 @@ def validate_case(index, case, errors):
                 errors,
                 f"{where}.counters[{key!r}]: finite number required, got {value!r}",
             )
+        validate_histogram_counters(where, counters, errors)
+
+
+# Latency-distribution cases carry obs::Histogram percentiles as
+# counters; when any of these appears, all of them must, each must be a
+# finite number >= 0, and the quantiles must be ordered.
+HISTOGRAM_KEYS = ("latency_p50_ms", "latency_p90_ms", "latency_p99_ms")
+
+
+def validate_histogram_counters(where, counters, errors):
+    present = [key for key in HISTOGRAM_KEYS if key in counters]
+    if not present:
+        return
+    check(
+        len(present) == len(HISTOGRAM_KEYS),
+        errors,
+        f"{where}.counters: histogram percentiles must appear together, "
+        f"got only {present}",
+    )
+    values = []
+    for key in present:
+        value = counters[key]
+        check(
+            is_finite_number(value) and value >= 0,
+            errors,
+            f"{where}.counters[{key!r}]: finite number >= 0 required, got {value!r}",
+        )
+        if is_finite_number(value):
+            values.append((key, value))
+    for (lo_key, lo), (hi_key, hi) in zip(values, values[1:]):
+        check(
+            lo <= hi,
+            errors,
+            f"{where}.counters: {lo_key}={lo} > {hi_key}={hi} "
+            f"(percentiles must be non-decreasing)",
+        )
 
 
 def validate_report(path):

@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Validate a Chrome Trace Event JSON file written by mmlp::obs::Tracer.
+
+Usage: validate_trace_json.py TRACE.json [--expect-span NAME ...]
+
+Checks, per file:
+  - the file parses as JSON and is the object form of the Trace Event
+    format ({"traceEvents": [...], ...}) that Perfetto / chrome://tracing
+    load directly;
+  - every event is a complete event (ph == "X") carrying the required
+    fields name/cat/ph/ts/dur/pid/tid with the right types and
+    non-negative, finite timestamps;
+  - per thread (tid), the complete events nest properly: sorted by start
+    time, every event either ends before the enclosing one ends or lies
+    entirely outside it — overlapping-but-not-nested spans on one thread
+    would render as a corrupted flame graph (a tiny tolerance absorbs
+    clock granularity on same-start parent/child pairs);
+  - every --expect-span NAME appears at least once (CI passes the stage
+    names a warm averaging solve must produce: session.build_*,
+    averaging.view_lps, averaging.gather).
+
+Exits non-zero printing every violation when any file is invalid.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+REQUIRED_FIELDS = ("name", "cat", "ph", "ts", "dur", "pid", "tid")
+
+# Slack (in trace µs) for parent/child events whose recorded boundaries
+# touch: the tracer's ns clock is exact but the µs serialisation rounds.
+NEST_TOLERANCE_US = 0.01
+
+
+def is_finite_number(value):
+    return (
+        isinstance(value, (int, float))
+        and not isinstance(value, bool)
+        and math.isfinite(value)
+    )
+
+
+def validate_events(events, errors):
+    by_tid = {}
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        missing = [field for field in REQUIRED_FIELDS if field not in event]
+        if missing:
+            errors.append(f"{where}: missing fields {missing}")
+            continue
+        if not isinstance(event["name"], str) or not event["name"]:
+            errors.append(f"{where}.name: non-empty string required")
+        if not isinstance(event["cat"], str) or not event["cat"]:
+            errors.append(f"{where}.cat: non-empty string required")
+        if event["ph"] != "X":
+            errors.append(
+                f"{where}.ph: expected complete event 'X', got {event['ph']!r}"
+            )
+            continue
+        ok = True
+        for field in ("ts", "dur"):
+            if not is_finite_number(event[field]) or event[field] < 0:
+                errors.append(
+                    f"{where}.{field}: finite number >= 0 required, "
+                    f"got {event[field]!r}"
+                )
+                ok = False
+        for field in ("pid", "tid"):
+            if not isinstance(event[field], int) or isinstance(
+                event[field], bool
+            ):
+                errors.append(
+                    f"{where}.{field}: integer required, got {event[field]!r}"
+                )
+                ok = False
+        if ok:
+            by_tid.setdefault(event["tid"], []).append((index, event))
+    validate_nesting(by_tid, errors)
+
+
+def validate_nesting(by_tid, errors):
+    for tid, events in sorted(by_tid.items()):
+        # Longest-first on ties so a parent sharing its child's start
+        # time is visited (and stacked) before the child.
+        ordered = sorted(
+            events, key=lambda item: (item[1]["ts"], -item[1]["dur"])
+        )
+        stack = []  # (index, start, end) of currently open spans
+        for index, event in ordered:
+            start = event["ts"]
+            end = start + event["dur"]
+            while stack and start >= stack[-1][2] - NEST_TOLERANCE_US:
+                stack.pop()
+            if stack and end > stack[-1][2] + NEST_TOLERANCE_US:
+                parent_index, parent_start, parent_end = stack[-1]
+                errors.append(
+                    f"tid {tid}: traceEvents[{index}] "
+                    f"({event['name']!r} [{start}, {end}]) overlaps "
+                    f"traceEvents[{parent_index}] "
+                    f"[{parent_start}, {parent_end}] without nesting"
+                )
+                continue
+            stack.append((index, start, end))
+
+
+def validate_trace(path, expected_spans):
+    errors = []
+    try:
+        with open(path, encoding="utf-8") as handle:
+            trace = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        return [f"cannot parse: {error}"]
+
+    if not isinstance(trace, dict):
+        return ["top level: object form of the Trace Event format required"]
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents: array required"]
+    if not events:
+        errors.append("traceEvents: empty (was the tracer enabled?)")
+    validate_events(events, errors)
+
+    names = {
+        event["name"]
+        for event in events
+        if isinstance(event, dict) and isinstance(event.get("name"), str)
+    }
+    for span in expected_spans:
+        if span not in names:
+            errors.append(f"expected span {span!r} not present in the trace")
+    return errors
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("traces", nargs="+", metavar="TRACE.json")
+    parser.add_argument(
+        "--expect-span",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="require at least one event with this name (repeatable)",
+    )
+    args = parser.parse_args(argv[1:])
+
+    failed = False
+    for path in args.traces:
+        errors = validate_trace(path, args.expect_span)
+        if errors:
+            failed = True
+            print(f"{path}: INVALID")
+            for error in errors:
+                print(f"  - {error}")
+        else:
+            print(f"{path}: OK")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
