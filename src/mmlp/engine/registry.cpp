@@ -300,6 +300,10 @@ const SolverRegistry& SolverRegistry::builtin() {
   return registry;
 }
 
+std::span<const std::pair<const char*, const char*>> surfaced_counter_names() {
+  return kSurfacedCounters;
+}
+
 SolveResult solve(Session& session, const SolveRequest& request,
                   const SolverRegistry& registry) {
   const SolverRegistry::Entry& entry = registry.find(request.algorithm);
@@ -308,6 +312,11 @@ SolveResult solve(Session& session, const SolveRequest& request,
       "request wants " << request.threads << " threads but the session pool "
                        << "has " << session.thread_count()
                        << " workers (size the session, not the request)");
+  MMLP_CHECK_MSG(request.shards <= 1,
+                 "request wants " << request.shards << " shards but the "
+                                  << "serving session is not sharded (serve "
+                                  << "it through a ShardedSession, e.g. "
+                                  << "mmlp_batch --shards N)");
 
   SolveResult result;
   result.algorithm = entry.name;

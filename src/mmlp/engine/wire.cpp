@@ -12,6 +12,7 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "mmlp/engine/sharded_session.hpp"
 #include "mmlp/util/check.hpp"
 #include "mmlp/util/obs.hpp"
 #include "mmlp/util/parallel.hpp"
@@ -335,6 +336,8 @@ void apply_solve_key(SolveRequest& request, const std::string& key,
     request.incremental = as_bool(value, key);
   } else if (key == "threads") {
     request.threads = static_cast<std::size_t>(as_int(value, key));
+  } else if (key == "shards") {
+    request.shards = static_cast<std::int32_t>(as_int(value, key));
   } else if (key == "seed") {
     request.seed = static_cast<std::uint64_t>(as_int(value, key));
   } else if (key == "samples") {
@@ -563,6 +566,31 @@ std::string stats_to_json_line(Session& session, const std::string& id) {
         << ", \"tasks\": " << workers[w].tasks << '}';
   }
   oss << ']';
+  // The registry snapshot is already one JSON object; embed it verbatim.
+  oss << ", \"metrics\": " << obs::Registry::global().to_json_line();
+  oss << '}';
+  return oss.str();
+}
+
+std::string stats_to_json_line(ShardedSession& session,
+                               const std::string& id) {
+  const SessionStats stats = session.stats();
+  std::ostringstream oss;
+  oss << '{';
+  if (!id.empty()) {
+    oss << "\"id\": " << id << ", ";
+  }
+  oss << "\"op\": \"stats\", \"revision\": " << session.instance().revision()
+      << ", \"agents\": " << session.instance().num_agents()
+      << ", \"shards\": " << session.num_shards()
+      << ", \"halo_radius\": " << session.halo_radius()
+      << ", \"halo_agents\": " << session.halo_agents()
+      << ", \"cache_hits\": " << stats.cache_hits
+      << ", \"cache_misses\": " << stats.cache_misses
+      << ", \"cache_build_ms\": ";
+  append_number(oss, stats.cache_build_ms);
+  oss << ", \"scratch_created\": " << stats.scratch_created
+      << ", \"scratch_reused\": " << stats.scratch_reused;
   // The registry snapshot is already one JSON object; embed it verbatim.
   oss << ", \"metrics\": " << obs::Registry::global().to_json_line();
   oss << '}';

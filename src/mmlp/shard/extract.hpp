@@ -1,0 +1,79 @@
+// Halo extraction: materialize one shard as a standalone sub-Instance.
+//
+// The paper's locality theorem is what makes sharding exact: the output
+// of every local algorithm at agent j is a function of j's radius-r
+// knowledge ball only. So a shard that owns core agents C can be solved
+// on the induced sub-instance over B_H(C, halo_radius) — the core plus a
+// halo of `halo_radius` graph hops — and its core outputs are bitwise
+// identical to the monolithic solve, provided the halo covers the
+// algorithm's knowledge horizon:
+//
+//   * safe / distributed-safe read I_v plus |V_i| per incident resource:
+//     horizon 1.
+//   * averaging / distributed-averaging at radius R gather x^u over
+//     u ∈ B(j, R); each view LP reads B(u, R) and the full support of
+//     every party meeting it (members are one hop away in full-H mode),
+//     and β_j reads the balls of B(j, 1): horizon 2R+1.
+//
+// Why the sub-solve is bitwise equal and not merely close: the id maps
+// are monotone (global order preserved), so every CSR row of the
+// sub-instance is the order-preserving restriction of the global row,
+// every ball enumeration visits the same agents in the same order, every
+// view LP is the identical double matrix fed to the deterministic
+// simplex, and the eq. (10) gather folds in the identical order. Nothing
+// is approximated, so no floating-point difference can appear.
+//
+// The extraction reuses the repo's bulk machinery: one multi-source BFS
+// (graph/bfs) for the halo ball and the Builder counting-sort scatter
+// for the CSR blocks.
+//
+// Caveat: the horizon argument above needs party hyperedges in H
+// (full-collaboration mode). Under collaboration_oblivious a party's
+// members can be arbitrarily far apart, a truncated party row would
+// make the view's K^u membership test spuriously true, and the sub-solve
+// would diverge — ShardedSession therefore rejects oblivious requests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mmlp/core/instance.hpp"
+#include "mmlp/graph/hypergraph.hpp"
+
+namespace mmlp::shard {
+
+/// One shard: a standalone sub-Instance over core ∪ halo, plus the
+/// monotone local<->global id maps the router and stitcher need.
+struct ShardInstance {
+  Instance instance;  ///< validates on its own; ids are shard-local
+
+  std::int32_t halo_radius = 0;
+  std::vector<AgentId> core;  ///< owned agents, global ids, sorted
+
+  /// local -> global maps; all sorted ascending (monotone relabeling).
+  std::vector<AgentId> agents;        ///< core ∪ halo
+  std::vector<ResourceId> resources;  ///< resources incident to `agents`
+  std::vector<PartyId> parties;       ///< parties incident to `agents`
+
+  /// Local ids of the core agents, ascending (positions of `core` inside
+  /// `agents`); stitching reads instance-local x at these indices.
+  std::vector<AgentId> core_local;
+
+  /// global -> local id lookups (binary search; -1 when not included).
+  AgentId local_agent(AgentId global) const;
+  ResourceId local_resource(ResourceId global) const;
+  PartyId local_party(PartyId global) const;
+
+  std::size_t halo_agents() const { return agents.size() - core.size(); }
+};
+
+/// Extract the sub-instance over B_H(core, halo_radius). `graph` must be
+/// the full-collaboration communication graph of `global` (see the file
+/// comment for why oblivious mode is out of scope); `core` must be
+/// sorted, nonempty, and in range.
+ShardInstance extract_shard(const Instance& global, const Hypergraph& graph,
+                            std::vector<AgentId> core,
+                            std::int32_t halo_radius);
+
+}  // namespace mmlp::shard

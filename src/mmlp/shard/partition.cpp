@@ -1,0 +1,155 @@
+#include "mmlp/shard/partition.hpp"
+
+#include <algorithm>
+
+#include "mmlp/util/check.hpp"
+#include "mmlp/util/rng.hpp"
+
+namespace mmlp::shard {
+
+std::string to_string(PartitionStrategy strategy) {
+  switch (strategy) {
+    case PartitionStrategy::kContiguous:
+      return "contiguous";
+    case PartitionStrategy::kBfsRegions:
+      return "bfs";
+  }
+  MMLP_CHECK_MSG(false, "unknown PartitionStrategy");
+  return {};
+}
+
+PartitionStrategy partition_strategy_from_string(const std::string& name) {
+  if (name == "contiguous") {
+    return PartitionStrategy::kContiguous;
+  }
+  if (name == "bfs") {
+    return PartitionStrategy::kBfsRegions;
+  }
+  MMLP_CHECK_MSG(false, "unknown partition strategy '"
+                            << name << "' (known: contiguous, bfs)");
+  return PartitionStrategy::kContiguous;
+}
+
+void Partition::validate() const {
+  MMLP_CHECK_GE(num_shards, 1);
+  MMLP_CHECK_EQ(static_cast<std::size_t>(num_shards), core.size());
+  std::size_t covered = 0;
+  for (std::int32_t s = 0; s < num_shards; ++s) {
+    MMLP_CHECK_MSG(!core[static_cast<std::size_t>(s)].empty(),
+                   "shard " << s << " owns no agents");
+    const std::vector<AgentId>& owned = core[static_cast<std::size_t>(s)];
+    MMLP_CHECK_MSG(std::is_sorted(owned.begin(), owned.end()),
+                   "shard " << s << " core is not sorted");
+    for (const AgentId v : owned) {
+      MMLP_CHECK_GE(v, 0);
+      MMLP_CHECK_LT(static_cast<std::size_t>(v), shard_of.size());
+      MMLP_CHECK_EQ(shard_of[static_cast<std::size_t>(v)], s);
+    }
+    covered += owned.size();
+  }
+  MMLP_CHECK_EQ(covered, shard_of.size());  // disjoint + total
+}
+
+namespace {
+
+/// Build the core lists from a complete shard_of labelling. Iterating
+/// agents in id order keeps every core sorted.
+Partition from_labels(std::int32_t num_shards,
+                      std::vector<std::int32_t> shard_of) {
+  Partition partition;
+  partition.num_shards = num_shards;
+  partition.core.resize(static_cast<std::size_t>(num_shards));
+  for (std::size_t v = 0; v < shard_of.size(); ++v) {
+    partition.core[static_cast<std::size_t>(shard_of[v])].push_back(
+        static_cast<AgentId>(v));
+  }
+  partition.shard_of = std::move(shard_of);
+  partition.validate();
+  return partition;
+}
+
+}  // namespace
+
+Partition contiguous_partition(AgentId num_agents, std::int32_t shards) {
+  MMLP_CHECK_GE(shards, 1);
+  MMLP_CHECK_MSG(shards <= num_agents, "cannot cut " << num_agents
+                                                     << " agents into "
+                                                     << shards << " shards");
+  std::vector<std::int32_t> shard_of(static_cast<std::size_t>(num_agents));
+  const auto n = static_cast<std::int64_t>(num_agents);
+  const auto s64 = static_cast<std::int64_t>(shards);
+  for (std::int32_t s = 0; s < shards; ++s) {
+    const auto begin = static_cast<std::size_t>(s * n / s64);
+    const auto end = static_cast<std::size_t>((s + 1) * n / s64);
+    std::fill(shard_of.begin() + static_cast<std::ptrdiff_t>(begin),
+              shard_of.begin() + static_cast<std::ptrdiff_t>(end), s);
+  }
+  return from_labels(shards, std::move(shard_of));
+}
+
+Partition bfs_partition(const Hypergraph& graph, std::int32_t shards,
+                        std::uint64_t seed) {
+  const NodeId n = graph.num_nodes();
+  MMLP_CHECK_GE(shards, 1);
+  MMLP_CHECK_MSG(shards <= n, "cannot cut " << n << " agents into " << shards
+                                            << " shards");
+  std::vector<std::int32_t> label(static_cast<std::size_t>(n), -1);
+
+  // Draw S distinct seeds; rejection sampling terminates fast because
+  // shards <= n and in practice shards << n.
+  Rng rng(seed);
+  std::vector<NodeId> frontier;
+  frontier.reserve(static_cast<std::size_t>(shards));
+  for (std::int32_t s = 0; s < shards; ++s) {
+    NodeId pick = 0;
+    do {
+      pick = static_cast<NodeId>(
+          rng.next_below(static_cast<std::uint64_t>(n)));
+    } while (label[static_cast<std::size_t>(pick)] != -1);
+    label[static_cast<std::size_t>(pick)] = s;
+    frontier.push_back(pick);
+  }
+
+  // Lockstep multi-source BFS: all regions advance one hop per round;
+  // within a round the frontier is scanned in ascending node order so
+  // contested nodes resolve deterministically.
+  std::vector<NodeId> next_frontier;
+  while (!frontier.empty()) {
+    std::sort(frontier.begin(), frontier.end());
+    next_frontier.clear();
+    for (const NodeId v : frontier) {
+      const std::int32_t region = label[static_cast<std::size_t>(v)];
+      for (const EdgeId e : graph.edges_of(v)) {
+        for (const NodeId w : graph.edge(e)) {
+          if (label[static_cast<std::size_t>(w)] == -1) {
+            label[static_cast<std::size_t>(w)] = region;
+            next_frontier.push_back(w);
+          }
+        }
+      }
+    }
+    frontier.swap(next_frontier);
+  }
+
+  // Components unreachable from every seed: round-robin by id.
+  for (std::size_t v = 0; v < label.size(); ++v) {
+    if (label[v] == -1) {
+      label[v] = static_cast<std::int32_t>(v % static_cast<std::size_t>(shards));
+    }
+  }
+  return from_labels(shards, std::move(label));
+}
+
+Partition make_partition(const Hypergraph& graph,
+                         const PartitionOptions& options) {
+  switch (options.strategy) {
+    case PartitionStrategy::kContiguous:
+      return contiguous_partition(graph.num_nodes(), options.shards);
+    case PartitionStrategy::kBfsRegions:
+      return bfs_partition(graph, options.shards, options.seed);
+  }
+  MMLP_CHECK_MSG(false, "unknown PartitionStrategy");
+  return {};
+}
+
+}  // namespace mmlp::shard

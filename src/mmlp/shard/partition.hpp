@@ -1,0 +1,77 @@
+// Agent partitioning for sharded solving (ROADMAP item 4).
+//
+// A Partition assigns every agent to exactly one shard — the shard that
+// *owns* the agent's output. Ownership is total and disjoint, so the
+// stitched result vector of a sharded solve covers each agent exactly
+// once; the halo overlap that makes the per-shard solves exact lives one
+// layer up (shard/extract.hpp), not here.
+//
+// Two strategies:
+//
+//   * kContiguous — shard s owns the contiguous id range
+//     [s*n/S, (s+1)*n/S). Deterministic, free, and aligned with how the
+//     generators lay out ids (grid rows, BFS order), so ranges are
+//     usually spatially coherent already.
+//
+//   * kBfsRegions — S seed agents are drawn with a seeded Rng, then a
+//     round-based multi-source BFS over the communication graph grows
+//     all regions in lockstep: a node joins the region of the first
+//     frontier node that reaches it (frontier scanned in ascending
+//     order, so ties break deterministically). Nodes unreachable from
+//     every seed fall back to round-robin by id. Regions hug the graph
+//     metric, which is what minimizes halo volume.
+//
+// Both strategies are pure functions of their inputs — the same
+// (instance, options) always yields the same Partition, which the
+// differential tests rely on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mmlp/core/instance.hpp"
+#include "mmlp/graph/hypergraph.hpp"
+
+namespace mmlp::shard {
+
+enum class PartitionStrategy {
+  kContiguous,  ///< contiguous id ranges
+  kBfsRegions,  ///< seeded multi-source BFS regions over H
+};
+
+std::string to_string(PartitionStrategy strategy);
+/// Parses "contiguous" / "bfs"; throws CheckError on anything else.
+PartitionStrategy partition_strategy_from_string(const std::string& name);
+
+struct PartitionOptions {
+  std::int32_t shards = 2;
+  PartitionStrategy strategy = PartitionStrategy::kContiguous;
+  std::uint64_t seed = 1;  ///< BFS seed selection (kBfsRegions only)
+};
+
+/// A total, disjoint assignment of agents to shards. Every agent appears
+/// in exactly one core list; core lists are sorted ascending.
+struct Partition {
+  std::int32_t num_shards = 0;
+  std::vector<std::int32_t> shard_of;     ///< agent id -> owning shard
+  std::vector<std::vector<AgentId>> core; ///< shard -> owned agents, sorted
+
+  /// Check the cover/disjoint/sorted invariants; throws CheckError.
+  void validate() const;
+};
+
+/// Shard s owns [s*n/S, (s+1)*n/S); every shard nonempty (requires
+/// 1 <= shards <= num_agents).
+Partition contiguous_partition(AgentId num_agents, std::int32_t shards);
+
+/// Seeded BFS regions over the communication graph (see file comment).
+/// Every shard is nonempty (it owns at least its seed).
+Partition bfs_partition(const Hypergraph& graph, std::int32_t shards,
+                        std::uint64_t seed);
+
+/// Dispatch on options.strategy.
+Partition make_partition(const Hypergraph& graph,
+                         const PartitionOptions& options);
+
+}  // namespace mmlp::shard
