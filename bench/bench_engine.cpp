@@ -58,6 +58,12 @@
 // the point of sharding is the 10^6..10^7 regime, so --scale full
 // pushes a 10^6-agent averaging sweep across S in {1, 2, 4, 8} and a
 // 10^7-agent safe case, far past the regular sweep's sizes.
+//
+// The thread sweep (grid_torus_<variant>_T<k>) re-measures the warm
+// averaging/safe/dedup/update workloads at T in {1, 2, 4, 8} dedicated
+// workers and reports speedup_vs_t1 / parallel_efficiency plus the
+// scheduler's own busy/chunk/steal accounting — the CI-gated multi-core
+// scaling axis (ROADMAP item 3). See run_thread_sweep.
 #include <algorithm>
 
 #include "mmlp/engine/session.hpp"
@@ -299,8 +305,8 @@ void run_shard_sweep(mmlp::bench::Report& report, const std::string& scale,
       sharded.counters["halo_fraction"] =
           static_cast<double>(session.halo_agents()) /
           static_cast<double>(instance.num_agents());
-      sharded.counters["threads_per_shard"] =
-          static_cast<double>(session.threads_per_shard());
+      sharded.counters["pool_threads"] =
+          static_cast<double>(session.worker_threads());
       sharded.counters["build_ms"] = build_ms;
       sharded.counters["mono_ms"] = mono_ms;
       sharded.counters["speedup_vs_mono"] =
@@ -308,6 +314,116 @@ void run_shard_sweep(mmlp::bench::Report& report, const std::string& scale,
       if (const auto it = last.diagnostics.find("lp_solves");
           it != last.diagnostics.end()) {
         sharded.counters["lp_solves"] = it->second;
+      }
+    }
+  }
+}
+
+/// The multi-core scaling sweep (ROADMAP item 3): the same warm request
+/// measured at T ∈ {1, 2, 4, 8} dedicated session workers, on the
+/// grid_torus scenario (smoke 512 / small 1e4 / full 1e5 agents). Each
+/// case carries the scaling verdict directly: speedup_vs_t1 (the T=1
+/// wall of the same variant over this wall), parallel_efficiency
+/// (min(1, speedup/T) — 1.0 is linear scaling), and the scheduler's own
+/// accounting deltas over the timed region (worker_busy_fraction =
+/// busy_ns summed over workers / T·wall, plus chunks and steals). The
+/// efficiency counters are gated by compare_bench.py, so a scheduler
+/// change that quietly serializes the hot path fails the bench CI job.
+/// Note the caller participates in bulk regions, so at T=1 the pool's
+/// single worker often stays idle (busy_fraction ≈ 0 is expected
+/// there); efficiency, not busy_fraction, is the gated signal.
+void run_thread_sweep(mmlp::bench::Report& report, const std::string& scale,
+                      int reps) {
+  using namespace mmlp;
+  const std::int64_t agents =
+      scale == "smoke" ? 512 : scale == "small" ? 10000 : 100000;
+  const Instance instance =
+      bench_scenarios::make_scenario("grid_torus", agents);
+
+  struct Variant {
+    std::string stem;
+    SolveRequest request;
+    bool update_workload;  ///< 16 edits + incremental re-solve per rep
+  };
+  const std::vector<Variant> variants = {
+      {"grid_torus_averaging_warm",
+       {.algorithm = "averaging", .R = 1},
+       false},
+      {"grid_torus_safe_warm", {.algorithm = "safe"}, false},
+      {"grid_torus_averaging_dedup_warm",
+       {.algorithm = "averaging", .R = 1, .deduplicate = true},
+       false},
+      {"grid_torus_update_resolve_k16",
+       {.algorithm = "averaging", .R = 1, .incremental = true},
+       true},
+  };
+
+  for (const Variant& variant : variants) {
+    double t1_wall_ms = 0.0;
+    for (const std::size_t threads : {1, 2, 4, 8}) {
+      Instance working = instance;  // update workloads mutate their copy
+      Session session(working,
+                      engine::SessionOptions{.threads = threads});
+      (void)engine::solve(session, variant.request);  // prime the caches
+      if (variant.update_workload) {
+        (void)engine::solve(session, variant.request);  // prime the memo
+      }
+      Rng rng(77003u + threads);
+      SolveResult last;
+      ThreadPool& pool = *session.pool();
+      const std::vector<ThreadPool::WorkerStats> before =
+          pool.worker_stats();
+      WallTimer sweep_timer;
+      auto& bench_case = report.run_case(
+          variant.stem + "_T" + std::to_string(threads), agents, reps, [&] {
+            if (variant.update_workload) {
+              for (int edit = 0; edit < 16; ++edit) {
+                const auto i = static_cast<ResourceId>(
+                    rng.next_below(static_cast<std::uint64_t>(
+                        working.num_resources())));
+                const CoefSpan support = working.resource_support(i);
+                const Coef& entry = support[static_cast<std::size_t>(
+                    rng.next_below(support.size()))];
+                InstanceDelta delta;
+                delta.set_usage(i, entry.id,
+                                entry.value * rng.uniform(0.5, 1.5));
+                (void)session.apply(delta);
+              }
+            }
+            last = engine::solve(session, variant.request);
+          });
+      const double measured_ms = sweep_timer.milliseconds();
+      const std::vector<ThreadPool::WorkerStats> after = pool.worker_stats();
+
+      bench_case.counters["threads"] = static_cast<double>(threads);
+      if (threads == 1) {
+        t1_wall_ms = bench_case.wall_ms;
+      }
+      const double speedup =
+          bench_case.wall_ms > 0.0 ? t1_wall_ms / bench_case.wall_ms : 0.0;
+      bench_case.counters["t1_ms"] = t1_wall_ms;
+      bench_case.counters["speedup_vs_t1"] = speedup;
+      bench_case.counters["parallel_efficiency"] =
+          std::min(1.0, speedup / static_cast<double>(threads));
+
+      double busy_ns = 0.0, chunks = 0.0, steals = 0.0;
+      for (std::size_t w = 0; w < after.size(); ++w) {
+        busy_ns += static_cast<double>(after[w].busy_ns - before[w].busy_ns);
+        chunks += static_cast<double>(after[w].chunks - before[w].chunks);
+        steals += static_cast<double>(after[w].steals - before[w].steals);
+      }
+      // run_case re-runs the body `reps` times and keeps the minimum
+      // wall; the stats deltas cover every rep, so normalise by the
+      // total measured time, not the reported minimum.
+      const double total_wall_ns =
+          measured_ms * 1e6 * static_cast<double>(threads);
+      bench_case.counters["worker_busy_fraction"] =
+          total_wall_ns > 0.0 ? std::min(1.0, busy_ns / total_wall_ns) : 0.0;
+      bench_case.counters["bulk_chunks"] = chunks;
+      bench_case.counters["bulk_steals"] = steals;
+      if (const auto it = last.diagnostics.find("lp_solves");
+          it != last.diagnostics.end()) {
+        bench_case.counters["lp_solves"] = it->second;
       }
     }
   }
@@ -356,5 +472,8 @@ int main(int argc, char** argv) {
         }
         // The partitioned-serving curve, on its own size ladder.
         run_shard_sweep(report, scale, reps);
+        // The multi-core scaling curve (T in {1,2,4,8}) with the
+        // CI-gated efficiency counters.
+        run_thread_sweep(report, scale, reps);
       });
 }

@@ -2,6 +2,7 @@
 // bodies) and compute-bound scaling across worker counts. Reports
 // ns/agent (here: per loop index) and pool sizes into
 // BENCH_parallel.json.
+#include <string>
 #include <vector>
 
 #include "mmlp/util/bench_report.hpp"
@@ -27,11 +28,13 @@ int main(int argc, char** argv) {
               static_cast<double>(ThreadPool::global().size());
         }
         // Compute-bound scaling across explicit pool sizes.
-        for (const std::size_t threads : {std::size_t{1}, std::size_t{2}}) {
+        for (const std::size_t threads :
+             {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
           ThreadPool pool(threads);
           std::vector<double> out(4096);
           auto& entry = report.run_case(
-              "compute_bound", static_cast<std::int64_t>(out.size()), reps,
+              "compute_bound_T" + std::to_string(threads),
+              static_cast<std::int64_t>(out.size()), reps,
               [&] {
                 parallel_for(
                     out.size(),

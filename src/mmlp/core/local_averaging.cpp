@@ -208,9 +208,6 @@ LocalAveragingResult local_averaging_impl(
   // found by binary search in the sorted ball). Adding in ascending u is
   // the exact addition order of the former serial scatter loop, so the
   // result is bitwise identical to it regardless of the thread count.
-  for (std::size_t u = 0; u < n; ++u) {
-    MMLP_CHECK_EQ(balls[u].size(), view_x[u].size());
-  }
   std::vector<double> accumulated(n, 0.0);
   obs::ObsSpan gather_stage("averaging.gather", "solver");
   chunked_parallel_for(
@@ -218,6 +215,9 @@ LocalAveragingResult local_averaging_impl(
       [&](std::size_t begin, std::size_t end) {
         obs::ObsSpan chunk("averaging.gather.chunk", "solver");
         for (std::size_t j = begin; j < end; ++j) {
+          // The shape check rides inside the chunk (it used to be a
+          // serial O(n) pre-scan ahead of the parallel region).
+          MMLP_CHECK_EQ(balls[j].size(), view_x[j].size());
           const AgentId self = static_cast<AgentId>(j);
           double sum = 0.0;
           for (const AgentId u : balls[j]) {
@@ -232,27 +232,35 @@ LocalAveragingResult local_averaging_impl(
         }
       },
       session.pool());
+  // β_min is a serial O(n) fold (cheap, and the min must be global);
+  // the damping tail itself writes per-agent slots only, so it runs as
+  // one more parallel pass instead of the former serial loop.
   double beta_global = 1.0;
   for (const double beta : result.beta) {
     beta_global = std::min(beta_global, beta);
   }
-  for (std::size_t j = 0; j < n; ++j) {
-    MMLP_CHECK_GT(result.ball_size[j], 0u);
-    const double average =
-        accumulated[j] / static_cast<double>(result.ball_size[j]);
-    switch (options.damping) {
-      case AveragingDamping::kBetaPerAgent:
-        result.x[j] = result.beta[j] * average;
-        break;
-      case AveragingDamping::kBetaGlobal:
-        result.x[j] = beta_global * average;
-        break;
-      case AveragingDamping::kNone:
-      case AveragingDamping::kNoneThenScale:
-        result.x[j] = average;
-        break;
-    }
-  }
+  chunked_parallel_for(
+      n,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t j = begin; j < end; ++j) {
+          MMLP_CHECK_GT(result.ball_size[j], 0u);
+          const double average =
+              accumulated[j] / static_cast<double>(result.ball_size[j]);
+          switch (options.damping) {
+            case AveragingDamping::kBetaPerAgent:
+              result.x[j] = result.beta[j] * average;
+              break;
+            case AveragingDamping::kBetaGlobal:
+              result.x[j] = beta_global * average;
+              break;
+            case AveragingDamping::kNone:
+            case AveragingDamping::kNoneThenScale:
+              result.x[j] = average;
+              break;
+          }
+        }
+      },
+      session.pool());
   if (options.damping == AveragingDamping::kNoneThenScale) {
     scale_to_feasible(instance, result.x);
   }

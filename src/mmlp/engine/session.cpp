@@ -59,7 +59,7 @@ CacheKindCounters& view_class_counters() {
 
 Session::Session(const Instance& instance, SessionOptions options)
     : instance_(&instance), options_(options), revision_(instance.revision()) {
-  if (options_.threads > 0) {
+  if (options_.shared_pool == nullptr && options_.threads > 0) {
     owned_pool_ = std::make_unique<ThreadPool>(options_.threads);
   }
 }
@@ -75,8 +75,8 @@ std::uint64_t Session::revision() const {
 }
 
 std::size_t Session::thread_count() const {
-  return owned_pool_ != nullptr ? owned_pool_->size()
-                                : ThreadPool::global().size();
+  const ThreadPool* effective = pool();
+  return effective != nullptr ? effective->size() : ThreadPool::global().size();
 }
 
 void Session::assert_fresh(std::uint64_t entry_revision) const {

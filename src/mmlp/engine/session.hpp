@@ -70,7 +70,15 @@ namespace mmlp::engine {
 struct SessionOptions {
   /// Worker threads for this session's parallel loops. 0 = share the
   /// process-global pool; N > 0 = the session owns a dedicated pool.
+  /// Ignored when shared_pool is set.
   std::size_t threads = 0;
+  /// Non-owning: run this session's parallel loops on an externally
+  /// owned pool instead of creating one. ShardedSession uses this to
+  /// run every shard session (and its own fan-out) on ONE cooperative
+  /// pool sized to the hardware, so S shards never stack S pools of
+  /// workers on top of each other (the oversubscription fix of ROADMAP
+  /// item 3). The pool must outlive the session.
+  ThreadPool* shared_pool = nullptr;
 };
 
 /// Monotonic cache/reuse counters. Snapshot before and after a solve to
@@ -164,10 +172,14 @@ class Session {
   SolutionMemo& solution_memo(const std::string& fingerprint);
   AveragingMemo& averaging_memo(const std::string& fingerprint);
 
-  /// The pool parallel loops should run on: the session-owned pool, or
+  /// The pool parallel loops should run on: the shared pool when the
+  /// session was constructed with one, else the session-owned pool, or
   /// nullptr meaning "use ThreadPool::global()" (the convention of
   /// parallel_for's pool parameter).
-  ThreadPool* pool() const { return owned_pool_.get(); }
+  ThreadPool* pool() const {
+    return options_.shared_pool != nullptr ? options_.shared_pool
+                                           : owned_pool_.get();
+  }
 
   /// Worker count of the effective pool.
   std::size_t thread_count() const;

@@ -15,14 +15,6 @@ namespace mmlp::engine {
 
 namespace {
 
-std::size_t resolve_total_threads(std::size_t requested) {
-  if (requested > 0) {
-    return requested;
-  }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? static_cast<std::size_t>(hw) : 1;
-}
-
 /// Same contract as the registry's scoped enabler: own the switch only
 /// when the request asked for tracing and nobody turned it on already.
 class ScopedTraceEnable {
@@ -61,30 +53,26 @@ void set_halo_gauge(std::size_t halo_agents) {
 ShardedSession::ShardedSession(Instance& instance, ShardedOptions options)
     : instance_(&instance), mutable_instance_(&instance),
       options_(std::move(options)) {
-  options_.threads = resolve_total_threads(options_.threads);
   MMLP_CHECK_GE(options_.shards, 1);
   MMLP_CHECK_GE(options_.halo_radius, 1);
-  fanout_pool_ = std::make_unique<ThreadPool>(
-      std::min<std::size_t>(static_cast<std::size_t>(options_.shards),
-                            options_.threads));
+  // One pool, total budget exactly options_.threads (0 = env/hardware,
+  // resolved by the pool). Fan-out workers and the shard sessions'
+  // nested loops all cooperate on it.
+  pool_ = std::make_unique<ThreadPool>(options_.threads);
+  options_.threads = pool_->size();
   rebuild_all();
 }
 
 ShardedSession::ShardedSession(const Instance& instance, ShardedOptions options)
     : instance_(&instance), options_(std::move(options)) {
-  options_.threads = resolve_total_threads(options_.threads);
   MMLP_CHECK_GE(options_.shards, 1);
   MMLP_CHECK_GE(options_.halo_radius, 1);
-  fanout_pool_ = std::make_unique<ThreadPool>(
-      std::min<std::size_t>(static_cast<std::size_t>(options_.shards),
-                            options_.threads));
+  pool_ = std::make_unique<ThreadPool>(options_.threads);
+  options_.threads = pool_->size();
   rebuild_all();
 }
 
-std::size_t ShardedSession::threads_per_shard() const {
-  return std::max<std::size_t>(
-      1, options_.threads / static_cast<std::size_t>(options_.shards));
-}
+std::size_t ShardedSession::worker_threads() const { return pool_->size(); }
 
 const shard::ShardInstance& ShardedSession::shard_instance(
     std::int32_t s) const {
@@ -114,7 +102,7 @@ std::unique_ptr<ShardedSession::Shard> ShardedSession::extract_one(
       *instance_, graph_, partition_.core[static_cast<std::size_t>(s)],
       options_.halo_radius);
   shard->session = std::make_unique<Session>(
-      shard->piece.instance, SessionOptions{.threads = threads_per_shard()});
+      shard->piece.instance, SessionOptions{.shared_pool = pool_.get()});
   return shard;
 }
 
@@ -130,7 +118,7 @@ void ShardedSession::rebuild_all() {
       [&](std::size_t s) {
         shards_[s] = extract_one(static_cast<std::int32_t>(s));
       },
-      fanout_pool_.get());
+      pool_.get());
   set_halo_gauge(halo_agents());
 }
 
@@ -172,11 +160,10 @@ SolveResult ShardedSession::solve(const SolveRequest& request,
                        << "built with " << options_.shards
                        << " (size the session, not the request)");
   MMLP_CHECK_MSG(
-      request.threads == 0 ||
-          request.threads == threads_per_shard(),
+      request.threads == 0 || request.threads == worker_threads(),
       "request wants " << request.threads
-                       << " threads but each shard pool has "
-                       << threads_per_shard()
+                       << " threads but the sharded session's shared pool has "
+                       << worker_threads()
                        << " worker(s) (size the sharded session, not the "
                           "request)");
 
@@ -200,7 +187,7 @@ SolveResult ShardedSession::solve(const SolveRequest& request,
         shard_results[s] =
             engine::solve(*shards_[s]->session, sub_request, registry);
       },
-      fanout_pool_.get());
+      pool_.get());
 
   SolveResult result;
   result.algorithm = entry.name;
@@ -350,7 +337,7 @@ Session::ApplyReport ShardedSession::apply(const InstanceDelta& delta) {
           const std::size_t s = to_extract[index];
           shards_[s] = extract_one(static_cast<std::int32_t>(s));
         },
-        fanout_pool_.get());
+        pool_.get());
     reextracts.add(static_cast<std::int64_t>(to_extract.size()));
     report.repaired_entries = to_extract.size();
   } else {
@@ -383,7 +370,7 @@ Session::ApplyReport ShardedSession::apply(const InstanceDelta& delta) {
             routed.fetch_add(1, std::memory_order_relaxed);
           }
         },
-        fanout_pool_.get());
+        pool_.get());
     routes.add(static_cast<std::int64_t>(routed.load()));
     report.repaired_entries = routed.load();
   }

@@ -32,11 +32,14 @@
 // it is left untouched. Id-remapping deltas (agent removals) fall back
 // to a full repartition + re-extraction: cold but still exact.
 //
-// Threading: each shard Session owns a dedicated pool of
-// max(1, threads/S) workers, and the fan-out runs on a separate
-// ShardedSession-owned pool — nesting a parallel_for of one pool inside
-// a worker of the same pool could deadlock, so the pools are disjoint
-// by construction.
+// Threading: ONE cooperative pool, sized to the requested total (or the
+// hardware), shared by the fan-out and every shard Session (via
+// SessionOptions::shared_pool). The scheduler supports nested parallel
+// regions — a fan-out worker solving shard s registers its inner
+// chunked loops as bulk jobs that idle workers join — so a single pool
+// is deadlock-free and the process never runs S·(threads/S) + S + T
+// workers on T cores the way the old per-shard-pool design did
+// (tests/test_shard.cpp pins the thread budget).
 //
 // Observability: shard.extract / shard.solve / shard.stitch spans, the
 // shard.halo_agents gauge, and shard.requests / shard.delta_routes /
@@ -61,8 +64,9 @@ struct ShardedOptions {
   std::int32_t halo_radius = 3;
   shard::PartitionStrategy strategy = shard::PartitionStrategy::kContiguous;
   std::uint64_t seed = 1;  ///< BFS partition seed selection
-  /// Total worker budget: each shard pool gets max(1, threads/shards)
-  /// workers. 0 = hardware concurrency.
+  /// Total worker budget: ONE pool of exactly this many workers is
+  /// shared by the fan-out and every shard session. 0 = MMLP_THREADS
+  /// env, else hardware concurrency.
   std::size_t threads = 0;
 };
 
@@ -104,8 +108,12 @@ class ShardedSession {
   /// Aggregated cache/scratch counters over all shard sessions.
   SessionStats stats() const;
 
-  /// Workers per shard pool (every shard pool has the same size).
-  std::size_t threads_per_shard() const;
+  /// Workers in the single shared pool (the session's total thread
+  /// budget — there are no per-shard pools).
+  std::size_t worker_threads() const;
+
+  /// The shared pool itself (fan-out + every shard session run on it).
+  ThreadPool& pool() { return *pool_; }
 
  private:
   struct Shard {
@@ -119,7 +127,7 @@ class ShardedSession {
   const Instance* instance_;
   Instance* mutable_instance_ = nullptr;
   ShardedOptions options_;
-  std::unique_ptr<ThreadPool> fanout_pool_;
+  std::unique_ptr<ThreadPool> pool_;  ///< shared: fan-out + shard sessions
   Hypergraph graph_;  ///< full-mode global communication graph
   shard::Partition partition_;
   std::vector<std::unique_ptr<Shard>> shards_;

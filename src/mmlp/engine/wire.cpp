@@ -537,6 +537,30 @@ std::string apply_report_to_json_line(const Session::ApplyReport& report,
   return oss.str();
 }
 
+namespace {
+
+/// Per-worker scheduler counters (see ThreadPool::WorkerStats): chunks
+/// and steals make scaling losses observable in production — a hot
+/// steal count means the submit path is imbalanced, a lopsided
+/// busy/idle split means a serial stage is starving the pool.
+void append_workers(std::ostringstream& oss,
+                    const std::vector<ThreadPool::WorkerStats>& workers) {
+  oss << ", \"workers\": [";
+  for (std::size_t w = 0; w < workers.size(); ++w) {
+    if (w > 0) {
+      oss << ", ";
+    }
+    oss << "{\"busy_ns\": " << workers[w].busy_ns
+        << ", \"idle_ns\": " << workers[w].idle_ns
+        << ", \"tasks\": " << workers[w].tasks
+        << ", \"chunks\": " << workers[w].chunks
+        << ", \"steals\": " << workers[w].steals << '}';
+  }
+  oss << ']';
+}
+
+}  // namespace
+
 std::string stats_to_json_line(Session& session, const std::string& id) {
   const SessionStats stats = session.stats();
   ThreadPool& pool =
@@ -556,16 +580,8 @@ std::string stats_to_json_line(Session& session, const std::string& id) {
   append_number(oss, stats.cache_build_ms);
   oss << ", \"scratch_created\": " << stats.scratch_created
       << ", \"scratch_reused\": " << stats.scratch_reused;
-  oss << ", \"workers\": [";
-  for (std::size_t w = 0; w < workers.size(); ++w) {
-    if (w > 0) {
-      oss << ", ";
-    }
-    oss << "{\"busy_ns\": " << workers[w].busy_ns
-        << ", \"idle_ns\": " << workers[w].idle_ns
-        << ", \"tasks\": " << workers[w].tasks << '}';
-  }
-  oss << ']';
+  oss << ", \"queue_depth\": " << pool.queue_depth();
+  append_workers(oss, workers);
   // The registry snapshot is already one JSON object; embed it verbatim.
   oss << ", \"metrics\": " << obs::Registry::global().to_json_line();
   oss << '}';
@@ -591,6 +607,9 @@ std::string stats_to_json_line(ShardedSession& session,
   append_number(oss, stats.cache_build_ms);
   oss << ", \"scratch_created\": " << stats.scratch_created
       << ", \"scratch_reused\": " << stats.scratch_reused;
+  oss << ", \"pool_threads\": " << session.worker_threads()
+      << ", \"queue_depth\": " << session.pool().queue_depth();
+  append_workers(oss, session.pool().worker_stats());
   // The registry snapshot is already one JSON object; embed it verbatim.
   oss << ", \"metrics\": " << obs::Registry::global().to_json_line();
   oss << '}';

@@ -1,21 +1,44 @@
 #include "mmlp/util/parallel.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
-#include <exception>
+#include <cstdlib>
 
 #include "mmlp/util/check.hpp"
 
 namespace mmlp {
 
 namespace {
-// Set while a pool worker is running a task; nested parallel_for calls
-// from inside a task run serially instead of deadlocking on wait_idle().
-thread_local bool tls_inside_worker = false;
+
+using clock = std::chrono::steady_clock;
+
+std::uint64_t elapsed_ns(clock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - since)
+          .count());
+}
+
+/// Target wall time per bulk chunk once the per-item cost is known:
+/// long enough to amortise the claim CAS, short enough that stragglers
+/// rebalance across workers.
+constexpr std::uint64_t kTargetChunkNs = 200'000;
+
+/// Worker count requested via environment / hardware when a pool is
+/// constructed with 0 threads.
+std::size_t resolve_default_threads() {
+  if (const char* env = std::getenv("MMLP_THREADS");
+      env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != nullptr && *end == '\0' && parsed > 0) {
+      return static_cast<std::size_t>(parsed);
+    }
+  }
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
 
 // Size requested for the global pool before its construction; 0 means
-// hardware concurrency. Guarded by global_config_mutex so a configure
+// environment / hardware. Guarded by global_config_mutex so a configure
 // racing the first global() use is well-defined.
 std::mutex global_config_mutex;
 std::size_t global_requested_threads = 0;
@@ -23,10 +46,12 @@ bool global_pool_created = false;
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads)
-    : counters_(num_threads == 0 ? std::max<std::size_t>(
-                                       1, std::thread::hardware_concurrency())
-                                 : num_threads) {
+    : counters_(num_threads == 0 ? resolve_default_threads() : num_threads),
+      queues_(counters_.size()) {
   const std::size_t resolved = counters_.size();
+  // Bulk jobs register into this vector with zero steady-state
+  // allocations; reserve enough slots for deeply nested regions.
+  jobs_.reserve(4 * resolved + 16);
   workers_.reserve(resolved);
   for (std::size_t t = 0; t < resolved; ++t) {
     workers_.emplace_back([this, t] { worker_loop(t); });
@@ -35,28 +60,39 @@ ThreadPool::ThreadPool(std::size_t num_threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(sched_mutex_);
     stop_ = true;
   }
-  cv_task_.notify_all();
+  cv_work_.notify_all();
   for (auto& worker : workers_) {
     worker.join();
   }
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  const std::size_t target =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    MMLP_CHECK(!stop_);
-    queue_.push(std::move(task));
-    ++in_flight_;
+    std::lock_guard<std::mutex> lock(queues_[target].mutex);
+    queues_[target].tasks.push_back(std::move(task));
   }
-  cv_task_.notify_one();
+  queued_tasks_.fetch_add(1, std::memory_order_release);
+  in_flight_.fetch_add(1, std::memory_order_release);
+  {
+    // Taking sched_mutex_ around the notify pairs with the worker's
+    // locked re-check before sleeping: a submit can never slip between
+    // that check and the wait.
+    std::lock_guard<std::mutex> lock(sched_mutex_);
+    MMLP_CHECK(!stop_);
+  }
+  cv_work_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+  std::unique_lock<std::mutex> lock(sched_mutex_);
+  cv_done_.wait(lock, [this] {
+    return in_flight_.load(std::memory_order_acquire) == 0;
+  });
 }
 
 std::vector<ThreadPool::WorkerStats> ThreadPool::worker_stats() const {
@@ -65,47 +101,215 @@ std::vector<ThreadPool::WorkerStats> ThreadPool::worker_stats() const {
     out[t].busy_ns = counters_[t].busy_ns.load(std::memory_order_relaxed);
     out[t].idle_ns = counters_[t].idle_ns.load(std::memory_order_relaxed);
     out[t].tasks = counters_[t].tasks.load(std::memory_order_relaxed);
+    out[t].chunks = counters_[t].chunks.load(std::memory_order_relaxed);
+    out[t].steals = counters_[t].steals.load(std::memory_order_relaxed);
   }
   return out;
 }
 
-void ThreadPool::worker_loop(std::size_t worker_index) {
-  using clock = std::chrono::steady_clock;
+std::size_t ThreadPool::queue_depth() const {
+  return queued_tasks_.load(std::memory_order_acquire);
+}
+
+bool ThreadPool::try_run_task(std::size_t worker_index) {
+  std::function<void()> task;
+  bool stolen = false;
+  {
+    // Own queue first (front — FIFO for the owner)…
+    TaskQueue& own = queues_[worker_index];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.tasks.empty()) {
+      task = std::move(own.tasks.front());
+      own.tasks.pop_front();
+    }
+  }
+  if (!task) {
+    // …then steal from a peer (back — opposite end from the owner).
+    for (std::size_t k = 1; k < queues_.size() && !task; ++k) {
+      TaskQueue& peer = queues_[(worker_index + k) % queues_.size()];
+      std::lock_guard<std::mutex> lock(peer.mutex);
+      if (!peer.tasks.empty()) {
+        task = std::move(peer.tasks.back());
+        peer.tasks.pop_back();
+        stolen = true;
+      }
+    }
+  }
+  if (!task) {
+    return false;
+  }
+  queued_tasks_.fetch_sub(1, std::memory_order_release);
   WorkerCounters& counters = counters_[worker_index];
-  auto elapsed_ns = [](clock::time_point since) {
-    return static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
-                                                             since)
-            .count());
-  };
-  while (true) {
-    std::function<void()> task;
-    {
-      const clock::time_point wait_start = clock::now();
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      counters.idle_ns.fetch_add(elapsed_ns(wait_start),
-                                 std::memory_order_relaxed);
-      if (stop_ && queue_.empty()) {
-        return;
-      }
-      task = std::move(queue_.front());
-      queue_.pop();
+  if (stolen) {
+    counters.steals.fetch_add(1, std::memory_order_relaxed);
+  }
+  const clock::time_point start = clock::now();
+  task();  // noexcept contract: see submit()
+  counters.busy_ns.fetch_add(elapsed_ns(start), std::memory_order_relaxed);
+  counters.tasks.fetch_add(1, std::memory_order_relaxed);
+  if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(sched_mutex_);
+    cv_done_.notify_all();
+  }
+  return true;
+}
+
+std::size_t ThreadPool::chunk_size(const BulkJob& job, std::size_t cur) const {
+  const std::size_t remaining = job.count - cur;
+  // Guided self-scheduling: early chunks are large (low claim
+  // overhead), late chunks shrink so the tail balances.
+  std::size_t chunk = remaining / (4 * (workers_.size() + 1));
+  // Adaptive cap: once a chunk has been timed, bound the next ones to
+  // ~kTargetChunkNs of work so one expensive-item chunk cannot become
+  // the straggler that serializes the whole region.
+  const std::uint64_t cost = job.ns_per_item.load(std::memory_order_relaxed);
+  if (cost > 0) {
+    chunk = std::min<std::size_t>(
+        chunk, static_cast<std::size_t>(kTargetChunkNs / cost) + 1);
+  }
+  chunk = std::max(chunk, job.min_grain);
+  return std::clamp<std::size_t>(chunk, 1, remaining);
+}
+
+void ThreadPool::execute_chunks(BulkJob& job, WorkerCounters* counters) {
+  for (;;) {
+    if (job.failed.load(std::memory_order_acquire)) {
+      return;
     }
-    tls_inside_worker = true;
-    const clock::time_point task_start = clock::now();
-    task();
-    counters.busy_ns.fetch_add(elapsed_ns(task_start),
+    std::size_t cur = job.cursor.load(std::memory_order_relaxed);
+    if (cur >= job.count) {
+      return;
+    }
+    const std::size_t chunk = chunk_size(job, cur);
+    if (!job.cursor.compare_exchange_weak(cur, cur + chunk,
+                                          std::memory_order_acq_rel)) {
+      continue;  // lost the claim race; re-read the cursor
+    }
+    if (cur >= job.count) {
+      return;
+    }
+    const std::size_t end = std::min(job.count, cur + chunk);
+    const clock::time_point start = clock::now();
+    try {
+      job.body(job.ctx, cur, end);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(job.error_mutex);
+        if (job.error == nullptr) {
+          job.error = std::current_exception();
+        }
+      }
+      job.failed.store(true, std::memory_order_release);
+      return;
+    }
+    const std::uint64_t ns = elapsed_ns(start);
+    job.ns_per_item.store(std::max<std::uint64_t>(
+                              1, ns / static_cast<std::uint64_t>(end - cur)),
+                          std::memory_order_relaxed);
+    if (counters != nullptr) {
+      counters->busy_ns.fetch_add(ns, std::memory_order_relaxed);
+      counters->chunks.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void ThreadPool::run_bulk(std::size_t count, std::size_t min_grain,
+                          BulkBody body, void* ctx) {
+  if (count == 0) {
+    return;
+  }
+  BulkJob job;
+  job.count = count;
+  job.min_grain =
+      min_grain > 0
+          ? min_grain
+          : std::max<std::size_t>(1, count / (16 * (workers_.size() + 1)));
+  job.body = body;
+  job.ctx = ctx;
+  {
+    std::lock_guard<std::mutex> lock(sched_mutex_);
+    MMLP_CHECK(!stop_);
+    jobs_.push_back(&job);  // within reserved capacity: no allocation
+  }
+  cv_work_.notify_all();
+
+  // The caller is an executor too: it claims chunks like any worker, so
+  // a bulk region never strands the submitting thread in a blocking
+  // wait while work remains, and nested regions make progress even when
+  // every worker is busy elsewhere.
+  execute_chunks(job, nullptr);
+
+  {
+    // Wait for every attached worker to leave the claim loop, then
+    // deregister. Workers attach/detach under sched_mutex_, so after
+    // this wait no thread can still hold a pointer into this frame.
+    std::unique_lock<std::mutex> lock(sched_mutex_);
+    cv_done_.wait(lock, [&job] { return job.attached == 0; });
+    jobs_.erase(std::find(jobs_.begin(), jobs_.end(), &job));
+  }
+  if (job.error != nullptr) {
+    std::rethrow_exception(job.error);
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  WorkerCounters& counters = counters_[worker_index];
+  for (;;) {
+    if (try_run_task(worker_index)) {
+      continue;
+    }
+    // Bulk regions: attach to the first job with unclaimed work.
+    BulkJob* job = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(sched_mutex_);
+      for (BulkJob* candidate : jobs_) {
+        if (!candidate->failed.load(std::memory_order_relaxed) &&
+            candidate->cursor.load(std::memory_order_relaxed) <
+                candidate->count) {
+          job = candidate;
+          ++job->attached;
+          break;
+        }
+      }
+    }
+    if (job != nullptr) {
+      execute_chunks(*job, &counters);
+      bool drained = false;
+      {
+        std::lock_guard<std::mutex> lock(sched_mutex_);
+        drained = --job->attached == 0;
+      }
+      if (drained) {
+        cv_done_.notify_all();
+      }
+      continue;
+    }
+    // No tasks, no bulk work: sleep until something arrives. The
+    // predicates are re-checked under sched_mutex_, which every
+    // producer holds around its notify, so wakeups cannot be missed.
+    // A registered-but-drained job does NOT count as work (its caller
+    // is only waiting to deregister) — otherwise idle workers would
+    // spin instead of sleeping.
+    std::unique_lock<std::mutex> lock(sched_mutex_);
+    bool bulk_work = false;
+    for (const BulkJob* candidate : jobs_) {
+      if (!candidate->failed.load(std::memory_order_relaxed) &&
+          candidate->cursor.load(std::memory_order_relaxed) <
+              candidate->count) {
+        bulk_work = true;
+        break;
+      }
+    }
+    if (queued_tasks_.load(std::memory_order_acquire) > 0 || bulk_work) {
+      continue;
+    }
+    if (stop_) {
+      return;  // queues drained: safe to exit
+    }
+    const clock::time_point wait_start = clock::now();
+    cv_work_.wait(lock);
+    counters.idle_ns.fetch_add(elapsed_ns(wait_start),
                                std::memory_order_relaxed);
-    counters.tasks.fetch_add(1, std::memory_order_relaxed);
-    tls_inside_worker = false;
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      --in_flight_;
-      if (in_flight_ == 0) {
-        cv_idle_.notify_all();
-      }
-    }
   }
 }
 
@@ -123,9 +327,7 @@ void set_global_thread_count(std::size_t num_threads) {
   std::lock_guard<std::mutex> lock(global_config_mutex);
   if (global_pool_created) {
     const std::size_t resolved =
-        num_threads == 0
-            ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
-            : num_threads;
+        num_threads == 0 ? resolve_default_threads() : num_threads;
     MMLP_CHECK_MSG(ThreadPool::global().size() == resolved,
                    "global thread pool already created with "
                        << ThreadPool::global().size()
@@ -140,57 +342,25 @@ void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
   if (count == 0) {
     return;
   }
-  if (tls_inside_worker) {
-    serial_for(count, fn);
-    return;
-  }
   if (pool == nullptr) {
     pool = &ThreadPool::global();
   }
-  const std::size_t threads = pool->size();
-  if (threads <= 1 || count == 1) {
+  if (pool->size() <= 1 || count == 1) {
     serial_for(count, fn);
     return;
   }
-  if (grain == 0) {
-    // Aim for ~4 chunks per worker so stragglers rebalance.
-    grain = std::max<std::size_t>(1, count / (threads * 4));
-  }
-  // Chunks pull from a shared atomic cursor; each chunk touches a
-  // disjoint index range so no other synchronisation is needed. Pool
-  // tasks must not throw, so exceptions from fn are trapped here: the
-  // first one is kept, remaining chunks are abandoned, and the caller
-  // rethrows after the pool drains (matching the serial paths above).
-  auto cursor = std::make_shared<std::atomic<std::size_t>>(0);
-  auto failed = std::make_shared<std::atomic<bool>>(false);
-  auto first_error = std::make_shared<std::exception_ptr>();
-  const std::size_t num_chunks = (count + grain - 1) / grain;
-  const std::size_t launches = std::min(threads, num_chunks);
-  for (std::size_t t = 0; t < launches; ++t) {
-    pool->submit([cursor, count, grain, &fn, failed, first_error] {
-      while (!failed->load(std::memory_order_relaxed)) {
-        const std::size_t begin = cursor->fetch_add(grain);
-        if (begin >= count) {
-          return;
+  // The std::function is reached by reference through the trampoline:
+  // the dispatch allocates nothing.
+  auto* body = const_cast<std::function<void(std::size_t)>*>(&fn);
+  pool->run_bulk(
+      count, grain,
+      [](void* ctx, std::size_t begin, std::size_t end) {
+        const auto& body_fn = *static_cast<std::function<void(std::size_t)>*>(ctx);
+        for (std::size_t i = begin; i < end; ++i) {
+          body_fn(i);
         }
-        const std::size_t end = std::min(count, begin + grain);
-        try {
-          for (std::size_t i = begin; i < end; ++i) {
-            fn(i);
-          }
-        } catch (...) {
-          if (!failed->exchange(true)) {
-            *first_error = std::current_exception();
-          }
-          return;
-        }
-      }
-    });
-  }
-  pool->wait_idle();
-  if (failed->load() && *first_error != nullptr) {
-    std::rethrow_exception(*first_error);
-  }
+      },
+      body);
 }
 
 void serial_for(std::size_t count, const std::function<void(std::size_t)>& fn) {

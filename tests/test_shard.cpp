@@ -422,5 +422,30 @@ TEST(ShardedSession, RejectsWhatShardingCannotServe) {
   EXPECT_THROW(sharded.apply(delta), CheckError);
 }
 
+TEST(ShardedSession, ThreadBudgetIsOneSharedPoolNotPerShardPools) {
+  // The oversubscription regression: the old design gave every shard a
+  // private pool of max(1, threads/S) workers PLUS a fan-out pool, so
+  // S=8, threads=4 spun up 8·1 + 4 = 12 workers on a 4-thread budget.
+  // Now ONE pool carries the whole budget: exactly `threads` workers,
+  // shared by the fan-out and every shard session.
+  const Instance instance = make_grid_instance({.dims = {8, 8}});
+  ShardedSession sharded(
+      instance,
+      ShardedOptions{.shards = 8, .halo_radius = 3, .threads = 4});
+  EXPECT_EQ(sharded.worker_threads(), 4u);
+  EXPECT_EQ(sharded.pool().size(), 4u);
+  // Every shard session runs on the shared pool — no owned pools.
+  for (std::int32_t s = 0; s < sharded.num_shards(); ++s) {
+    EXPECT_EQ(sharded.shard_session(s).pool(), &sharded.pool());
+    EXPECT_EQ(sharded.shard_session(s).thread_count(), 4u);
+  }
+  // And the budgeted session still solves correctly (nested bulk
+  // regions on the one pool), matching the flat session bitwise.
+  Session flat(instance);
+  const SolveResult mono = engine::solve(flat, {.algorithm = "averaging"});
+  const SolveResult part = sharded.solve({.algorithm = "averaging"});
+  EXPECT_EQ(mono.x, part.x);
+}
+
 }  // namespace
 }  // namespace mmlp

@@ -2,7 +2,7 @@
 """Diff two BENCH_*.json reports and flag wall-time regressions.
 
 Usage: compare_bench.py BASELINE.json CURRENT.json [--threshold 0.15]
-                        [--strict]
+                        [--scaling-threshold 0.5] [--strict]
 
 Cases are matched by (scenario, agents). For every matched case the
 wall_ms ratio current/baseline is printed; a case is flagged as a
@@ -18,10 +18,21 @@ behavioural difference, not noise. Counter-only changes are printed but
 never flagged as regressions — interpreting the direction (fewer
 lp_solves: better; lower dedup_ratio: worse) is the reviewer's job.
 
-Exit status: 0 unless --strict is given and at least one regression (or
-a removed case) was found. CI runs this without --strict first — timing
-on shared runners is noisy, so the report is informational until a
-baseline refresh policy exists (docs/BENCHMARKS.md).
+Thread-sweep cases additionally gate on parallel_efficiency: when both
+sides carry the counter and the current efficiency has dropped by more
+than --scaling-threshold (relative, default 0.5 — i.e. halved), the
+case is flagged as a scaling regression. The tolerance is deliberately
+loose: efficiency is a *ratio* of two noisy walls, and the baseline may
+have been recorded on a machine with fewer cores than the current run
+(where efficiency at T>cores is pinned near 1/T). A real scheduler
+serialization shows up as efficiency collapsing toward 1/T at every T,
+which a 50% relative drop catches on matched hardware.
+
+Exit status: 0 unless --strict is given and at least one regression,
+scaling regression, or removed case was found. CI runs this without
+--strict first — timing on shared runners is noisy, so the report is
+informational until a baseline refresh policy exists
+(docs/BENCHMARKS.md).
 """
 
 import argparse
@@ -43,6 +54,7 @@ TRACKED_COUNTERS = (
     "latency_p50_ms",
     "latency_p90_ms",
     "latency_p99_ms",
+    "threads",
 )
 
 
@@ -83,6 +95,13 @@ def main():
         help="relative slowdown that counts as a regression (default 0.15)",
     )
     parser.add_argument(
+        "--scaling-threshold",
+        type=float,
+        default=0.5,
+        help="relative parallel_efficiency drop that counts as a scaling "
+        "regression (default 0.5)",
+    )
+    parser.add_argument(
         "--strict",
         action="store_true",
         help="exit non-zero when regressions (or removed cases) are found",
@@ -106,6 +125,7 @@ def main():
 
     regressions = []
     improvements = []
+    scaling_regressions = []
     counter_changes = 0
     width = max(
         [len(f"{scenario} n={agents}") for scenario, agents in baseline] + [8]
@@ -139,16 +159,28 @@ def main():
                 f"{'':<{width}}    counter {name}: "
                 f"{base_value:g} -> {cur_value:g}"
             )
+        base_eff = baseline[key].get("counters", {}).get("parallel_efficiency")
+        cur_eff = current[key].get("counters", {}).get("parallel_efficiency")
+        if base_eff is not None and cur_eff is not None and base_eff > 0:
+            if cur_eff < base_eff * (1.0 - args.scaling_threshold):
+                scaling_regressions.append((key, base_eff, cur_eff))
+                print(
+                    f"{'':<{width}}    parallel_efficiency "
+                    f"{base_eff:.3f} -> {cur_eff:.3f}"
+                    f"  << SCALING REGRESSION"
+                )
     added = sorted(set(current) - set(baseline))
     for scenario, agents in added:
         print(f"{scenario} n={agents}: new case (no baseline)")
 
     print(
         f"\n{len(regressions)} regression(s) over {args.threshold:.0%}, "
+        f"{len(scaling_regressions)} scaling regression(s) over "
+        f"{args.scaling_threshold:.0%}, "
         f"{len(improvements)} improvement(s), {len(added)} new case(s), "
         f"{counter_changes} counter change(s)."
     )
-    if regressions and args.strict:
+    if (regressions or scaling_regressions) and args.strict:
         return 1
     return 0
 

@@ -147,9 +147,9 @@ int main(int argc, char** argv) {
               << instance.num_parties() << " parties; " << shard_count
               << " shard(s), halo radius "
               << sharded_session->halo_radius() << ", "
-              << sharded_session->halo_agents() << " halo agent(s), "
-              << sharded_session->threads_per_shard()
-              << " thread(s) per shard\n";
+              << sharded_session->halo_agents() << " halo agent(s), shared "
+              << "pool of " << sharded_session->worker_threads()
+              << " thread(s)\n";
   } else {
     session = std::make_unique<engine::Session>(instance,
                                                 engine::SessionOptions{

@@ -95,6 +95,7 @@ def validate_case(index, case, errors):
                 f"{where}.counters[{key!r}]: finite number required, got {value!r}",
             )
         validate_histogram_counters(where, counters, errors)
+        validate_scaling_counters(where, counters, errors)
 
 
 # Latency-distribution cases carry obs::Histogram percentiles as
@@ -129,6 +130,63 @@ def validate_histogram_counters(where, counters, errors):
             errors,
             f"{where}.counters: {lo_key}={lo} > {hi_key}={hi} "
             f"(percentiles must be non-decreasing)",
+        )
+
+
+# Thread-sweep cases carry the scaling triplet: threads (the sweep
+# axis), speedup_vs_t1 (T=1 wall over this wall) and parallel_efficiency
+# (min(1, speedup/threads)). When either derived counter appears, the
+# whole triplet must, efficiency must lie in (0, 1], and the triplet
+# must cohere: efficiency == min(1, speedup/threads) up to timing
+# rounding.
+SCALING_KEYS = ("speedup_vs_t1", "parallel_efficiency")
+
+
+def validate_scaling_counters(where, counters, errors):
+    if not any(key in counters for key in SCALING_KEYS):
+        return
+    for key in SCALING_KEYS + ("threads",):
+        check(
+            key in counters,
+            errors,
+            f"{where}.counters: scaling counters must appear together "
+            f"(threads, speedup_vs_t1, parallel_efficiency); missing {key!r}",
+        )
+    threads = counters.get("threads")
+    speedup = counters.get("speedup_vs_t1")
+    efficiency = counters.get("parallel_efficiency")
+    if is_finite_number(threads):
+        check(
+            threads >= 1 and float(threads).is_integer(),
+            errors,
+            f"{where}.counters['threads']: integer >= 1 required, got {threads!r}",
+        )
+    if is_finite_number(speedup):
+        check(
+            speedup >= 0,
+            errors,
+            f"{where}.counters['speedup_vs_t1']: >= 0 required, got {speedup!r}",
+        )
+    if is_finite_number(efficiency):
+        check(
+            0 < efficiency <= 1 + 1e-9,
+            errors,
+            f"{where}.counters['parallel_efficiency']: value in (0, 1] "
+            f"required, got {efficiency!r}",
+        )
+    if (
+        is_finite_number(threads)
+        and is_finite_number(speedup)
+        and is_finite_number(efficiency)
+        and threads >= 1
+    ):
+        expected = min(1.0, speedup / threads)
+        tolerance = 1e-6 * max(1.0, abs(expected))
+        check(
+            abs(efficiency - expected) <= tolerance,
+            errors,
+            f"{where}.counters: parallel_efficiency={efficiency} != "
+            f"min(1, speedup_vs_t1/threads) ({expected})",
         )
 
 
