@@ -66,10 +66,12 @@
 // scaling axis (ROADMAP item 3). See run_thread_sweep.
 #include <algorithm>
 
+#include "mmlp/dist/self_stabilizing_solver.hpp"
 #include "mmlp/engine/session.hpp"
 #include "mmlp/engine/sharded_session.hpp"
 #include "mmlp/engine/solver.hpp"
 #include "mmlp/util/bench_report.hpp"
+#include "mmlp/util/fault.hpp"
 #include "mmlp/util/obs.hpp"
 #include "mmlp/util/rng.hpp"
 #include "mmlp/util/timer.hpp"
@@ -429,6 +431,83 @@ void run_thread_sweep(mmlp::bench::Report& report, const std::string& scale,
   }
 }
 
+/// Fault-recovery economics (the robustness PR's acceptance surface):
+///
+///   grid_torus_recovery_selfstab_<algo> : run a seeded 64-event fault
+///       plan against the self-stabilizing execution, then time the
+///       fault-free rounds back to the legitimate fixed point. The
+///       counters carry the stabilization contract numerically:
+///       rounds_to_legitimate <= horizon + 1, recovery_ms is the wall
+///       cost of those clean rounds, faults_injected proves the plan
+///       actually fired.
+///   grid_torus_integrity_fallback : corrupt one cached ball (the test
+///       hook), apply a delta whose surgical repair cannot reach it,
+///       and time the spot-check detection plus the forced full
+///       re-solve. fallback_full_solves counts the wholesale cache
+///       drops the checksum divergence triggered.
+void run_recovery(mmlp::bench::Report& report, const std::string& scale,
+                  int reps) {
+  using namespace mmlp;
+  const std::int64_t agents =
+      scale == "smoke" ? 512 : scale == "small" ? 4096 : 10000;
+  const Instance instance =
+      bench_scenarios::make_scenario("grid_torus", agents);
+
+  struct Algo {
+    const char* name;
+    SelfStabilizingSolver::Algorithm algorithm;
+  };
+  const Algo algos[] = {
+      {"safe", SelfStabilizingSolver::Algorithm::kSafe},
+      {"averaging", SelfStabilizingSolver::Algorithm::kAveraging},
+  };
+  for (const Algo& algo : algos) {
+    double recovery_ms = 0.0;
+    std::int32_t rounds = 0;
+    std::int32_t horizon = 0;
+    std::int64_t injected = 0;
+    auto& bench_case = report.run_case(
+        std::string("grid_torus_recovery_selfstab_") + algo.name,
+        instance.num_agents(), reps, [&] {
+          SelfStabilizingSolver solver(instance, algo.algorithm, {.R = 1});
+          FaultInjector faults(
+              FaultPlan::random(29, 3, instance.num_agents(), 64));
+          solver.run_plan(faults);
+          WallTimer timer;
+          rounds = solver.stabilize(solver.horizon() + 1);
+          recovery_ms = timer.milliseconds();
+          horizon = solver.horizon();
+          injected = faults.faults_injected();
+        });
+    bench_case.counters["rounds_to_legitimate"] =
+        static_cast<double>(rounds);
+    bench_case.counters["recovery_ms"] = recovery_ms;
+    bench_case.counters["horizon"] = static_cast<double>(horizon);
+    bench_case.counters["faults_injected"] = static_cast<double>(injected);
+  }
+
+  Instance working = instance;
+  Session session(working);
+  Rng rng(51001u);
+  const SolveRequest request{.algorithm = "distributed-safe"};
+  const std::int64_t fallbacks_before = session.stats().integrity_fallbacks;
+  SolveResult last;
+  auto& fallback_case = report.run_case(
+      "grid_torus_integrity_fallback", instance.num_agents(), reps, [&] {
+        (void)mmlp::engine::solve(session, request);  // warm the balls
+        session.corrupt_cached_ball_for_test(1, false, 0);
+        InstanceDelta delta;
+        delta.set_usage(working.num_resources() / 2,
+                        working.num_agents() / 2, rng.uniform(0.5, 1.5));
+        (void)session.apply(delta);  // spot-check detects, drops caches
+        last = mmlp::engine::solve(session, request);  // cold rebuild
+      });
+  fallback_case.counters["fallback_full_solves"] = static_cast<double>(
+      session.stats().integrity_fallbacks - fallbacks_before);
+  fallback_case.counters["cache_misses"] =
+      static_cast<double>(last.cache_misses);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -475,5 +554,8 @@ int main(int argc, char** argv) {
         // The multi-core scaling curve (T in {1,2,4,8}) with the
         // CI-gated efficiency counters.
         run_thread_sweep(report, scale, reps);
+        // Fault-recovery economics: stabilization after a fault plan
+        // and the cost of a checksum-divergence full rebuild.
+        run_recovery(report, scale, reps);
       });
 }

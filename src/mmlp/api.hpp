@@ -17,6 +17,7 @@
 #include "mmlp/dist/algorithms.hpp"      // IWYU pragma: export
 #include "mmlp/dist/runtime.hpp"         // IWYU pragma: export
 #include "mmlp/dist/self_stabilize.hpp"  // IWYU pragma: export
+#include "mmlp/dist/self_stabilizing_solver.hpp" // IWYU pragma: export
 #include "mmlp/engine/session.hpp"       // IWYU pragma: export
 #include "mmlp/engine/solver.hpp"        // IWYU pragma: export
 #include "mmlp/engine/wire.hpp"          // IWYU pragma: export
@@ -37,7 +38,9 @@
 #include "mmlp/lp/mwu.hpp"               // IWYU pragma: export
 #include "mmlp/lp/simplex.hpp"           // IWYU pragma: export
 #include "mmlp/util/bench_report.hpp"    // IWYU pragma: export
+#include "mmlp/util/cancel.hpp"          // IWYU pragma: export
 #include "mmlp/util/cli.hpp"             // IWYU pragma: export
+#include "mmlp/util/fault.hpp"           // IWYU pragma: export
 #include "mmlp/util/parallel.hpp"        // IWYU pragma: export
 #include "mmlp/util/rng.hpp"             // IWYU pragma: export
 #include "mmlp/util/stats.hpp"           // IWYU pragma: export

@@ -91,6 +91,9 @@ LocalAveragingResult local_averaging_impl(
           auto scratch = session.view_scratch().acquire();
           LocalView view;
           for (std::size_t u = begin; u < end; ++u) {
+            // One view LP per iteration: poll the cancel token here so
+            // deadlines fire promptly even on a single-thread pool.
+            cancel::checkpoint();
             extract_view_into(instance, static_cast<AgentId>(u), options.R,
                               balls[u], view, *scratch);
             ViewLpSolution solution = solve_view_lp(view, options.lp, *scratch);
@@ -134,6 +137,7 @@ LocalAveragingResult local_averaging_impl(
               auto scratch = session.view_scratch().acquire();
               LocalView view;
               for (std::size_t g = begin; g < end; ++g) {
+                cancel::checkpoint();
                 const auto u = static_cast<std::size_t>(reps[g]);
                 extract_view_into(instance, reps[g], options.R, balls[u], view,
                                   *scratch);
@@ -335,6 +339,11 @@ LocalAveragingResult local_averaging_incremental(
     return memo.result;
   }
 
+  // Invalidate before any in-place mutation: an abandoned splice
+  // (cancellation, deadline, a thrown check) must leave the memo marked
+  // stale so the next request falls back to a full solve instead of
+  // serving half-spliced state.
+  memo.valid = false;
   const std::vector<std::vector<AgentId>>& balls =
       session.balls(options.R, options.collaboration_oblivious);
   const GrowthSets& sets =
@@ -357,6 +366,7 @@ LocalAveragingResult local_averaging_incremental(
         auto scratch = session.view_scratch().acquire();
         LocalView view;
         for (std::size_t idx = begin; idx < end; ++idx) {
+          cancel::checkpoint();
           const AgentId u = resolve[idx];
           const auto uu = static_cast<std::size_t>(u);
           extract_view_into(instance, u, options.R, balls[uu], view, *scratch);
@@ -405,6 +415,7 @@ LocalAveragingResult local_averaging_incremental(
   memo.result.view_classes = 0;
   memo.result.dedup_ratio = 0.0;
   memo.revision = session.revision();
+  memo.valid = true;
   accounting.incremental = true;
   accounting.dirty_agents = resolve.size();
   accounting.resolved_agents = regather.size();

@@ -142,7 +142,13 @@ std::vector<double> safe_solution_incremental(engine::Session& session,
   if (memo.valid) {
     dirty = session.dirty_since(memo.revision, 0, false);
   }
-  if (memo.valid && dirty.has_value()) {
+  const bool splice = memo.valid && dirty.has_value();
+  // Invalidate before any in-place mutation: if the splice below is
+  // abandoned mid-way (cancellation, a thrown check), the memo must not
+  // pass itself off as a coherent solution — the next request then
+  // falls back to a full solve instead of serving half-spliced bits.
+  memo.valid = false;
+  if (splice) {
     memo.x.resize(n, 0.0);  // added agents are always in the dirty set
     for (const AgentId v : *dirty) {
       memo.x[static_cast<std::size_t>(v)] =

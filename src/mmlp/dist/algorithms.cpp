@@ -108,10 +108,8 @@ double averaging_decision(const LocalWorld& world, const Hypergraph& h,
   return beta * average;
 }
 
-/// One agent's full pipeline: materialize the radius-(2R+1) world from
-/// its knowledge set, then run the Section 5.1 rule inside it. Shared
-/// by the full loop and the incremental dirty-region loop, so both
-/// produce the same bits for the same world.
+}  // namespace
+
 double averaging_pipeline(const Instance& instance, AgentId j,
                           const std::vector<AgentId>& knowledge_j,
                           const LocalAveragingOptions& options,
@@ -122,8 +120,6 @@ double averaging_pipeline(const Instance& instance, AgentId j,
       options.collaboration_oblivious);
   return averaging_decision(scratch.world, h, options, scratch.view);
 }
-
-}  // namespace
 
 std::vector<double> distributed_local_averaging(
     const Instance& instance, const LocalAveragingOptions& options) {
@@ -186,6 +182,10 @@ std::vector<double> distributed_local_averaging_with(
       [&](std::size_t begin, std::size_t end) {
         auto scratch = session.dist_scratch().acquire();
         for (std::size_t task = begin; task < end; ++task) {
+          // Per-agent cancellation poll: each iteration is a full
+          // materialize-and-solve pipeline, coarse enough that chunk
+          // boundaries alone would let a deadline overshoot badly.
+          cancel::checkpoint();
           const std::size_t j =
               reps != nullptr ? static_cast<std::size_t>((*reps)[task]) : task;
           x[j] = averaging_pipeline(instance, static_cast<AgentId>(j),
@@ -251,7 +251,12 @@ std::vector<double> distributed_local_averaging_incremental(
     dirty = session.dirty_since(memo.revision, horizon,
                                 options.collaboration_oblivious);
   }
-  if (memo.valid && dirty.has_value()) {
+  const bool splice = memo.valid && dirty.has_value();
+  // Invalidate before any in-place mutation (see safe_solution_
+  // incremental): an abandoned splice — cancellation, deadline — must
+  // leave the memo marked stale, not half-spliced and "valid".
+  memo.valid = false;
+  if (splice) {
     const std::vector<std::vector<AgentId>>& knowledge =
         session.balls(horizon, options.collaboration_oblivious);
     memo.x.resize(n, 0.0);  // added agents are always in the dirty region
@@ -261,6 +266,7 @@ std::vector<double> distributed_local_averaging_incremental(
         [&](std::size_t begin, std::size_t end) {
           auto scratch = session.dist_scratch().acquire();
           for (std::size_t idx = begin; idx < end; ++idx) {
+            cancel::checkpoint();
             const AgentId j = resolve[idx];
             memo.x[static_cast<std::size_t>(j)] = averaging_pipeline(
                 instance, j, knowledge[static_cast<std::size_t>(j)], options,

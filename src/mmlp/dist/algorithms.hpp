@@ -26,10 +26,25 @@
 
 namespace mmlp {
 
+namespace engine {
+struct DistScratch;
+}  // namespace engine
+
 /// One agent's eq. (2) decision computed purely from its context
 /// (needs radius 1: own resources and their support sizes). Shared by
 /// distributed_safe and SelfStabilizingFlood::safe_output.
 double safe_from_context(const AgentContext& ctx);
+
+/// One agent's full Section 5.1 pipeline: materialize the radius-(2R+1)
+/// world from its knowledge set, then run the averaging rule inside it.
+/// A pure function of (instance, j, knowledge_j, options): the full
+/// loop, the incremental dirty-region loop, and the self-stabilizing
+/// solver all call it, so every path produces the same bits for the
+/// same knowledge.
+double averaging_pipeline(const Instance& instance, AgentId j,
+                          const std::vector<AgentId>& knowledge_j,
+                          const LocalAveragingOptions& options,
+                          engine::DistScratch& scratch);
 
 /// The safe algorithm run distributedly: flood 1 round, then every agent
 /// applies eq. (2) to its own resources. The safe rule reads only

@@ -25,18 +25,63 @@ LocalRuntime::LocalRuntime(const Instance& instance,
 
 std::vector<std::vector<AgentId>> LocalRuntime::flood(
     std::int32_t rounds) const {
+  return flood(rounds, nullptr);
+}
+
+std::vector<std::vector<AgentId>> LocalRuntime::flood(
+    std::int32_t rounds, FaultInjector* faults) const {
   MMLP_CHECK_GE(rounds, 0);
   const auto n = static_cast<std::size_t>(graph_.num_nodes());
   std::vector<std::vector<AgentId>> knowledge(n);
   for (std::size_t v = 0; v < n; ++v) {
     knowledge[v] = {static_cast<AgentId>(v)};
   }
+  // Delay faults deliver the sender's start-of-previous-round state;
+  // track that snapshot only when the plan can ask for it.
+  const bool track_stale =
+      faults != nullptr &&
+      std::any_of(faults->plan().events.begin(), faults->plan().events.end(),
+                  [](const FaultEvent& event) {
+                    return event.kind == FaultKind::kDelayMessage;
+                  });
+  std::vector<std::vector<AgentId>> stale;
+  if (track_stale) {
+    stale = knowledge;
+  }
   std::vector<std::vector<AgentId>> received(n);
   for (std::int32_t round = 0; round < rounds; ++round) {
+    if (faults != nullptr) {
+      faults->begin_round(round);
+      // State-level faults apply serially at round start, before the
+      // exchange reads anyone's knowledge.
+      for (std::size_t v = 0; v < n; ++v) {
+        const auto agent = static_cast<AgentId>(v);
+        if (faults->crashed(agent)) {
+          knowledge[v] = {agent};  // restart with cleared state
+        }
+        if (faults->state_corrupted(agent)) {
+          Rng rng = faults->event_rng(agent);
+          auto& own = knowledge[v];
+          const std::uint64_t mutations = 1 + rng.next_below(3);
+          for (std::uint64_t m = 0; m < mutations; ++m) {
+            if (!own.empty() && rng.bernoulli(0.5)) {
+              own.erase(own.begin() +
+                        static_cast<std::ptrdiff_t>(rng.next_below(own.size())));
+            } else {
+              own.push_back(static_cast<AgentId>(rng.next_below(n)));
+            }
+          }
+          std::sort(own.begin(), own.end());
+          own.erase(std::unique(own.begin(), own.end()), own.end());
+        }
+      }
+    }
     // Synchronous round: every agent reads the packet each hyperedge
     // member broadcast at the end of the previous round and merges.
     // Writes go only to received[v] (whose buffer is recycled from two
     // rounds ago by the swap below), so the round is parallel over v.
+    // Fault fates are pure lookups plus per-event derived rngs, so the
+    // faulty round stays deterministic under parallel execution.
     parallel_for(n, [&](std::size_t v) {
       std::vector<AgentId>& merged = received[v];
       merged.clear();
@@ -48,12 +93,44 @@ std::vector<std::vector<AgentId>> LocalRuntime::flood(
             continue;
           }
           const auto& packet = knowledge[static_cast<std::size_t>(u)];
-          merged.insert(merged.end(), packet.begin(), packet.end());
+          if (faults == nullptr) {
+            merged.insert(merged.end(), packet.begin(), packet.end());
+            continue;
+          }
+          const FaultInjector::MessageFate fate = faults->message_fate(
+              static_cast<AgentId>(v), static_cast<AgentId>(u));
+          if (fate.copies == 0) {
+            continue;  // dropped in flight
+          }
+          const auto& payload =
+              fate.delay && track_stale ? stale[static_cast<std::size_t>(u)]
+                                        : packet;
+          // Duplicates are idempotent under the union-merge, but insert
+          // both copies anyway — the exchange models the channel, not
+          // the merge's tolerance of it.
+          for (std::int32_t c = 0; c < fate.copies; ++c) {
+            if (!fate.corrupt) {
+              merged.insert(merged.end(), payload.begin(), payload.end());
+              continue;
+            }
+            Rng rng = faults->event_rng(static_cast<AgentId>(v),
+                                        static_cast<AgentId>(u));
+            for (const AgentId id : payload) {
+              if (rng.bernoulli(0.25)) {
+                merged.push_back(static_cast<AgentId>(rng.next_below(n)));
+              } else {
+                merged.push_back(id);
+              }
+            }
+          }
         }
       }
       std::sort(merged.begin(), merged.end());
       merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
     });
+    if (track_stale) {
+      stale = knowledge;
+    }
     knowledge.swap(received);
   }
   return knowledge;

@@ -24,6 +24,7 @@
 
 #include "mmlp/core/instance.hpp"
 #include "mmlp/graph/hypergraph.hpp"
+#include "mmlp/util/fault.hpp"
 
 namespace mmlp {
 
@@ -42,6 +43,17 @@ class LocalRuntime {
   /// agent knows only itself. Returns the per-agent knowledge sets
   /// (sorted agent ids); knowledge[v] == ball(graph(), v, rounds).
   std::vector<std::vector<AgentId>> flood(std::int32_t rounds) const;
+
+  /// As flood(rounds), exchanging every per-round message through
+  /// `faults` (nullptr = fault-free, bitwise identical to the overload
+  /// above). Message drops/duplicates/corruptions/delays are applied
+  /// per (receiver, sender) packet; a crashed agent restarts the round
+  /// knowing only itself; state corruption mutates the victim's
+  /// knowledge set in place. Every mutation draws from the injector's
+  /// per-event deterministic streams, so a fault schedule replays
+  /// bitwise on any thread count.
+  std::vector<std::vector<AgentId>> flood(std::int32_t rounds,
+                                          FaultInjector* faults) const;
 
   /// Bandwidth accounting for flood(rounds): one message per
   /// (agent, incident hyperedge, round), i.e. rounds · Σ_v deg(v).

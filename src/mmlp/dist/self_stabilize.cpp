@@ -73,13 +73,93 @@ void SelfStabilizingFlood::corrupt(Rng& rng, std::int32_t entries) {
   }
 }
 
-std::int32_t SelfStabilizingFlood::step() {
+void SelfStabilizingFlood::corrupt_all(Rng& rng) {
+  const auto n = static_cast<std::uint64_t>(tables_.size());
+  for (Table& table : tables_) {
+    table.clear();
+    // Random size up to about twice a plausible ball, random in-range
+    // origins and distances, deduplicated by origin — a table with no
+    // relation to the legitimate one (the self entry included only by
+    // chance).
+    const std::uint64_t entries = rng.next_below(2 * std::max<std::uint64_t>(
+                                                         1, horizon_ + 2) +
+                                                 1);
+    for (std::uint64_t e = 0; e < entries; ++e) {
+      const Entry ghost{static_cast<AgentId>(rng.next_below(n)),
+                        static_cast<std::int32_t>(
+                            rng.uniform_int(0, std::max(horizon_, 0)))};
+      const auto it = std::lower_bound(
+          table.begin(), table.end(), ghost.origin,
+          [](const Entry& entry, AgentId o) { return entry.origin < o; });
+      if (it != table.end() && it->origin == ghost.origin) {
+        it->dist = ghost.dist;
+      } else {
+        table.insert(it, ghost);
+      }
+    }
+  }
+}
+
+std::int32_t SelfStabilizingFlood::step() { return step(nullptr, 0); }
+
+std::int32_t SelfStabilizingFlood::step(FaultInjector* faults,
+                                        std::int32_t round) {
   const auto n = static_cast<std::size_t>(tables_.size());
+  bool track_stale = false;
+  if (faults != nullptr) {
+    faults->begin_round(round);
+    track_stale = std::any_of(
+        faults->plan().events.begin(), faults->plan().events.end(),
+        [](const FaultEvent& event) {
+          return event.kind == FaultKind::kDelayMessage;
+        });
+    if (track_stale && stale_.size() != n) {
+      stale_ = tables_;  // first faulty round: no older state exists
+    }
+    // State-level faults rewrite tables serially before anyone reads
+    // them: a crashed agent restarts cold (empty table — the recompute
+    // rule regrows its self entry this very round), a state corruption
+    // applies the injector's per-event mutation stream.
+    for (std::size_t v = 0; v < n; ++v) {
+      const auto agent = static_cast<AgentId>(v);
+      if (faults->crashed(agent)) {
+        tables_[v].clear();
+      }
+      if (faults->state_corrupted(agent)) {
+        Rng rng = faults->event_rng(agent);
+        Table& table = tables_[v];
+        const std::uint64_t mutations = 1 + rng.next_below(4);
+        for (std::uint64_t m = 0; m < mutations; ++m) {
+          if (!table.empty() && rng.bernoulli(0.5)) {
+            table.erase(
+                table.begin() +
+                static_cast<std::ptrdiff_t>(rng.next_below(table.size())));
+          } else {
+            const Entry ghost{
+                static_cast<AgentId>(rng.next_below(n)),
+                static_cast<std::int32_t>(
+                    rng.uniform_int(0, std::max(horizon_, 0)))};
+            const auto it = std::lower_bound(
+                table.begin(), table.end(), ghost.origin,
+                [](const Entry& entry, AgentId o) { return entry.origin < o; });
+            if (it != table.end() && it->origin == ghost.origin) {
+              it->dist = ghost.dist;
+            } else {
+              table.insert(it, ghost);
+            }
+          }
+        }
+      }
+    }
+  }
   std::vector<Table> next(n);
   std::vector<std::uint8_t> changed(n, 0);
   parallel_for(n, [&](std::size_t v) {
     // Recompute from scratch: self entry plus aged neighbour entries,
-    // keeping the minimum distance per origin.
+    // keeping the minimum distance per origin. Message faults apply per
+    // (receiver, sender) packet; all their randomness comes from
+    // derived per-event streams, so the faulty round is deterministic
+    // on any thread count.
     Table merged;
     merged.push_back({static_cast<AgentId>(v), 0});
     for (const EdgeId e : graph_.edges_of(static_cast<NodeId>(v))) {
@@ -87,9 +167,35 @@ std::int32_t SelfStabilizingFlood::step() {
         if (u == static_cast<NodeId>(v)) {
           continue;
         }
-        for (const Entry& entry : tables_[static_cast<std::size_t>(u)]) {
-          if (entry.dist + 1 <= horizon_) {
-            merged.push_back({entry.origin, entry.dist + 1});
+        FaultInjector::MessageFate fate;
+        if (faults != nullptr) {
+          fate = faults->message_fate(static_cast<AgentId>(v),
+                                      static_cast<AgentId>(u));
+        }
+        if (fate.copies == 0) {
+          continue;  // dropped in flight
+        }
+        const Table& payload =
+            fate.delay && track_stale ? stale_[static_cast<std::size_t>(u)]
+                                      : tables_[static_cast<std::size_t>(u)];
+        Rng rng = faults != nullptr && fate.corrupt
+                      ? faults->event_rng(static_cast<AgentId>(v),
+                                          static_cast<AgentId>(u))
+                      : Rng(0);
+        for (std::int32_t c = 0; c < fate.copies; ++c) {
+          for (const Entry& entry : payload) {
+            Entry delivered = entry;
+            if (fate.corrupt && rng.bernoulli(0.25)) {
+              if (rng.bernoulli(0.5)) {
+                delivered.origin = static_cast<AgentId>(rng.next_below(n));
+              } else {
+                delivered.dist = static_cast<std::int32_t>(
+                    rng.uniform_int(0, std::max(horizon_, 0)));
+              }
+            }
+            if (delivered.dist + 1 <= horizon_) {
+              merged.push_back({delivered.origin, delivered.dist + 1});
+            }
           }
         }
       }
@@ -109,6 +215,9 @@ std::int32_t SelfStabilizingFlood::step() {
   std::int32_t num_changed = 0;
   for (const std::uint8_t flag : changed) {
     num_changed += flag;
+  }
+  if (track_stale) {
+    stale_ = tables_;  // start-of-this-round state for the next delay
   }
   tables_.swap(next);
   return num_changed;

@@ -24,6 +24,7 @@
 
 #include "mmlp/core/instance.hpp"
 #include "mmlp/graph/hypergraph.hpp"
+#include "mmlp/util/fault.hpp"
 #include "mmlp/util/rng.hpp"
 
 namespace mmlp {
@@ -48,9 +49,24 @@ class SelfStabilizingFlood {
   /// the caller's rng for reproducibility.
   void corrupt(Rng& rng, std::int32_t entries);
 
+  /// Maximal adversarial corruption: replace EVERY table with a fully
+  /// random one (random size, random in-range origins and distances) —
+  /// nothing of the legitimate state survives. The strongest transient
+  /// state the stabilization contract must recover from.
+  void corrupt_all(Rng& rng);
+
   /// One synchronous round of the recompute rule. Returns the number of
   /// agents whose table changed (0 ⇔ a fixed point, i.e. legitimacy).
   std::int32_t step();
+
+  /// One synchronous round exchanged through `faults` as round `round`
+  /// of its plan (nullptr = fault-free, identical to step()). Crash and
+  /// state-corruption events rewrite the victim's table at round start;
+  /// message fates apply per (receiver, sender) packet during the
+  /// recompute merge; delay delivers the sender's start-of-previous-
+  /// round table. Deterministic on any thread count: all fault
+  /// randomness comes from the injector's per-event derived streams.
+  std::int32_t step(FaultInjector* faults, std::int32_t round);
 
   /// Step until a round changes nothing, executing at most `max_rounds`
   /// rounds. Returns the number of rounds executed.
@@ -80,6 +96,10 @@ class SelfStabilizingFlood {
   std::int32_t horizon_ = 0;
   std::vector<Table> tables_;
   std::vector<Table> legitimate_;  // the fixed point, precomputed once
+  /// Start-of-previous-round tables, maintained only across faulty
+  /// steps whose plan contains delay events (what a delayed packet
+  /// delivers).
+  std::vector<Table> stale_;
 };
 
 }  // namespace mmlp

@@ -1,0 +1,77 @@
+// Self-stabilizing safe/averaging executions: the knowledge substrate
+// is SelfStabilizingFlood (recompute-from-neighbours each round, faults
+// applied through the injector), and output() runs the same per-agent
+// decision pipelines as the fault-free distributed solvers on whatever
+// the tables currently claim — so once the tables reach the legitimate
+// fixed point, the outputs are bit-for-bit the fault-free ones.
+#include "mmlp/dist/self_stabilizing_solver.hpp"
+
+#include "mmlp/dist/algorithms.hpp"
+#include "mmlp/dist/runtime.hpp"
+#include "mmlp/engine/session.hpp"
+#include "mmlp/util/check.hpp"
+#include "mmlp/util/parallel.hpp"
+
+namespace mmlp {
+
+namespace {
+
+std::int32_t horizon_for(SelfStabilizingSolver::Algorithm algorithm,
+                         const LocalAveragingOptions& options) {
+  if (algorithm == SelfStabilizingSolver::Algorithm::kSafe) {
+    return 1;
+  }
+  MMLP_CHECK_GE(options.R, 1);
+  return 2 * options.R + 1;
+}
+
+}  // namespace
+
+SelfStabilizingSolver::SelfStabilizingSolver(
+    const Instance& instance, Algorithm algorithm,
+    const LocalAveragingOptions& options)
+    : instance_(&instance),
+      algorithm_(algorithm),
+      options_(options),
+      flood_(instance, horizon_for(algorithm, options),
+             options.collaboration_oblivious) {
+  if (algorithm_ == Algorithm::kAveraging) {
+    MMLP_CHECK_MSG(options_.damping == AveragingDamping::kBetaPerAgent,
+                   "only the per-agent damping of eq. (10) is a local rule");
+  }
+}
+
+std::int32_t SelfStabilizingSolver::run_plan(FaultInjector& faults) {
+  const std::int32_t rounds = faults.plan().rounds();
+  for (std::int32_t round = 0; round < rounds; ++round) {
+    flood_.step(&faults, round);
+  }
+  return rounds;
+}
+
+std::int32_t SelfStabilizingSolver::stabilize(std::int32_t max_rounds) {
+  return flood_.run_until_stable(max_rounds);
+}
+
+std::vector<double> SelfStabilizingSolver::output() const {
+  if (algorithm_ == Algorithm::kSafe) {
+    return flood_.safe_output();
+  }
+  const auto n = static_cast<std::size_t>(instance_->num_agents());
+  std::vector<double> x(n, 0.0);
+  // Chunked like distributed_local_averaging_with (dedup off): each
+  // worker carries one materialization/view/LP bundle across all its
+  // agents; the per-agent pipeline is the shared pure function, so the
+  // legitimate-state output matches the session path bitwise.
+  chunked_parallel_for(n, [&](std::size_t begin, std::size_t end) {
+    engine::DistScratch scratch;
+    for (std::size_t j = begin; j < end; ++j) {
+      const auto agent = static_cast<AgentId>(j);
+      x[j] = averaging_pipeline(*instance_, agent, flood_.knowledge(agent),
+                                options_, scratch);
+    }
+  });
+  return x;
+}
+
+}  // namespace mmlp

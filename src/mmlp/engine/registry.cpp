@@ -15,7 +15,10 @@
 #include "mmlp/core/solution.hpp"
 #include "mmlp/core/sublinear.hpp"
 #include "mmlp/dist/algorithms.hpp"
+#include "mmlp/dist/self_stabilizing_solver.hpp"
+#include "mmlp/util/cancel.hpp"
 #include "mmlp/util/check.hpp"
+#include "mmlp/util/fault.hpp"
 #include "mmlp/util/obs.hpp"
 #include "mmlp/util/timer.hpp"
 
@@ -54,6 +57,59 @@ void attach_averaging_diagnostics(const LocalAveragingResult& averaging,
     result.diagnostics["view_classes"] =
         static_cast<double>(averaging.view_classes);
     result.diagnostics["dedup_ratio"] = averaging.dedup_ratio;
+  }
+}
+
+/// Shared body of the selfstab-* entries: replay the request's fault
+/// plan against a self-stabilizing execution, then recover with clean
+/// rounds and report how many it took. The stabilization contract — at
+/// most horizon + 1 clean rounds from ANY state — is enforced, not just
+/// measured: exceeding it is a CheckError.
+void run_selfstab(Session& session, const SolveRequest& request,
+                  SolveResult& result,
+                  SelfStabilizingSolver::Algorithm algorithm) {
+  LocalAveragingOptions options = averaging_options(request);
+  options.deduplicate = false;  // the per-agent pipeline is the contract
+  SelfStabilizingSolver solver(session.instance(), algorithm, options);
+
+  FaultPlan plan;
+  if (!request.fault_plan.empty()) {
+    plan = FaultPlan::parse(request.fault_plan);
+  }
+  FaultInjector faults(std::move(plan));
+  const std::int32_t faulty_rounds = solver.run_plan(faults);
+
+  obs::Registry& metrics = obs::Registry::global();
+  static obs::Counter& injected = metrics.counter("fault.injected");
+  static obs::Counter& recovery_rounds_total =
+      metrics.counter("selfstab.rounds_to_legitimate");
+  static obs::Counter& recoveries = metrics.counter("selfstab.recoveries");
+  injected.add(faults.faults_injected());
+
+  std::int32_t recovery_rounds = 0;
+  while (!solver.is_legitimate()) {
+    MMLP_CHECK_MSG(recovery_rounds <= solver.horizon(),
+                   "self-stabilization contract violated: still illegitimate "
+                   "after " << recovery_rounds << " clean rounds (horizon "
+                            << solver.horizon() << ", plan '"
+                            << faults.plan().serialize() << "')");
+    cancel::checkpoint();
+    solver.knowledge().step();
+    ++recovery_rounds;
+  }
+  recovery_rounds_total.add(recovery_rounds);
+  recoveries.increment();
+
+  result.x = solver.output();
+  result.has_solution = true;
+  result.diagnostics["faulty_rounds"] = static_cast<double>(faulty_rounds);
+  result.diagnostics["faults_injected"] =
+      static_cast<double>(faults.faults_injected());
+  result.diagnostics["rounds_to_legitimate"] =
+      static_cast<double>(recovery_rounds);
+  result.diagnostics["horizon"] = static_cast<double>(solver.horizon());
+  if (algorithm == SelfStabilizingSolver::Algorithm::kAveraging) {
+    result.diagnostics["R"] = static_cast<double>(request.R);
   }
 }
 
@@ -215,6 +271,37 @@ SolverRegistry make_builtin() {
             }
           },
   });
+  registry.add({
+      .name = "selfstab-safe",
+      .description =
+          "self-stabilizing safe: replay fault_plan, recover within "
+          "horizon+1 clean rounds, then eq. (2); bitwise equal to safe "
+          "(knobs: fault_plan, collaboration_oblivious)",
+      .local = true,
+      .faultable = true,
+      .run =
+          [](Session& session, const SolveRequest& request,
+             SolveResult& result) {
+            run_selfstab(session, request, result,
+                         SelfStabilizingSolver::Algorithm::kSafe);
+          },
+  });
+  registry.add({
+      .name = "selfstab-averaging",
+      .description =
+          "self-stabilizing Theorem 3: replay fault_plan, recover within "
+          "2R+2 clean rounds, then the Section 5.1 pipeline; bitwise equal "
+          "to distributed-averaging (knobs: fault_plan, R, "
+          "collaboration_oblivious, simplex)",
+      .local = true,
+      .faultable = true,
+      .run =
+          [](Session& session, const SolveRequest& request,
+             SolveResult& result) {
+            run_selfstab(session, request, result,
+                         SelfStabilizingSolver::Algorithm::kAveraging);
+          },
+  });
   return registry;
 }
 
@@ -227,6 +314,11 @@ constexpr std::pair<const char*, const char*> kSurfacedCounters[] = {
     {"view_class.canonicalizations", "view_class_canonicalizations"},
     {"view_class.prehash_skips", "view_class_prehash_skips"},
     {"scratch.leases", "scratch_leases"},
+    {"fault.injected", "faults_injected"},
+    {"selfstab.rounds_to_legitimate", "rounds_to_legitimate"},
+    {"engine.timeouts", "timeouts"},
+    {"engine.cancellations", "cancellations"},
+    {"session.integrity_fallbacks", "integrity_fallbacks"},
 };
 
 std::int64_t counter_value(const obs::MetricsSnapshot& snapshot,
@@ -304,8 +396,20 @@ std::span<const std::pair<const char*, const char*>> surfaced_counter_names() {
   return kSurfacedCounters;
 }
 
+const char* solve_status_name(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kOk:
+      return "ok";
+    case SolveStatus::kTimeout:
+      return "timeout";
+    case SolveStatus::kCancelled:
+      return "cancelled";
+  }
+  return "ok";
+}
+
 SolveResult solve(Session& session, const SolveRequest& request,
-                  const SolverRegistry& registry) {
+                  const SolverRegistry& registry, CancelToken* cancel) {
   const SolverRegistry::Entry& entry = registry.find(request.algorithm);
   MMLP_CHECK_MSG(
       request.threads == 0 || request.threads == session.thread_count(),
@@ -317,21 +421,55 @@ SolveResult solve(Session& session, const SolveRequest& request,
                                   << "serving session is not sharded (serve "
                                   << "it through a ShardedSession, e.g. "
                                   << "mmlp_batch --shards N)");
+  MMLP_CHECK_MSG(request.deadline_ms >= 0,
+                 "deadline_ms must be >= 0 (0 = unlimited), got "
+                     << request.deadline_ms);
+  MMLP_CHECK_MSG(request.fault_plan.empty() || entry.faultable,
+                 "algorithm '" << entry.name
+                               << "' does not replay fault plans (use a "
+                               << "selfstab-* algorithm)");
 
   SolveResult result;
   result.algorithm = entry.name;
 
+  // The caller's token (so an explicit cancel() is observed) or a
+  // request-local one; either way deadline_ms arms it.
+  CancelToken local_token;
+  CancelToken* token = cancel != nullptr ? cancel : &local_token;
+  if (request.deadline_ms > 0) {
+    token->set_deadline_after_ms(request.deadline_ms);
+  }
+
   const ScopedTraceEnable trace_scope(request.trace);
   obs::Registry& metrics = obs::Registry::global();
   static obs::Counter& requests = metrics.counter("engine.requests");
+  static obs::Counter& timeouts = metrics.counter("engine.timeouts");
+  static obs::Counter& cancellations = metrics.counter("engine.cancellations");
   requests.increment();
   const obs::MetricsSnapshot counters_before = metrics.snapshot();
 
   const SessionStats before = session.stats();
   WallTimer timer;
-  {
+  try {
+    const cancel::CancelScope scope(token);
+    token->raise_if_expired();
     obs::ObsSpan span(entry.name.c_str(), "engine.solve");
     entry.run(session, request, result);
+  } catch (const CancelledError& error) {
+    // Cooperative abort: the solver unwound through the bulk scheduler's
+    // poison path, so no partial work escaped — session caches either
+    // completed their build or were never inserted, and incremental
+    // memos invalidate themselves before any in-place mutation. Report
+    // through the status taxonomy instead of rethrowing.
+    result.status = error.reason() == CancelReason::kDeadline
+                        ? SolveStatus::kTimeout
+                        : SolveStatus::kCancelled;
+    result.error = error.what();
+    result.has_solution = false;
+    result.x.clear();
+    result.diagnostics.clear();
+    (result.status == SolveStatus::kTimeout ? timeouts : cancellations)
+        .increment();
   }
   result.total_ms = timer.milliseconds();
   const SessionStats after = session.stats();
@@ -360,8 +498,9 @@ SolveResult solve(Session& session, const SolveRequest& request,
   return result;
 }
 
-SolveResult solve(Session& session, const SolveRequest& request) {
-  return solve(session, request, SolverRegistry::builtin());
+SolveResult solve(Session& session, const SolveRequest& request,
+                  CancelToken* cancel) {
+  return solve(session, request, SolverRegistry::builtin(), cancel);
 }
 
 }  // namespace mmlp::engine

@@ -313,10 +313,81 @@ Session::ApplyReport Session::apply(const InstanceDelta& delta) {
     entry.revision = effect.revision;
   }
 
+  // Integrity checksum over the surgical repairs above: recompute a few
+  // evenly spaced balls per cached entry from scratch and compare. The
+  // balls are the root structure (growth sets and view classes derive
+  // from them), so a divergence here is the earliest observable symptom
+  // of a repair bug — and the response is to stop trusting every cache,
+  // not to limp on: drop them wholesale and invalidate the memos, which
+  // turns the bug into cold-cache latency instead of wrong bits.
+  verify_integrity_locked(report);
+
   revision_ = effect.revision;
   prune_log_locked();
   report.apply_ms = timer.milliseconds();
   return report;
+}
+
+bool Session::verify_integrity_locked(ApplyReport& report) {
+  static obs::Counter& fallback_counter =
+      obs::Registry::global().counter("session.integrity_fallbacks");
+  constexpr std::size_t kSamplesPerEntry = 4;
+  bool diverged = false;
+  for (const auto& [key, entry] : balls_) {
+    const Hypergraph& h = graph_[key.second ? 1 : 0]->value;
+    const auto n = entry.value.size();
+    // k * n / kSamples for k = 0..K-1: always includes agent 0, spreads
+    // the rest across the id space (duplicates on tiny n are harmless).
+    for (std::size_t k = 0; k < kSamplesPerEntry && !diverged; ++k) {
+      const std::size_t v = k * n / kSamplesPerEntry;
+      if (v >= n) {
+        break;
+      }
+      ++report.verified_balls;
+      if (entry.value[v] != ball(h, static_cast<NodeId>(v), key.first)) {
+        diverged = true;
+      }
+    }
+    if (diverged) {
+      break;
+    }
+  }
+  if (!diverged) {
+    return false;
+  }
+  report.integrity_fallback = true;
+  report.rebuilt = true;
+  graph_[0].reset();
+  graph_[1].reset();
+  balls_.clear();
+  growth_.clear();
+  view_classes_.clear();
+  for (auto& [key, memo] : solution_memos_) {
+    memo->valid = false;
+  }
+  for (auto& [key, memo] : averaging_memos_) {
+    memo->valid = false;
+  }
+  ++integrity_fallbacks_;
+  fallback_counter.increment();
+  return true;
+}
+
+void Session::corrupt_cached_ball_for_test(std::int32_t radius,
+                                           bool collaboration_oblivious,
+                                           AgentId agent) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = balls_.find(Key{radius, collaboration_oblivious});
+  MMLP_CHECK_MSG(it != balls_.end(),
+                 "corrupt_cached_ball_for_test: radius "
+                     << radius << " (oblivious=" << collaboration_oblivious
+                     << ") is not cached");
+  auto& cached = it->second.value;
+  MMLP_CHECK_GE(agent, 0);
+  MMLP_CHECK_LT(static_cast<std::size_t>(agent), cached.size());
+  // Every real ball contains its own center, so an empty one is always
+  // detectably wrong.
+  cached[static_cast<std::size_t>(agent)].clear();
 }
 
 void Session::prune_log_locked() {
@@ -405,6 +476,7 @@ SessionStats Session::stats() const {
     stats.cache_hits = cache_hits_;
     stats.cache_misses = cache_misses_;
     stats.cache_build_ms = cache_build_ms_;
+    stats.integrity_fallbacks = integrity_fallbacks_;
     // Refresh the registry gauges while the lock pins the cache maps:
     // entry counts and memo sizes are instantaneous values, sampled
     // whenever someone asks for stats (op:"stats", batch epilogue).

@@ -90,6 +90,12 @@ struct SessionStats {
   double cache_build_ms = 0.0;    ///< wall time spent building cache entries
   std::int64_t scratch_created = 0;  ///< scratch leases served by construction
   std::int64_t scratch_reused = 0;   ///< scratch leases served from the pool
+  /// Times apply()'s integrity spot-check caught a diverged cache and
+  /// dropped every cached structure (rebuilt lazily from the instance,
+  /// which is ground truth). 0 in a correct build — the counter exists
+  /// so a repair bug degrades to cold-cache performance, not to wrong
+  /// answers, and is visible when it does.
+  std::int64_t integrity_fallbacks = 0;
 };
 
 /// Per-worker scratch bundle for the distributed (LOCAL-model) solvers:
@@ -147,6 +153,13 @@ class Session {
     bool rebuilt = false;        ///< ids remapped: caches dropped wholesale
     std::size_t touched_agents = 0;    ///< |touched| of the delta
     std::size_t repaired_entries = 0;  ///< cache entries surgically repaired
+    /// Balls recomputed from scratch by the post-repair integrity
+    /// spot-check (a few per cached entry).
+    std::size_t verified_balls = 0;
+    /// The spot-check found a cached ball diverging from a from-scratch
+    /// recompute: every cache was dropped (rebuilt set too) and every
+    /// memo invalidated, so the next solves run full but correct.
+    bool integrity_fallback = false;
     double apply_ms = 0.0;
   };
 
@@ -215,6 +228,14 @@ class Session {
   /// Counter snapshot (scratch numbers are pulled from the pools).
   SessionStats stats() const;
 
+  /// TEST HOOK: overwrite agent `agent`'s cached radius-`radius` ball
+  /// with garbage (the entry must be cached). Exists so tests can prove
+  /// the apply() integrity fallback actually fires and so the bench
+  /// recovery sweep can price it; nothing else may call it.
+  void corrupt_cached_ball_for_test(std::int32_t radius,
+                                    bool collaboration_oblivious,
+                                    AgentId agent);
+
  private:
   using Key = std::pair<std::int32_t, bool>;  // (radius, oblivious)
 
@@ -235,6 +256,9 @@ class Session {
 
   void assert_fresh(std::uint64_t entry_revision) const;
   void prune_log_locked();
+  /// Spot-check the repaired ball caches against from-scratch BFS;
+  /// true = a divergence was found and every cache/memo was dropped.
+  bool verify_integrity_locked(ApplyReport& report);
 
   const Instance* instance_;
   Instance* mutable_instance_ = nullptr;
@@ -259,6 +283,7 @@ class Session {
   std::int64_t cache_hits_ = 0;
   std::int64_t cache_misses_ = 0;
   double cache_build_ms_ = 0.0;
+  std::int64_t integrity_fallbacks_ = 0;
 
   ScratchPool<ViewScratch> view_scratch_;
   ScratchPool<DistScratch> dist_scratch_;

@@ -191,6 +191,20 @@ SolveResult ShardedSession::solve(const SolveRequest& request,
 
   SolveResult result;
   result.algorithm = entry.name;
+  // A shard that timed out / was cancelled poisons the whole request:
+  // the stitched solution would be missing that shard's core. Propagate
+  // the first non-ok status instead of stitching partial bits.
+  for (const SolveResult& shard_result : shard_results) {
+    if (shard_result.status != SolveStatus::kOk) {
+      result.status = shard_result.status;
+      result.error = shard_result.error;
+      break;
+    }
+  }
+  if (result.status != SolveStatus::kOk) {
+    result.total_ms = timer.milliseconds();
+    return result;
+  }
   {
     obs::ObsSpan span("shard.stitch", "engine.shard");
     result.x.resize(static_cast<std::size_t>(instance_->num_agents()));
@@ -388,6 +402,7 @@ SessionStats ShardedSession::stats() const {
     total.cache_build_ms += stats.cache_build_ms;
     total.scratch_created += stats.scratch_created;
     total.scratch_reused += stats.scratch_reused;
+    total.integrity_fallbacks += stats.integrity_fallbacks;
   }
   return total;
 }

@@ -30,6 +30,7 @@
 #include "mmlp/core/optimal.hpp"
 #include "mmlp/engine/session.hpp"
 #include "mmlp/lp/simplex.hpp"
+#include "mmlp/util/cancel.hpp"
 
 namespace mmlp::engine {
 
@@ -82,12 +83,40 @@ struct SolveRequest {
   GreedyOptions greedy;          ///< greedy baseline tuning
   OptimalOptions optimal;        ///< exact-solver tuning (simplex field
                                  ///< overridden by `simplex` above)
+
+  /// Wall-clock budget for this request in milliseconds; 0 = unlimited.
+  /// When the budget runs out the solve stops cooperatively (workers
+  /// finish their current chunk), the result carries status kTimeout
+  /// with no solution, and the session's caches stay valid — the next
+  /// request on the same session is bitwise-equal to a fresh-session
+  /// run.
+  std::int64_t deadline_ms = 0;
+  /// Replayable fault schedule for the selfstab-* algorithms
+  /// (FaultPlan::serialize grammar, e.g. "s7;0:drop:3:5;1:crash:2").
+  /// Empty = fault-free. Other algorithms reject a non-empty plan.
+  std::string fault_plan;
 };
+
+/// How a request ended. kTimeout/kCancelled results carry no solution
+/// (has_solution false, x empty) and an explanatory `error` string.
+enum class SolveStatus : std::uint8_t {
+  kOk,         ///< ran to completion
+  kTimeout,    ///< deadline_ms elapsed before the solver finished
+  kCancelled,  ///< the caller's CancelToken was cancelled explicitly
+};
+
+/// Stable wire name: "ok", "timeout", "cancelled".
+const char* solve_status_name(SolveStatus status);
 
 /// The response. For estimator algorithms (sublinear) has_solution is
 /// false and x is empty — the estimate lives in `diagnostics`.
 struct SolveResult {
   std::string algorithm;
+
+  /// kOk unless the request timed out or was cancelled; then `error`
+  /// holds the reason and the solution fields below are empty.
+  SolveStatus status = SolveStatus::kOk;
+  std::string error;
 
   bool has_solution = false;
   std::vector<double> x;               ///< per-agent activities (when has_solution)
@@ -134,6 +163,7 @@ class SolverRegistry {
     std::string name;
     std::string description;  ///< one line, shown by tools and --help output
     bool local = false;       ///< constant-horizon local algorithm?
+    bool faultable = false;   ///< reads request.fault_plan? (selfstab-*)
     SolverFn run;
   };
 
@@ -161,11 +191,20 @@ class SolverRegistry {
 
 /// Run one request on a session through `registry`, filling the common
 /// SolveResult fields (evaluation + timing/cache breakdown).
+///
+/// `cancel`, when given, is the caller's cancellation handle: cancel()
+/// from any thread stops the solve cooperatively (status kCancelled),
+/// and request.deadline_ms arms its deadline. With cancel == nullptr a
+/// request-local token still enforces deadline_ms. Expiry never throws
+/// out of solve(); it is reported through SolveResult::status, and the
+/// session's caches remain valid for the next request.
 SolveResult solve(Session& session, const SolveRequest& request,
-                  const SolverRegistry& registry);
+                  const SolverRegistry& registry,
+                  CancelToken* cancel = nullptr);
 
 /// As above with the built-in registry.
-SolveResult solve(Session& session, const SolveRequest& request);
+SolveResult solve(Session& session, const SolveRequest& request,
+                  CancelToken* cancel = nullptr);
 
 /// The (obs counter name, SolveResult::counters key) pairs solve()
 /// surfaces as per-request deltas — exposed so alternative front-ends

@@ -14,6 +14,7 @@
 
 #include "mmlp/engine/sharded_session.hpp"
 #include "mmlp/util/check.hpp"
+#include "mmlp/util/fault.hpp"
 #include "mmlp/util/obs.hpp"
 #include "mmlp/util/parallel.hpp"
 
@@ -354,6 +355,19 @@ void apply_solve_key(SolveRequest& request, const std::string& key,
     request.simplex.max_iterations = as_int(value, key);
   } else if (key == "trace") {
     request.trace = as_bool(value, key);
+  } else if (key == "deadline_ms") {
+    const std::int64_t deadline = as_int(value, key);
+    MMLP_CHECK_MSG(deadline >= 0,
+                   "request key 'deadline_ms' must be >= 0 (0 = unlimited), "
+                   "got " << deadline);
+    request.deadline_ms = deadline;
+  } else if (key == "fault_plan") {
+    request.fault_plan = as_string(value, key);
+    if (!request.fault_plan.empty()) {
+      // Validate eagerly so a malformed plan is rejected at the wire
+      // boundary (code "validate") instead of mid-solve.
+      FaultPlan::parse(request.fault_plan);
+    }
   } else {
     MMLP_CHECK_MSG(false, "unknown request key '" << key << "'");
   }
@@ -430,29 +444,38 @@ WireCommand parse_command_line(const std::string& line) {
     ArrayValue array;
   };
   std::vector<Item> items;
-  Scanner scanner{line};
-  scanner.expect('{');
-  bool first = true;
-  while (scanner.peek() != '}') {
-    if (!first) {
-      scanner.expect(',');
+  // The scanning pass is the *grammar*: its failures rethrow as
+  // WireParseError (error code "parse"). The dispatch below is
+  // semantics on a well-formed line (code "validate").
+  try {
+    Scanner scanner{line};
+    scanner.expect('{');
+    bool first = true;
+    while (scanner.peek() != '}') {
+      if (!first) {
+        scanner.expect(',');
+      }
+      first = false;
+      Item item;
+      item.key = scanner.parse_string();
+      scanner.expect(':');
+      if (scanner.peek() == '[') {
+        item.is_array = true;
+        item.array = parse_array(scanner);
+      } else {
+        item.scalar = parse_scalar(scanner);
+      }
+      items.push_back(std::move(item));
     }
-    first = false;
-    Item item;
-    item.key = scanner.parse_string();
-    scanner.expect(':');
-    if (scanner.peek() == '[') {
-      item.is_array = true;
-      item.array = parse_array(scanner);
-    } else {
-      item.scalar = parse_scalar(scanner);
-    }
-    items.push_back(std::move(item));
+    scanner.expect('}');
+    MMLP_CHECK_MSG(scanner.done(),
+                   "trailing content after request object: '"
+                       << line.substr(scanner.pos) << "'");
+  } catch (const WireParseError&) {
+    throw;
+  } catch (const CheckError& error) {
+    throw WireParseError(error.what());
   }
-  scanner.expect('}');
-  MMLP_CHECK_MSG(scanner.done(),
-                 "trailing content after request object: '"
-                     << line.substr(scanner.pos) << "'");
 
   std::string op = "solve";
   for (const Item& item : items) {
@@ -559,6 +582,26 @@ void append_workers(std::ostringstream& oss,
   oss << ']';
 }
 
+/// Fault/recovery/guardrail totals for the stats op, surfaced as
+/// first-class fields (they also appear inside "metrics", but stream
+/// consumers watching recovery health should not have to know obs
+/// counter names).
+void append_fault_recovery(std::ostringstream& oss,
+                           std::int64_t integrity_fallbacks) {
+  const obs::MetricsSnapshot snapshot = obs::Registry::global().snapshot();
+  const auto counter = [&](const char* name) -> std::int64_t {
+    const auto it = snapshot.counters.find(name);
+    return it != snapshot.counters.end() ? it->second : 0;
+  };
+  oss << ", \"faults_injected\": " << counter("fault.injected")
+      << ", \"recoveries\": " << counter("selfstab.recoveries")
+      << ", \"rounds_to_legitimate\": "
+      << counter("selfstab.rounds_to_legitimate")
+      << ", \"timeouts\": " << counter("engine.timeouts")
+      << ", \"cancellations\": " << counter("engine.cancellations")
+      << ", \"integrity_fallbacks\": " << integrity_fallbacks;
+}
+
 }  // namespace
 
 std::string stats_to_json_line(Session& session, const std::string& id) {
@@ -580,6 +623,7 @@ std::string stats_to_json_line(Session& session, const std::string& id) {
   append_number(oss, stats.cache_build_ms);
   oss << ", \"scratch_created\": " << stats.scratch_created
       << ", \"scratch_reused\": " << stats.scratch_reused;
+  append_fault_recovery(oss, stats.integrity_fallbacks);
   oss << ", \"queue_depth\": " << pool.queue_depth();
   append_workers(oss, workers);
   // The registry snapshot is already one JSON object; embed it verbatim.
@@ -607,12 +651,25 @@ std::string stats_to_json_line(ShardedSession& session,
   append_number(oss, stats.cache_build_ms);
   oss << ", \"scratch_created\": " << stats.scratch_created
       << ", \"scratch_reused\": " << stats.scratch_reused;
+  append_fault_recovery(oss, stats.integrity_fallbacks);
   oss << ", \"pool_threads\": " << session.worker_threads()
       << ", \"queue_depth\": " << session.pool().queue_depth();
   append_workers(oss, session.pool().worker_stats());
   // The registry snapshot is already one JSON object; embed it verbatim.
   oss << ", \"metrics\": " << obs::Registry::global().to_json_line();
   oss << '}';
+  return oss.str();
+}
+
+std::string error_to_json_line(const std::string& code,
+                               const std::string& message,
+                               std::size_t line_number) {
+  std::ostringstream oss;
+  oss << "{\"error\": ";
+  append_escaped(oss, message);
+  oss << ", \"code\": ";
+  append_escaped(oss, code);
+  oss << ", \"line\": " << line_number << '}';
   return oss.str();
 }
 
@@ -625,6 +682,11 @@ std::string result_to_json_line(const SolveResult& result,
   }
   oss << "\"algorithm\": ";
   append_escaped(oss, result.algorithm);
+  oss << ", \"status\": \"" << solve_status_name(result.status) << '"';
+  if (result.status != SolveStatus::kOk) {
+    oss << ", \"error\": ";
+    append_escaped(oss, result.error);
+  }
   if (result.has_solution) {
     oss << ", \"omega\": ";
     append_number(oss, result.omega);

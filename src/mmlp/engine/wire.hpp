@@ -27,6 +27,12 @@
 //   greedy_min_gain         number
 //   simplex_max_iterations  int
 //   trace                   bool     span tracer on for this request
+//   deadline_ms             int      wall-clock budget; 0 = unlimited. An
+//                                    exceeded deadline answers an error
+//                                    line with code "timeout"
+//   fault_plan              string   FaultPlan grammar (selfstab-* only),
+//                                    e.g. "s7;0:drop:3:5;1:crash:2";
+//                                    validated at parse time
 //   id                      any scalar, echoed verbatim into the response
 //
 // An *update* line carries "op": "update" plus an InstanceDelta; the
@@ -55,13 +61,34 @@
 // object per line with the evaluation, diagnostics and the timing/cache
 // breakdown; the solution vector rides along only when asked (emit_x) —
 // at 10^5 agents it dominates the payload.
+//
+// Error lines carry a stable `code` field so stream consumers can
+// dispatch without parsing the message text:
+//   parse      the line is not in the wire grammar (malformed JSON)
+//   validate   well-formed but semantically rejected (unknown key, bad
+//              enum name, negative deadline, malformed fault plan, ...)
+//   timeout    deadline_ms elapsed before the solve finished
+//   cancelled  the solve was cancelled
+//   internal   anything else (a bug — CheckError is the contract)
 #pragma once
 
+#include <cstddef>
 #include <string>
 
 #include "mmlp/engine/solver.hpp"
+#include "mmlp/util/check.hpp"
 
 namespace mmlp::engine {
+
+/// Thrown when a wire line fails the *grammar* (scanner-level JSON
+/// errors), as opposed to a well-formed line whose content is rejected
+/// (plain CheckError). Subclassing CheckError keeps the long-standing
+/// contract that the wire parser only ever throws CheckError; callers
+/// that care about the distinction catch WireParseError first.
+class WireParseError : public CheckError {
+ public:
+  explicit WireParseError(const std::string& what) : CheckError(what) {}
+};
 
 /// A parsed request line: the solve parameters plus the echoed id.
 struct WireRequest {
@@ -104,9 +131,17 @@ class ShardedSession;  // engine/sharded_session.hpp
 std::string stats_to_json_line(ShardedSession& session, const std::string& id);
 
 /// Serialise one response line (no trailing newline). `emit_x` includes
-/// the full solution vector.
+/// the full solution vector. Every line carries "status"; non-ok lines
+/// (timeout/cancelled) add "error" and omit the solution fields.
 std::string result_to_json_line(const SolveResult& result,
                                 const std::string& id, bool emit_x);
+
+/// Serialise one error line (no trailing newline):
+/// {"error": <message>, "code": <code>, "line": N}. `code` must be one
+/// of the stable codes documented above.
+std::string error_to_json_line(const std::string& code,
+                               const std::string& message,
+                               std::size_t line_number);
 
 /// Names accepted by the "damping" request key, mapped to the enum.
 AveragingDamping damping_from_name(const std::string& name);

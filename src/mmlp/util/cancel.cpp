@@ -1,0 +1,28 @@
+#include "mmlp/util/cancel.hpp"
+
+namespace mmlp {
+namespace cancel {
+
+namespace {
+thread_local const CancelToken* active_token = nullptr;
+}  // namespace
+
+const CancelToken* current_token() noexcept { return active_token; }
+
+void checkpoint() {
+  if (active_token != nullptr) {
+    active_token->raise_if_expired();
+  }
+}
+
+CancelScope::CancelScope(const CancelToken* token) noexcept
+    : previous_(active_token) {
+  if (token != nullptr) {
+    active_token = token;
+  }
+}
+
+CancelScope::~CancelScope() { active_token = previous_; }
+
+}  // namespace cancel
+}  // namespace mmlp

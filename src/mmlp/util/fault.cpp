@@ -1,0 +1,296 @@
+// FaultPlan serialization/parsing and the round-cursor injector. The
+// grammar is deliberately a single token with no whitespace so a plan
+// survives every transport the repo has (JSONL string values, CLI
+// flags, bench-case names) without escaping.
+#include "mmlp/util/fault.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <sstream>
+
+#include "mmlp/util/check.hpp"
+
+namespace mmlp {
+
+namespace {
+
+constexpr std::string_view kKindNames[] = {
+    "drop", "dup", "corrupt", "delay", "crash", "state",
+};
+
+bool kind_is_message(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDropMessage:
+    case FaultKind::kDuplicateMessage:
+    case FaultKind::kCorruptMessage:
+    case FaultKind::kDelayMessage:
+      return true;
+    case FaultKind::kCrashAgent:
+    case FaultKind::kCorruptState:
+      return false;
+  }
+  return false;
+}
+
+FaultKind parse_kind(std::string_view token) {
+  for (std::size_t k = 0; k < std::size(kKindNames); ++k) {
+    if (token == kKindNames[k]) {
+      return static_cast<FaultKind>(k);
+    }
+  }
+  detail::check_failed("known fault kind", __FILE__, __LINE__,
+                       "unknown fault kind '" + std::string(token) +
+                           "' (expected drop|dup|corrupt|delay|crash|state)");
+}
+
+std::int64_t parse_number(std::string_view token, const char* what) {
+  std::int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  MMLP_CHECK_MSG(ec == std::errc{} && ptr == token.data() + token.size(),
+                 "fault plan: non-numeric " << what << " '" << token << "'");
+  return value;
+}
+
+/// Split `text` on `sep`, invoking fn(part) per (possibly empty) part.
+template <typename Fn>
+void for_each_split(std::string_view text, char sep, Fn&& fn) {
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    const std::size_t end = std::min(text.find(sep, begin), text.size());
+    fn(text.substr(begin, end - begin));
+    begin = end + 1;
+  }
+}
+
+}  // namespace
+
+std::string_view fault_kind_name(FaultKind kind) {
+  const auto index = static_cast<std::size_t>(kind);
+  MMLP_CHECK_LT(index, std::size(kKindNames));
+  return kKindNames[index];
+}
+
+std::int32_t FaultPlan::rounds() const {
+  std::int32_t max_round = -1;
+  for (const FaultEvent& event : events) {
+    max_round = std::max(max_round, event.round);
+  }
+  return max_round + 1;
+}
+
+void FaultPlan::normalize() {
+  std::sort(events.begin(), events.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              return std::tie(a.round, a.agent, a.peer, a.kind) <
+                     std::tie(b.round, b.agent, b.peer, b.kind);
+            });
+}
+
+std::string FaultPlan::serialize() const {
+  std::ostringstream out;
+  out << 's' << seed;
+  for (const FaultEvent& event : events) {
+    out << ';' << event.round << ':' << fault_kind_name(event.kind) << ':'
+        << event.agent;
+    if (kind_is_message(event.kind)) {
+      out << ':' << event.peer;
+    }
+  }
+  return out.str();
+}
+
+FaultPlan FaultPlan::parse(std::string_view text) {
+  MMLP_CHECK_MSG(!text.empty() && text.front() == 's',
+                 "fault plan must start with 's<seed>', got '"
+                     << std::string(text.substr(0, 32)) << "'");
+  FaultPlan plan;
+  bool first = true;
+  for_each_split(text, ';', [&](std::string_view part) {
+    if (first) {
+      first = false;
+      const std::string_view seed_token = part.substr(1);
+      const std::int64_t seed = parse_number(seed_token, "seed");
+      MMLP_CHECK_MSG(seed >= 0, "fault plan: negative seed");
+      plan.seed = static_cast<std::uint64_t>(seed);
+      return;
+    }
+    // <round>:<kind>:<agent>[:<peer>]
+    std::vector<std::string_view> fields;
+    for_each_split(part, ':',
+                   [&](std::string_view field) { fields.push_back(field); });
+    MMLP_CHECK_MSG(fields.size() == 3 || fields.size() == 4,
+                   "fault plan: malformed event '" << std::string(part)
+                                                   << "'");
+    FaultEvent event;
+    const std::int64_t round = parse_number(fields[0], "round");
+    MMLP_CHECK_MSG(round >= 0, "fault plan: negative round");
+    event.round = static_cast<std::int32_t>(round);
+    event.kind = parse_kind(fields[1]);
+    const std::int64_t agent = parse_number(fields[2], "agent");
+    MMLP_CHECK_MSG(agent >= 0, "fault plan: negative agent id");
+    event.agent = static_cast<AgentId>(agent);
+    if (kind_is_message(event.kind)) {
+      MMLP_CHECK_MSG(fields.size() == 4,
+                     "fault plan: message fault '"
+                         << fault_kind_name(event.kind)
+                         << "' requires a peer field");
+      const std::int64_t peer = parse_number(fields[3], "peer");
+      MMLP_CHECK_MSG(peer >= 0, "fault plan: negative peer id");
+      event.peer = static_cast<AgentId>(peer);
+    } else {
+      MMLP_CHECK_MSG(fields.size() == 3,
+                     "fault plan: agent fault '" << fault_kind_name(event.kind)
+                                                 << "' takes no peer field");
+    }
+    plan.events.push_back(event);
+  });
+  plan.normalize();
+  return plan;
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, std::int32_t rounds,
+                            std::int32_t num_agents, std::int32_t count) {
+  MMLP_CHECK_GT(rounds, 0);
+  MMLP_CHECK_GT(num_agents, 0);
+  MMLP_CHECK_GE(count, 0);
+  FaultPlan plan;
+  plan.seed = seed;
+  Rng rng(seed);
+  plan.events.reserve(static_cast<std::size_t>(count));
+  for (std::int32_t e = 0; e < count; ++e) {
+    FaultEvent event;
+    event.round = static_cast<std::int32_t>(
+        rng.next_below(static_cast<std::uint64_t>(rounds)));
+    event.kind = static_cast<FaultKind>(rng.next_below(6));
+    event.agent = static_cast<AgentId>(
+        rng.next_below(static_cast<std::uint64_t>(num_agents)));
+    if (kind_is_message(event.kind)) {
+      event.peer = static_cast<AgentId>(
+          rng.next_below(static_cast<std::uint64_t>(num_agents)));
+      if (event.peer == event.agent && num_agents > 1) {
+        event.peer = static_cast<AgentId>((event.peer + 1) % num_agents);
+      }
+    }
+    plan.events.push_back(event);
+  }
+  plan.normalize();
+  return plan;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  plan_.normalize();
+}
+
+void FaultInjector::begin_round(std::int32_t round) {
+  round_ = round;
+  const auto lower = std::lower_bound(
+      plan_.events.begin(), plan_.events.end(), round,
+      [](const FaultEvent& event, std::int32_t r) { return event.round < r; });
+  const auto upper = std::upper_bound(
+      plan_.events.begin(), plan_.events.end(), round,
+      [](std::int32_t r, const FaultEvent& event) { return r < event.round; });
+  round_begin_ = static_cast<std::size_t>(lower - plan_.events.begin());
+  round_end_ = static_cast<std::size_t>(upper - plan_.events.begin());
+  // Crash/state events fire unconditionally when their round is
+  // entered; message events are counted as their fates are served.
+  std::int64_t entered = 0;
+  for (std::size_t i = round_begin_; i < round_end_; ++i) {
+    if (!kind_is_message(plan_.events[i].kind)) {
+      ++entered;
+    }
+  }
+  injected_.fetch_add(entered, std::memory_order_relaxed);
+}
+
+bool FaultInjector::round_has_delay() const {
+  for (std::size_t i = round_begin_; i < round_end_; ++i) {
+    if (plan_.events[i].kind == FaultKind::kDelayMessage) {
+      return true;
+    }
+  }
+  return false;
+}
+
+FaultInjector::MessageFate FaultInjector::message_fate(AgentId receiver,
+                                                       AgentId sender) const {
+  MessageFate fate;
+  std::int64_t hits = 0;
+  for (std::size_t i = round_begin_; i < round_end_; ++i) {
+    const FaultEvent& event = plan_.events[i];
+    if (event.agent != receiver || event.peer != sender) {
+      continue;
+    }
+    switch (event.kind) {
+      case FaultKind::kDropMessage:
+        fate.copies = 0;
+        ++hits;
+        break;
+      case FaultKind::kDuplicateMessage:
+        // Drop beats duplicate when both target the same packet,
+        // regardless of event order within the round.
+        if (fate.copies != 0) {
+          fate.copies = 2;
+        }
+        ++hits;
+        break;
+      case FaultKind::kCorruptMessage:
+        fate.corrupt = true;
+        ++hits;
+        break;
+      case FaultKind::kDelayMessage:
+        fate.delay = true;
+        ++hits;
+        break;
+      case FaultKind::kCrashAgent:
+      case FaultKind::kCorruptState:
+        break;
+    }
+  }
+  // Drop beats duplicate when both target the same packet.
+  if (fate.copies == 0) {
+    fate.corrupt = false;
+    fate.delay = false;
+  }
+  if (hits > 0) {
+    injected_.fetch_add(hits, std::memory_order_relaxed);
+  }
+  return fate;
+}
+
+bool FaultInjector::crashed(AgentId agent) const {
+  for (std::size_t i = round_begin_; i < round_end_; ++i) {
+    const FaultEvent& event = plan_.events[i];
+    if (event.kind == FaultKind::kCrashAgent && event.agent == agent) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::state_corrupted(AgentId agent) const {
+  for (std::size_t i = round_begin_; i < round_end_; ++i) {
+    const FaultEvent& event = plan_.events[i];
+    if (event.kind == FaultKind::kCorruptState && event.agent == agent) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Rng FaultInjector::event_rng(AgentId agent, AgentId peer) const {
+  // Hash (seed, round, agent, peer) through splitmix64 so every event
+  // owns an independent, replayable stream regardless of the order the
+  // parallel exchange consults the injector.
+  std::uint64_t state = plan_.seed;
+  state ^= 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(round_ + 1);
+  splitmix64(state);
+  state ^= static_cast<std::uint64_t>(static_cast<std::int64_t>(agent) + 1)
+           << 17;
+  splitmix64(state);
+  state ^= static_cast<std::uint64_t>(static_cast<std::int64_t>(peer) + 2)
+           << 29;
+  return Rng(splitmix64(state));
+}
+
+}  // namespace mmlp

@@ -176,6 +176,21 @@ void ThreadPool::execute_chunks(BulkJob& job, WorkerCounters* counters) {
     if (job.failed.load(std::memory_order_acquire)) {
       return;
     }
+    if (job.cancel != nullptr && job.cancel->expired()) {
+      // Cancellation rides the poison-the-cursor path: record a
+      // CancelledError as the job's first error (unless a body already
+      // failed) and stop claiming. Other executors observe `failed` and
+      // drain; run_bulk rethrows in the caller.
+      {
+        std::lock_guard<std::mutex> lock(job.error_mutex);
+        if (job.error == nullptr) {
+          job.error =
+              std::make_exception_ptr(CancelledError(job.cancel->reason()));
+        }
+      }
+      job.failed.store(true, std::memory_order_release);
+      return;
+    }
     std::size_t cur = job.cursor.load(std::memory_order_relaxed);
     if (cur >= job.count) {
       return;
@@ -191,6 +206,10 @@ void ThreadPool::execute_chunks(BulkJob& job, WorkerCounters* counters) {
     const std::size_t end = std::min(job.count, cur + chunk);
     const clock::time_point start = clock::now();
     try {
+      // Workers inherit the caller's token for the duration of the
+      // body, so cancel::checkpoint() and nested bulk regions inside
+      // the body observe it.
+      cancel::CancelScope scope(job.cancel);
       job.body(job.ctx, cur, end);
     } catch (...) {
       {
@@ -226,6 +245,7 @@ void ThreadPool::run_bulk(std::size_t count, std::size_t min_grain,
           : std::max<std::size_t>(1, count / (16 * (workers_.size() + 1)));
   job.body = body;
   job.ctx = ctx;
+  job.cancel = cancel::current_token();
   {
     std::lock_guard<std::mutex> lock(sched_mutex_);
     MMLP_CHECK(!stop_);
@@ -346,7 +366,20 @@ void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
     pool = &ThreadPool::global();
   }
   if (pool->size() <= 1 || count == 1) {
-    serial_for(count, fn);
+    const CancelToken* token = cancel::current_token();
+    if (token == nullptr) {
+      serial_for(count, fn);
+      return;
+    }
+    // Serial fallback under an active token: poll every 256 indices so
+    // a deadline fires on a single-thread pool too, without paying a
+    // clock read per tiny iteration.
+    for (std::size_t i = 0; i < count; ++i) {
+      if ((i & 0xFF) == 0) {
+        token->raise_if_expired();
+      }
+      fn(i);
+    }
     return;
   }
   // The std::function is reached by reference through the trampoline:

@@ -58,6 +58,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "mmlp/util/cancel.hpp"
+
 namespace mmlp {
 
 /// Fixed-size worker pool: per-worker task deques with stealing, plus
@@ -126,7 +128,11 @@ class ThreadPool {
   /// bounds the chunk size from below (0 = auto). Reentrant: may be
   /// called concurrently from several threads and from inside pool
   /// workers (nested regions run in parallel). Performs no heap
-  /// allocation.
+  /// allocation. Honors the caller's active CancelToken
+  /// (cancel::current_token()): once the token expires, executors stop
+  /// claiming chunks and run_bulk rethrows CancelledError — already
+  /// running chunk bodies complete normally first, so per-index output
+  /// slots are never left half-written.
   void run_bulk(std::size_t count, std::size_t min_grain, BulkBody body,
                 void* ctx);
 
@@ -163,6 +169,13 @@ class ThreadPool {
     std::exception_ptr error;  // first exception; guarded by error_mutex
     std::mutex error_mutex;
     int attached = 0;  // executors inside the claim loop; sched_mutex_
+    /// Cooperative cancellation: snapshot of the run_bulk caller's
+    /// active CancelToken (cancel::current_token()). Checked in the
+    /// claim loop before each chunk, and re-installed around the body
+    /// so workers and nested regions observe the caller's token. An
+    /// expired token marks the job failed through the same
+    /// poison-the-cursor path as a thrown body exception.
+    const CancelToken* cancel = nullptr;
   };
 
   struct alignas(64) TaskQueue {
@@ -231,6 +244,10 @@ void chunked_parallel_for(std::size_t count, Body&& body,
   }
   ThreadPool& target = pool != nullptr ? *pool : ThreadPool::global();
   if (target.size() <= 1 || count == 1) {
+    // Serial fallback: one checkpoint before the body — long bodies are
+    // expected to call cancel::checkpoint() themselves at natural
+    // boundaries (the per-view-class LP loop does).
+    cancel::checkpoint();
     body(std::size_t{0}, count);
     return;
   }

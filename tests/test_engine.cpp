@@ -76,8 +76,11 @@ std::vector<Instance> test_instances() {
 TEST(SolverRegistry, BuiltinRegistersTheExpectedAlgorithms) {
   const auto& registry = engine::SolverRegistry::builtin();
   const std::vector<std::string> expected = {
-      "averaging", "distributed-averaging", "distributed-safe", "greedy",
-      "optimal",   "safe",                  "sublinear",        "uniform"};
+      "averaging",          "distributed-averaging",
+      "distributed-safe",   "greedy",
+      "optimal",            "safe",
+      "selfstab-averaging", "selfstab-safe",
+      "sublinear",          "uniform"};
   EXPECT_EQ(registry.names(), expected);
   for (const std::string& name : expected) {
     EXPECT_TRUE(registry.contains(name));
@@ -142,6 +145,11 @@ TEST(EngineSolve, WarmSessionMatchesColdFreeFunctionsBitwise) {
     EXPECT_EQ(warm("optimal").x, solve_optimal(instance).x);
     EXPECT_EQ(warm("distributed-safe").x, distributed_safe(instance));
     EXPECT_EQ(warm("distributed-averaging").x,
+              distributed_local_averaging(instance, {.R = 1}));
+    // The self-stabilizing executions start legitimate, so a fault-free
+    // request is the fault-free distributed run, bitwise.
+    EXPECT_EQ(warm("selfstab-safe").x, distributed_safe(instance));
+    EXPECT_EQ(warm("selfstab-averaging").x,
               distributed_local_averaging(instance, {.R = 1}));
 
     const engine::SolveResult sublinear = warm("sublinear");

@@ -4,8 +4,11 @@
 
 #include "mmlp/core/safe.hpp"
 #include "mmlp/dist/runtime.hpp"
+#include "mmlp/gen/geometric.hpp"
 #include "mmlp/gen/grid.hpp"
+#include "mmlp/gen/isp.hpp"
 #include "mmlp/gen/random_instance.hpp"
+#include "mmlp/gen/sensor.hpp"
 #include "mmlp/util/check.hpp"
 #include "test_helpers.hpp"
 
@@ -121,6 +124,67 @@ TEST(SelfStabilize, SafeOutputFromClearedStateThrowsCatchably) {
   flood.run_until_stable(2);
   EXPECT_EQ(flood.safe_output(), safe_solution(instance));
 }
+
+// Maximal corruption: corrupt_all replaces EVERY table with a fully
+// random one — nothing of the legitimate state survives — and the
+// horizon + 1 bound must still hold on every generator family the repo
+// ships, not just the symmetric constructions.
+const std::vector<Instance>& generator_scenarios() {
+  static const std::vector<Instance>* instances = [] {
+    auto* list = new std::vector<Instance>();
+    list->push_back(make_grid_instance(
+        {.dims = {5, 5}, .torus = true, .randomize = true, .seed = 2}));
+    list->push_back(make_random_instance({.num_agents = 30, .seed = 1}));
+    list->push_back(
+        make_geometric_instance({.num_agents = 40, .seed = 3}).instance);
+    list->push_back(make_sensor_network({.num_sensors = 25,
+                                         .num_relays = 8,
+                                         .num_areas = 4,
+                                         .radio_range = 0.4,
+                                         .seed = 4})
+                        .instance);
+    list->push_back(make_isp_network({.num_customers = 5, .seed = 5}).instance);
+    return list;
+  }();
+  return *instances;
+}
+
+class SelfStabilizeMaximalCorruption
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SelfStabilizeMaximalCorruption, RecoversOnEveryGeneratorFamily) {
+  const Instance& instance = generator_scenarios()[GetParam()];
+  for (const std::int32_t horizon : {1, 3}) {
+    SelfStabilizingFlood flood(instance, horizon);
+    Rng rng(29 + GetParam());
+    flood.corrupt_all(rng);
+    EXPECT_FALSE(flood.is_legitimate()) << "horizon " << horizon;
+    for (std::int32_t round = 0; round < horizon + 1; ++round) {
+      flood.step();
+    }
+    EXPECT_TRUE(flood.is_legitimate())
+        << "scenario " << GetParam() << " horizon " << horizon;
+  }
+  // The recovered radius-1 tables reproduce the safe solution bitwise.
+  SelfStabilizingFlood flood(instance, 1);
+  Rng rng(77 + GetParam());
+  flood.corrupt_all(rng);
+  flood.run_until_stable(2);
+  EXPECT_EQ(flood.safe_output(), safe_solution(instance));
+}
+
+std::string generator_scenario_name(
+    const ::testing::TestParamInfo<std::size_t>& info) {
+  static const char* const names[] = {"grid", "random", "geometric", "sensor",
+                                      "isp"};
+  return names[info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(Generators, SelfStabilizeMaximalCorruption,
+                         ::testing::Values(std::size_t{0}, std::size_t{1},
+                                           std::size_t{2}, std::size_t{3},
+                                           std::size_t{4}),
+                         generator_scenario_name);
 
 TEST(SelfStabilize, HorizonZeroKnowsOnlySelf) {
   const auto instance = testing::path_instance(4);

@@ -36,6 +36,8 @@ const std::vector<std::string>& seed_lines() {
       R"({"op": "stats", "id": "q"})",
       R"({"algorithm": "averaging", "damping": "beta-per-agent"})",
       R"({"algorithm": "safe", "shards": 4, "threads": 2})",
+      R"({"algorithm": "averaging", "deadline_ms": 250})",
+      R"({"algorithm": "selfstab-safe", "fault_plan": "s7;0:drop:3:5;1:crash:2"})",
   };
   return lines;
 }
@@ -54,7 +56,7 @@ std::string mutate(Rng& rng, std::uint64_t kind) {
   const std::vector<std::string>& seeds = seed_lines();
   const std::string& base =
       seeds[static_cast<std::size_t>(rng.next_below(seeds.size()))];
-  switch (kind % 12) {
+  switch (kind % 13) {
     case 0: {  // truncation: cut anywhere, including mid-token
       const std::size_t cut = 1 + rng.next_below(base.size() - 1);
       return base.substr(0, cut);
@@ -108,6 +110,18 @@ std::string mutate(Rng& rng, std::uint64_t kind) {
         case 1: return R"({"op": "update", "remove_agents": [1, 2)";
         default: return R"({"id": "unterminated)";
       }
+    case 11:  // bad deadlines and fault plans
+      switch (rng.next_below(6)) {
+        case 0: return R"({"algorithm": "safe", "deadline_ms": -1})";
+        case 1:
+          return R"({"deadline_ms": 99999999999999999999999999})";
+        case 2: return R"({"deadline_ms": 2.5})";
+        case 3: return R"({"algorithm": "selfstab-safe", "fault_plan": "nope"})";
+        case 4:
+          return R"({"fault_plan": "s7;0:drop:3"})";  // message fault, no peer
+        default:
+          return R"({"fault_plan": "s7;0:flood:1:2"})";  // unknown kind
+      }
     default:  // pure garbage bytes
       return random_garbage(rng, 1 + rng.next_below(120));
   }
@@ -138,6 +152,55 @@ TEST(WireFuzz, ParserOnlyEverThrowsCheckError) {
 TEST(WireFuzz, ValidSeedsStillParse) {
   for (const std::string& line : seed_lines()) {
     EXPECT_NO_THROW((void)engine::parse_command_line(line)) << line;
+  }
+}
+
+TEST(WireFuzz, DeadlineAndFaultPlanKeysParse) {
+  const engine::WireCommand deadline = engine::parse_command_line(
+      R"({"algorithm": "averaging", "deadline_ms": 250})");
+  EXPECT_EQ(deadline.request.deadline_ms, 250);
+  // Absent keys keep the unlimited / fault-free defaults.
+  EXPECT_EQ(engine::parse_command_line(R"({"algorithm": "safe"})")
+                .request.deadline_ms,
+            0);
+  const engine::WireCommand faulty = engine::parse_command_line(
+      R"({"algorithm": "selfstab-safe", "fault_plan": "s7;0:drop:3:5"})");
+  EXPECT_EQ(faulty.request.fault_plan, "s7;0:drop:3:5");
+}
+
+TEST(WireFuzz, BadDeadlinesAndPlansAreValidateNotParse) {
+  // Well-formed JSON whose content is rejected stays a plain
+  // CheckError (wire code "validate"), never a WireParseError.
+  const std::vector<std::string> semantic = {
+      R"({"algorithm": "safe", "deadline_ms": -1})",
+      R"({"deadline_ms": 99999999999999999999999999})",
+      R"({"deadline_ms": 2.5})",
+      R"({"fault_plan": "nope"})",
+      R"({"fault_plan": "s7;0:drop:3"})",
+      R"({"fault_plan": "s7;0:flood:1:2"})",
+  };
+  for (const std::string& line : semantic) {
+    try {
+      (void)engine::parse_command_line(line);
+      FAIL() << "expected CheckError: " << line;
+    } catch (const engine::WireParseError&) {
+      FAIL() << "semantic rejection misclassified as parse error: " << line;
+    } catch (const CheckError&) {
+      // expected: wire code "validate"
+    }
+  }
+}
+
+TEST(WireFuzz, MalformedJsonIsAWireParseError) {
+  const std::vector<std::string> malformed = {
+      R"({"algorithm": "safe")",  // unterminated object
+      "[1, 2]",                   // non-object toplevel
+      "{bad json",                // raw garbage
+  };
+  for (const std::string& line : malformed) {
+    EXPECT_THROW((void)engine::parse_command_line(line),
+                 engine::WireParseError)
+        << line;
   }
 }
 
@@ -192,6 +255,8 @@ TEST(WireFuzz, BatchSurvivesPoisonedRequestStream) {
   while (std::getline(results, line)) {
     if (line.rfind("{\"error\":", 0) == 0) {
       ++error_lines;
+      // Every error line carries a stable dispatch code.
+      EXPECT_NE(line.find("\"code\": \""), std::string::npos) << line;
     } else {
       ++ok_lines;
     }

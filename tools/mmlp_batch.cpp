@@ -38,12 +38,20 @@
 //
 // Blank lines and lines starting with '#' are skipped, so request files
 // can carry comments. By default a malformed or failing request
-// produces an {"error": ..., "line": N} result line — N is the
-// 1-based input line number of the offending request — and processing
-// continues (a long batch is not lost to one typo); --fail-fast (alias
-// --strict) turns the first failure fatal.
+// produces an {"error": ..., "code": ..., "line": N} result line — N is
+// the 1-based input line number of the offending request, and code is
+// the stable taxonomy of wire.hpp (parse | validate | timeout |
+// cancelled | internal) — and processing continues (a long batch is not
+// lost to one typo); --fail-fast (alias --strict) turns the first
+// failure fatal. The exit summary counts failures per code.
+//
+// --default-deadline-ms applies a wall-clock budget to every solve that
+// does not set its own deadline_ms; --fault-plan replays a fault
+// schedule on every selfstab-* solve that does not carry its own
+// fault_plan key.
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -52,8 +60,10 @@
 #include "mmlp/engine/sharded_session.hpp"
 #include "mmlp/engine/solver.hpp"
 #include "mmlp/engine/wire.hpp"
+#include "mmlp/util/cancel.hpp"
 #include "mmlp/util/check.hpp"
 #include "mmlp/util/cli.hpp"
+#include "mmlp/util/fault.hpp"
 #include "mmlp/util/obs.hpp"
 #include "mmlp/util/parallel.hpp"
 #include "mmlp/util/timer.hpp"
@@ -107,6 +117,15 @@ int main(int argc, char** argv) {
   args.add_switch("emit-x", "include the full solution vector per result");
   args.add_switch("strict", "abort on the first malformed/failing request");
   args.add_switch("fail-fast", "alias of --strict");
+  args.add_flag("default-deadline-ms",
+                "wall-clock budget applied to every solve request that does "
+                "not set deadline_ms itself (0 = unlimited)",
+                "0");
+  args.add_flag("fault-plan",
+                "fault schedule (FaultPlan grammar, e.g. "
+                "'s7;0:drop:3:5;1:crash:2') replayed by every selfstab-* "
+                "request that does not carry its own fault_plan key",
+                "");
   args.add_flag("trace-out",
                 "enable the span tracer for the whole batch and write the "
                 "Chrome Trace Event JSON (load in Perfetto) to FILE",
@@ -180,10 +199,40 @@ int main(int argc, char** argv) {
 
   const bool emit_x = args.get_bool("emit-x");
   const bool fail_fast = args.get_bool("strict") || args.get_bool("fail-fast");
+  const auto default_deadline_ms =
+      static_cast<std::int64_t>(args.get_int("default-deadline-ms"));
+  MMLP_CHECK_MSG(default_deadline_ms >= 0,
+                 "--default-deadline-ms must be >= 0, got "
+                     << default_deadline_ms);
+  const std::string default_fault_plan = args.get_string("fault-plan");
+  if (!default_fault_plan.empty()) {
+    // Fail at startup, not on request #1: the flag shares the request
+    // key's grammar and validation.
+    FaultPlan::parse(default_fault_plan);
+  }
   std::int64_t served = 0;
   std::int64_t failed = 0;
+  std::map<std::string, std::int64_t> failed_by_code;
   std::int64_t line_number = 0;
   WallTimer batch_timer;
+  // One line's failure, routed through the stable error-code taxonomy
+  // of wire.hpp. Returns true when the batch should abort (--fail-fast).
+  const auto report_failure = [&](const std::string& code,
+                                  const std::string& message) {
+    ++failed;
+    ++failed_by_code[code];
+    out << engine::error_to_json_line(code, message,
+                                      static_cast<std::size_t>(line_number))
+        << '\n';
+    if (fail_fast) {
+      out.flush();
+      std::cerr << "mmlp_batch: aborting on failed request at line "
+                << line_number << " (--fail-fast, code " << code
+                << "): " << message << '\n';
+      return true;
+    }
+    return false;
+  };
   std::string line;
   while (std::getline(requests, line)) {
     ++line_number;
@@ -191,7 +240,7 @@ int main(int argc, char** argv) {
       continue;
     }
     try {
-      const engine::WireCommand command = engine::parse_command_line(line);
+      engine::WireCommand command = engine::parse_command_line(line);
       if (command.kind == engine::WireCommand::Kind::kUpdate) {
         const engine::Session::ApplyReport report =
             sharded ? sharded_session->apply(command.delta)
@@ -203,20 +252,48 @@ int main(int argc, char** argv) {
                     : engine::stats_to_json_line(*session, command.id))
             << '\n';
       } else {
+        if (command.request.deadline_ms == 0) {
+          command.request.deadline_ms = default_deadline_ms;
+        }
+        if (command.request.fault_plan.empty() &&
+            command.request.algorithm.rfind("selfstab-", 0) == 0) {
+          command.request.fault_plan = default_fault_plan;
+        }
         const engine::SolveResult result =
             sharded ? sharded_session->solve(command.request)
                     : engine::solve(*session, command.request);
+        if (result.status != engine::SolveStatus::kOk) {
+          // Timed-out/cancelled solves answer an error line, not a
+          // result line: there is no solution to report, and stream
+          // consumers dispatch on the code.
+          if (report_failure(engine::solve_status_name(result.status),
+                             result.error)) {
+            return 1;
+          }
+          continue;
+        }
         out << engine::result_to_json_line(result, command.id, emit_x) << '\n';
       }
       ++served;
+    } catch (const engine::WireParseError& error) {
+      if (report_failure("parse", error.what())) {
+        return 1;
+      }
+    } catch (const CancelledError& error) {
+      // engine::solve converts expiry into the status taxonomy; this
+      // catch covers cancellation unwinding out of update/stats paths.
+      if (report_failure(error.reason() == CancelReason::kDeadline
+                             ? "timeout"
+                             : "cancelled",
+                         error.what())) {
+        return 1;
+      }
     } catch (const CheckError& error) {
-      ++failed;
-      out << "{\"error\": \"" << engine::json_escape(error.what())
-          << "\", \"line\": " << line_number << "}\n";
-      if (fail_fast) {
-        out.flush();
-        std::cerr << "mmlp_batch: aborting on failed request at line "
-                  << line_number << " (--fail-fast): " << error.what() << '\n';
+      if (report_failure("validate", error.what())) {
+        return 1;
+      }
+    } catch (const std::exception& error) {
+      if (report_failure("internal", error.what())) {
         return 1;
       }
     }
@@ -250,11 +327,25 @@ int main(int argc, char** argv) {
   const engine::SessionStats stats =
       sharded ? sharded_session->stats() : session->stats();
   std::cerr << "mmlp_batch: served " << served << " request(s), " << failed
-            << " failed, " << batch_timer.milliseconds() << " ms total; "
+            << " failed";
+  if (!failed_by_code.empty()) {
+    std::cerr << " (";
+    bool first = true;
+    for (const auto& [code, count] : failed_by_code) {
+      std::cerr << (first ? "" : ", ") << code << ": " << count;
+      first = false;
+    }
+    std::cerr << ')';
+  }
+  std::cerr << ", " << batch_timer.milliseconds() << " ms total; "
             << "session caches: " << stats.cache_hits << " hit(s), "
             << stats.cache_misses << " miss(es), " << stats.cache_build_ms
             << " ms building; scratch: " << stats.scratch_reused
-            << " reuse(s), " << stats.scratch_created << " creation(s)\n";
+            << " reuse(s), " << stats.scratch_created << " creation(s)";
+  if (stats.integrity_fallbacks > 0) {
+    std::cerr << "; INTEGRITY FALLBACKS: " << stats.integrity_fallbacks;
+  }
+  std::cerr << '\n';
   // --fail-fast already exited inside the loop on the first failure;
   // other batches report failures per line and exit clean.
   return 0;
